@@ -1,0 +1,2 @@
+//! Criterion benchmark crate; see `benches/` for the benchmark targets:
+//! `figures` (one group per paper table/figure), `throughput`, `ablations`.

@@ -1,0 +1,309 @@
+#![warn(missing_docs)]
+
+//! Instruction-cache simulation: the performance side of code compression.
+//!
+//! The reproduced paper motivates compression partly through the memory
+//! system ("Reducing program size is one way to reduce instruction cache
+//! misses and achieve higher performance", §1, citing [Chen97b]) and lists
+//! performance exploration as future work (§5). This crate provides that
+//! substrate: a set-associative I-cache model ([`Cache`]) plus a tracing
+//! fetch adapter ([`TracingFetch`]) that records the program-memory
+//! references a fetch engine actually makes, so compressed and uncompressed
+//! executions of the same kernel can be compared miss-for-miss.
+//!
+//! A compressed program touches fewer distinct bytes for the same executed
+//! instructions, so at equal cache size its miss count can only shrink —
+//! measured, not assumed, by `codense-experiments`' `cache` exhibit.
+//!
+//! # Example
+//!
+//! ```
+//! use codense_cache::{Cache, CacheConfig};
+//!
+//! let mut cache = Cache::new(CacheConfig { size_bytes: 256, line_bytes: 16, ways: 2 });
+//! assert!(!cache.access(0));       // cold miss
+//! assert!(cache.access(4));        // same line: hit
+//! assert!(!cache.access(1 << 20)); // different line: miss
+//! assert_eq!(cache.stats().misses, 2);
+//! ```
+
+use codense_vm::{Fetch, FetchStats};
+
+/// Cache geometry. All three parameters must be powers of two and
+/// `size_bytes >= line_bytes * ways`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (1 = direct-mapped).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.ways)
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Line-granular accesses.
+    pub accesses: u64,
+    /// Misses (including cold misses).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in `[0, 1]`; 0 for an untouched cache.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[s]` holds up to `ways` tags, most recently used last.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not power-of-two or the capacity is smaller
+    /// than one line per way.
+    pub fn new(config: CacheConfig) -> Cache {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.size_bytes.is_power_of_two(), "capacity must be a power of two");
+        assert!(config.ways >= 1 && config.ways.is_power_of_two(), "ways must be a power of two");
+        assert!(
+            config.size_bytes >= config.line_bytes * config.ways,
+            "capacity below one line per way"
+        );
+        Cache { config, sets: vec![Vec::new(); config.sets()], stats: CacheStats::default() }
+    }
+
+    /// The configured geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accesses the line containing byte `addr`. Returns `true` on a hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line as usize) % self.config.sets();
+        let tags = &mut self.sets[set];
+        self.stats.accesses += 1;
+        if let Some(pos) = tags.iter().position(|&t| t == line) {
+            let tag = tags.remove(pos);
+            tags.push(tag);
+            true
+        } else {
+            self.stats.misses += 1;
+            if tags.len() == self.config.ways {
+                tags.remove(0);
+            }
+            tags.push(line);
+            false
+        }
+    }
+
+    /// Accesses every line overlapping the byte range `[addr, addr + len)`.
+    pub fn access_range(&mut self, addr: u64, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let lb = self.config.line_bytes as u64;
+        let first = addr / lb;
+        let last = (addr + len - 1) / lb;
+        for line in first..=last {
+            self.access(line * lb);
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+/// A program-memory reference: starting *nibble* address and nibble length
+/// (the fetch domain's units; divide by two for bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchRef {
+    /// Starting nibble address.
+    pub nibble_addr: u64,
+    /// Nibbles consumed from program memory (0 for instructions delivered
+    /// out of the dictionary expansion buffer).
+    pub nibbles: u64,
+}
+
+/// Wraps any fetch engine and records each program-memory reference it
+/// makes (derived from its own fetch counters, so buffered dictionary
+/// deliveries correctly record zero memory traffic).
+#[derive(Debug)]
+pub struct TracingFetch<F> {
+    inner: F,
+    trace: Vec<FetchRef>,
+}
+
+impl<F: Fetch> TracingFetch<F> {
+    /// Wraps a fetch engine.
+    pub fn new(inner: F) -> TracingFetch<F> {
+        TracingFetch { inner, trace: Vec::new() }
+    }
+
+    /// The recorded reference trace.
+    pub fn trace(&self) -> &[FetchRef] {
+        &self.trace
+    }
+
+    /// Consumes the adapter, returning the trace.
+    pub fn into_trace(self) -> Vec<FetchRef> {
+        self.trace
+    }
+
+    /// Replays the recorded trace against a cache.
+    pub fn replay(&self, cache: &mut Cache) {
+        replay(&self.trace, cache);
+    }
+}
+
+/// Replays a reference trace against a cache (nibble addresses halved to
+/// bytes, lengths rounded out to whole bytes).
+pub fn replay(trace: &[FetchRef], cache: &mut Cache) {
+    for r in trace {
+        if r.nibbles == 0 {
+            continue;
+        }
+        let start = r.nibble_addr / 2;
+        let end = (r.nibble_addr + r.nibbles).div_ceil(2);
+        cache.access_range(start, end - start);
+    }
+}
+
+impl<F: Fetch> Fetch for TracingFetch<F> {
+    fn fetch(&mut self, pc: u64) -> Result<codense_vm::fetch::Fetched, codense_vm::MachineError> {
+        let before = self.inner.stats().nibbles_fetched;
+        let out = self.inner.fetch(pc)?;
+        let consumed = self.inner.stats().nibbles_fetched - before;
+        self.trace.push(FetchRef { nibble_addr: pc, nibbles: consumed });
+        Ok(out)
+    }
+
+    fn granule(&self) -> u32 {
+        self.inner.granule()
+    }
+
+    fn stats(&self) -> FetchStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn direct(size: usize, line: usize) -> Cache {
+        Cache::new(CacheConfig { size_bytes: size, line_bytes: line, ways: 1 })
+    }
+
+    #[test]
+    fn hits_within_line() {
+        let mut c = direct(256, 16);
+        assert!(!c.access(32));
+        for a in 32..48 {
+            assert!(c.access(a), "offset {a}");
+        }
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().accesses, 17);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = direct(64, 16); // 4 sets
+        assert!(!c.access(0));
+        assert!(!c.access(64)); // same set, different tag -> evicts
+        assert!(!c.access(0)); // conflict miss
+        assert_eq!(c.stats().misses, 3);
+    }
+
+    #[test]
+    fn associativity_absorbs_conflicts() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2 });
+        assert!(!c.access(0));
+        assert!(!c.access(64));
+        assert!(c.access(0), "2-way keeps both lines");
+        assert!(c.access(64));
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 32, line_bytes: 16, ways: 2 });
+        c.access(0); // A
+        c.access(16); // B
+        c.access(0); // touch A -> B is LRU
+        c.access(32); // C evicts B
+        assert!(c.access(0), "A still resident");
+        assert!(!c.access(16), "B evicted");
+    }
+
+    #[test]
+    fn access_range_touches_all_lines() {
+        let mut c = direct(256, 16);
+        c.access_range(8, 24); // spans lines 0 and 1
+        assert_eq!(c.stats().accesses, 2);
+        c.access_range(100, 0);
+        assert_eq!(c.stats().accesses, 2, "empty range is free");
+    }
+
+    #[test]
+    fn replay_skips_buffered_fetches() {
+        let trace = vec![
+            FetchRef { nibble_addr: 0, nibbles: 4 },
+            FetchRef { nibble_addr: 0, nibbles: 0 }, // buffered expansion
+            FetchRef { nibble_addr: 4, nibbles: 9 },
+        ];
+        let mut c = direct(256, 16);
+        replay(&trace, &mut c);
+        // 0..2 bytes and 2..7 bytes: both in line 0.
+        assert_eq!(c.stats().accesses, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        Cache::new(CacheConfig { size_bytes: 100, line_bytes: 16, ways: 1 });
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = direct(64, 16);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.access(0), "cold again after reset");
+    }
+}

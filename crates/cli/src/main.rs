@@ -1,0 +1,369 @@
+//! `codense` — command-line front end for the code-compression system.
+//!
+//! ```text
+//! codense gen <benchmark|all> [-o DIR]        write .cdm module file(s)
+//! codense info <FILE>                         inspect a .cdm or .cdns file
+//! codense disasm <FILE.cdm|FILE.cdns> [START [COUNT]]   disassemble a module
+//! codense compress <FILE.cdm> [-o OUT.cdns] [--encoding E] [--max-entry N]
+//!                                             [--max-codewords N]
+//! codense analyze <FILE.cdm>                  redundancy / branch / size stats
+//! codense run-kernel <NAME> [--encoding E]    execute a built-in kernel
+//! ```
+//!
+//! Encodings: `baseline` (2-byte codewords), `onebyte`, `nibble`.
+
+use std::process::ExitCode;
+
+use codense_core::{container, verify::verify, CompressionConfig, Compressor, EncodingKind};
+use codense_obj::ObjectModule;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("gen") => cmd_gen(&args[1..]),
+        Some("info") => cmd_info(&args[1..]),
+        Some("disasm") => cmd_disasm(&args[1..]),
+        Some("compress") => cmd_compress(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("asm") => cmd_asm(&args[1..]),
+        Some("run-kernel") => cmd_run_kernel(&args[1..]),
+        Some("help") | None => {
+            print!("{}", USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("codense: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  codense gen <benchmark|all> [-o DIR]
+  codense info <FILE.cdm|FILE.cdns>
+  codense disasm <FILE.cdm|FILE.cdns> [START [COUNT]]
+  codense compress <FILE.cdm> [-o OUT.cdns] [--encoding baseline|onebyte|nibble]
+                   [--max-entry N] [--max-codewords N]
+  codense analyze <FILE.cdm>
+  codense asm <FILE.s> [-o OUT.cdm]
+  codense run-kernel <NAME|list> [--encoding baseline|onebyte|nibble|none]
+
+asm syntax: one instruction per line (the disasm output syntax), `label:`
+definitions, `label` usable as any branch target, `#` comments.
+";
+
+type CliResult = Result<(), String>;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn parse_encoding(name: &str) -> Result<EncodingKind, String> {
+    match name {
+        "baseline" => Ok(EncodingKind::Baseline),
+        "onebyte" => Ok(EncodingKind::OneByte),
+        "nibble" => Ok(EncodingKind::NibbleAligned),
+        other => Err(format!("unknown encoding `{other}` (baseline|onebyte|nibble)")),
+    }
+}
+
+fn load_module(path: &str) -> Result<ObjectModule, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    codense_obj::deserialize(&bytes).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_gen(args: &[String]) -> CliResult {
+    let which = args.first().ok_or("gen: missing benchmark name (or `all`)")?;
+    let dir = flag_value(args, "-o").unwrap_or(".");
+    std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
+    let modules: Vec<ObjectModule> = if which == "all" {
+        codense_codegen::generate_suite()
+    } else {
+        vec![codense_codegen::benchmark(which)
+            .ok_or_else(|| format!("unknown benchmark `{which}`"))?]
+    };
+    for m in modules {
+        let path = format!("{dir}/{}.cdm", m.name);
+        std::fs::write(&path, codense_obj::serialize(&m)).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: {} instructions, {} bytes of text", m.len(), m.text_bytes());
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("info: missing file")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if bytes.starts_with(&codense_obj::serialize::MAGIC) {
+        let m = codense_obj::deserialize(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!("module `{}`", m.name);
+        println!("  instructions : {}", m.len());
+        println!("  text bytes   : {}", m.text_bytes());
+        println!("  functions    : {}", m.functions.len());
+        println!("  jump tables  : {} ({} bytes)", m.jump_tables.len(), m.jump_table_bytes());
+        let bbs = codense_obj::BasicBlocks::compute(&m);
+        println!("  basic blocks : {} (mean {:.1} insns)", bbs.len(), bbs.mean_block_len());
+    } else if bytes.starts_with(&container::MAGIC) {
+        let image = container::deserialize(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        println!("compressed program ({:?})", image.encoding);
+        println!("  original text : {} bytes", image.original_text_bytes);
+        println!("  stream        : {} nibbles ({} bytes)", image.total_nibbles, image.image.len());
+        println!("  dictionary    : {} entries", image.dictionary_by_rank.len());
+        println!("  jump tables   : {}", image.jump_tables.len());
+        println!("  overflow slots: {}", image.overflow_table.len());
+        println!(
+            "  footprint     : {} bytes ({:.1}% of original)",
+            image.footprint_bytes(),
+            100.0 * image.footprint_bytes() as f64 / image.original_text_bytes.max(1) as f64
+        );
+    } else {
+        return Err(format!("{path}: unrecognized file format"));
+    }
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("disasm: missing file")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    let start: usize =
+        args.get(1).map(|s| s.parse().map_err(|_| "bad START")).transpose()?.unwrap_or(0);
+    let count: usize =
+        args.get(2).map(|s| s.parse().map_err(|_| "bad COUNT")).transpose()?.unwrap_or(64);
+    if bytes.starts_with(&container::MAGIC) {
+        let image = container::deserialize(&bytes).map_err(|e| format!("{path}: {e}"))?;
+        return disasm_stream(&image, start, count);
+    }
+    let m = codense_obj::deserialize(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    if start >= m.len() {
+        return Err(format!("START {start} beyond program ({} insns)", m.len()));
+    }
+    let end = (start + count).min(m.len());
+    print!("{}", codense_ppc::disasm::dump(&m.code[start..end], 4 * start as u32));
+    Ok(())
+}
+
+/// Renders a compressed stream: nibble addresses, codewords with their
+/// expansions, and escaped instructions — an objdump for `.cdns` images.
+fn disasm_stream(
+    image: &container::ProgramImage,
+    skip_items: usize,
+    count: usize,
+) -> CliResult {
+    use codense_core::encoding::{read_item, Item};
+    use codense_core::nibbles::NibbleReader;
+    let mut r = NibbleReader::new(&image.image);
+    let mut index = 0usize;
+    let mut shown = 0usize;
+    while r.pos() < image.total_nibbles && shown < count {
+        let at = r.pos();
+        let Some(item) = read_item(image.encoding, &mut r) else { break };
+        if index >= skip_items {
+            match item {
+                Item::Insn(word) => {
+                    println!("{at:7}:  {}", codense_ppc::disasm::disassemble(word, 0));
+                }
+                Item::Codeword(rank) => {
+                    let words = image
+                        .dictionary_by_rank
+                        .get(rank as usize)
+                        .ok_or_else(|| format!("stream references unknown rank {rank}"))?;
+                    let expansion: Vec<String> = words
+                        .iter()
+                        .map(|&w| codense_ppc::disasm::disassemble(w, 0))
+                        .collect();
+                    println!("{at:7}:  CODEWORD #{rank}  => {}", expansion.join("; "));
+                }
+            }
+            shown += 1;
+        }
+        index += 1;
+    }
+    Ok(())
+}
+
+fn cmd_compress(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("compress: missing input .cdm")?;
+    let m = load_module(path)?;
+    let encoding = parse_encoding(flag_value(args, "--encoding").unwrap_or("nibble"))?;
+    let mut config = CompressionConfig {
+        max_entry_len: 4,
+        max_codewords: encoding.capacity(),
+        encoding,
+    };
+    if let Some(v) = flag_value(args, "--max-entry") {
+        config.max_entry_len = v.parse().map_err(|_| "bad --max-entry")?;
+    }
+    if let Some(v) = flag_value(args, "--max-codewords") {
+        config.max_codewords = v.parse().map_err(|_| "bad --max-codewords")?;
+    }
+    let out_path = flag_value(args, "-o")
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("{}.cdns", path.trim_end_matches(".cdm")));
+
+    let compressed = Compressor::new(config).compress(&m).map_err(|e| e.to_string())?;
+    verify(&m, &compressed).map_err(|e| format!("verification failed: {e}"))?;
+    std::fs::write(&out_path, container::serialize(&compressed))
+        .map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "{out_path}: {} -> {} text bytes + {} dictionary bytes ({} entries), ratio {:.1}%",
+        m.text_bytes(),
+        compressed.text_bytes(),
+        compressed.dictionary_bytes(),
+        compressed.dictionary.len(),
+        100.0 * compressed.compression_ratio(),
+    );
+    if !compressed.overflow_table.is_empty() {
+        println!("  {} branch(es) rewritten through the overflow table", compressed.overflow_table.len());
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("analyze: missing file")?;
+    let m = load_module(path)?;
+    let p = codense_core::analysis::encoding_profile(&m);
+    println!("`{}`: {} instructions, {} distinct encodings", m.name, p.total_insns, p.distinct);
+    println!(
+        "  encodings used once  : {} insns ({:.1}%)",
+        p.used_once_insns,
+        100.0 * p.used_once_fraction()
+    );
+    let u = codense_core::analysis::branch_offset_usage(&m);
+    println!("  PC-relative branches : {}", u.total);
+    let pct = u.percentages();
+    println!(
+        "  too narrow @2B/1B/4b : {}/{}/{} ({:.2}%/{:.2}%/{:.2}%)",
+        u.too_narrow_2byte, u.too_narrow_1byte, u.too_narrow_4bit, pct[0], pct[1], pct[2]
+    );
+    let pe = codense_core::analysis::prologue_epilogue(&m);
+    println!(
+        "  prologue/epilogue    : {:.1}% / {:.1}% of program",
+        pe.prologue_pct(),
+        pe.epilogue_pct()
+    );
+    let lzw = codense_lzw::compressed_size(&m.text_image());
+    println!(
+        "  LZW bound            : {} bytes ({:.1}%)",
+        lzw,
+        100.0 * lzw as f64 / m.text_bytes() as f64
+    );
+    Ok(())
+}
+
+/// Two-pass textual assembler over `codense_ppc::parse`: pass 1 assigns
+/// label addresses, pass 2 substitutes them into branch targets.
+fn cmd_asm(args: &[String]) -> CliResult {
+    let path = args.first().ok_or("asm: missing input .s file")?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+
+    // Pass 1: strip comments/labels, record label -> instruction index.
+    let mut labels = std::collections::HashMap::new();
+    let mut lines: Vec<(usize, String)> = Vec::new(); // (source line no, text)
+    for (no, raw) in source.lines().enumerate() {
+        let mut line = raw;
+        if let Some(hash) = line.find('#') {
+            line = &line[..hash];
+        }
+        let mut rest = line.trim();
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if labels.insert(label.to_string(), lines.len()).is_some() {
+                return Err(format!("{path}:{}: duplicate label `{label}`", no + 1));
+            }
+            rest = tail[1..].trim();
+        }
+        if !rest.is_empty() {
+            lines.push((no + 1, rest.to_string()));
+        }
+    }
+
+    // Pass 2: substitute label operands with absolute hex addresses, parse.
+    let mut code = Vec::with_capacity(lines.len());
+    for (idx, (no, text)) in lines.iter().enumerate() {
+        let substituted: String = {
+            let (mnemonic, rest) = text.split_once(char::is_whitespace).unwrap_or((text, ""));
+            let ops: Vec<String> = rest
+                .split(',')
+                .map(|op| {
+                    let op = op.trim();
+                    match labels.get(op) {
+                        Some(&target) => format!("{:08x}", 4 * target as u32),
+                        None => op.to_string(),
+                    }
+                })
+                .collect();
+            if rest.trim().is_empty() {
+                mnemonic.to_string()
+            } else {
+                format!("{mnemonic} {}", ops.join(","))
+            }
+        };
+        let insn = codense_ppc::parse::parse_insn(&substituted, 4 * idx as u32)
+            .map_err(|e| format!("{path}:{no}: {e}"))?;
+        code.push(codense_ppc::encode(&insn));
+    }
+
+    let stem = path.trim_end_matches(".s");
+    let out_path = flag_value(args, "-o").map(str::to_owned).unwrap_or_else(|| format!("{stem}.cdm"));
+    let mut module = ObjectModule::new(
+        std::path::Path::new(stem)
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "module".to_owned()),
+    );
+    module.code = code;
+    module.validate().map_err(|e| format!("{path}: invalid program: {e}"))?;
+    std::fs::write(&out_path, codense_obj::serialize(&module))
+        .map_err(|e| format!("{out_path}: {e}"))?;
+    println!("{out_path}: {} instructions", module.len());
+    Ok(())
+}
+
+fn cmd_run_kernel(args: &[String]) -> CliResult {
+    use codense_vm::{fetch::CompressedFetcher, kernels, machine::Machine, run::run, LinearFetcher};
+    let name = args.first().ok_or("run-kernel: missing kernel name (try `list`)")?;
+    let all = kernels::all();
+    if name == "list" {
+        for k in &all {
+            println!("{}", k.name);
+        }
+        return Ok(());
+    }
+    let kernel = all
+        .iter()
+        .find(|k| k.name == name.as_str())
+        .ok_or_else(|| format!("unknown kernel `{name}` (try `list`)"))?;
+    let encoding = flag_value(args, "--encoding").unwrap_or("nibble");
+
+    let mut machine = Machine::new(1 << 20);
+    kernel.apply_init(&mut machine);
+    let result = if encoding == "none" {
+        let mut fetch = LinearFetcher::new(kernel.module.code.clone());
+        run(&mut machine, &mut fetch, 0, 100_000_000).map_err(|e| e.to_string())?
+    } else {
+        let kind = parse_encoding(encoding)?;
+        let config = CompressionConfig { max_entry_len: 4, max_codewords: kind.capacity(), encoding: kind };
+        let compressed = Compressor::new(config).compress(&kernel.module).map_err(|e| e.to_string())?;
+        let mut fetch = CompressedFetcher::new(&compressed);
+        run(&mut machine, &mut fetch, 0, 100_000_000).map_err(|e| e.to_string())?
+    };
+    println!(
+        "{name}: exit {} (expected {}), {} steps, {:.2} bits/insn fetched",
+        result.exit_code,
+        kernel.expected,
+        result.steps,
+        result.stats.bits_per_insn()
+    );
+    if result.exit_code != kernel.expected {
+        return Err("kernel produced an unexpected result".into());
+    }
+    Ok(())
+}

@@ -1,0 +1,237 @@
+//! The miniature intermediate representation the synthetic compiler lowers.
+//!
+//! The IR deliberately mirrors what a syntax-directed translation scheme
+//! (SDTS) sees: expressions, assignments, structured control flow, calls and
+//! switches. Each construct lowers through a *fixed template* (see
+//! [`crate::lower`]), which is precisely the property the paper exploits:
+//! "object modules are generated with many common sub-sequences of
+//! instructions" (§1.1).
+
+/// Access width of a memory operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 8-bit (`lbz`/`stb`).
+    Byte,
+    /// 16-bit (`lhz`/`sth`).
+    Half,
+    /// 32-bit (`lwz`/`stw`).
+    Word,
+}
+
+/// A function-local variable, identified by slot index.
+///
+/// Depending on the function's register pressure a local is assigned either
+/// a nonvolatile register or a stack-frame slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Local(pub u16);
+
+/// A program-global variable, identified by index into the synthetic `.data`
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Global(pub u16);
+
+/// Reference to another function in the same program, by index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FuncRef(pub u32);
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are the operators themselves
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    And,
+    Or,
+    Xor,
+    /// Shift left by a constant.
+    Shl(u8),
+    /// Logical shift right by a constant.
+    Shr(u8),
+    /// Arithmetic shift right by a constant.
+    Sar(u8),
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are the operators themselves
+pub enum UnOp {
+    Neg,
+    Not,
+    /// Sign-extend the low byte.
+    ExtByte,
+    /// Mask to the low byte (the `clrlwi …,24` idiom from the paper's Fig 2).
+    MaskByte,
+}
+
+/// Comparison operators for conditions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // variants are the operators themselves
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// An expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A 16-bit constant (`li`).
+    Const(i16),
+    /// A constant needing `lis`+`ori`.
+    ConstWide(i32),
+    /// Read a local.
+    Local(Local, Width),
+    /// Read a global.
+    Global(Global, Width),
+    /// Indexed array element `base[index]`, `base` a pointer-typed local.
+    Index {
+        /// Pointer-typed local holding the array base.
+        base: Local,
+        /// Element index expression.
+        index: Box<Expr>,
+        /// Element width (also selects the index scaling shift).
+        width: Width,
+    },
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Call with up to 4 arguments; yields the return value.
+    Call(FuncRef, Vec<Expr>),
+}
+
+/// A branch condition: `lhs <op> rhs`, signed or unsigned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cond {
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Use unsigned (`cmplw`) comparison.
+    pub unsigned: bool,
+    /// Left operand.
+    pub lhs: Expr,
+    /// Right operand; a small constant compares via `cmpwi`/`cmplwi`.
+    pub rhs: Expr,
+    /// CR field the comparison targets (the generator alternates cr0/cr1
+    /// the way compilers do when scheduling compares).
+    pub crf: u8,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `local = expr`.
+    AssignLocal(Local, Expr),
+    /// `global = expr` (with the given store width).
+    AssignGlobal(Global, Width, Expr),
+    /// `base[index] = value`.
+    StoreIndex {
+        /// Pointer-typed local holding the array base.
+        base: Local,
+        /// Element index expression.
+        index: Expr,
+        /// Element width.
+        width: Width,
+        /// Value to store.
+        value: Expr,
+    },
+    /// `if (cond) { then } else { els }` (`els` may be empty).
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Taken-branch body.
+        then_: Vec<Stmt>,
+        /// Else body.
+        els: Vec<Stmt>,
+    },
+    /// `while (cond) { body }`.
+    While {
+        /// Loop condition.
+        cond: Cond,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for (local = from; local < to; local++) { body }`.
+    For {
+        /// Induction variable.
+        var: Local,
+        /// Inclusive start value.
+        from: i16,
+        /// Exclusive end value.
+        to: i16,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A call whose result is discarded.
+    Call(FuncRef, Vec<Expr>),
+    /// `switch (scrutinee)` dispatched through a jump table.
+    Switch {
+        /// Value switched on.
+        scrutinee: Expr,
+        /// One body per case value `0..cases.len()`.
+        cases: Vec<Vec<Stmt>>,
+    },
+    /// Return, optionally with a value.
+    Return(Option<Expr>),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Number of incoming arguments (passed in `r3..`, stored to locals
+    /// `0..params` by the prologue template).
+    pub params: u16,
+    /// Total local slots (including parameter homes).
+    pub locals: u16,
+    /// Whether this function makes calls (affects prologue/epilogue shape).
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program: functions plus the size of its global area.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// All functions; `FuncRef(i)` refers to `functions[i]`.
+    pub functions: Vec<Function>,
+    /// Number of global variable slots.
+    pub globals: u16,
+}
+
+impl Expr {
+    /// Depth of the expression tree (a leaf has depth 1). The lowering's
+    /// scratch-register discipline supports depth ≤ 4.
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::ConstWide(_) | Expr::Local(..) | Expr::Global(..) => 1,
+            Expr::Index { index, .. } => 1 + index.depth(),
+            Expr::Un(_, e) => e.depth(),
+            Expr::Bin(_, a, b) => 1 + a.depth().max(b.depth()),
+            Expr::Call(_, args) => {
+                1 + args.iter().map(Expr::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_depth() {
+        let leaf = Expr::Const(1);
+        assert_eq!(leaf.depth(), 1);
+        let sum = Expr::Bin(BinOp::Add, Box::new(leaf.clone()), Box::new(leaf.clone()));
+        assert_eq!(sum.depth(), 2);
+        let nested = Expr::Bin(BinOp::Mul, Box::new(sum.clone()), Box::new(leaf));
+        assert_eq!(nested.depth(), 3);
+        assert_eq!(Expr::Un(UnOp::Neg, Box::new(sum)).depth(), 2);
+    }
+}

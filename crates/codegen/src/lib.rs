@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! A deterministic, SDTS-style synthetic compiler producing PowerPC object
+//! modules — the reproduction's stand-in for SPEC CINT95 compiled with GCC
+//! -O2.
+//!
+//! The paper's compression method exploits a structural property of compiled
+//! code: compilers emit instructions from a fixed set of templates
+//! (syntax-directed translation), so "object modules are generated with many
+//! common sub-sequences of instructions" (§1.1). This crate reproduces that
+//! property from first principles:
+//!
+//! * [`ir`] — a miniature statement/expression IR,
+//! * [`generate`] — a seeded random program builder with per-benchmark
+//!   [`profile::BenchProfile`]s that mirror the scale ordering and character
+//!   of the eight SPEC CINT95 programs,
+//! * [`lower`] — template-based lowering with GCC-like conventions
+//!   (standard prologue/epilogue shapes, `stmw`/`lmw` register saves,
+//!   argument registers, scratch-register discipline, jump-table switches).
+//!
+//! Everything is deterministic: the same profile always yields the same
+//! bit-exact module, so the experiment tables are stable across runs and
+//! machines.
+//!
+//! # Example
+//!
+//! ```
+//! let module = codense_codegen::benchmark("compress").unwrap();
+//! assert_eq!(module.validate(), Ok(()));
+//! assert!(module.len() > 1000);
+//! ```
+
+pub mod generate;
+pub mod ir;
+pub mod lower;
+pub mod profile;
+pub mod rng;
+
+pub use generate::{benchmark, build_program, generate_module, generate_module_with, generate_suite};
+pub use lower::LowerOptions;
+pub use profile::{lib_profile, spec_profiles, BenchProfile};
+pub use rng::Rng;

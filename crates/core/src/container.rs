@@ -1,0 +1,376 @@
+//! A binary container format for compressed programs — what a firmware
+//! build system would actually flash: the packed text image, the expansion
+//! dictionary (in codeword-rank order, ready for the decoder's on-chip
+//! table), patched jump tables, and the overflow table, all integrity-
+//! checked.
+//!
+//! Layout (all multi-byte fields big-endian, like the PowerPC target):
+//!
+//! ```text
+//! "CDNS"            magic
+//! u16               format version (1)
+//! u8                encoding (0 = baseline, 1 = one-byte, 2 = nibble)
+//! u8                reserved (0)
+//! u32               original text bytes
+//! u64               stream length in nibbles
+//! u32               dictionary entry count          (rank order)
+//!   per entry: u8 length, u32 × length words
+//! u32               image byte length, then the image
+//! u32               jump table count
+//!   per table: u32 entry count, u32 × count nibble addresses
+//! u32               overflow table entry count, u32 × count nibble addresses
+//! u32               CRC-32 (IEEE) of everything above
+//! ```
+
+use crate::compressor::CompressedProgram;
+use crate::config::EncodingKind;
+
+/// Magic bytes at offset 0.
+pub const MAGIC: [u8; 4] = *b"CDNS";
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// A deserialized, execution-ready compressed program: exactly the state the
+/// paper's hardware needs (Fig 3) — no compression-time bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramImage {
+    /// Codeword encoding scheme.
+    pub encoding: EncodingKind,
+    /// Dictionary entries in codeword-rank order.
+    pub dictionary_by_rank: Vec<Vec<u32>>,
+    /// The packed nibble stream.
+    pub image: Vec<u8>,
+    /// Stream length in nibbles.
+    pub total_nibbles: u64,
+    /// Patched jump tables (nibble addresses).
+    pub jump_tables: Vec<Vec<u32>>,
+    /// Overflow jump table (nibble addresses).
+    pub overflow_table: Vec<u32>,
+    /// Original text size (for ratio reporting).
+    pub original_text_bytes: u32,
+}
+
+impl ProgramImage {
+    /// Total flash footprint: image + dictionary + overflow table (+ jump
+    /// tables, which existed in the uncompressed program too).
+    pub fn footprint_bytes(&self) -> usize {
+        self.image.len()
+            + self.dictionary_by_rank.iter().map(|e| 4 * e.len()).sum::<usize>()
+            + 4 * self.overflow_table.len()
+    }
+}
+
+/// Container errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ContainerError {
+    /// Missing or wrong magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Unknown encoding discriminant.
+    BadEncoding(u8),
+    /// The container is shorter than its fields claim.
+    Truncated,
+    /// The CRC does not match the payload.
+    ChecksumMismatch,
+}
+
+impl std::fmt::Display for ContainerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ContainerError::BadMagic => write!(f, "not a codense container (bad magic)"),
+            ContainerError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            ContainerError::BadEncoding(e) => write!(f, "unknown encoding discriminant {e}"),
+            ContainerError::Truncated => write!(f, "container truncated"),
+            ContainerError::ChecksumMismatch => write!(f, "container checksum mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for ContainerError {}
+
+/// CRC-32 (IEEE 802.3, reflected), bitwise implementation.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+fn encoding_tag(kind: EncodingKind) -> u8 {
+    match kind {
+        EncodingKind::Baseline => 0,
+        EncodingKind::OneByte => 1,
+        EncodingKind::NibbleAligned => 2,
+    }
+}
+
+fn encoding_from_tag(tag: u8) -> Option<EncodingKind> {
+    match tag {
+        0 => Some(EncodingKind::Baseline),
+        1 => Some(EncodingKind::OneByte),
+        2 => Some(EncodingKind::NibbleAligned),
+        _ => None,
+    }
+}
+
+/// Serializes a compressed program into the container format.
+pub fn serialize(program: &CompressedProgram) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_be_bytes());
+    out.push(encoding_tag(program.encoding));
+    out.push(0);
+    out.extend_from_slice(&(program.original_text_bytes as u32).to_be_bytes());
+    out.extend_from_slice(&program.total_nibbles.to_be_bytes());
+
+    out.extend_from_slice(&(program.dictionary.len() as u32).to_be_bytes());
+    for rank in 0..program.dictionary.len() as u32 {
+        let entry = program.dictionary.entry(program.dictionary.entry_of_rank(rank));
+        out.push(entry.words.len() as u8);
+        for &w in &entry.words {
+            out.extend_from_slice(&w.to_be_bytes());
+        }
+    }
+
+    out.extend_from_slice(&(program.image.len() as u32).to_be_bytes());
+    out.extend_from_slice(&program.image);
+
+    out.extend_from_slice(&(program.jump_tables.len() as u32).to_be_bytes());
+    for table in &program.jump_tables {
+        out.extend_from_slice(&(table.len() as u32).to_be_bytes());
+        for &addr in table {
+            out.extend_from_slice(&(addr as u32).to_be_bytes());
+        }
+    }
+
+    out.extend_from_slice(&(program.overflow_table.len() as u32).to_be_bytes());
+    for &addr in &program.overflow_table {
+        out.extend_from_slice(&(addr as u32).to_be_bytes());
+    }
+
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ContainerError> {
+        let end = self.pos.checked_add(n).ok_or(ContainerError::Truncated)?;
+        if end > self.data.len() {
+            return Err(ContainerError::Truncated);
+        }
+        let s = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ContainerError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ContainerError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, ContainerError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ContainerError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+}
+
+/// Deserializes and integrity-checks a container.
+///
+/// # Errors
+///
+/// Any structural or checksum failure yields a [`ContainerError`]; no
+/// partially constructed image is ever returned.
+pub fn deserialize(data: &[u8]) -> Result<ProgramImage, ContainerError> {
+    if data.len() < 4 + 2 + 2 + 4 {
+        return Err(ContainerError::Truncated);
+    }
+    // Verify the trailing CRC first.
+    let (payload, crc_bytes) = data.split_at(data.len() - 4);
+    let stored = u32::from_be_bytes([crc_bytes[0], crc_bytes[1], crc_bytes[2], crc_bytes[3]]);
+    if crc32(payload) != stored {
+        return Err(ContainerError::ChecksumMismatch);
+    }
+
+    let mut r = Reader { data: payload, pos: 0 };
+    if r.take(4)? != MAGIC {
+        return Err(ContainerError::BadMagic);
+    }
+    let version = r.u16()?;
+    if version != VERSION {
+        return Err(ContainerError::BadVersion(version));
+    }
+    let enc_tag = r.u8()?;
+    let encoding = encoding_from_tag(enc_tag).ok_or(ContainerError::BadEncoding(enc_tag))?;
+    let _reserved = r.u8()?;
+    let original_text_bytes = r.u32()?;
+    let total_nibbles = r.u64()?;
+
+    let dict_count = r.u32()? as usize;
+    let mut dictionary_by_rank = Vec::with_capacity(dict_count.min(1 << 16));
+    for _ in 0..dict_count {
+        let len = r.u8()? as usize;
+        let mut words = Vec::with_capacity(len);
+        for _ in 0..len {
+            words.push(r.u32()?);
+        }
+        dictionary_by_rank.push(words);
+    }
+
+    let image_len = r.u32()? as usize;
+    let image = r.take(image_len)?.to_vec();
+
+    let table_count = r.u32()? as usize;
+    let mut jump_tables = Vec::with_capacity(table_count.min(1 << 16));
+    for _ in 0..table_count {
+        let n = r.u32()? as usize;
+        let mut t = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            t.push(r.u32()?);
+        }
+        jump_tables.push(t);
+    }
+
+    let overflow_count = r.u32()? as usize;
+    let mut overflow_table = Vec::with_capacity(overflow_count.min(1 << 16));
+    for _ in 0..overflow_count {
+        overflow_table.push(r.u32()?);
+    }
+
+    Ok(ProgramImage {
+        encoding,
+        dictionary_by_rank,
+        image,
+        total_nibbles,
+        jump_tables,
+        overflow_table,
+        original_text_bytes,
+    })
+}
+
+impl CompressedProgram {
+    /// Converts to the execution-ready image form (what
+    /// [`serialize`]/[`deserialize`] round-trip).
+    pub fn to_image(&self) -> ProgramImage {
+        let dictionary_by_rank = (0..self.dictionary.len() as u32)
+            .map(|rank| self.dictionary.entry(self.dictionary.entry_of_rank(rank)).words.clone())
+            .collect();
+        ProgramImage {
+            encoding: self.encoding,
+            dictionary_by_rank,
+            image: self.image.clone(),
+            total_nibbles: self.total_nibbles,
+            jump_tables: self
+                .jump_tables
+                .iter()
+                .map(|t| t.iter().map(|&a| a as u32).collect())
+                .collect(),
+            overflow_table: self.overflow_table.iter().map(|&a| a as u32).collect(),
+            original_text_bytes: self.original_text_bytes as u32,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompressionConfig, Compressor};
+    use codense_obj::{JumpTable, ObjectModule};
+    use codense_ppc::encode;
+    use codense_ppc::insn::Insn;
+    use codense_ppc::reg::*;
+
+    fn program() -> CompressedProgram {
+        let mut m = ObjectModule::new("t");
+        for i in 0..60 {
+            m.code.push(encode(&Insn::Addi { rt: R3, ra: R3, si: (i % 4) as i16 }));
+        }
+        m.jump_tables.push(JumpTable { targets: vec![0, 8, 16] });
+        Compressor::new(CompressionConfig::nibble_aligned()).compress(&m).unwrap()
+    }
+
+    #[test]
+    fn serialize_deserialize_roundtrip() {
+        let c = program();
+        let bytes = serialize(&c);
+        let image = deserialize(&bytes).unwrap();
+        assert_eq!(image, c.to_image());
+        assert_eq!(image.encoding, EncodingKind::NibbleAligned);
+        assert_eq!(image.jump_tables.len(), 1);
+    }
+
+    #[test]
+    fn all_encodings_roundtrip() {
+        let mut m = ObjectModule::new("t");
+        m.code = vec![encode(&Insn::Addi { rt: R4, ra: R4, si: 2 }); 40];
+        for config in [
+            CompressionConfig::baseline(),
+            CompressionConfig::small_dictionary(8),
+            CompressionConfig::nibble_aligned(),
+        ] {
+            let c = Compressor::new(config).compress(&m).unwrap();
+            assert_eq!(deserialize(&serialize(&c)).unwrap(), c.to_image());
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let bytes = serialize(&program());
+        for at in [0usize, 4, 10, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0x40;
+            let err = deserialize(&bad).unwrap_err();
+            assert!(
+                matches!(err, ContainerError::ChecksumMismatch | ContainerError::BadMagic),
+                "flip at {at}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = serialize(&program());
+        for len in [0usize, 3, 8, bytes.len() - 5] {
+            assert!(deserialize(&bytes[..len]).is_err(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn crc32_reference_vector() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn footprint_accounts_components() {
+        let c = program();
+        let image = c.to_image();
+        assert_eq!(
+            image.footprint_bytes(),
+            c.text_bytes().max(image.image.len()) // image includes padding byte
+                + c.dictionary_bytes()
+                + c.overflow_table_bytes()
+        );
+    }
+}

@@ -1,0 +1,300 @@
+//! Codeword encodings: how codeword *ranks* are serialized into the
+//! compressed instruction stream, and how the stream is parsed back.
+//!
+//! All three schemes share one contract: the stream is a sequence of items,
+//! each either an uncompressed 32-bit instruction or a codeword rank, and the
+//! first nibble(s) of an item unambiguously classify it.
+
+use crate::config::EncodingKind;
+use crate::nibbles::{NibbleReader, NibbleWriter};
+use codense_ppc::opcode;
+
+/// One parsed stream item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Item {
+    /// An uncompressed instruction word.
+    Insn(u32),
+    /// A codeword with the given rank.
+    Codeword(u32),
+}
+
+/// The nibble-aligned variable-length layout (the paper's Fig 10).
+///
+/// First-nibble classes:
+///
+/// | first nibble | item                              | count |
+/// |--------------|-----------------------------------|-------|
+/// | `0..=7`      | 4-bit codeword, ranks 0–7         | 8     |
+/// | `8..=10`     | 8-bit codeword, ranks 8–55        | 48    |
+/// | `11..=12`    | 12-bit codeword, ranks 56–567     | 512   |
+/// | `13..=14`    | 16-bit codeword, ranks 568–8759   | 8192  |
+/// | `15`         | escape: 32-bit instruction follows | —    |
+///
+/// The paper gives the format shape (4/8/12/16-bit codewords plus an escape
+/// for 36-bit uncompressed instructions) without the exact class split; this
+/// allocation matches its description of "8 … 4-bit codewords … and a few
+/// thousand 12-bit and 16-bit codewords".
+pub mod nibble {
+    /// The escape nibble introducing an uncompressed instruction.
+    pub const ESCAPE: u8 = 0xF;
+    /// Ranks encodable in 4 bits.
+    pub const N4: u32 = 8;
+    /// Ranks encodable in 8 bits.
+    pub const N8: u32 = 3 * 16;
+    /// Ranks encodable in 12 bits.
+    pub const N12: u32 = 2 * 256;
+    /// Ranks encodable in 16 bits.
+    pub const N16: u32 = 2 * 4096;
+    /// Total codeword capacity (8760).
+    pub const CAPACITY: usize = (N4 + N8 + N12 + N16) as usize;
+
+    /// Codeword length in nibbles for a rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= CAPACITY`.
+    pub const fn codeword_nibbles(rank: u32) -> u32 {
+        if rank < N4 {
+            1
+        } else if rank < N4 + N8 {
+            2
+        } else if rank < N4 + N8 + N12 {
+            3
+        } else if rank < CAPACITY as u32 {
+            4
+        } else {
+            panic!("rank out of nibble codeword space")
+        }
+    }
+}
+
+/// How many nibbles an uncompressed instruction occupies in the stream.
+pub fn insn_nibbles(kind: EncodingKind) -> u32 {
+    match kind {
+        EncodingKind::NibbleAligned => 9,
+        _ => 8,
+    }
+}
+
+/// How many nibbles the codeword of the given rank occupies.
+pub fn codeword_nibbles(kind: EncodingKind, rank: u32) -> u32 {
+    match kind {
+        EncodingKind::Baseline => 4,
+        EncodingKind::OneByte => 2,
+        EncodingKind::NibbleAligned => nibble::codeword_nibbles(rank),
+    }
+}
+
+/// Serializes an uncompressed instruction into the stream.
+pub fn write_insn(kind: EncodingKind, w: &mut NibbleWriter, word: u32) {
+    if kind == EncodingKind::NibbleAligned {
+        w.push(nibble::ESCAPE);
+    }
+    w.push_u32(word);
+}
+
+/// Serializes a codeword rank into the stream.
+///
+/// # Panics
+///
+/// Panics if `rank` exceeds the encoding's capacity.
+pub fn write_codeword(kind: EncodingKind, w: &mut NibbleWriter, rank: u32) {
+    match kind {
+        EncodingKind::Baseline => {
+            assert!(rank < 8192, "baseline rank out of range");
+            let escapes = opcode::escape_bytes();
+            w.push_byte(escapes[(rank >> 8) as usize]);
+            w.push_byte((rank & 0xff) as u8);
+        }
+        EncodingKind::OneByte => {
+            assert!(rank < 32, "one-byte rank out of range");
+            w.push_byte(opcode::escape_bytes()[rank as usize]);
+        }
+        EncodingKind::NibbleAligned => {
+            use nibble::*;
+            assert!((rank as usize) < CAPACITY, "nibble rank out of range");
+            if rank < N4 {
+                w.push(rank as u8);
+            } else if rank < N4 + N8 {
+                let r = rank - N4;
+                w.push(8 + (r / 16) as u8);
+                w.push((r % 16) as u8);
+            } else if rank < N4 + N8 + N12 {
+                let r = rank - N4 - N8;
+                w.push(11 + (r / 256) as u8);
+                w.push(((r / 16) % 16) as u8);
+                w.push((r % 16) as u8);
+            } else {
+                let r = rank - N4 - N8 - N12;
+                w.push(13 + (r / 4096) as u8);
+                w.push(((r / 256) % 16) as u8);
+                w.push(((r / 16) % 16) as u8);
+                w.push((r % 16) as u8);
+            }
+        }
+    }
+}
+
+/// Parses the next stream item.
+///
+/// Returns `None` at (or past) end of stream, or on a malformed/truncated
+/// item.
+pub fn read_item(kind: EncodingKind, r: &mut NibbleReader<'_>) -> Option<Item> {
+    match kind {
+        EncodingKind::Baseline => {
+            let b0 = r.next_byte()?;
+            if opcode::is_illegal_primary((b0 as u32) >> 2) {
+                let esc_index = escape_index(b0)?;
+                let idx = r.next_byte()?;
+                Some(Item::Codeword(esc_index * 256 + idx as u32))
+            } else {
+                let b1 = r.next_byte()?;
+                let b2 = r.next_byte()?;
+                let b3 = r.next_byte()?;
+                Some(Item::Insn(u32::from_be_bytes([b0, b1, b2, b3])))
+            }
+        }
+        EncodingKind::OneByte => {
+            let b0 = r.next_byte()?;
+            if opcode::is_illegal_primary((b0 as u32) >> 2) {
+                Some(Item::Codeword(escape_index(b0)?))
+            } else {
+                let b1 = r.next_byte()?;
+                let b2 = r.next_byte()?;
+                let b3 = r.next_byte()?;
+                Some(Item::Insn(u32::from_be_bytes([b0, b1, b2, b3])))
+            }
+        }
+        EncodingKind::NibbleAligned => {
+            use nibble::*;
+            let n0 = r.next()?;
+            match n0 {
+                ESCAPE => Some(Item::Insn(r.next_u32()?)),
+                0..=7 => Some(Item::Codeword(n0 as u32)),
+                8..=10 => {
+                    let n1 = r.next()? as u32;
+                    Some(Item::Codeword(N4 + (n0 as u32 - 8) * 16 + n1))
+                }
+                11..=12 => {
+                    let n1 = r.next()? as u32;
+                    let n2 = r.next()? as u32;
+                    Some(Item::Codeword(N4 + N8 + (n0 as u32 - 11) * 256 + n1 * 16 + n2))
+                }
+                _ => {
+                    let n1 = r.next()? as u32;
+                    let n2 = r.next()? as u32;
+                    let n3 = r.next()? as u32;
+                    Some(Item::Codeword(
+                        N4 + N8 + N12 + (n0 as u32 - 13) * 4096 + n1 * 256 + n2 * 16 + n3,
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Index of an escape byte within [`opcode::escape_bytes`]'s ordering.
+fn escape_index(b: u8) -> Option<u32> {
+    opcode::escape_bytes().iter().position(|&e| e == b).map(|i| i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_rank(kind: EncodingKind, rank: u32) {
+        let mut w = NibbleWriter::new();
+        write_codeword(kind, &mut w, rank);
+        assert_eq!(w.len(), codeword_nibbles(kind, rank) as u64);
+        let bytes = w.into_bytes();
+        let mut r = NibbleReader::new(&bytes);
+        assert_eq!(read_item(kind, &mut r), Some(Item::Codeword(rank)), "{kind:?} rank {rank}");
+    }
+
+    #[test]
+    fn baseline_codewords_roundtrip() {
+        for rank in [0, 1, 255, 256, 4095, 8191] {
+            roundtrip_rank(EncodingKind::Baseline, rank);
+        }
+    }
+
+    #[test]
+    fn one_byte_codewords_roundtrip() {
+        for rank in 0..32 {
+            roundtrip_rank(EncodingKind::OneByte, rank);
+        }
+    }
+
+    #[test]
+    fn nibble_codewords_roundtrip_entire_space_boundaries() {
+        use nibble::*;
+        for rank in [
+            0,
+            N4 - 1,
+            N4,
+            N4 + N8 - 1,
+            N4 + N8,
+            N4 + N8 + N12 - 1,
+            N4 + N8 + N12,
+            CAPACITY as u32 - 1,
+        ] {
+            roundtrip_rank(EncodingKind::NibbleAligned, rank);
+        }
+    }
+
+    #[test]
+    fn nibble_codewords_roundtrip_exhaustive() {
+        for rank in 0..nibble::CAPACITY as u32 {
+            let mut w = NibbleWriter::new();
+            write_codeword(EncodingKind::NibbleAligned, &mut w, rank);
+            let bytes = w.into_bytes();
+            let mut r = NibbleReader::new(&bytes);
+            assert_eq!(read_item(EncodingKind::NibbleAligned, &mut r), Some(Item::Codeword(rank)));
+        }
+    }
+
+    #[test]
+    fn insns_roundtrip_in_all_schemes() {
+        for kind in [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned] {
+            let mut w = NibbleWriter::new();
+            write_insn(kind, &mut w, 0x3860_0001);
+            assert_eq!(w.len(), insn_nibbles(kind) as u64);
+            let bytes = w.into_bytes();
+            let mut r = NibbleReader::new(&bytes);
+            assert_eq!(read_item(kind, &mut r), Some(Item::Insn(0x3860_0001)));
+        }
+    }
+
+    #[test]
+    fn nibble_codeword_lengths_match_classes() {
+        use nibble::{CAPACITY, N12, N4, N8};
+        let n = |rank| super::codeword_nibbles(EncodingKind::NibbleAligned, rank);
+        assert_eq!(n(0), 1);
+        assert_eq!(n(7), 1);
+        assert_eq!(n(8), 2);
+        assert_eq!(n(N4 + N8), 3);
+        assert_eq!(n(N4 + N8 + N12), 4);
+        assert_eq!(CAPACITY, 8760);
+    }
+
+    #[test]
+    fn mixed_stream_parses() {
+        let kind = EncodingKind::NibbleAligned;
+        let mut w = NibbleWriter::new();
+        write_codeword(kind, &mut w, 3);
+        write_insn(kind, &mut w, 0x4e80_0020);
+        write_codeword(kind, &mut w, 600);
+        let bytes = w.into_bytes();
+        let mut r = NibbleReader::new(&bytes);
+        assert_eq!(read_item(kind, &mut r), Some(Item::Codeword(3)));
+        assert_eq!(read_item(kind, &mut r), Some(Item::Insn(0x4e80_0020)));
+        assert_eq!(read_item(kind, &mut r), Some(Item::Codeword(600)));
+    }
+
+    #[test]
+    fn truncated_stream_is_none() {
+        let bytes = [0xF0]; // escape nibble + 1 nibble, not a full insn
+        let mut r = NibbleReader::new(&bytes);
+        assert_eq!(read_item(EncodingKind::NibbleAligned, &mut r), None);
+    }
+}

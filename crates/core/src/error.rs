@@ -1,0 +1,110 @@
+//! Error types for compression and verification.
+
+use std::fmt;
+
+/// Errors from [`Compressor::compress`](crate::Compressor::compress).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompressError {
+    /// The program contains an instruction word whose primary opcode is one
+    /// of the reserved illegal (escape) opcodes; under the baseline and
+    /// one-byte schemes such a word is indistinguishable from a codeword.
+    EscapeCollision {
+        /// Instruction index.
+        at: usize,
+        /// The offending word.
+        word: u32,
+    },
+    /// A branch overflowed its reduced-resolution offset field and cannot be
+    /// rewritten through the overflow jump table (CTR-decrementing `bc`
+    /// forms would have their loop counter clobbered by the rewrite).
+    UnsupportedOverflowBranch {
+        /// Instruction index of the branch.
+        at: usize,
+    },
+    /// Branch-overflow rewriting failed to converge (cannot happen for sane
+    /// inputs; guarded to bound the fixpoint loop).
+    LayoutDiverged,
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::EscapeCollision { at, word } => write!(
+                f,
+                "instruction {at} ({word:#010x}) uses a reserved escape opcode"
+            ),
+            CompressError::UnsupportedOverflowBranch { at } => {
+                write!(f, "branch at instruction {at} overflows and uses the count register")
+            }
+            CompressError::LayoutDiverged => write!(f, "branch overflow layout did not converge"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// Errors from [`verify`](crate::verify::verify): any divergence between the
+/// compressed program and the original.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Expanded instruction stream does not cover original instruction
+    /// `expected` next (got `got`).
+    CoverageGap {
+        /// The original index expected next.
+        expected: usize,
+        /// The index actually produced.
+        got: usize,
+    },
+    /// A non-branch instruction expanded to the wrong word.
+    WordMismatch {
+        /// Original instruction index.
+        orig: usize,
+        /// Word in the original program.
+        want: u32,
+        /// Word produced by expansion.
+        got: u32,
+    },
+    /// A patched branch resolves to the wrong target.
+    BranchTargetMismatch {
+        /// Original instruction index of the branch.
+        orig: usize,
+        /// Original target instruction index.
+        want_target: usize,
+    },
+    /// The packed byte image disagrees with the logical atom stream.
+    ImageMismatch {
+        /// Atom index where parsing diverged.
+        atom: usize,
+    },
+    /// A jump-table entry was not patched to its target's new address.
+    JumpTableMismatch {
+        /// Table index.
+        table: usize,
+        /// Entry index.
+        entry: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::CoverageGap { expected, got } => {
+                write!(f, "expansion skipped instructions: expected {expected}, got {got}")
+            }
+            VerifyError::WordMismatch { orig, want, got } => {
+                write!(f, "instruction {orig}: want {want:#010x}, got {got:#010x}")
+            }
+            VerifyError::BranchTargetMismatch { orig, want_target } => {
+                write!(f, "branch {orig} no longer reaches instruction {want_target}")
+            }
+            VerifyError::ImageMismatch { atom } => {
+                write!(f, "packed image diverges from atom {atom}")
+            }
+            VerifyError::JumpTableMismatch { table, entry } => {
+                write!(f, "jump table {table} entry {entry} not patched correctly")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}

@@ -1,0 +1,479 @@
+//! The greedy dictionary-selection pass (§3.1.1 of the paper) with an
+//! incremental occurrence index.
+//!
+//! Choosing the optimum dictionary is NP-complete [Storer77], so — like the
+//! paper — "on every iteration of the algorithm, we examine each potential
+//! dictionary entry and find the one that results in the largest immediate
+//! savings", repeating until the codeword space is exhausted or no candidate
+//! saves anything.
+//!
+//! The naive algorithm rescans the whole program every iteration. This
+//! implementation is equivalent but incremental:
+//!
+//! * an **occurrence index** maps every candidate sequence (any run of
+//!   compressible instructions inside one basic block, up to the entry-length
+//!   cap) to the ordered set of its positions, updated locally when a
+//!   replacement rewrites a block;
+//! * a **lazy max-heap** holds an upper bound of each candidate's savings.
+//!   Counts only ever decrease, so a popped entry whose recomputed savings
+//!   still equals its key is the true maximum; stale entries are re-inserted
+//!   with their corrected value.
+//!
+//! Tie-breaking is deterministic (savings, then lexicographic sequence), so
+//! compression output is bit-stable across runs and platforms.
+
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
+
+use crate::dict::Dictionary;
+use crate::model::{Cell, ProgramModel};
+
+/// Cost model for the savings function, in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Size of an uncompressed instruction in the compressed stream
+    /// (32, or 36 under the nibble scheme's escape).
+    pub insn_bits: u32,
+    /// (Estimated) size of one codeword.
+    pub codeword_bits: u32,
+    /// Storage cost of one dictionary word (32).
+    pub dict_word_bits: u32,
+    /// Fixed per-entry dictionary overhead in bits (0 for the paper's
+    /// schemes; 32 for Liao's software mini-subroutines, whose stored
+    /// sequence carries a trailing `blr`).
+    pub dict_entry_fixed_bits: u32,
+}
+
+impl CostModel {
+    /// Savings in bits from replacing `n` non-overlapping occurrences of a
+    /// sequence of `len` instructions: stream savings minus dictionary
+    /// storage.
+    pub fn savings_bits(&self, len: usize, n: usize) -> i64 {
+        let per = self.insn_bits as i64 * len as i64 - self.codeword_bits as i64;
+        n as i64 * per
+            - self.dict_word_bits as i64 * len as i64
+            - self.dict_entry_fixed_bits as i64
+    }
+}
+
+/// Limits for one greedy run.
+#[derive(Debug, Clone, Copy)]
+pub struct GreedyParams {
+    /// Maximum instructions per dictionary entry.
+    pub max_entry_len: usize,
+    /// Maximum dictionary entries.
+    pub max_codewords: usize,
+    /// Savings cost model.
+    pub cost: CostModel,
+}
+
+/// One accepted dictionary entry, in acceptance order — the "pick log".
+///
+/// Because the greedy choice at step *k* does not depend on the dictionary
+/// size cap, the state after *k* picks equals a full run capped at *k*
+/// codewords; sweeps over dictionary size (the paper's Fig 5) read this log
+/// instead of recompressing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PickRecord {
+    /// Dictionary entry index created by this pick.
+    pub entry: u32,
+    /// Instructions in the entry.
+    pub len: usize,
+    /// Occurrences replaced.
+    pub replaced: usize,
+    /// Savings in bits under the selection cost model.
+    pub savings_bits: i64,
+}
+
+type Seq = Box<[u32]>;
+/// Position of a window: (block index, cell index).
+type Pos = (u32, u32);
+
+#[derive(Debug, PartialEq, Eq)]
+struct HeapItem {
+    savings: i64,
+    seq: Seq,
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap by savings; deterministic lexicographic tie-break.
+        self.savings.cmp(&other.savings).then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs greedy selection over `model`, filling `dict` and rewriting the
+/// model's blocks in place. Returns the pick log.
+pub fn run_greedy(
+    model: &mut ProgramModel,
+    dict: &mut Dictionary,
+    params: GreedyParams,
+) -> Vec<PickRecord> {
+    let mut index = Index::build(model, params.max_entry_len);
+    let mut picks = Vec::new();
+
+    while dict.len() < params.max_codewords {
+        let Some(top) = index.heap.pop() else { break };
+        let len = top.seq.len();
+        let Some(set) = index.occ.get(&top.seq) else { continue };
+        let n = effective_count(set, len);
+        let savings = params.cost.savings_bits(len, n);
+        debug_assert!(savings <= top.savings, "counts only decrease");
+        if savings <= 0 {
+            continue; // candidate dead; others may still be live
+        }
+        if savings < top.savings {
+            index.heap.push(HeapItem { savings, seq: top.seq });
+            continue;
+        }
+
+        // Accept: replace every non-overlapping occurrence left to right.
+        let positions = select_positions(set, len);
+        debug_assert_eq!(positions.len(), n);
+        let entry = dict.push(top.seq.to_vec(), n);
+        for &(b, p) in &positions {
+            index.replace(model, b as usize, p as usize, entry, len, params.max_entry_len);
+        }
+        picks.push(PickRecord { entry, len, replaced: n, savings_bits: savings });
+    }
+    picks
+}
+
+/// Greedy left-to-right non-overlapping occurrence count.
+fn effective_count(set: &BTreeSet<Pos>, len: usize) -> usize {
+    let mut n = 0;
+    let mut last: Option<(u32, u32)> = None; // (block, end)
+    for &(b, p) in set {
+        if let Some((lb, end)) = last {
+            if lb == b && p < end {
+                continue;
+            }
+        }
+        n += 1;
+        last = Some((b, p + len as u32));
+    }
+    n
+}
+
+/// The positions [`effective_count`] counted.
+fn select_positions(set: &BTreeSet<Pos>, len: usize) -> Vec<Pos> {
+    let mut out = Vec::new();
+    let mut last: Option<(u32, u32)> = None;
+    for &(b, p) in set {
+        if let Some((lb, end)) = last {
+            if lb == b && p < end {
+                continue;
+            }
+        }
+        out.push((b, p));
+        last = Some((b, p + len as u32));
+    }
+    out
+}
+
+struct Index {
+    occ: HashMap<Seq, BTreeSet<Pos>>,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl Index {
+    fn build(model: &ProgramModel, max_len: usize) -> Index {
+        let mut occ: HashMap<Seq, BTreeSet<Pos>> = HashMap::new();
+        for (b, block) in model.blocks.iter().enumerate() {
+            for (start, end) in runs(&block.cells) {
+                add_windows(&mut occ, &block.cells, b as u32, start, end, max_len);
+            }
+        }
+        // Heap seeding is the only place HashMap iteration order is
+        // observed; the heap's total order makes pops deterministic anyway.
+        let heap = occ
+            .iter()
+            .map(|(seq, set)| HeapItem {
+                savings: upper_bound_savings(seq, set.len()),
+                seq: seq.clone(),
+            })
+            .collect();
+        Index { occ, heap }
+    }
+
+    /// Replaces the window at (`b`, `p`) with codeword `entry` of `len`
+    /// instructions, updating the occurrence index locally.
+    fn replace(
+        &mut self,
+        model: &mut ProgramModel,
+        b: usize,
+        p: usize,
+        entry: u32,
+        len: usize,
+        max_len: usize,
+    ) {
+        let block = &mut model.blocks[b];
+        // The run containing p.
+        let (rs, re) = run_around(&block.cells, p);
+        debug_assert!(p + len <= re);
+        remove_windows(&mut self.occ, &block.cells, b as u32, rs, re, max_len);
+        let orig = match block.cells[p] {
+            Cell::Insn { orig, .. } => orig,
+            _ => unreachable!("replacement target must be an instruction"),
+        };
+        block.cells[p] = Cell::Code { entry, orig, len };
+        for cell in &mut block.cells[p + 1..p + len] {
+            *cell = Cell::Dead;
+        }
+        add_windows(&mut self.occ, &block.cells, b as u32, rs, p, max_len);
+        add_windows(&mut self.occ, &block.cells, b as u32, p + len, re, max_len);
+    }
+}
+
+/// Initial savings upper bound for a fresh candidate. Seeding only needs a
+/// value ≥ the real savings under any cost model; a count-proportional bound
+/// keeps early pops useful (few lazy re-insertions).
+fn upper_bound_savings(seq: &[u32], raw_count: usize) -> i64 {
+    // 36 bits/insn is the largest stream cost in any scheme; codeword ≥ 4
+    // bits; this dominates every cost model's savings.
+    raw_count as i64 * (36 * seq.len() as i64 - 4)
+}
+
+/// Maximal runs of compressible instruction cells.
+fn runs(cells: &[Cell]) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in cells.iter().enumerate() {
+        if c.compressible_word().is_some() {
+            if start.is_none() {
+                start = Some(i);
+            }
+        } else if let Some(s) = start.take() {
+            out.push((s, i));
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, cells.len()));
+    }
+    out
+}
+
+/// The maximal compressible run containing `p`.
+fn run_around(cells: &[Cell], p: usize) -> (usize, usize) {
+    debug_assert!(cells[p].compressible_word().is_some());
+    let mut s = p;
+    while s > 0 && cells[s - 1].compressible_word().is_some() {
+        s -= 1;
+    }
+    let mut e = p + 1;
+    while e < cells.len() && cells[e].compressible_word().is_some() {
+        e += 1;
+    }
+    (s, e)
+}
+
+fn add_windows(
+    occ: &mut HashMap<Seq, BTreeSet<Pos>>,
+    cells: &[Cell],
+    b: u32,
+    start: usize,
+    end: usize,
+    max_len: usize,
+) {
+    for s in start..end {
+        let limit = max_len.min(end - s);
+        let mut words = Vec::with_capacity(limit);
+        for l in 1..=limit {
+            words.push(cells[s + l - 1].compressible_word().expect("run cell"));
+            occ.entry(words.clone().into_boxed_slice())
+                .or_default()
+                .insert((b, s as u32));
+        }
+    }
+}
+
+fn remove_windows(
+    occ: &mut HashMap<Seq, BTreeSet<Pos>>,
+    cells: &[Cell],
+    b: u32,
+    start: usize,
+    end: usize,
+    max_len: usize,
+) {
+    for s in start..end {
+        let limit = max_len.min(end - s);
+        let mut words = Vec::with_capacity(limit);
+        for l in 1..=limit {
+            words.push(cells[s + l - 1].compressible_word().expect("run cell"));
+            let key: Seq = words.clone().into_boxed_slice();
+            if let Some(set) = occ.get_mut(&key) {
+                set.remove(&(b, s as u32));
+                if set.is_empty() {
+                    occ.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codense_obj::ObjectModule;
+    use codense_ppc::encode;
+    use codense_ppc::insn::Insn;
+    use codense_ppc::reg::*;
+
+    fn w(si: i16) -> u32 {
+        encode(&Insn::Addi { rt: R3, ra: R3, si })
+    }
+
+    fn model_of(words: Vec<u32>) -> ProgramModel {
+        let mut m = ObjectModule::new("t");
+        m.code = words;
+        ProgramModel::build(&m)
+    }
+
+    fn baseline_params(max_len: usize, max_cw: usize) -> GreedyParams {
+        GreedyParams {
+            max_entry_len: max_len,
+            max_codewords: max_cw,
+            cost: CostModel {
+                insn_bits: 32,
+                codeword_bits: 16,
+                dict_word_bits: 32,
+                dict_entry_fixed_bits: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn picks_most_saving_sequence_first() {
+        // Pattern [1,2] appears 8 times, singleton 9 appears 3 times.
+        let mut words = Vec::new();
+        for _ in 0..8 {
+            words.push(w(1));
+            words.push(w(2));
+        }
+        for _ in 0..3 {
+            words.push(w(9));
+        }
+        let mut model = model_of(words);
+        let mut dict = Dictionary::new();
+        let picks = run_greedy(&mut model, &mut dict, baseline_params(4, 100));
+        assert!(!picks.is_empty());
+        // Best first pick is the pair (or a longer repetition of it).
+        assert!(picks[0].savings_bits >= picks.last().unwrap().savings_bits);
+        let first = dict.entry(picks[0].entry);
+        assert!(first.words.contains(&w(1)) || first.words.contains(&w(2)));
+        // Everything replaceable got replaced: remaining instructions are
+        // unique or unprofitable.
+        assert!(model.codewords() > 0);
+    }
+
+    #[test]
+    fn respects_max_codewords() {
+        let mut words = Vec::new();
+        for i in 0..50 {
+            for _ in 0..4 {
+                words.push(w(i));
+            }
+        }
+        let mut model = model_of(words.clone());
+        let mut dict = Dictionary::new();
+        run_greedy(&mut model, &mut dict, baseline_params(1, 5));
+        assert_eq!(dict.len(), 5);
+
+        let mut model = model_of(words);
+        let mut dict = Dictionary::new();
+        run_greedy(&mut model, &mut dict, baseline_params(1, 1000));
+        assert!(dict.len() > 5);
+    }
+
+    #[test]
+    fn no_negative_savings_accepted() {
+        // All-unique program: nothing is worth a dictionary entry.
+        let words: Vec<u32> = (0..40).map(|i| w(i)).collect();
+        let mut model = model_of(words);
+        let mut dict = Dictionary::new();
+        let picks = run_greedy(&mut model, &mut dict, baseline_params(4, 100));
+        assert!(picks.is_empty(), "unique code must not be compressed: {picks:?}");
+        assert_eq!(model.codewords(), 0);
+    }
+
+    #[test]
+    fn overlapping_occurrences_counted_non_overlapping() {
+        // "aaaa": sequence [a,a] has raw occurrences at 0,1,2 but only 2
+        // non-overlapping.
+        let words = vec![w(7); 4];
+        let set: BTreeSet<Pos> = [(0, 0), (0, 1), (0, 2)].into_iter().collect();
+        assert_eq!(effective_count(&set, 2), 2);
+        assert_eq!(select_positions(&set, 2), vec![(0, 0), (0, 2)]);
+        drop(words);
+    }
+
+    #[test]
+    fn prefix_stability() {
+        // The pick sequence with a large cap starts with the pick sequence
+        // of a small cap (Fig 5's sweep relies on this).
+        let mut words = Vec::new();
+        for i in 0..20 {
+            for _ in 0..(20 - i) {
+                words.push(w(i));
+                words.push(w(100 + i));
+            }
+        }
+        let run = |cap: usize| {
+            let mut model = model_of(words.clone());
+            let mut dict = Dictionary::new();
+            run_greedy(&mut model, &mut dict, baseline_params(4, cap))
+        };
+        let small = run(3);
+        let large = run(12);
+        assert_eq!(small.len(), 3);
+        assert_eq!(&large[..3], &small[..]);
+    }
+
+    #[test]
+    fn greedy_is_deterministic() {
+        let mut words = Vec::new();
+        for i in 0..30 {
+            for _ in 0..3 {
+                words.push(w(i % 7));
+                words.push(w(i % 5));
+            }
+        }
+        let run = || {
+            let mut model = model_of(words.clone());
+            let mut dict = Dictionary::new();
+            let picks = run_greedy(&mut model, &mut dict, baseline_params(4, 100));
+            (picks, dict)
+        };
+        let (p1, d1) = run();
+        let (p2, d2) = run();
+        assert_eq!(p1, p2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn branches_stay_uncompressed() {
+        let mut a = codense_ppc::asm::Assembler::new();
+        for _ in 0..4 {
+            a.emit(Insn::Addi { rt: R3, ra: R3, si: 1 });
+            a.label_pos("x"); // no-op lookup to silence lints
+            a.emit(Insn::Addi { rt: R4, ra: R4, si: 1 });
+        }
+        a.label("end");
+        a.b("end");
+        let mut m = ObjectModule::new("t");
+        m.code = a.finish().unwrap();
+        let mut model = ProgramModel::build(&m);
+        let mut dict = Dictionary::new();
+        run_greedy(&mut model, &mut dict, baseline_params(4, 100));
+        for e in dict.entries() {
+            for &word in &e.words {
+                assert!(codense_ppc::branch::rel_branch_info(word).is_none());
+            }
+        }
+    }
+}

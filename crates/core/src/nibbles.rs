@@ -1,0 +1,184 @@
+//! Nibble-granular byte-stream reader/writer.
+//!
+//! The paper's most aggressive scheme aligns codewords to 4-bit boundaries,
+//! so the compressed image is fundamentally a nibble stream. Nibbles are
+//! stored big-endian within each byte (nibble 0 is the high half of byte 0),
+//! matching PowerPC's big-endian text image so fixed-size schemes degrade to
+//! plain byte layout.
+
+/// An append-only nibble stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NibbleWriter {
+    data: Vec<u8>,
+    nibbles: u64,
+}
+
+impl NibbleWriter {
+    /// Creates an empty writer.
+    pub fn new() -> NibbleWriter {
+        NibbleWriter::default()
+    }
+
+    /// Number of nibbles written so far (the current write address).
+    pub fn len(&self) -> u64 {
+        self.nibbles
+    }
+
+    /// Returns `true` if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.nibbles == 0
+    }
+
+    /// Appends one nibble (low 4 bits of `n`).
+    pub fn push(&mut self, n: u8) {
+        let n = n & 0xf;
+        if self.nibbles % 2 == 0 {
+            self.data.push(n << 4);
+        } else {
+            *self.data.last_mut().expect("odd length implies a byte") |= n;
+        }
+        self.nibbles += 1;
+    }
+
+    /// Appends a byte as two nibbles.
+    pub fn push_byte(&mut self, b: u8) {
+        self.push(b >> 4);
+        self.push(b);
+    }
+
+    /// Appends a 32-bit word big-endian (8 nibbles).
+    pub fn push_u32(&mut self, w: u32) {
+        for b in w.to_be_bytes() {
+            self.push_byte(b);
+        }
+    }
+
+    /// Finishes the stream, padding the final half-byte with zero, and
+    /// returns the packed bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Size in whole bytes (the last byte may be half-used).
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// A random-access nibble reader over packed bytes.
+#[derive(Debug, Clone)]
+pub struct NibbleReader<'a> {
+    data: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> NibbleReader<'a> {
+    /// Creates a reader positioned at nibble 0.
+    pub fn new(data: &'a [u8]) -> NibbleReader<'a> {
+        NibbleReader { data, pos: 0 }
+    }
+
+    /// Current nibble position.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+
+    /// Repositions the reader (a branch in the compressed-PC domain).
+    pub fn seek(&mut self, nibble: u64) {
+        self.pos = nibble;
+    }
+
+    /// Total nibbles available.
+    pub fn len(&self) -> u64 {
+        self.data.len() as u64 * 2
+    }
+
+    /// Returns `true` for an empty stream.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Reads the next nibble. Returns `None` at end of stream.
+    #[allow(clippy::should_implement_trait)] // reader-style `next`, not an Iterator
+    pub fn next(&mut self) -> Option<u8> {
+        let byte = *self.data.get((self.pos / 2) as usize)?;
+        let n = if self.pos % 2 == 0 { byte >> 4 } else { byte & 0xf };
+        self.pos += 1;
+        Some(n)
+    }
+
+    /// Reads a byte (two nibbles).
+    pub fn next_byte(&mut self) -> Option<u8> {
+        let hi = self.next()?;
+        let lo = self.next()?;
+        Some((hi << 4) | lo)
+    }
+
+    /// Reads a big-endian 32-bit word (8 nibbles).
+    pub fn next_u32(&mut self) -> Option<u32> {
+        let mut w = 0u32;
+        for _ in 0..8 {
+            w = (w << 4) | self.next()? as u32;
+        }
+        Some(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut w = NibbleWriter::new();
+        w.push(0xA);
+        w.push_byte(0x5C);
+        w.push_u32(0xDEAD_BEEF);
+        w.push(0x3);
+        assert_eq!(w.len(), 1 + 2 + 8 + 1);
+        let bytes = w.into_bytes();
+        let mut r = NibbleReader::new(&bytes);
+        assert_eq!(r.next(), Some(0xA));
+        assert_eq!(r.next_byte(), Some(0x5C));
+        assert_eq!(r.next_u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.next(), Some(0x3));
+    }
+
+    #[test]
+    fn big_endian_nibble_order() {
+        let mut w = NibbleWriter::new();
+        w.push_byte(0xAB);
+        assert_eq!(w.into_bytes(), vec![0xAB]);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        let mut w = NibbleWriter::new();
+        w.push(0x7);
+        assert_eq!(w.byte_len(), 1);
+        assert_eq!(w.into_bytes(), vec![0x70]);
+    }
+
+    #[test]
+    fn seek_supports_branching() {
+        let mut w = NibbleWriter::new();
+        for i in 0..8 {
+            w.push(i);
+        }
+        let bytes = w.into_bytes();
+        let mut r = NibbleReader::new(&bytes);
+        r.seek(5);
+        assert_eq!(r.next(), Some(5));
+        r.seek(0);
+        assert_eq!(r.next(), Some(0));
+    }
+
+    #[test]
+    fn end_of_stream_is_none() {
+        let mut r = NibbleReader::new(&[0x12]);
+        assert_eq!(r.next(), Some(1));
+        assert_eq!(r.next(), Some(2));
+        assert_eq!(r.next(), None);
+        assert_eq!(NibbleReader::new(&[]).next_u32(), None);
+    }
+}

@@ -1,0 +1,315 @@
+//! Parameter sweeps for the paper's Figures 4–8.
+//!
+//! The greedy pick order does not depend on the dictionary-size cap (the
+//! choice at step *k* is made from the program state after *k−1* picks), so
+//! sweeps over *dictionary size* are read off one full run's pick log
+//! instead of recompressing per point. Sweeps over *entry length* change the
+//! candidate set and therefore recompress.
+
+use codense_obj::ObjectModule;
+
+use crate::compressor::{CompressedProgram, Compressor};
+use crate::config::{CompressionConfig, EncodingKind};
+use crate::error::CompressError;
+
+/// Compression ratio at each requested codeword-count point (Fig 5),
+/// computed from one baseline run to the largest point.
+///
+/// Ratios at interior points are exact for the baseline encoding up to
+/// branch-overflow rewrites (which add a handful of bytes and affect all
+/// points equally).
+///
+/// # Errors
+///
+/// Propagates [`CompressError`] from the underlying run.
+pub fn codeword_count_sweep(
+    module: &ObjectModule,
+    max_entry_len: usize,
+    points: &[usize],
+) -> Result<Vec<(usize, f64)>, CompressError> {
+    let cap = points.iter().copied().max().unwrap_or(0).min(8192);
+    let config = CompressionConfig {
+        max_entry_len,
+        max_codewords: cap,
+        encoding: EncodingKind::Baseline,
+    };
+    let c = Compressor::new(config).compress(module)?;
+    Ok(points.iter().map(|&k| (k, ratio_at_prefix(&c, k))).collect())
+}
+
+/// The baseline-encoding compression ratio after only the first `k` greedy
+/// picks, reconstructed from the pick log.
+pub fn ratio_at_prefix(c: &CompressedProgram, k: usize) -> f64 {
+    let orig = c.original_text_bytes as f64;
+    let mut text = orig;
+    let mut dict = 0.0;
+    for p in c.picks.iter().take(k) {
+        // Each replacement turns `len` instructions into one 2-byte codeword.
+        text -= p.replaced as f64 * (4.0 * p.len as f64 - 2.0);
+        dict += 4.0 * p.len as f64;
+    }
+    (text + dict) / orig
+}
+
+/// Compression ratio for each maximum entry length (Fig 4), each a full
+/// baseline run with the whole 8192-codeword space.
+///
+/// # Errors
+///
+/// Propagates [`CompressError`] from the underlying runs.
+pub fn entry_len_sweep(
+    module: &ObjectModule,
+    lens: &[usize],
+) -> Result<Vec<(usize, f64)>, CompressError> {
+    lens.iter()
+        .map(|&l| {
+            let config = CompressionConfig {
+                max_entry_len: l,
+                max_codewords: 8192,
+                encoding: EncodingKind::Baseline,
+            };
+            Ok((l, Compressor::new(config).compress(module)?.compression_ratio()))
+        })
+        .collect()
+}
+
+/// Dictionary composition by entry length at several dictionary sizes
+/// (Fig 6): for each size `k`, a histogram `hist[l]` of entries with `l`
+/// instructions among the first `k` picks.
+///
+/// # Errors
+///
+/// Propagates [`CompressError`] from the underlying run.
+pub fn dict_composition_sweep(
+    module: &ObjectModule,
+    max_entry_len: usize,
+    sizes: &[usize],
+) -> Result<Vec<(usize, Vec<usize>)>, CompressError> {
+    let cap = sizes.iter().copied().max().unwrap_or(0).min(8192);
+    let config = CompressionConfig {
+        max_entry_len,
+        max_codewords: cap,
+        encoding: EncodingKind::Baseline,
+    };
+    let c = Compressor::new(config).compress(module)?;
+    Ok(sizes
+        .iter()
+        .map(|&k| {
+            let mut hist = vec![0usize; max_entry_len + 1];
+            for p in c.picks.iter().take(k) {
+                hist[p.len.min(max_entry_len)] += 1;
+            }
+            (k, hist)
+        })
+        .collect())
+}
+
+/// Bytes saved, by entry length, at several dictionary sizes (Fig 7), as a
+/// fraction of the original program size. Baseline 2-byte codewords.
+///
+/// # Errors
+///
+/// Propagates [`CompressError`] from the underlying run.
+pub fn savings_by_length_sweep(
+    module: &ObjectModule,
+    max_entry_len: usize,
+    sizes: &[usize],
+) -> Result<Vec<(usize, Vec<f64>)>, CompressError> {
+    let cap = sizes.iter().copied().max().unwrap_or(0).min(8192);
+    let config = CompressionConfig {
+        max_entry_len,
+        max_codewords: cap,
+        encoding: EncodingKind::Baseline,
+    };
+    let c = Compressor::new(config).compress(module)?;
+    let orig = c.original_text_bytes as f64;
+    Ok(sizes
+        .iter()
+        .map(|&k| {
+            let mut by_len = vec![0.0f64; max_entry_len + 1];
+            for p in c.picks.iter().take(k) {
+                let saved = p.replaced as f64 * (4.0 * p.len as f64 - 2.0) - 4.0 * p.len as f64;
+                by_len[p.len.min(max_entry_len)] += saved / orig;
+            }
+            (k, by_len)
+        })
+        .collect())
+}
+
+/// Small-dictionary ratios (Fig 8): 1-byte codewords at each entry count.
+///
+/// # Errors
+///
+/// Propagates [`CompressError`] from the underlying runs.
+pub fn small_dictionary_sweep(
+    module: &ObjectModule,
+    entry_counts: &[usize],
+) -> Result<Vec<(usize, f64)>, CompressError> {
+    entry_counts
+        .iter()
+        .map(|&n| {
+            let c = Compressor::new(CompressionConfig::small_dictionary(n)).compress(module)?;
+            Ok((n, c.compression_ratio()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codense_ppc::encode;
+    use codense_ppc::insn::Insn;
+    use codense_ppc::reg::*;
+
+    fn module() -> ObjectModule {
+        let mut words = Vec::new();
+        for i in 0..40 {
+            for _ in 0..(40 - i) / 6 + 1 {
+                words.push(encode(&Insn::Addi { rt: R3, ra: R3, si: i as i16 }));
+                words.push(encode(&Insn::Addi { rt: R4, ra: R4, si: (i * 2) as i16 }));
+            }
+        }
+        let mut m = ObjectModule::new("t");
+        m.code = words;
+        m
+    }
+
+    #[test]
+    fn more_codewords_never_hurt() {
+        let m = module();
+        let sweep = codeword_count_sweep(&m, 4, &[2, 8, 32, 128, 512]).unwrap();
+        for pair in sweep.windows(2) {
+            assert!(pair[1].1 <= pair[0].1 + 1e-9, "{sweep:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_ratio_matches_full_run_at_cap() {
+        let m = module();
+        let cap = 64;
+        let sweep = codeword_count_sweep(&m, 4, &[cap]).unwrap();
+        let full = Compressor::new(CompressionConfig {
+            max_entry_len: 4,
+            max_codewords: cap,
+            encoding: EncodingKind::Baseline,
+        })
+        .compress(&m)
+        .unwrap();
+        assert!((sweep[0].1 - full.compression_ratio()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn entry_len_sweep_runs_all_points() {
+        let m = module();
+        let sweep = entry_len_sweep(&m, &[1, 2, 4]).unwrap();
+        assert_eq!(sweep.len(), 3);
+        // Longer entries can only help or match on this simple input.
+        assert!(sweep[2].1 <= sweep[0].1 + 1e-9);
+    }
+
+    #[test]
+    fn dict_composition_histogram_counts_picks() {
+        let m = module();
+        let comp = dict_composition_sweep(&m, 8, &[4, 16]).unwrap();
+        assert_eq!(comp[0].0, 4);
+        assert_eq!(comp[0].1.iter().sum::<usize>(), 4.min(comp[0].1.iter().sum()));
+        let total16: usize = comp[1].1.iter().sum();
+        assert!(total16 <= 16);
+    }
+
+    #[test]
+    fn small_dictionary_sweep_improves_with_entries() {
+        let m = module();
+        let sweep = small_dictionary_sweep(&m, &[8, 16, 32]).unwrap();
+        assert!(sweep[2].1 <= sweep[0].1 + 1e-9);
+    }
+}
+
+/// A nibble-codeword space allocation: how many of the 15 non-escape first
+/// nibbles introduce 4/8/12/16-bit codewords.
+///
+/// The shipped encoding is `{8, 3, 2, 2}` (see [`crate::encoding::nibble`]).
+/// The paper (§4.1.3) notes "other programs may benefit from different
+/// encodings. For example, if many codewords are not necessary for good
+/// compression, then more 4-bit and 8-bit code words could be used" — this
+/// type lets that trade-off be evaluated analytically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NibbleSplit {
+    /// First-nibble values assigned to 4-bit codewords.
+    pub n4: u32,
+    /// First-nibble values prefixing 8-bit codewords.
+    pub n8: u32,
+    /// First-nibble values prefixing 12-bit codewords.
+    pub n12: u32,
+    /// First-nibble values prefixing 16-bit codewords.
+    pub n16: u32,
+}
+
+impl NibbleSplit {
+    /// The encoding shipped by [`crate::encoding::nibble`].
+    pub const SHIPPED: NibbleSplit = NibbleSplit { n4: 8, n8: 3, n12: 2, n16: 2 };
+
+    /// Total codewords this split can index.
+    pub fn capacity(&self) -> u64 {
+        self.n4 as u64 + self.n8 as u64 * 16 + self.n12 as u64 * 256 + self.n16 as u64 * 4096
+    }
+
+    /// Returns `true` if the split uses exactly the 15 non-escape nibbles.
+    pub fn is_valid(&self) -> bool {
+        self.n4 + self.n8 + self.n12 + self.n16 == 15
+    }
+
+    /// Codeword length in nibbles for a rank under this split, or `None` if
+    /// the rank exceeds the split's capacity.
+    pub fn codeword_nibbles(&self, rank: u64) -> Option<u64> {
+        let b4 = self.n4 as u64;
+        let b8 = b4 + self.n8 as u64 * 16;
+        let b12 = b8 + self.n12 as u64 * 256;
+        if rank < b4 {
+            Some(1)
+        } else if rank < b8 {
+            Some(2)
+        } else if rank < b12 {
+            Some(3)
+        } else if rank < self.capacity() {
+            Some(4)
+        } else {
+            None
+        }
+    }
+}
+
+/// Evaluates what a nibble-compressed program's *text* size would be under a
+/// different codeword-space split, analytically from the dictionary's
+/// occurrence counts (entries are re-ranked by frequency; entries beyond the
+/// split's capacity fall back to escaped uncompressed instructions).
+///
+/// Returns total text nibbles. Dictionary bytes are unchanged by the split
+/// except for dropped entries, which this conservative model keeps.
+pub fn text_nibbles_under_split(c: &CompressedProgram, split: NibbleSplit) -> u64 {
+    assert!(split.is_valid(), "split must use exactly 15 nibbles");
+    // Occurrence counts by rank (already sorted: rank order is by use).
+    let mut total: u64 = 0;
+    for rank in 0..c.dictionary.len() as u64 {
+        let entry = c.dictionary.entry_of_rank(rank as u32);
+        let e = c.dictionary.entry(entry);
+        match split.codeword_nibbles(rank) {
+            Some(n) => total += n * e.replaced as u64,
+            // Beyond capacity: occurrences revert to escaped instructions.
+            None => total += 9 * (e.len() as u64) * e.replaced as u64,
+        }
+    }
+    // Uncompressed instructions keep their 9-nibble cost.
+    let uncompressed: u64 = c
+        .atoms
+        .iter()
+        .map(|a| match *a {
+            crate::compressor::Atom::Insn { .. } => 9,
+            crate::compressor::Atom::ViaTable { word, slot, .. } => {
+                9 * crate::compressor::via_table_expansion(c.encoding, word, slot).len() as u64
+            }
+            crate::compressor::Atom::Codeword { .. } => 0,
+        })
+        .sum();
+    total + uncompressed
+}

@@ -1,0 +1,75 @@
+//! `repro` — regenerates every table and figure of *Improving Code Density
+//! Using Compression Techniques* (Lefurgy et al., 1997) on the synthetic
+//! benchmark suite.
+//!
+//! ```text
+//! repro all            # everything, in paper order
+//! repro fig5 table2    # specific exhibits
+//! repro methods        # extension: all baselines side by side
+//! repro bandwidth      # extension: fetch-bandwidth on runnable kernels
+//! ```
+
+mod figures;
+mod report;
+mod suite;
+
+use figures::Ctx;
+
+type Runner = fn(&mut Ctx);
+
+const EXPERIMENTS: &[(&str, Runner)] = &[
+    ("fig1", figures::fig1),
+    ("table1", figures::table1),
+    ("fig2", figures::fig2),
+    ("fig4", figures::fig4),
+    ("fig5", figures::fig5),
+    ("table2", figures::table2),
+    ("fig6", figures::fig6),
+    ("fig7", figures::fig7),
+    ("fig8", figures::fig8),
+    ("fig9", figures::fig9),
+    ("fig10", figures::fig10),
+    ("fig11", figures::fig11),
+    ("table3", figures::table3),
+    ("methods", figures::methods),
+    ("bandwidth", figures::bandwidth),
+    ("thumb", figures::thumb),
+    ("cache", figures::cache),
+    ("prologue", figures::prologue),
+    ("partition", figures::partition),
+    ("dictcache", figures::dictcache),
+    ("splits", figures::splits),
+    ("mix", figures::mix),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let requested: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        EXPERIMENTS.iter().map(|&(n, _)| n).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    for name in &requested {
+        if !EXPERIMENTS.iter().any(|&(n, _)| n == *name) {
+            eprintln!("unknown experiment `{name}`; available:");
+            for (n, _) in EXPERIMENTS {
+                eprintln!("  {n}");
+            }
+            std::process::exit(2);
+        }
+    }
+
+    let mut ctx = Ctx::new();
+    println!(
+        "benchmark suite: {} programs, {} total instructions\n",
+        ctx.suite.len(),
+        ctx.suite.iter().map(|m| m.len()).sum::<usize>(),
+    );
+    for name in requested {
+        let (_, runner) = EXPERIMENTS.iter().find(|&&(n, _)| n == name).expect("validated");
+        let t0 = std::time::Instant::now();
+        runner(&mut ctx);
+        eprintln!("[{name} done in {:.1?}]\n", t0.elapsed());
+    }
+}

@@ -1,0 +1,8 @@
+//! Benchmark-suite loading shared by all experiments.
+
+use codense_obj::ObjectModule;
+
+/// The eight CINT95 stand-in modules, generated once, in the paper's order.
+pub fn load() -> Vec<ObjectModule> {
+    codense_codegen::generate_suite()
+}

@@ -1,0 +1,309 @@
+#![warn(missing_docs)]
+
+//! Canonical byte-oriented Huffman coding.
+//!
+//! Substrate for the CCRP baseline (Wolfe & Chanin's compressed-cache-line
+//! processor, §2.3 of the reproduced paper), and the reference point for the
+//! paper's statistical-vs-dictionary compression discussion (§2.1).
+//!
+//! The implementation builds a canonical code from byte frequencies, encodes
+//! to an MSB-first bit stream, and decodes with a per-length table. Codes
+//! are canonical, so only the per-symbol lengths need to be stored alongside
+//! compressed data (256 bytes of model).
+//!
+//! # Example
+//!
+//! ```
+//! use codense_huffman::{HuffmanCode, encode, decode};
+//!
+//! let data = b"abracadabra abracadabra";
+//! let code = HuffmanCode::from_frequencies(&codense_huffman::byte_frequencies(data));
+//! let bits = encode(&code, data);
+//! assert_eq!(decode(&code, &bits, data.len()).unwrap(), data);
+//! ```
+
+use std::collections::BinaryHeap;
+
+/// Counts byte frequencies over a buffer.
+pub fn byte_frequencies(data: &[u8]) -> [u64; 256] {
+    let mut f = [0u64; 256];
+    for &b in data {
+        f[b as usize] += 1;
+    }
+    f
+}
+
+/// A canonical Huffman code over the byte alphabet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffmanCode {
+    /// Code length in bits per symbol (0 = symbol absent).
+    lengths: [u8; 256],
+    /// Canonical codeword per symbol (low `lengths[s]` bits, MSB-first).
+    codes: [u32; 256],
+}
+
+impl HuffmanCode {
+    /// Builds a code from symbol frequencies. Symbols with zero frequency
+    /// get no code. If only one distinct symbol occurs it receives a 1-bit
+    /// code.
+    pub fn from_frequencies(freq: &[u64; 256]) -> HuffmanCode {
+        #[derive(PartialEq, Eq)]
+        struct Node {
+            weight: u64,
+            /// Tie-break for determinism.
+            id: u32,
+            kind: NodeKind,
+        }
+        #[derive(PartialEq, Eq)]
+        enum NodeKind {
+            Leaf(u8),
+            Internal(Box<Node>, Box<Node>),
+        }
+        impl Ord for Node {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                // Reversed for a min-heap.
+                o.weight.cmp(&self.weight).then(o.id.cmp(&self.id))
+            }
+        }
+        impl PartialOrd for Node {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                Some(self.cmp(o))
+            }
+        }
+
+        let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+        let mut next_id = 0u32;
+        for (s, &w) in freq.iter().enumerate() {
+            if w > 0 {
+                heap.push(Node { weight: w, id: next_id, kind: NodeKind::Leaf(s as u8) });
+                next_id += 1;
+            }
+        }
+        let mut lengths = [0u8; 256];
+        match heap.len() {
+            0 => {}
+            1 => {
+                if let NodeKind::Leaf(s) = heap.pop().expect("len 1").kind {
+                    lengths[s as usize] = 1;
+                }
+            }
+            _ => {
+                while heap.len() > 1 {
+                    let a = heap.pop().expect("len > 1");
+                    let b = heap.pop().expect("len > 1");
+                    heap.push(Node {
+                        weight: a.weight + b.weight,
+                        id: next_id,
+                        kind: NodeKind::Internal(Box::new(a), Box::new(b)),
+                    });
+                    next_id += 1;
+                }
+                fn walk(n: &Node, depth: u8, lengths: &mut [u8; 256]) {
+                    match &n.kind {
+                        NodeKind::Leaf(s) => lengths[*s as usize] = depth.max(1),
+                        NodeKind::Internal(a, b) => {
+                            walk(a, depth + 1, lengths);
+                            walk(b, depth + 1, lengths);
+                        }
+                    }
+                }
+                walk(&heap.pop().expect("root"), 0, &mut lengths);
+            }
+        }
+        HuffmanCode::from_lengths(lengths)
+    }
+
+    /// Builds the canonical code table from per-symbol lengths.
+    pub fn from_lengths(lengths: [u8; 256]) -> HuffmanCode {
+        let mut symbols: Vec<u8> = (0u16..256).map(|s| s as u8).collect();
+        symbols.retain(|&s| lengths[s as usize] > 0);
+        symbols.sort_by_key(|&s| (lengths[s as usize], s));
+        let mut codes = [0u32; 256];
+        let mut code = 0u32;
+        let mut prev_len = 0u8;
+        for &s in &symbols {
+            let l = lengths[s as usize];
+            code <<= l - prev_len;
+            codes[s as usize] = code;
+            code += 1;
+            prev_len = l;
+        }
+        HuffmanCode { lengths, codes }
+    }
+
+    /// Code length for a symbol (0 if absent).
+    pub fn length(&self, symbol: u8) -> u8 {
+        self.lengths[symbol as usize]
+    }
+
+    /// Canonical codeword bits for a symbol.
+    pub fn code(&self, symbol: u8) -> u32 {
+        self.codes[symbol as usize]
+    }
+
+    /// The per-symbol lengths (the transmissible model).
+    pub fn lengths(&self) -> &[u8; 256] {
+        &self.lengths
+    }
+
+    /// Exact compressed size in bits for the given data under this code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the data contains a symbol with no code.
+    pub fn encoded_bits(&self, data: &[u8]) -> u64 {
+        data.iter()
+            .map(|&b| {
+                let l = self.lengths[b as usize];
+                assert!(l > 0, "symbol {b:#04x} has no code");
+                l as u64
+            })
+            .sum()
+    }
+}
+
+/// Encodes data to an MSB-first bit stream.
+///
+/// # Panics
+///
+/// Panics if the data contains a symbol the code does not cover.
+pub fn encode(code: &HuffmanCode, data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut acc = 0u64;
+    let mut nbits = 0u32;
+    for &b in data {
+        let l = code.length(b);
+        assert!(l > 0, "symbol {b:#04x} has no code");
+        acc = (acc << l) | code.code(b) as u64;
+        nbits += l as u32;
+        while nbits >= 8 {
+            nbits -= 8;
+            out.push((acc >> nbits) as u8);
+        }
+    }
+    if nbits > 0 {
+        out.push(((acc << (8 - nbits)) & 0xff) as u8);
+    }
+    out
+}
+
+/// Decodes `count` symbols from an MSB-first bit stream.
+///
+/// Returns `None` if the stream is truncated or contains an invalid code.
+pub fn decode(code: &HuffmanCode, bits: &[u8], count: usize) -> Option<Vec<u8>> {
+    // (length, canonical code) → symbol, grouped by length.
+    let mut by_len: Vec<Vec<(u32, u8)>> = vec![Vec::new(); 33];
+    for s in 0u16..256 {
+        let l = code.length(s as u8);
+        if l > 0 {
+            by_len[l as usize].push((code.code(s as u8), s as u8));
+        }
+    }
+    let mut out = Vec::with_capacity(count);
+    let mut acc = 0u32;
+    let mut len = 0u8;
+    let mut pos = 0usize;
+    while out.len() < count {
+        let byte = *bits.get(pos / 8)?;
+        let bit = (byte >> (7 - pos % 8)) & 1;
+        pos += 1;
+        acc = (acc << 1) | bit as u32;
+        len += 1;
+        if len > 32 {
+            return None;
+        }
+        if let Some(&(_, sym)) = by_len[len as usize].iter().find(|&&(c, _)| c == acc) {
+            out.push(sym);
+            acc = 0;
+            len = 0;
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let code = HuffmanCode::from_frequencies(&byte_frequencies(data));
+        let bits = encode(&code, data);
+        assert_eq!(decode(&code, &bits, data.len()).unwrap(), data);
+        assert_eq!(code.encoded_bits(data).div_ceil(8), bits.len() as u64);
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(b"hello world");
+        roundtrip(b"aaaaaaaaaaaaaaaab");
+        roundtrip(&[0u8; 100]);
+        let mixed: Vec<u8> = (0..=255u8).cycle().take(2000).collect();
+        roundtrip(&mixed);
+    }
+
+    #[test]
+    fn empty_input() {
+        let code = HuffmanCode::from_frequencies(&[0; 256]);
+        assert_eq!(encode(&code, &[]), Vec::<u8>::new());
+        assert_eq!(decode(&code, &[], 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn single_symbol_gets_one_bit() {
+        let data = vec![7u8; 64];
+        let code = HuffmanCode::from_frequencies(&byte_frequencies(&data));
+        assert_eq!(code.length(7), 1);
+        let bits = encode(&code, &data);
+        assert_eq!(bits.len(), 8); // 64 bits
+        assert_eq!(decode(&code, &bits, 64).unwrap(), data);
+    }
+
+    #[test]
+    fn skewed_frequencies_give_shorter_codes() {
+        let mut data = vec![b'a'; 1000];
+        data.extend_from_slice(b"bcdefgh");
+        let code = HuffmanCode::from_frequencies(&byte_frequencies(&data));
+        assert!(code.length(b'a') < code.length(b'b'));
+    }
+
+    #[test]
+    fn compression_beats_raw_on_skewed_data() {
+        let mut data = vec![0u8; 4000];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = if i % 10 == 0 { (i % 50) as u8 } else { 0 };
+        }
+        let code = HuffmanCode::from_frequencies(&byte_frequencies(&data));
+        let bits = encode(&code, &data);
+        assert!(bits.len() < data.len() / 2);
+    }
+
+    #[test]
+    fn canonical_codes_are_prefix_free() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let code = HuffmanCode::from_frequencies(&byte_frequencies(data));
+        let symbols: Vec<u8> = (0u16..256)
+            .map(|s| s as u8)
+            .filter(|&s| code.length(s) > 0)
+            .collect();
+        for &a in &symbols {
+            for &b in &symbols {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (code.length(a), code.length(b));
+                if la <= lb {
+                    let prefix = code.code(b) >> (lb - la);
+                    assert!(prefix != code.code(a), "{a:?} is a prefix of {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_returns_none() {
+        let data = b"abcabcabc";
+        let code = HuffmanCode::from_frequencies(&byte_frequencies(data));
+        let bits = encode(&code, data);
+        assert_eq!(decode(&code, &bits[..bits.len() - 1], data.len()), None);
+    }
+}

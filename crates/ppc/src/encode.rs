@@ -1,0 +1,250 @@
+//! Instruction encoding: [`Insn`] → 32-bit word.
+
+use crate::insn::Insn;
+use crate::opcode::{primary as op, xo19, xo31};
+use crate::reg::{CrField, Gpr, Spr};
+
+fn d_form(opcd: u32, rt: Gpr, ra: Gpr, imm: u16) -> u32 {
+    (opcd << 26) | (rt.field() << 21) | (ra.field() << 16) | imm as u32
+}
+
+fn x_form(rt: Gpr, ra: Gpr, rb: Gpr, xo: u32, rc: bool) -> u32 {
+    (op::X31 << 26)
+        | (rt.field() << 21)
+        | (ra.field() << 16)
+        | (rb.field() << 11)
+        | (xo << 1)
+        | rc as u32
+}
+
+fn cmp_form(opcd: u32, bf: CrField, ra: Gpr, rest: u32) -> u32 {
+    (opcd << 26) | (bf.field() << 23) | (ra.field() << 16) | rest
+}
+
+fn spr_split(spr: Spr) -> u32 {
+    let n = spr.number();
+    ((n & 0x1f) << 5) | ((n >> 5) & 0x1f)
+}
+
+/// Encodes an instruction into its 32-bit PowerPC word.
+///
+/// [`Insn::Illegal`] re-encodes to the stored word verbatim, so
+/// `encode(decode(w)) == w` for every `w`.
+///
+/// # Panics
+///
+/// Panics if a branch displacement is misaligned (not a multiple of 4) or out
+/// of range for its field (`bd` beyond ±32 KiB, `li` beyond ±32 MiB), or if a
+/// shift/mask/bit field exceeds 31.
+pub fn encode(insn: &Insn) -> u32 {
+    use Insn::*;
+    match *insn {
+        Addi { rt, ra, si } => d_form(op::ADDI, rt, ra, si as u16),
+        Addis { rt, ra, si } => d_form(op::ADDIS, rt, ra, si as u16),
+        Addic { rt, ra, si } => d_form(op::ADDIC, rt, ra, si as u16),
+        AddicRc { rt, ra, si } => d_form(op::ADDIC_RC, rt, ra, si as u16),
+        Subfic { rt, ra, si } => d_form(op::SUBFIC, rt, ra, si as u16),
+        Mulli { rt, ra, si } => d_form(op::MULLI, rt, ra, si as u16),
+
+        Ori { ra, rs, ui } => d_form(op::ORI, rs, ra, ui),
+        Oris { ra, rs, ui } => d_form(op::ORIS, rs, ra, ui),
+        Xori { ra, rs, ui } => d_form(op::XORI, rs, ra, ui),
+        Xoris { ra, rs, ui } => d_form(op::XORIS, rs, ra, ui),
+        AndiRc { ra, rs, ui } => d_form(op::ANDI_RC, rs, ra, ui),
+        AndisRc { ra, rs, ui } => d_form(op::ANDIS_RC, rs, ra, ui),
+
+        Cmpwi { bf, ra, si } => cmp_form(op::CMPWI, bf, ra, si as u16 as u32),
+        Cmplwi { bf, ra, ui } => cmp_form(op::CMPLWI, bf, ra, ui as u32),
+        Cmpw { bf, ra, rb } => {
+            cmp_form(op::X31, bf, ra, (rb.field() << 11) | (xo31::CMPW << 1))
+        }
+        Cmplw { bf, ra, rb } => {
+            cmp_form(op::X31, bf, ra, (rb.field() << 11) | (xo31::CMPLW << 1))
+        }
+
+        Lwz { rt, ra, d } => d_form(op::LWZ, rt, ra, d as u16),
+        Lwzu { rt, ra, d } => d_form(op::LWZU, rt, ra, d as u16),
+        Lbz { rt, ra, d } => d_form(op::LBZ, rt, ra, d as u16),
+        Lbzu { rt, ra, d } => d_form(op::LBZU, rt, ra, d as u16),
+        Lhz { rt, ra, d } => d_form(op::LHZ, rt, ra, d as u16),
+        Lhzu { rt, ra, d } => d_form(op::LHZU, rt, ra, d as u16),
+        Lha { rt, ra, d } => d_form(op::LHA, rt, ra, d as u16),
+        Lhau { rt, ra, d } => d_form(op::LHAU, rt, ra, d as u16),
+        Stw { rs, ra, d } => d_form(op::STW, rs, ra, d as u16),
+        Stwu { rs, ra, d } => d_form(op::STWU, rs, ra, d as u16),
+        Stb { rs, ra, d } => d_form(op::STB, rs, ra, d as u16),
+        Stbu { rs, ra, d } => d_form(op::STBU, rs, ra, d as u16),
+        Sth { rs, ra, d } => d_form(op::STH, rs, ra, d as u16),
+        Sthu { rs, ra, d } => d_form(op::STHU, rs, ra, d as u16),
+        Lmw { rt, ra, d } => d_form(op::LMW, rt, ra, d as u16),
+        Stmw { rs, ra, d } => d_form(op::STMW, rs, ra, d as u16),
+
+        Lwzx { rt, ra, rb } => x_form(rt, ra, rb, xo31::LWZX, false),
+        Lbzx { rt, ra, rb } => x_form(rt, ra, rb, xo31::LBZX, false),
+        Lhzx { rt, ra, rb } => x_form(rt, ra, rb, xo31::LHZX, false),
+        Stwx { rs, ra, rb } => x_form(rs, ra, rb, xo31::STWX, false),
+        Stbx { rs, ra, rb } => x_form(rs, ra, rb, xo31::STBX, false),
+        Sthx { rs, ra, rb } => x_form(rs, ra, rb, xo31::STHX, false),
+
+        Add { rt, ra, rb, rc } => x_form(rt, ra, rb, xo31::ADD, rc),
+        Subf { rt, ra, rb, rc } => x_form(rt, ra, rb, xo31::SUBF, rc),
+        Mullw { rt, ra, rb, rc } => x_form(rt, ra, rb, xo31::MULLW, rc),
+        Mulhw { rt, ra, rb, rc } => x_form(rt, ra, rb, xo31::MULHW, rc),
+        Divw { rt, ra, rb, rc } => x_form(rt, ra, rb, xo31::DIVW, rc),
+        Divwu { rt, ra, rb, rc } => x_form(rt, ra, rb, xo31::DIVWU, rc),
+        Neg { rt, ra, rc } => x_form(rt, ra, crate::reg::R0, xo31::NEG, rc),
+
+        And { ra, rs, rb, rc } => x_form(rs, ra, rb, xo31::AND, rc),
+        Or { ra, rs, rb, rc } => x_form(rs, ra, rb, xo31::OR, rc),
+        Xor { ra, rs, rb, rc } => x_form(rs, ra, rb, xo31::XOR, rc),
+        Nand { ra, rs, rb, rc } => x_form(rs, ra, rb, xo31::NAND, rc),
+        Nor { ra, rs, rb, rc } => x_form(rs, ra, rb, xo31::NOR, rc),
+        Andc { ra, rs, rb, rc } => x_form(rs, ra, rb, xo31::ANDC, rc),
+        Orc { ra, rs, rb, rc } => x_form(rs, ra, rb, xo31::ORC, rc),
+        Slw { ra, rs, rb, rc } => x_form(rs, ra, rb, xo31::SLW, rc),
+        Srw { ra, rs, rb, rc } => x_form(rs, ra, rb, xo31::SRW, rc),
+        Sraw { ra, rs, rb, rc } => x_form(rs, ra, rb, xo31::SRAW, rc),
+        Srawi { ra, rs, sh, rc } => {
+            assert!(sh < 32, "srawi shift must be 0..32");
+            (op::X31 << 26)
+                | (rs.field() << 21)
+                | (ra.field() << 16)
+                | ((sh as u32) << 11)
+                | (xo31::SRAWI << 1)
+                | rc as u32
+        }
+        Extsb { ra, rs, rc } => x_form(rs, ra, crate::reg::R0, xo31::EXTSB, rc),
+        Extsh { ra, rs, rc } => x_form(rs, ra, crate::reg::R0, xo31::EXTSH, rc),
+        Cntlzw { ra, rs, rc } => x_form(rs, ra, crate::reg::R0, xo31::CNTLZW, rc),
+
+        Rlwinm { ra, rs, sh, mb, me, rc } => m_form(op::RLWINM, ra, rs, sh, mb, me, rc),
+        Rlwimi { ra, rs, sh, mb, me, rc } => m_form(op::RLWIMI, ra, rs, sh, mb, me, rc),
+
+        B { li, aa, lk } => {
+            assert!(li % 4 == 0, "branch displacement must be word aligned");
+            assert!(
+                (-0x0200_0000..0x0200_0000).contains(&li),
+                "b displacement out of 26-bit range: {li}"
+            );
+            (op::B << 26) | ((li as u32) & 0x03ff_fffc) | ((aa as u32) << 1) | lk as u32
+        }
+        Bc { bo, bi, bd, aa, lk } => {
+            assert!(bd % 4 == 0, "branch displacement must be word aligned");
+            assert!(bo < 32 && bi < 32, "bo/bi fields are 5 bits");
+            (op::BC << 26)
+                | ((bo as u32) << 21)
+                | ((bi as u32) << 16)
+                | ((bd as u16 as u32) & 0xfffc)
+                | ((aa as u32) << 1)
+                | lk as u32
+        }
+        Bclr { bo, bi, lk } => xl_branch(bo, bi, xo19::BCLR, lk),
+        Bcctr { bo, bi, lk } => xl_branch(bo, bi, xo19::BCCTR, lk),
+
+        Crxor { bt, ba, bb } => {
+            assert!(bt < 32 && ba < 32 && bb < 32, "cr bit fields are 5 bits");
+            (op::XL << 26)
+                | ((bt as u32) << 21)
+                | ((ba as u32) << 16)
+                | ((bb as u32) << 11)
+                | (xo19::CRXOR << 1)
+        }
+        Mfcr { rt } => (op::X31 << 26) | (rt.field() << 21) | (xo31::MFCR << 1),
+        Mtcrf { fxm, rs } => {
+            (op::X31 << 26) | (rs.field() << 21) | ((fxm as u32) << 12) | (xo31::MTCRF << 1)
+        }
+        Mfspr { rt, spr } => {
+            (op::X31 << 26) | (rt.field() << 21) | (spr_split(spr) << 11) | (xo31::MFSPR << 1)
+        }
+        Mtspr { spr, rs } => {
+            (op::X31 << 26) | (rs.field() << 21) | (spr_split(spr) << 11) | (xo31::MTSPR << 1)
+        }
+
+        Twi { to, ra, si } => {
+            assert!(to < 32, "trap condition field is 5 bits");
+            (op::TWI << 26) | ((to as u32) << 21) | (ra.field() << 16) | (si as u16 as u32)
+        }
+        Sc => (op::SC << 26) | 2,
+
+        Illegal(word) => word,
+    }
+}
+
+fn m_form(opcd: u32, ra: Gpr, rs: Gpr, sh: u8, mb: u8, me: u8, rc: bool) -> u32 {
+    assert!(sh < 32 && mb < 32 && me < 32, "rotate fields are 5 bits");
+    (opcd << 26)
+        | (rs.field() << 21)
+        | (ra.field() << 16)
+        | ((sh as u32) << 11)
+        | ((mb as u32) << 6)
+        | ((me as u32) << 1)
+        | rc as u32
+}
+
+fn xl_branch(bo: u8, bi: u8, xo: u32, lk: bool) -> u32 {
+    assert!(bo < 32 && bi < 32, "bo/bi fields are 5 bits");
+    (op::XL << 26) | ((bo as u32) << 21) | ((bi as u32) << 16) | (xo << 1) | lk as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::bo;
+    use crate::reg::*;
+
+    #[test]
+    fn known_encodings() {
+        // Cross-checked against GNU as output for PowerPC.
+        assert_eq!(encode(&Insn::Addi { rt: R3, ra: R0, si: 1 }), 0x3860_0001); // li r3,1
+        assert_eq!(
+            encode(&Insn::Bclr { bo: bo::ALWAYS, bi: 0, lk: false }),
+            0x4e80_0020 // blr
+        );
+        assert_eq!(
+            encode(&Insn::Bcctr { bo: bo::ALWAYS, bi: 0, lk: false }),
+            0x4e80_0420 // bctr
+        );
+        assert_eq!(encode(&Insn::Ori { ra: R0, rs: R0, ui: 0 }), 0x6000_0000); // nop
+        assert_eq!(encode(&Insn::Sc), 0x4400_0002);
+        assert_eq!(encode(&Insn::Lwz { rt: R9, ra: R1, d: 8 }), 0x8121_0008);
+        assert_eq!(encode(&Insn::Stwu { rs: R1, ra: R1, d: -32 }), 0x9421_ffe0);
+        assert_eq!(
+            encode(&Insn::Add { rt: R3, ra: R3, rb: R4, rc: false }),
+            0x7c63_2214
+        );
+        assert_eq!(
+            encode(&Insn::Mfspr { rt: R0, spr: Spr::Lr }),
+            0x7c08_02a6 // mflr r0
+        );
+        assert_eq!(
+            encode(&Insn::Mtspr { spr: Spr::Lr, rs: R0 }),
+            0x7c08_03a6 // mtlr r0
+        );
+        assert_eq!(
+            encode(&Insn::Or { ra: R4, rs: R3, rb: R3, rc: false }),
+            0x7c64_1b78 // mr r4,r3
+        );
+    }
+
+    #[test]
+    fn branch_offsets_pack() {
+        assert_eq!(encode(&Insn::B { li: 8, aa: false, lk: false }), 0x4800_0008);
+        assert_eq!(encode(&Insn::B { li: -4, aa: false, lk: true }), 0x4bff_fffd);
+        assert_eq!(
+            encode(&Insn::Bc { bo: bo::IF_TRUE, bi: 2, bd: -8, aa: false, lk: false }),
+            0x4182_fff8 // beq cr0, .-8
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "word aligned")]
+    fn misaligned_branch_panics() {
+        encode(&Insn::B { li: 2, aa: false, lk: false });
+    }
+
+    #[test]
+    #[should_panic(expected = "26-bit range")]
+    fn oversized_branch_panics() {
+        encode(&Insn::B { li: 0x0200_0000, aa: false, lk: false });
+    }
+}

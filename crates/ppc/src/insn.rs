@@ -1,0 +1,270 @@
+//! The structured instruction representation.
+
+use crate::reg::{CrField, Gpr, Spr};
+
+/// A decoded PowerPC instruction from the implemented subset.
+///
+/// Field names follow the PowerPC architecture books: `rt` target register,
+/// `rs` source register, `ra`/`rb` operand registers, `d`/`si`/`ui`
+/// displacement and immediates, `bf` compare result field, `bo`/`bi` branch
+/// operation and condition bit, `rc` record bit (the trailing `.` in
+/// mnemonics).
+///
+/// Branch displacements (`li`, `bd`) are stored as *byte* offsets relative to
+/// the branch's own address (or absolute byte addresses when `aa` is set),
+/// always a multiple of 4 in this representation; the encoder packs them into
+/// the word-granular architected fields.
+///
+/// Words outside the subset decode to [`Insn::Illegal`], which re-encodes to
+/// the identical word, so every 32-bit value round-trips losslessly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field names follow the architecture-book convention described above
+pub enum Insn {
+    // ---- D-form arithmetic -------------------------------------------------
+    /// `addi rt,ra,si` (with `ra = r0` reads 0: the `li` idiom).
+    Addi { rt: Gpr, ra: Gpr, si: i16 },
+    /// `addis rt,ra,si` — add immediate shifted (the `lis` idiom with `ra = r0`).
+    Addis { rt: Gpr, ra: Gpr, si: i16 },
+    /// `addic rt,ra,si` — add immediate carrying.
+    Addic { rt: Gpr, ra: Gpr, si: i16 },
+    /// `addic. rt,ra,si` — add immediate carrying, record CR0.
+    AddicRc { rt: Gpr, ra: Gpr, si: i16 },
+    /// `subfic rt,ra,si` — subtract from immediate carrying.
+    Subfic { rt: Gpr, ra: Gpr, si: i16 },
+    /// `mulli rt,ra,si` — multiply low immediate.
+    Mulli { rt: Gpr, ra: Gpr, si: i16 },
+
+    // ---- D-form logical ----------------------------------------------------
+    /// `ori ra,rs,ui` (`ori r0,r0,0` is the canonical `nop`).
+    Ori { ra: Gpr, rs: Gpr, ui: u16 },
+    /// `oris ra,rs,ui`.
+    Oris { ra: Gpr, rs: Gpr, ui: u16 },
+    /// `xori ra,rs,ui`.
+    Xori { ra: Gpr, rs: Gpr, ui: u16 },
+    /// `xoris ra,rs,ui`.
+    Xoris { ra: Gpr, rs: Gpr, ui: u16 },
+    /// `andi. ra,rs,ui` — always records CR0.
+    AndiRc { ra: Gpr, rs: Gpr, ui: u16 },
+    /// `andis. ra,rs,ui` — always records CR0.
+    AndisRc { ra: Gpr, rs: Gpr, ui: u16 },
+
+    // ---- compares ----------------------------------------------------------
+    /// `cmpwi bf,ra,si` — signed compare with immediate.
+    Cmpwi { bf: CrField, ra: Gpr, si: i16 },
+    /// `cmplwi bf,ra,ui` — unsigned (logical) compare with immediate.
+    Cmplwi { bf: CrField, ra: Gpr, ui: u16 },
+    /// `cmpw bf,ra,rb` — signed register compare.
+    Cmpw { bf: CrField, ra: Gpr, rb: Gpr },
+    /// `cmplw bf,ra,rb` — unsigned register compare.
+    Cmplw { bf: CrField, ra: Gpr, rb: Gpr },
+
+    // ---- D-form loads and stores -------------------------------------------
+    /// `lwz rt,d(ra)` — load word and zero.
+    Lwz { rt: Gpr, ra: Gpr, d: i16 },
+    /// `lwzu rt,d(ra)` — load word with update of `ra`.
+    Lwzu { rt: Gpr, ra: Gpr, d: i16 },
+    /// `lbz rt,d(ra)` — load byte and zero.
+    Lbz { rt: Gpr, ra: Gpr, d: i16 },
+    /// `lbzu rt,d(ra)`.
+    Lbzu { rt: Gpr, ra: Gpr, d: i16 },
+    /// `lhz rt,d(ra)` — load halfword and zero.
+    Lhz { rt: Gpr, ra: Gpr, d: i16 },
+    /// `lhzu rt,d(ra)`.
+    Lhzu { rt: Gpr, ra: Gpr, d: i16 },
+    /// `lha rt,d(ra)` — load halfword algebraic (sign-extending).
+    Lha { rt: Gpr, ra: Gpr, d: i16 },
+    /// `lhau rt,d(ra)`.
+    Lhau { rt: Gpr, ra: Gpr, d: i16 },
+    /// `stw rs,d(ra)` — store word.
+    Stw { rs: Gpr, ra: Gpr, d: i16 },
+    /// `stwu rs,d(ra)` — store word with update (frame allocation idiom).
+    Stwu { rs: Gpr, ra: Gpr, d: i16 },
+    /// `stb rs,d(ra)`.
+    Stb { rs: Gpr, ra: Gpr, d: i16 },
+    /// `stbu rs,d(ra)`.
+    Stbu { rs: Gpr, ra: Gpr, d: i16 },
+    /// `sth rs,d(ra)`.
+    Sth { rs: Gpr, ra: Gpr, d: i16 },
+    /// `sthu rs,d(ra)`.
+    Sthu { rs: Gpr, ra: Gpr, d: i16 },
+    /// `lmw rt,d(ra)` — load multiple words into `rt..=r31` (epilogue idiom).
+    Lmw { rt: Gpr, ra: Gpr, d: i16 },
+    /// `stmw rs,d(ra)` — store multiple words from `rs..=r31` (prologue idiom).
+    Stmw { rs: Gpr, ra: Gpr, d: i16 },
+
+    // ---- X-form indexed loads and stores -----------------------------------
+    /// `lwzx rt,ra,rb`.
+    Lwzx { rt: Gpr, ra: Gpr, rb: Gpr },
+    /// `lbzx rt,ra,rb`.
+    Lbzx { rt: Gpr, ra: Gpr, rb: Gpr },
+    /// `lhzx rt,ra,rb`.
+    Lhzx { rt: Gpr, ra: Gpr, rb: Gpr },
+    /// `stwx rs,ra,rb`.
+    Stwx { rs: Gpr, ra: Gpr, rb: Gpr },
+    /// `stbx rs,ra,rb`.
+    Stbx { rs: Gpr, ra: Gpr, rb: Gpr },
+    /// `sthx rs,ra,rb`.
+    Sthx { rs: Gpr, ra: Gpr, rb: Gpr },
+
+    // ---- XO-form arithmetic ------------------------------------------------
+    /// `add rt,ra,rb`.
+    Add { rt: Gpr, ra: Gpr, rb: Gpr, rc: bool },
+    /// `subf rt,ra,rb` — computes `rb - ra`.
+    Subf { rt: Gpr, ra: Gpr, rb: Gpr, rc: bool },
+    /// `mullw rt,ra,rb`.
+    Mullw { rt: Gpr, ra: Gpr, rb: Gpr, rc: bool },
+    /// `mulhw rt,ra,rb` — high 32 bits of the signed product.
+    Mulhw { rt: Gpr, ra: Gpr, rb: Gpr, rc: bool },
+    /// `divw rt,ra,rb` — signed divide.
+    Divw { rt: Gpr, ra: Gpr, rb: Gpr, rc: bool },
+    /// `divwu rt,ra,rb` — unsigned divide.
+    Divwu { rt: Gpr, ra: Gpr, rb: Gpr, rc: bool },
+    /// `neg rt,ra`.
+    Neg { rt: Gpr, ra: Gpr, rc: bool },
+
+    // ---- X-form logical ----------------------------------------------------
+    /// `and ra,rs,rb`.
+    And { ra: Gpr, rs: Gpr, rb: Gpr, rc: bool },
+    /// `or ra,rs,rb` (`or ra,rs,rs` is the `mr` idiom).
+    Or { ra: Gpr, rs: Gpr, rb: Gpr, rc: bool },
+    /// `xor ra,rs,rb`.
+    Xor { ra: Gpr, rs: Gpr, rb: Gpr, rc: bool },
+    /// `nand ra,rs,rb`.
+    Nand { ra: Gpr, rs: Gpr, rb: Gpr, rc: bool },
+    /// `nor ra,rs,rb` (`nor ra,rs,rs` is the `not` idiom).
+    Nor { ra: Gpr, rs: Gpr, rb: Gpr, rc: bool },
+    /// `andc ra,rs,rb` — and with complement.
+    Andc { ra: Gpr, rs: Gpr, rb: Gpr, rc: bool },
+    /// `orc ra,rs,rb` — or with complement.
+    Orc { ra: Gpr, rs: Gpr, rb: Gpr, rc: bool },
+    /// `slw ra,rs,rb` — shift left word.
+    Slw { ra: Gpr, rs: Gpr, rb: Gpr, rc: bool },
+    /// `srw ra,rs,rb` — shift right word (logical).
+    Srw { ra: Gpr, rs: Gpr, rb: Gpr, rc: bool },
+    /// `sraw ra,rs,rb` — shift right algebraic word.
+    Sraw { ra: Gpr, rs: Gpr, rb: Gpr, rc: bool },
+    /// `srawi ra,rs,sh` — shift right algebraic immediate.
+    Srawi { ra: Gpr, rs: Gpr, sh: u8, rc: bool },
+    /// `extsb ra,rs` — sign-extend byte.
+    Extsb { ra: Gpr, rs: Gpr, rc: bool },
+    /// `extsh ra,rs` — sign-extend halfword.
+    Extsh { ra: Gpr, rs: Gpr, rc: bool },
+    /// `cntlzw ra,rs` — count leading zeros.
+    Cntlzw { ra: Gpr, rs: Gpr, rc: bool },
+
+    // ---- M-form rotates ----------------------------------------------------
+    /// `rlwinm ra,rs,sh,mb,me` — rotate left and mask (covers the `clrlwi`,
+    /// `slwi`, `srwi`, `extrwi` idioms).
+    Rlwinm { ra: Gpr, rs: Gpr, sh: u8, mb: u8, me: u8, rc: bool },
+    /// `rlwimi ra,rs,sh,mb,me` — rotate left and insert under mask.
+    Rlwimi { ra: Gpr, rs: Gpr, sh: u8, mb: u8, me: u8, rc: bool },
+
+    // ---- branches ----------------------------------------------------------
+    /// `b`/`ba`/`bl`/`bla` — unconditional branch; `li` is a byte offset
+    /// (or absolute byte address when `aa`), range ±32 MiB, multiple of 4.
+    B { li: i32, aa: bool, lk: bool },
+    /// `bc`/`bca`/`bcl`/`bcla` — conditional branch; `bd` is a byte offset,
+    /// range ±32 KiB, multiple of 4.
+    Bc { bo: u8, bi: u8, bd: i16, aa: bool, lk: bool },
+    /// `bclr`/`bclrl` — branch conditional to link register (`blr` idiom).
+    Bclr { bo: u8, bi: u8, lk: bool },
+    /// `bcctr`/`bcctrl` — branch conditional to count register (`bctr` idiom).
+    Bcctr { bo: u8, bi: u8, lk: bool },
+
+    // ---- condition register and SPRs ---------------------------------------
+    /// `crxor bt,ba,bb` (`crclr` idiom when all three are equal).
+    Crxor { bt: u8, ba: u8, bb: u8 },
+    /// `mfcr rt`.
+    Mfcr { rt: Gpr },
+    /// `mtcrf fxm,rs` — move to CR fields selected by the 8-bit mask.
+    Mtcrf { fxm: u8, rs: Gpr },
+    /// `mfspr rt,spr` (`mflr`, `mfctr` idioms).
+    Mfspr { rt: Gpr, spr: Spr },
+    /// `mtspr spr,rs` (`mtlr`, `mtctr` idioms).
+    Mtspr { spr: Spr, rs: Gpr },
+
+    // ---- traps and system --------------------------------------------------
+    /// `twi to,ra,si` — trap word immediate (used for bounds checks).
+    Twi { to: u8, ra: Gpr, si: i16 },
+    /// `sc` — system call. The `codense` VM uses it as the halt/exit hook.
+    Sc,
+
+    /// Any word outside the implemented subset, kept verbatim.
+    Illegal(u32),
+}
+
+/// Standard branch operation (`BO`) field values.
+pub mod bo {
+    /// Branch always.
+    pub const ALWAYS: u8 = 20;
+    /// Branch if the condition bit is true.
+    pub const IF_TRUE: u8 = 12;
+    /// Branch if the condition bit is false.
+    pub const IF_FALSE: u8 = 4;
+    /// Decrement CTR, branch if CTR != 0 (`bdnz`).
+    pub const DNZ: u8 = 16;
+    /// Decrement CTR, branch if CTR == 0 (`bdz`).
+    pub const DZ: u8 = 18;
+}
+
+impl Insn {
+    /// Returns `true` for PC-relative branches (`b`/`bc` with `aa = 0`),
+    /// the instructions the paper's compressor never places in the
+    /// dictionary because their offsets must be patched after relocation.
+    pub fn is_relative_branch(&self) -> bool {
+        matches!(self, Insn::B { aa: false, .. } | Insn::Bc { aa: false, .. })
+    }
+
+    /// Returns `true` for any control-transfer instruction.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Insn::B { .. } | Insn::Bc { .. } | Insn::Bclr { .. } | Insn::Bcctr { .. }
+        )
+    }
+
+    /// Returns `true` for indirect branches (target comes from LR/CTR).
+    /// These *are* compressible: no offset field needs patching.
+    pub fn is_indirect_branch(&self) -> bool {
+        matches!(self, Insn::Bclr { .. } | Insn::Bcctr { .. })
+    }
+
+    /// Returns `true` if executing this instruction writes the link register.
+    pub fn writes_lr(&self) -> bool {
+        match self {
+            Insn::B { lk, .. }
+            | Insn::Bc { lk, .. }
+            | Insn::Bclr { lk, .. }
+            | Insn::Bcctr { lk, .. } => *lk,
+            Insn::Mtspr { spr: Spr::Lr, .. } => true,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::*;
+
+    #[test]
+    fn branch_classification() {
+        let b = Insn::B { li: 16, aa: false, lk: false };
+        let bc = Insn::Bc { bo: bo::IF_TRUE, bi: CR1.eq_bit(), bd: -8, aa: false, lk: false };
+        let blr = Insn::Bclr { bo: bo::ALWAYS, bi: 0, lk: false };
+        let add = Insn::Add { rt: R3, ra: R4, rb: R5, rc: false };
+
+        assert!(b.is_relative_branch() && b.is_branch());
+        assert!(bc.is_relative_branch());
+        assert!(!blr.is_relative_branch() && blr.is_indirect_branch());
+        assert!(!add.is_branch());
+    }
+
+    #[test]
+    fn lr_writers() {
+        assert!(Insn::B { li: 0, aa: false, lk: true }.writes_lr());
+        assert!(!Insn::B { li: 0, aa: false, lk: false }.writes_lr());
+        assert!(Insn::Mtspr { spr: Spr::Lr, rs: R0 }.writes_lr());
+        assert!(!Insn::Mtspr { spr: Spr::Ctr, rs: R0 }.writes_lr());
+    }
+}

@@ -1,0 +1,218 @@
+//! Register and special-purpose-register newtypes.
+//!
+//! Field values are validated at construction ([`Gpr::new`], [`CrField::new`])
+//! so encoded instructions are well-formed by construction.
+
+use std::fmt;
+
+/// A general-purpose register, `r0`–`r31`.
+///
+/// ```
+/// use codense_ppc::reg::Gpr;
+/// let r = Gpr::new(3).unwrap();
+/// assert_eq!(r.number(), 3);
+/// assert_eq!(r.to_string(), "r3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gpr(u8);
+
+impl Gpr {
+    /// Creates a GPR from its number. Returns `None` if `n > 31`.
+    pub const fn new(n: u8) -> Option<Gpr> {
+        if n < 32 {
+            Some(Gpr(n))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a GPR from the low 5 bits of an encoded field.
+    pub(crate) const fn from_field(bits: u32) -> Gpr {
+        Gpr((bits & 0x1f) as u8)
+    }
+
+    /// The register number, `0..=31`.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The register number as an encodable field value.
+    pub(crate) const fn field(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+macro_rules! gpr_consts {
+    ($($name:ident = $n:expr),* $(,)?) => {
+        $(
+            #[doc = concat!("GPR `r", stringify!($n), "`.")]
+            pub const $name: Gpr = Gpr($n);
+        )*
+    };
+}
+
+gpr_consts! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+    R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+    R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28,
+    R29 = 29, R30 = 30, R31 = 31,
+}
+
+/// The stack pointer by PowerPC SVR4 convention (`r1`).
+pub const SP: Gpr = R1;
+
+/// A condition-register field, `cr0`–`cr7`.
+///
+/// Compare instructions write a 4-bit LT/GT/EQ/SO group into one of eight
+/// fields; conditional branches test one bit of one field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CrField(u8);
+
+impl CrField {
+    /// Creates a CR field from its number. Returns `None` if `n > 7`.
+    pub const fn new(n: u8) -> Option<CrField> {
+        if n < 8 {
+            Some(CrField(n))
+        } else {
+            None
+        }
+    }
+
+    pub(crate) const fn from_field(bits: u32) -> CrField {
+        CrField((bits & 0x7) as u8)
+    }
+
+    /// The field number, `0..=7`.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    pub(crate) const fn field(self) -> u32 {
+        self.0 as u32
+    }
+
+    /// CR bit index of this field's LT bit (bit `4*n`).
+    pub const fn lt_bit(self) -> u8 {
+        self.0 * 4
+    }
+    /// CR bit index of this field's GT bit.
+    pub const fn gt_bit(self) -> u8 {
+        self.0 * 4 + 1
+    }
+    /// CR bit index of this field's EQ bit.
+    pub const fn eq_bit(self) -> u8 {
+        self.0 * 4 + 2
+    }
+    /// CR bit index of this field's SO (summary overflow) bit.
+    pub const fn so_bit(self) -> u8 {
+        self.0 * 4 + 3
+    }
+}
+
+impl fmt::Display for CrField {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cr{}", self.0)
+    }
+}
+
+/// CR field `cr0` (implicitly set by record-form instructions).
+pub const CR0: CrField = CrField(0);
+/// CR field `cr1`.
+pub const CR1: CrField = CrField(1);
+/// CR field `cr2`.
+pub const CR2: CrField = CrField(2);
+/// CR field `cr3`.
+pub const CR3: CrField = CrField(3);
+/// CR field `cr4`.
+pub const CR4: CrField = CrField(4);
+/// CR field `cr5`.
+pub const CR5: CrField = CrField(5);
+/// CR field `cr6`.
+pub const CR6: CrField = CrField(6);
+/// CR field `cr7`.
+pub const CR7: CrField = CrField(7);
+
+/// A special-purpose register reachable through `mfspr`/`mtspr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Spr {
+    /// Integer exception register (SPR 1).
+    Xer,
+    /// Link register (SPR 8).
+    Lr,
+    /// Count register (SPR 9).
+    Ctr,
+}
+
+impl Spr {
+    /// The architected SPR number.
+    pub const fn number(self) -> u32 {
+        match self {
+            Spr::Xer => 1,
+            Spr::Lr => 8,
+            Spr::Ctr => 9,
+        }
+    }
+
+    /// Decodes an SPR number. Returns `None` for SPRs outside the subset.
+    pub const fn from_number(n: u32) -> Option<Spr> {
+        match n {
+            1 => Some(Spr::Xer),
+            8 => Some(Spr::Lr),
+            9 => Some(Spr::Ctr),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Spr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Spr::Xer => "xer",
+            Spr::Lr => "lr",
+            Spr::Ctr => "ctr",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_bounds() {
+        assert_eq!(Gpr::new(31), Some(R31));
+        assert_eq!(Gpr::new(32), None);
+        assert_eq!(R17.number(), 17);
+    }
+
+    #[test]
+    fn cr_field_bits() {
+        assert_eq!(CR0.lt_bit(), 0);
+        assert_eq!(CR1.eq_bit(), 6);
+        assert_eq!(CR7.so_bit(), 31);
+        assert_eq!(CrField::new(8), None);
+    }
+
+    #[test]
+    fn spr_numbers_roundtrip() {
+        for spr in [Spr::Xer, Spr::Lr, Spr::Ctr] {
+            assert_eq!(Spr::from_number(spr.number()), Some(spr));
+        }
+        assert_eq!(Spr::from_number(268), None);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(SP.to_string(), "r1");
+        assert_eq!(CR1.to_string(), "cr1");
+        assert_eq!(Spr::Lr.to_string(), "lr");
+    }
+}

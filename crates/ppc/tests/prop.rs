@@ -1,0 +1,79 @@
+//! Property tests for the ISA layer.
+
+use proptest::prelude::*;
+
+use codense_ppc::branch::{
+    patch_offset_units, read_offset_units, rel_branch_info, RelBranchKind,
+};
+use codense_ppc::{decode, encode};
+
+proptest! {
+    /// Total decode/encode identity over the full 32-bit space.
+    #[test]
+    fn decode_encode_identity(w in any::<u32>()) {
+        prop_assert_eq!(encode(&decode(w)), w);
+    }
+
+    /// Branch-field patching round-trips and preserves all other bits.
+    #[test]
+    fn patch_roundtrip_bform(bo in 0u8..32, bi in 0u8..32, units in -8192i32..8192) {
+        let word = encode(&codense_ppc::Insn::Bc { bo, bi, bd: 0, aa: false, lk: false });
+        let patched = patch_offset_units(word, RelBranchKind::BForm, units);
+        prop_assert_eq!(read_offset_units(patched, RelBranchKind::BForm), units);
+        prop_assert_eq!(patched & !0x0000_fffc, word & !0x0000_fffc);
+    }
+
+    /// Same for the I form.
+    #[test]
+    fn patch_roundtrip_iform(lk in any::<bool>(), units in -(1i32 << 23)..(1 << 23)) {
+        let word = encode(&codense_ppc::Insn::B { li: 0, aa: false, lk });
+        let patched = patch_offset_units(word, RelBranchKind::IForm, units);
+        prop_assert_eq!(read_offset_units(patched, RelBranchKind::IForm), units);
+        prop_assert_eq!(patched & 3, word & 3);
+    }
+
+    /// rel_branch_info agrees with the decoder.
+    #[test]
+    fn branch_info_consistent(w in any::<u32>()) {
+        let info = rel_branch_info(w);
+        match decode(w) {
+            codense_ppc::Insn::B { li, aa: false, lk } => {
+                let i = info.expect("relative b");
+                prop_assert_eq!(i.offset, li);
+                prop_assert_eq!(i.lk, lk);
+            }
+            codense_ppc::Insn::Bc { bd, aa: false, lk, .. } => {
+                let i = info.expect("relative bc");
+                prop_assert_eq!(i.offset, bd as i32);
+                prop_assert_eq!(i.lk, lk);
+            }
+            _ => prop_assert!(info.is_none()),
+        }
+    }
+
+    /// The assembler resolves arbitrary in-range label graphs correctly.
+    #[test]
+    fn assembler_resolves_random_branch_graphs(
+        targets in proptest::collection::vec(0usize..50, 1..12),
+    ) {
+        use codense_ppc::asm::Assembler;
+        use codense_ppc::insn::Insn;
+        use codense_ppc::reg::{CR0, R3};
+        let body = 50usize;
+        let mut a = Assembler::new();
+        for i in 0..body {
+            a.label(&format!("L{i}"));
+            a.emit(Insn::Addi { rt: R3, ra: R3, si: i as i16 });
+        }
+        let branch_base = a.here();
+        for &t in &targets {
+            a.bne(CR0, &format!("L{t}"));
+        }
+        let words = a.finish().unwrap();
+        for (j, &t) in targets.iter().enumerate() {
+            let at = branch_base + j;
+            let info = rel_branch_info(words[at]).expect("branch");
+            prop_assert_eq!(at as i64 + (info.offset / 4) as i64, t as i64);
+        }
+    }
+}

@@ -1,0 +1,360 @@
+//! Instruction fetch engines: the two paths of the paper's Fig 3.
+//!
+//! [`LinearFetcher`] is the ordinary processor front end: the PC advances 8
+//! nibbles (one word) per instruction. [`CompressedFetcher`] is the modified
+//! front end: it parses the packed compressed image nibble by nibble,
+//! detects escape prefixes, and expands codewords through the on-chip
+//! dictionary into an expansion buffer that feeds the core one instruction
+//! at a time.
+//!
+//! Both engines report [`FetchStats`], making the fetch-bandwidth effect of
+//! compression measurable (the I-cache angle of [Chen97]).
+
+use codense_core::encoding::{read_item, Item};
+use codense_core::nibbles::NibbleReader;
+use codense_core::CompressedProgram;
+use codense_ppc::Insn;
+
+use crate::machine::MachineError;
+
+/// Counters maintained by a fetch engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Instructions delivered to the core.
+    pub insns: u64,
+    /// Nibbles consumed from program memory.
+    pub nibbles_fetched: u64,
+    /// Codewords expanded.
+    pub codewords: u64,
+    /// Instructions delivered out of dictionary expansions.
+    pub expanded_insns: u64,
+    /// Dictionary-cache hits (only counted when a dictionary cache is
+    /// configured; see [`CompressedFetcher::with_dict_cache`]).
+    pub dict_hits: u64,
+    /// Dictionary-cache misses.
+    pub dict_misses: u64,
+    /// Bytes of dictionary entries loaded from data memory on misses.
+    pub dict_bytes_loaded: u64,
+}
+
+impl FetchStats {
+    /// Mean program-memory bits fetched per delivered instruction (32 for
+    /// an uncompressed program; lower when codewords do their job).
+    pub fn bits_per_insn(&self) -> f64 {
+        if self.insns == 0 {
+            return 0.0;
+        }
+        4.0 * self.nibbles_fetched as f64 / self.insns as f64
+    }
+}
+
+/// One fetched instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fetched {
+    /// The decoded instruction.
+    pub insn: Insn,
+    /// Fetch-domain address of the following instruction (what sequential
+    /// flow and `lk` should use).
+    pub next_pc: u64,
+}
+
+/// An instruction-fetch engine with a nibble-granular PC.
+pub trait Fetch {
+    /// Fetches the instruction at `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::FetchFault`] if `pc` does not address an
+    /// instruction boundary in this engine's program.
+    fn fetch(&mut self, pc: u64) -> Result<Fetched, MachineError>;
+
+    /// Branch-offset unit in nibbles (8 uncompressed; the smallest-codeword
+    /// size for compressed programs).
+    fn granule(&self) -> u32;
+
+    /// Fetch counters so far.
+    fn stats(&self) -> FetchStats;
+}
+
+/// The conventional fetch path over an uncompressed text image.
+#[derive(Debug, Clone)]
+pub struct LinearFetcher {
+    code: Vec<u32>,
+    stats: FetchStats,
+}
+
+impl LinearFetcher {
+    /// Creates a fetcher over instruction words (instruction `i` lives at
+    /// nibble address `8 * i`).
+    pub fn new(code: Vec<u32>) -> LinearFetcher {
+        LinearFetcher { code, stats: FetchStats::default() }
+    }
+}
+
+impl Fetch for LinearFetcher {
+    fn fetch(&mut self, pc: u64) -> Result<Fetched, MachineError> {
+        if pc % 8 != 0 {
+            return Err(MachineError::FetchFault { pc });
+        }
+        let idx = (pc / 8) as usize;
+        let word = *self.code.get(idx).ok_or(MachineError::FetchFault { pc })?;
+        self.stats.insns += 1;
+        self.stats.nibbles_fetched += 8;
+        Ok(Fetched { insn: codense_ppc::decode(word), next_pc: pc + 8 })
+    }
+
+    fn granule(&self) -> u32 {
+        8
+    }
+
+    fn stats(&self) -> FetchStats {
+        self.stats
+    }
+}
+
+/// The compressed-program fetch path: escape detection, dictionary
+/// expansion buffer, nibble-granular PC.
+///
+/// Sequential flow inside an expanded codeword keeps the PC at the
+/// codeword's address while the buffer drains; branches always target
+/// codeword boundaries (guaranteed by the compressor), which flush the
+/// buffer.
+#[derive(Debug, Clone)]
+pub struct CompressedFetcher {
+    image: Vec<u8>,
+    encoding: codense_core::EncodingKind,
+    /// Dictionary entries by codeword rank.
+    by_rank: Vec<Vec<Insn>>,
+    /// Remaining instructions of the codeword being drained.
+    buffer: Vec<Insn>,
+    /// Position within the draining codeword.
+    buffer_pos: usize,
+    /// PC the buffer belongs to.
+    buffer_pc: u64,
+    /// Address of the atom following the buffered codeword.
+    after_buffer: u64,
+    /// Optional on-demand dictionary cache (the paper's §3.3 alternative to
+    /// a fully on-chip dictionary): capacity in entries, plus the resident
+    /// set in LRU order (most recent last). `None` = whole dictionary
+    /// on-chip, no load traffic.
+    dict_cache: Option<(usize, Vec<u32>)>,
+    stats: FetchStats,
+}
+
+impl CompressedFetcher {
+    /// Builds the fetch engine from a compressed program (the image and the
+    /// dictionary; atoms/addresses are not consulted — the engine parses
+    /// the byte image exactly as hardware would).
+    pub fn new(program: &CompressedProgram) -> CompressedFetcher {
+        let mut by_rank = vec![Vec::new(); program.dictionary.len()];
+        for rank in 0..program.dictionary.len() as u32 {
+            let entry = program.dictionary.entry_of_rank(rank);
+            by_rank[rank as usize] = program
+                .dictionary
+                .entry(entry)
+                .words
+                .iter()
+                .map(|&w| codense_ppc::decode(w))
+                .collect();
+        }
+        CompressedFetcher {
+            image: program.image.clone(),
+            encoding: program.encoding,
+            by_rank,
+            buffer: Vec::new(),
+            buffer_pos: 0,
+            buffer_pc: u64::MAX,
+            after_buffer: 0,
+            dict_cache: None,
+            stats: FetchStats::default(),
+        }
+    }
+
+    /// Builds the fetch engine from a deserialized container image (see
+    /// `codense_core::container`): what a real decoder boots from.
+    pub fn from_image(image: &codense_core::container::ProgramImage) -> CompressedFetcher {
+        CompressedFetcher {
+            image: image.image.clone(),
+            encoding: image.encoding,
+            by_rank: image
+                .dictionary_by_rank
+                .iter()
+                .map(|words| words.iter().map(|&w| codense_ppc::decode(w)).collect())
+                .collect(),
+            buffer: Vec::new(),
+            buffer_pos: 0,
+            buffer_pc: u64::MAX,
+            after_buffer: 0,
+            dict_cache: None,
+            stats: FetchStats::default(),
+        }
+    }
+
+    /// Configures an on-demand dictionary cache of `entries` slots (LRU).
+    ///
+    /// Models the paper's §3.3 alternative: "if the dictionary is larger,
+    /// it might be kept as a data segment of the compressed program and
+    /// each dictionary entry could be loaded as needed". Expansions of
+    /// uncached entries count [`FetchStats::dict_misses`] and charge the
+    /// entry's bytes to [`FetchStats::dict_bytes_loaded`].
+    pub fn with_dict_cache(mut self, entries: usize) -> CompressedFetcher {
+        self.dict_cache = Some((entries.max(1), Vec::new()));
+        self
+    }
+
+    /// Runs the dictionary-cache bookkeeping for an expansion of `rank`.
+    fn touch_dict(&mut self, rank: u32) {
+        let Some((capacity, resident)) = &mut self.dict_cache else { return };
+        if let Some(pos) = resident.iter().position(|&r| r == rank) {
+            resident.remove(pos);
+            resident.push(rank);
+            self.stats.dict_hits += 1;
+        } else {
+            self.stats.dict_misses += 1;
+            self.stats.dict_bytes_loaded += 4 * self.by_rank[rank as usize].len() as u64;
+            if resident.len() == *capacity {
+                resident.remove(0);
+            }
+            resident.push(rank);
+        }
+    }
+
+    fn deliver_buffered(&mut self) -> Fetched {
+        let insn = self.buffer[self.buffer_pos];
+        self.buffer_pos += 1;
+        self.stats.insns += 1;
+        self.stats.expanded_insns += 1;
+        let next_pc = if self.buffer_pos < self.buffer.len() {
+            self.buffer_pc
+        } else {
+            self.after_buffer
+        };
+        Fetched { insn, next_pc }
+    }
+}
+
+impl Fetch for CompressedFetcher {
+    fn fetch(&mut self, pc: u64) -> Result<Fetched, MachineError> {
+        // Drain the expansion buffer while sequential flow stays on it.
+        if pc == self.buffer_pc && self.buffer_pos < self.buffer.len() {
+            return Ok(self.deliver_buffered());
+        }
+        let mut r = NibbleReader::new(&self.image);
+        r.seek(pc);
+        let before = r.pos();
+        match read_item(self.encoding, &mut r) {
+            Some(Item::Insn(word)) => {
+                self.stats.insns += 1;
+                self.stats.nibbles_fetched += r.pos() - before;
+                // Leaving any previous codeword behind.
+                self.buffer_pc = u64::MAX;
+                Ok(Fetched { insn: codense_ppc::decode(word), next_pc: r.pos() })
+            }
+            Some(Item::Codeword(rank)) => {
+                let seq = self
+                    .by_rank
+                    .get(rank as usize)
+                    .ok_or(MachineError::FetchFault { pc })?
+                    .clone();
+                if seq.is_empty() {
+                    return Err(MachineError::FetchFault { pc });
+                }
+                self.stats.codewords += 1;
+                self.stats.nibbles_fetched += r.pos() - before;
+                let after = r.pos();
+                self.touch_dict(rank);
+                self.buffer = seq;
+                self.buffer_pos = 0;
+                self.buffer_pc = pc;
+                self.after_buffer = after;
+                Ok(self.deliver_buffered())
+            }
+            None => Err(MachineError::FetchFault { pc }),
+        }
+    }
+
+    fn granule(&self) -> u32 {
+        self.encoding.granule_nibbles()
+    }
+
+    fn stats(&self) -> FetchStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codense_core::{CompressionConfig, Compressor};
+    use codense_obj::ObjectModule;
+    use codense_ppc::encode;
+    use codense_ppc::reg::*;
+
+    fn module() -> ObjectModule {
+        let mut m = ObjectModule::new("t");
+        for _ in 0..10 {
+            m.code.push(encode(&Insn::Addi { rt: R3, ra: R3, si: 1 }));
+            m.code.push(encode(&Insn::Addi { rt: R4, ra: R4, si: 2 }));
+        }
+        m.code.push(encode(&Insn::Sc));
+        m
+    }
+
+    #[test]
+    fn linear_fetch_walks_words() {
+        let m = module();
+        let mut f = LinearFetcher::new(m.code.clone());
+        let f0 = f.fetch(0).unwrap();
+        assert_eq!(f0.next_pc, 8);
+        assert_eq!(f0.insn, Insn::Addi { rt: R3, ra: R3, si: 1 });
+        assert!(f.fetch(4).is_err(), "misaligned fetch must fault");
+        assert!(f.fetch(8 * 100).is_err());
+        assert_eq!(f.stats().insns, 1);
+    }
+
+    #[test]
+    fn compressed_fetch_delivers_same_stream() {
+        let m = module();
+        for config in [
+            CompressionConfig::baseline(),
+            CompressionConfig::small_dictionary(16),
+            CompressionConfig::nibble_aligned(),
+        ] {
+            let c = Compressor::new(config).compress(&m).unwrap();
+            let mut f = CompressedFetcher::new(&c);
+            let mut pc = 0;
+            let mut got = Vec::new();
+            for _ in 0..m.len() {
+                let fetched = f.fetch(pc).unwrap();
+                got.push(fetched.insn);
+                pc = fetched.next_pc;
+            }
+            let want: Vec<Insn> = m.code.iter().map(|&w| codense_ppc::decode(w)).collect();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn compressed_fetch_uses_less_bandwidth() {
+        let m = module();
+        let c = Compressor::new(CompressionConfig::baseline()).compress(&m).unwrap();
+        let mut lf = LinearFetcher::new(m.code.clone());
+        let mut cf = CompressedFetcher::new(&c);
+        let (mut lp, mut cp) = (0u64, 0u64);
+        for _ in 0..m.len() {
+            lp = lf.fetch(lp).unwrap().next_pc;
+            cp = cf.fetch(cp).unwrap().next_pc;
+        }
+        assert!(cf.stats().nibbles_fetched < lf.stats().nibbles_fetched);
+        assert_eq!(cf.stats().insns, lf.stats().insns);
+        assert!(cf.stats().codewords > 0);
+    }
+
+    #[test]
+    fn fetch_fault_on_garbage_pc() {
+        let m = module();
+        let c = Compressor::new(CompressionConfig::nibble_aligned()).compress(&m).unwrap();
+        let mut f = CompressedFetcher::new(&c);
+        assert!(f.fetch(c.total_nibbles + 10).is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! The execution loop gluing a [`Machine`] to a fetch engine.
+
+use crate::fetch::{Fetch, FetchStats};
+use crate::machine::{Machine, MachineError, Outcome};
+
+/// Result of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    /// Value of `r3` at the `sc` halt.
+    pub exit_code: u32,
+    /// Instructions executed (including the `sc`).
+    pub steps: u64,
+    /// Final fetch counters.
+    pub stats: FetchStats,
+}
+
+/// Runs until `sc` or the step budget is exhausted.
+///
+/// # Errors
+///
+/// Propagates any [`MachineError`]; [`MachineError::StepLimit`] if the
+/// program does not halt within `max_steps`.
+pub fn run(
+    machine: &mut Machine,
+    fetch: &mut dyn Fetch,
+    entry: u64,
+    max_steps: u64,
+) -> Result<RunResult, MachineError> {
+    let mut pc = entry;
+    for step in 0..max_steps {
+        let fetched = fetch.fetch(pc)?;
+        match machine.step(&fetched.insn, pc, fetched.next_pc, fetch.granule())? {
+            Outcome::Next => pc = fetched.next_pc,
+            Outcome::Branch(target) => pc = target,
+            Outcome::Halt => {
+                return Ok(RunResult {
+                    exit_code: machine.gpr[3],
+                    steps: step + 1,
+                    stats: fetch.stats(),
+                })
+            }
+        }
+    }
+    Err(MachineError::StepLimit)
+}
+
+/// Like [`run`], invoking `observer` before each executed instruction with
+/// `(pc, insn)` — the debugging/tracing hook (`codense-cache`'s
+/// `TracingFetch` is the memory-reference counterpart).
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_traced(
+    machine: &mut Machine,
+    fetch: &mut dyn Fetch,
+    entry: u64,
+    max_steps: u64,
+    mut observer: impl FnMut(u64, &codense_ppc::Insn),
+) -> Result<RunResult, MachineError> {
+    let mut pc = entry;
+    for step in 0..max_steps {
+        let fetched = fetch.fetch(pc)?;
+        observer(pc, &fetched.insn);
+        match machine.step(&fetched.insn, pc, fetched.next_pc, fetch.granule())? {
+            Outcome::Next => pc = fetched.next_pc,
+            Outcome::Branch(target) => pc = target,
+            Outcome::Halt => {
+                return Ok(RunResult {
+                    exit_code: machine.gpr[3],
+                    steps: step + 1,
+                    stats: fetch.stats(),
+                })
+            }
+        }
+    }
+    Err(MachineError::StepLimit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fetch::LinearFetcher;
+    use codense_ppc::asm::Assembler;
+    use codense_ppc::insn::Insn;
+    use codense_ppc::reg::*;
+
+    #[test]
+    fn tiny_program_halts() {
+        let mut a = Assembler::new();
+        a.emit(Insn::Addi { rt: R3, ra: R0, si: 42 });
+        a.emit(Insn::Sc);
+        let code = a.finish().unwrap();
+        let mut machine = Machine::new(4096);
+        let mut fetch = LinearFetcher::new(code);
+        let result = run(&mut machine, &mut fetch, 0, 100).unwrap();
+        assert_eq!(result.exit_code, 42);
+        assert_eq!(result.steps, 2);
+    }
+
+    #[test]
+    fn traced_run_sees_every_step() {
+        let mut a = Assembler::new();
+        a.emit(Insn::Addi { rt: R3, ra: R0, si: 1 });
+        a.emit(Insn::Addi { rt: R3, ra: R3, si: 2 });
+        a.emit(Insn::Sc);
+        let code = a.finish().unwrap();
+        let mut machine = Machine::new(4096);
+        let mut fetch = LinearFetcher::new(code);
+        let mut trace = Vec::new();
+        let result = super::run_traced(&mut machine, &mut fetch, 0, 100, |pc, insn| {
+            trace.push((pc, *insn));
+        })
+        .unwrap();
+        assert_eq!(result.steps, 3);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace[0].0, 0);
+        assert_eq!(trace[2].1, Insn::Sc);
+    }
+
+    #[test]
+    fn infinite_loop_hits_step_limit() {
+        let mut a = Assembler::new();
+        a.label("x");
+        a.b("x");
+        let code = a.finish().unwrap();
+        let mut machine = Machine::new(4096);
+        let mut fetch = LinearFetcher::new(code);
+        assert_eq!(run(&mut machine, &mut fetch, 0, 50), Err(MachineError::StepLimit));
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end equivalence: every kernel, compressed under every encoding,
+//! must execute to the same result and the same final memory/register state
+//! as its uncompressed original.
+
+use codense_core::{verify::verify, CompressionConfig, Compressor};
+use codense_vm::{fetch::CompressedFetcher, kernels, machine::Machine, run::run, LinearFetcher};
+
+fn configs() -> Vec<(&'static str, CompressionConfig)> {
+    vec![
+        ("baseline", CompressionConfig::baseline()),
+        ("one-byte", CompressionConfig::small_dictionary(32)),
+        ("nibble", CompressionConfig::nibble_aligned()),
+    ]
+}
+
+#[test]
+fn compressed_kernels_match_uncompressed() {
+    for kernel in kernels::all() {
+        // Reference run.
+        let mut ref_machine = Machine::new(1 << 20);
+        kernel.apply_init(&mut ref_machine);
+        let mut ref_fetch = LinearFetcher::new(kernel.module.code.clone());
+        let reference = run(&mut ref_machine, &mut ref_fetch, 0, 1_000_000)
+            .unwrap_or_else(|e| panic!("{} uncompressed: {e}", kernel.name));
+        assert_eq!(reference.exit_code, kernel.expected, "{}", kernel.name);
+
+        for (tag, config) in configs() {
+            let compressed = Compressor::new(config)
+                .compress(&kernel.module)
+                .unwrap_or_else(|e| panic!("{} {tag}: {e}", kernel.name));
+            verify(&kernel.module, &compressed)
+                .unwrap_or_else(|e| panic!("{} {tag}: {e}", kernel.name));
+
+            let mut machine = Machine::new(1 << 20);
+            kernel.apply_init(&mut machine);
+            let mut fetch = CompressedFetcher::new(&compressed);
+            let result = run(&mut machine, &mut fetch, 0, 1_000_000)
+                .unwrap_or_else(|e| panic!("{} {tag}: {e}", kernel.name));
+
+            assert_eq!(result.exit_code, reference.exit_code, "{} {tag}", kernel.name);
+            assert_eq!(result.steps, reference.steps, "{} {tag}: same dynamic path", kernel.name);
+            // r0 and LR may hold code addresses, which legitimately differ
+            // between the compressed and uncompressed PC domains; everything
+            // else must match.
+            assert_eq!(machine.gpr[2..], ref_machine.gpr[2..], "{} {tag}", kernel.name);
+            assert_eq!(machine.cr, ref_machine.cr, "{} {tag}", kernel.name);
+            // Data memory must match outside the stack region (stale spilled
+            // return addresses below the restored SP differ by domain).
+            let data_top = 0xE0000;
+            assert_eq!(
+                machine.mem[..data_top],
+                ref_machine.mem[..data_top],
+                "{} {tag}",
+                kernel.name
+            );
+        }
+    }
+}
+
+#[test]
+fn compressed_fetch_bandwidth_not_worse() {
+    // Dictionary expansion means fewer program-memory bits per delivered
+    // instruction on compressible kernels.
+    let kernel = kernels::bubble_sort();
+    let compressed =
+        Compressor::new(CompressionConfig::nibble_aligned()).compress(&kernel.module).unwrap();
+
+    let mut m1 = Machine::new(1 << 20);
+    kernel.apply_init(&mut m1);
+    let mut lf = LinearFetcher::new(kernel.module.code.clone());
+    let r1 = run(&mut m1, &mut lf, 0, 1_000_000).unwrap();
+
+    let mut m2 = Machine::new(1 << 20);
+    kernel.apply_init(&mut m2);
+    let mut cf = CompressedFetcher::new(&compressed);
+    let r2 = run(&mut m2, &mut cf, 0, 1_000_000).unwrap();
+
+    assert_eq!(r1.exit_code, r2.exit_code);
+    assert!(
+        r2.stats.bits_per_insn() <= r1.stats.bits_per_insn(),
+        "compressed {} vs linear {}",
+        r2.stats.bits_per_insn(),
+        r1.stats.bits_per_insn()
+    );
+}
+
+#[test]
+fn container_roundtrip_executes_identically() {
+    // Flash-image path: compress -> serialize -> deserialize -> boot.
+    use codense_core::container::{deserialize, serialize};
+    for kernel in kernels::all() {
+        let compressed =
+            Compressor::new(CompressionConfig::nibble_aligned()).compress(&kernel.module).unwrap();
+        let image = deserialize(&serialize(&compressed)).unwrap();
+        assert_eq!(image, compressed.to_image());
+
+        let mut machine = Machine::new(1 << 20);
+        kernel.apply_init(&mut machine);
+        let mut fetch = CompressedFetcher::from_image(&image);
+        let result = run(&mut machine, &mut fetch, 0, 1_000_000)
+            .unwrap_or_else(|e| panic!("{}: {e}", kernel.name));
+        assert_eq!(result.exit_code, kernel.expected, "{}", kernel.name);
+    }
+}
+
+#[test]
+fn dictionary_cache_models_section_3_3() {
+    // §3.3: a small on-chip dictionary cache backed by the data segment.
+    // Bigger caches can only hit more, and an unbounded cache misses each
+    // used entry exactly once (cold loads).
+    let kernel = kernels::bubble_sort();
+    let compressed =
+        Compressor::new(CompressionConfig::nibble_aligned()).compress(&kernel.module).unwrap();
+
+    let run_with = |entries: usize| {
+        let mut machine = Machine::new(1 << 20);
+        kernel.apply_init(&mut machine);
+        let mut fetch = CompressedFetcher::new(&compressed).with_dict_cache(entries);
+        let result = run(&mut machine, &mut fetch, 0, 1_000_000).unwrap();
+        assert_eq!(result.exit_code, kernel.expected);
+        result.stats
+    };
+
+    let tiny = run_with(1);
+    let small = run_with(4);
+    let huge = run_with(10_000);
+    assert_eq!(tiny.codewords, small.codewords);
+    assert_eq!(tiny.dict_hits + tiny.dict_misses, tiny.codewords);
+    assert!(small.dict_misses <= tiny.dict_misses);
+    assert!(huge.dict_misses <= small.dict_misses);
+    // Unbounded: one cold miss per distinct entry used.
+    assert!(huge.dict_misses <= compressed.dictionary.len() as u64);
+    assert!(huge.dict_bytes_loaded <= compressed.dictionary_bytes() as u64);
+    // Without a cache configured, no dictionary traffic is counted.
+    let mut machine = Machine::new(1 << 20);
+    kernel.apply_init(&mut machine);
+    let mut fetch = CompressedFetcher::new(&compressed);
+    let plain = run(&mut machine, &mut fetch, 0, 1_000_000).unwrap();
+    assert_eq!(plain.stats.dict_misses, 0);
+    assert_eq!(plain.stats.dict_hits, 0);
+}

@@ -1,0 +1,161 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use codense::core::encoding::{self, read_item, Item};
+use codense::core::nibbles::{NibbleReader, NibbleWriter};
+use codense::prelude::*;
+
+/// Arbitrary instruction words biased toward the legal subset (pure random
+/// u32s are mostly illegal, which still must round-trip).
+fn word_strategy() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        any::<u32>(),
+        // D-form-heavy region: opcodes 14/15/32..47 with random fields.
+        (14u32..48, any::<u32>()).prop_map(|(op, rest)| (op << 26) | (rest & 0x03ff_ffff)),
+        // Opcode-31 space.
+        any::<u32>().prop_map(|r| (31 << 26) | (r & 0x03ff_ffff)),
+    ]
+}
+
+proptest! {
+    /// decode/encode is the identity on all 32-bit words.
+    #[test]
+    fn ppc_decode_encode_roundtrip(w in word_strategy()) {
+        prop_assert_eq!(encode(&decode(w)), w);
+    }
+
+    /// The disassembler never panics.
+    #[test]
+    fn disassembler_total(w in any::<u32>(), addr in any::<u32>()) {
+        let text = codense::ppc::disasm::disassemble(w, addr & !3);
+        prop_assert!(!text.is_empty());
+    }
+
+    /// LZW round-trips arbitrary binary data.
+    #[test]
+    fn lzw_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let packed = codense::lzw::compress(&data);
+        prop_assert_eq!(codense::lzw::decompress(&packed), Some(data));
+    }
+
+    /// Huffman round-trips arbitrary binary data.
+    #[test]
+    fn huffman_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..2048)) {
+        let code = codense::huffman::HuffmanCode::from_frequencies(
+            &codense::huffman::byte_frequencies(&data),
+        );
+        let bits = codense::huffman::encode(&code, &data);
+        prop_assert_eq!(codense::huffman::decode(&code, &bits, data.len()), Some(data));
+    }
+
+    /// The nibble writer/reader round-trips arbitrary nibble sequences.
+    #[test]
+    fn nibble_stream_roundtrip(nibbles in proptest::collection::vec(0u8..16, 0..256)) {
+        let mut w = NibbleWriter::new();
+        for &n in &nibbles {
+            w.push(n);
+        }
+        prop_assert_eq!(w.len(), nibbles.len() as u64);
+        let bytes = w.into_bytes();
+        let mut r = NibbleReader::new(&bytes);
+        for &n in &nibbles {
+            prop_assert_eq!(r.next(), Some(n));
+        }
+    }
+
+    /// Mixed codeword/instruction streams parse back exactly in every
+    /// encoding, regardless of rank distribution.
+    #[test]
+    fn codec_stream_roundtrip(
+        items in proptest::collection::vec((any::<bool>(), any::<u32>()), 0..64),
+    ) {
+        for kind in [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned] {
+            let capacity = kind.capacity() as u32;
+            let mut w = NibbleWriter::new();
+            let expected: Vec<Item> = items
+                .iter()
+                .map(|&(is_cw, v)| {
+                    if is_cw {
+                        let rank = v % capacity;
+                        encoding::write_codeword(kind, &mut w, rank);
+                        Item::Codeword(rank)
+                    } else {
+                        // Instruction words must not collide with escape
+                        // opcodes under the byte-level schemes.
+                        let word = (14 << 26) | (v & 0x03ff_ffff);
+                        encoding::write_insn(kind, &mut w, word);
+                        Item::Insn(word)
+                    }
+                })
+                .collect();
+            let bytes = w.into_bytes();
+            let mut r = NibbleReader::new(&bytes);
+            for want in &expected {
+                let got = read_item(kind, &mut r);
+                prop_assert_eq!(got.as_ref(), Some(want));
+            }
+        }
+    }
+
+    /// Compressing any straight-line program of subset instructions
+    /// round-trips, and never grows the text+dictionary beyond the original
+    /// plus the nibble scheme's worst-case escape overhead.
+    #[test]
+    fn compressor_roundtrip_random_programs(
+        picks in proptest::collection::vec((0u8..6, 0u8..4, -64i16..64), 8..200),
+    ) {
+        use codense::ppc::reg::Gpr;
+        let mut code = Vec::new();
+        for (kind, reg, imm) in picks {
+            let r = Gpr::new(3 + reg).unwrap();
+            let insn = match kind {
+                0 => Insn::Addi { rt: r, ra: r, si: imm },
+                1 => Insn::Lwz { rt: r, ra: Gpr::new(1).unwrap(), d: imm & !3 },
+                2 => Insn::Stw { rs: r, ra: Gpr::new(1).unwrap(), d: imm & !3 },
+                3 => Insn::Add { rt: r, ra: r, rb: r, rc: false },
+                4 => Insn::Ori { ra: r, rs: r, ui: imm as u16 },
+                _ => Insn::Cmpwi { bf: codense::ppc::reg::CR0, ra: r, si: imm },
+            };
+            code.push(encode(&insn));
+        }
+        let mut module = ObjectModule::new("prop");
+        module.code = code;
+        for config in [CompressionConfig::baseline(), CompressionConfig::nibble_aligned()] {
+            let c = Compressor::new(config).compress(&module).unwrap();
+            verify(&module, &c).unwrap();
+            let total = c.text_bytes() + c.dictionary_bytes();
+            // Worst case: nothing compresses; nibble escapes add 1/8.
+            prop_assert!(total as f64 <= module.text_bytes() as f64 * 1.13 + 2.0);
+        }
+    }
+
+    /// Programs with branches: compression preserves every branch target.
+    #[test]
+    fn compressor_preserves_branches(
+        body_len in 2usize..40,
+        branch_pairs in proptest::collection::vec((0usize..40, 0usize..40), 1..6),
+    ) {
+        use codense::ppc::asm::Assembler;
+        use codense::ppc::reg::{CR0, R3};
+        let mut a = Assembler::new();
+        // Label every instruction so arbitrary targets are expressible.
+        for i in 0..body_len {
+            a.label(&format!("L{i}"));
+            a.emit(Insn::Addi { rt: R3, ra: R3, si: (i % 7) as i16 });
+        }
+        a.label(&format!("L{body_len}"));
+        for (j, &(_from, to)) in branch_pairs.iter().enumerate() {
+            a.label(&format!("B{j}"));
+            a.bne(CR0, &format!("L{}", to % (body_len + 1)));
+        }
+        a.emit(Insn::Sc);
+        let mut module = ObjectModule::new("prop-br");
+        module.code = a.finish().unwrap();
+        prop_assert_eq!(module.validate(), Ok(()));
+        for config in [CompressionConfig::baseline(), CompressionConfig::nibble_aligned()] {
+            let c = Compressor::new(config).compress(&module).unwrap();
+            prop_assert_eq!(verify(&module, &c), Ok(()));
+        }
+    }
+}
