@@ -4,9 +4,7 @@
 
 use std::sync::OnceLock;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use codense_bench::{black_box, Harness};
 use codense_core::dict::Dictionary;
 use codense_core::greedy::{run_greedy, CostModel, GreedyParams};
 use codense_core::model::ProgramModel;
@@ -18,98 +16,80 @@ fn module() -> &'static ObjectModule {
     M.get_or_init(|| codense_codegen::benchmark("compress").expect("compress benchmark"))
 }
 
-/// How does greedy cost scale with program size? (The incremental index
-/// should be roughly linear in text size, not quadratic like the naive
-/// rescan.)
-fn bench_greedy_scaling(c: &mut Criterion) {
+/// A branch-neutralized prefix of the `compress` benchmark (truncation
+/// severs branches whose targets fall past the cut).
+fn prefix(frac: usize) -> ObjectModule {
     let m = module();
-    let mut g = c.benchmark_group("greedy_scaling");
-    g.sample_size(10);
-    for frac in [4usize, 2, 1] {
-        let take = m.code.len() / frac;
-        let mut sub = ObjectModule::new("sub");
-        sub.code = m.code[..take].to_vec();
-        // Truncation severs branches whose targets fall past the cut;
-        // neutralize them so the prefix is a valid program.
-        let nop = codense_ppc::encode(&codense_ppc::Insn::Ori {
-            ra: codense_ppc::reg::R0,
-            rs: codense_ppc::reg::R0,
-            ui: 0,
-        });
-        for i in 0..sub.code.len() {
-            if let Some(info) = codense_ppc::branch::rel_branch_info(sub.code[i]) {
-                let target = i as i64 + (info.offset / 4) as i64;
-                if target < 0 || target >= take as i64 {
-                    sub.code[i] = nop;
-                }
+    let take = m.code.len() / frac;
+    let mut sub = ObjectModule::new("sub");
+    sub.code = m.code[..take].to_vec();
+    let nop = codense_ppc::encode(&codense_ppc::Insn::Ori {
+        ra: codense_ppc::reg::R0,
+        rs: codense_ppc::reg::R0,
+        ui: 0,
+    });
+    for i in 0..sub.code.len() {
+        if let Some(info) = codense_ppc::branch::rel_branch_info(sub.code[i]) {
+            let target = i as i64 + (info.offset / 4) as i64;
+            if target < 0 || target >= take as i64 {
+                sub.code[i] = nop;
             }
         }
-        g.bench_with_input(BenchmarkId::from_parameter(take), &sub, |b, sub| {
-            b.iter(|| {
-                let mut model = ProgramModel::build(sub);
-                let mut dict = Dictionary::new();
-                black_box(run_greedy(
-                    &mut model,
-                    &mut dict,
-                    GreedyParams {
-                        max_entry_len: 4,
-                        max_codewords: 8192,
-                        cost: CostModel {
-                            insn_bits: 32,
-                            codeword_bits: 16,
-                            dict_word_bits: 32,
-                            dict_entry_fixed_bits: 0,
-                        },
+    }
+    sub
+}
+
+fn main() {
+    let h = Harness::new("ablations");
+
+    // How does greedy cost scale with program size? (The incremental index
+    // should be roughly linear in text size, not quadratic like the naive
+    // rescan.)
+    for frac in [4usize, 2, 1] {
+        let sub = prefix(frac);
+        let name = format!("greedy_scaling/{}", sub.code.len());
+        h.bench(&name, || {
+            let mut model = ProgramModel::build(&sub);
+            let mut dict = Dictionary::new();
+            black_box(run_greedy(
+                &mut model,
+                &mut dict,
+                GreedyParams {
+                    max_entry_len: 4,
+                    max_codewords: 8192,
+                    cost: CostModel {
+                        insn_bits: 32,
+                        codeword_bits: 16,
+                        dict_word_bits: 32,
+                        dict_entry_fixed_bits: 0,
                     },
-                ))
-            })
+                },
+            ))
         });
     }
-    g.finish();
-}
 
-/// Entry-length cap ablation: full compression at caps 1/2/4/8.
-fn bench_entry_len_ablation(c: &mut Criterion) {
-    let m = module();
-    let mut g = c.benchmark_group("ablation_entry_len");
-    g.sample_size(10);
+    // Entry-length cap ablation: full compression at caps 1/2/4/8.
     for len in [1usize, 2, 4, 8] {
-        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
-            let config = CompressionConfig {
-                max_entry_len: len,
-                max_codewords: 8192,
-                encoding: EncodingKind::Baseline,
-            };
-            let compressor = Compressor::new(config);
-            b.iter(|| black_box(compressor.compress(m).unwrap()))
+        let compressor = Compressor::new(CompressionConfig {
+            max_entry_len: len,
+            max_codewords: 8192,
+            encoding: EncodingKind::Baseline,
+        });
+        h.bench(&format!("ablation_entry_len/{len}"), || {
+            black_box(compressor.compress(module()).unwrap())
         });
     }
-    g.finish();
-}
 
-/// Codeword-budget ablation: selection stops early with small dictionaries.
-fn bench_codeword_budget_ablation(c: &mut Criterion) {
-    let m = module();
-    let mut g = c.benchmark_group("ablation_codeword_budget");
-    g.sample_size(10);
+    // Codeword-budget ablation: selection stops early with small
+    // dictionaries.
     for cap in [64usize, 1024, 8192] {
-        g.bench_with_input(BenchmarkId::from_parameter(cap), &cap, |b, &cap| {
-            let config = CompressionConfig {
-                max_entry_len: 4,
-                max_codewords: cap,
-                encoding: EncodingKind::Baseline,
-            };
-            let compressor = Compressor::new(config);
-            b.iter(|| black_box(compressor.compress(m).unwrap()))
+        let compressor = Compressor::new(CompressionConfig {
+            max_entry_len: 4,
+            max_codewords: cap,
+            encoding: EncodingKind::Baseline,
+        });
+        h.bench(&format!("ablation_codeword_budget/{cap}"), || {
+            black_box(compressor.compress(module()).unwrap())
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    ablations,
-    bench_greedy_scaling,
-    bench_entry_len_ablation,
-    bench_codeword_budget_ablation,
-);
-criterion_main!(ablations);

@@ -1,13 +1,11 @@
-//! One Criterion group per table/figure of the paper: each benchmark runs
-//! the computation that regenerates that exhibit (on the `compress`
-//! stand-in, the smallest benchmark, to keep wall time reasonable — the
-//! full-suite numbers come from the `repro` binary).
+//! One benchmark per table/figure of the paper: each runs the computation
+//! that regenerates that exhibit (on the `compress` stand-in, the smallest
+//! benchmark, to keep wall time reasonable — the full-suite numbers come
+//! from the `repro` binary).
 
 use std::sync::OnceLock;
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
+use codense_bench::{black_box, Harness};
 use codense_core::analysis::{branch_offset_usage, encoding_profile, prologue_epilogue};
 use codense_core::sweep::{
     codeword_count_sweep, dict_composition_sweep, entry_len_sweep, savings_by_length_sweep,
@@ -28,149 +26,58 @@ fn baseline() -> &'static codense_core::CompressedProgram {
     })
 }
 
-fn bench_fig1(c: &mut Criterion) {
-    c.bench_function("fig1_encoding_profile", |b| {
-        b.iter(|| black_box(encoding_profile(black_box(module()))))
-    });
-}
+fn main() {
+    let h = Harness::new("figures");
 
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_branch_offsets", |b| {
-        b.iter(|| black_box(branch_offset_usage(black_box(module()))))
+    h.bench("fig1_encoding_profile", || black_box(encoding_profile(black_box(module()))));
+    h.bench("table1_branch_offsets", || black_box(branch_offset_usage(black_box(module()))));
+    h.bench("fig4_entry_len/sweep_1_4_8", || {
+        black_box(entry_len_sweep(black_box(module()), &[1, 4, 8]).unwrap())
     });
-}
-
-fn bench_fig4(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig4_entry_len");
-    g.sample_size(10);
-    g.bench_function("sweep_1_4_8", |b| {
-        b.iter(|| black_box(entry_len_sweep(black_box(module()), &[1, 4, 8]).unwrap()))
+    h.bench("fig5_codewords/sweep_to_8192", || {
+        black_box(codeword_count_sweep(black_box(module()), 4, &[16, 256, 8192]).unwrap())
     });
-    g.finish();
-}
-
-fn bench_fig5(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_codewords");
-    g.sample_size(10);
-    g.bench_function("sweep_to_8192", |b| {
-        b.iter(|| {
-            black_box(
-                codeword_count_sweep(black_box(module()), 4, &[16, 256, 8192]).unwrap(),
-            )
-        })
+    h.bench("table2_max_codewords/baseline_to_exhaustion", || {
+        let compressed =
+            Compressor::new(CompressionConfig::baseline()).compress(black_box(module())).unwrap();
+        black_box(compressed.dictionary.len())
     });
-    g.finish();
-}
-
-fn bench_table2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table2_max_codewords");
-    g.sample_size(10);
-    g.bench_function("baseline_to_exhaustion", |b| {
-        b.iter(|| {
-            let compressed = Compressor::new(CompressionConfig::baseline())
-                .compress(black_box(module()))
-                .unwrap();
-            black_box(compressed.dictionary.len())
-        })
+    h.bench("fig6_dict_composition/entries_le_8", || {
+        black_box(dict_composition_sweep(black_box(module()), 8, &[16, 256, 8192]).unwrap())
     });
-    g.finish();
-}
-
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_dict_composition");
-    g.sample_size(10);
-    g.bench_function("entries_le_8", |b| {
-        b.iter(|| {
-            black_box(dict_composition_sweep(black_box(module()), 8, &[16, 256, 8192]).unwrap())
-        })
+    h.bench("fig7_savings_by_len/entries_le_8", || {
+        black_box(savings_by_length_sweep(black_box(module()), 8, &[16, 8192]).unwrap())
     });
-    g.finish();
-}
-
-fn bench_fig7(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_savings_by_len");
-    g.sample_size(10);
-    g.bench_function("entries_le_8", |b| {
-        b.iter(|| {
-            black_box(savings_by_length_sweep(black_box(module()), 8, &[16, 8192]).unwrap())
-        })
+    h.bench("fig8_small_dict/one_byte_8_16_32", || {
+        black_box(small_dictionary_sweep(black_box(module()), &[8, 16, 32]).unwrap())
     });
-    g.finish();
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_small_dict");
-    g.sample_size(10);
-    g.bench_function("one_byte_8_16_32", |b| {
-        b.iter(|| black_box(small_dictionary_sweep(black_box(module()), &[8, 16, 32]).unwrap()))
+    h.bench("fig9_composition", || black_box(baseline().composition()));
+    h.bench("fig10_nibble_codec", || {
+        // The encoding format itself: serialize + parse the full codeword
+        // space.
+        use codense_core::encoding::{nibble, read_item, write_codeword};
+        use codense_core::nibbles::{NibbleReader, NibbleWriter};
+        let mut w = NibbleWriter::new();
+        for rank in (0..nibble::CAPACITY as u32).step_by(7) {
+            write_codeword(EncodingKind::NibbleAligned, &mut w, rank);
+        }
+        let bytes = w.into_bytes();
+        let mut r = NibbleReader::new(&bytes);
+        let mut n = 0u32;
+        while let Some(item) = read_item(EncodingKind::NibbleAligned, &mut r) {
+            n += matches!(item, codense_core::encoding::Item::Codeword(_)) as u32;
+        }
+        black_box(n)
     });
-    g.finish();
-}
-
-fn bench_fig9(c: &mut Criterion) {
-    c.bench_function("fig9_composition", |b| {
-        b.iter(|| black_box(baseline().composition()))
+    h.bench("fig11_nibble_vs_lzw/nibble", || {
+        let compressed = Compressor::new(CompressionConfig::nibble_aligned())
+            .compress(black_box(module()))
+            .unwrap();
+        black_box(compressed.compression_ratio())
     });
-}
-
-fn bench_fig10(c: &mut Criterion) {
-    // The encoding format itself: serialize + parse the full codeword space.
-    use codense_core::encoding::{nibble, read_item, write_codeword};
-    use codense_core::nibbles::{NibbleReader, NibbleWriter};
-    c.bench_function("fig10_nibble_codec", |b| {
-        b.iter(|| {
-            let mut w = NibbleWriter::new();
-            for rank in (0..nibble::CAPACITY as u32).step_by(7) {
-                write_codeword(EncodingKind::NibbleAligned, &mut w, rank);
-            }
-            let bytes = w.into_bytes();
-            let mut r = NibbleReader::new(&bytes);
-            let mut n = 0u32;
-            while let Some(item) = read_item(EncodingKind::NibbleAligned, &mut r) {
-                n += matches!(item, codense_core::encoding::Item::Codeword(_)) as u32;
-            }
-            black_box(n)
-        })
-    });
-}
-
-fn bench_fig11(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_nibble_vs_lzw");
-    g.sample_size(10);
-    g.bench_function("nibble", |b| {
-        b.iter(|| {
-            let compressed = Compressor::new(CompressionConfig::nibble_aligned())
-                .compress(black_box(module()))
-                .unwrap();
-            black_box(compressed.compression_ratio())
-        })
-    });
-    g.bench_function("unix_compress", |b| {
+    h.bench("fig11_nibble_vs_lzw/unix_compress", || {
         let image = module().text_image();
-        b.iter(|| black_box(codense_lzw::compressed_size(black_box(&image))))
+        black_box(codense_lzw::compressed_size(black_box(&image)))
     });
-    g.finish();
+    h.bench("table3_prologue_epilogue", || black_box(prologue_epilogue(black_box(module()))));
 }
-
-fn bench_table3(c: &mut Criterion) {
-    c.bench_function("table3_prologue_epilogue", |b| {
-        b.iter(|| black_box(prologue_epilogue(black_box(module()))))
-    });
-}
-
-criterion_group!(
-    figures,
-    bench_fig1,
-    bench_table1,
-    bench_fig4,
-    bench_fig5,
-    bench_table2,
-    bench_fig6,
-    bench_fig7,
-    bench_fig8,
-    bench_fig9,
-    bench_fig10,
-    bench_fig11,
-    bench_table3,
-);
-criterion_main!(figures);

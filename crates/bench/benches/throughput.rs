@@ -1,11 +1,9 @@
 //! Throughput benchmarks: compression, expansion, fetch-path execution, and
-//! the baseline compressors, reported in bytes/second of original text.
+//! the baseline compressors.
 
 use std::sync::OnceLock;
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
-
+use codense_bench::{black_box, Harness};
 use codense_core::{CompressionConfig, Compressor};
 use codense_obj::ObjectModule;
 use codense_vm::{fetch::CompressedFetcher, kernels, machine::Machine, run::run, LinearFetcher};
@@ -15,115 +13,63 @@ fn module() -> &'static ObjectModule {
     M.get_or_init(|| codense_codegen::benchmark("compress").expect("compress benchmark"))
 }
 
-fn bench_compression_throughput(c: &mut Criterion) {
+fn main() {
+    let h = Harness::new("throughput");
     let m = module();
-    let mut g = c.benchmark_group("compress_throughput");
-    g.throughput(Throughput::Bytes(m.text_bytes() as u64));
-    g.sample_size(10);
+
     for (tag, config) in [
-        ("baseline", CompressionConfig::baseline()),
-        ("one_byte_32", CompressionConfig::small_dictionary(32)),
-        ("nibble", CompressionConfig::nibble_aligned()),
+        ("compress_throughput/baseline", CompressionConfig::baseline()),
+        ("compress_throughput/one_byte_32", CompressionConfig::small_dictionary(32)),
+        ("compress_throughput/nibble", CompressionConfig::nibble_aligned()),
     ] {
-        g.bench_function(tag, |b| {
-            let compressor = Compressor::new(config.clone());
-            b.iter(|| black_box(compressor.compress(black_box(m)).unwrap()))
-        });
+        let compressor = Compressor::new(config);
+        h.bench(tag, || black_box(compressor.compress(black_box(m)).unwrap()));
     }
-    g.finish();
-}
 
-fn bench_expansion_throughput(c: &mut Criterion) {
-    let m = module();
-    let compressed =
-        Compressor::new(CompressionConfig::nibble_aligned()).compress(m).unwrap();
-    let mut g = c.benchmark_group("expand_throughput");
-    g.throughput(Throughput::Bytes(m.text_bytes() as u64));
-    g.bench_function("logical_expand", |b| {
-        b.iter(|| black_box(compressed.expand()))
-    });
-    g.bench_function("fetch_path_walk", |b| {
+    let compressed = Compressor::new(CompressionConfig::nibble_aligned()).compress(m).unwrap();
+    h.bench("expand_throughput/logical_expand", || black_box(compressed.expand()));
+    h.bench("expand_throughput/fetch_path_walk", || {
         // Walk the packed image through the hardware-model fetch path.
-        b.iter(|| {
-            let mut fetch = CompressedFetcher::new(&compressed);
-            let mut pc = 0u64;
-            let mut n = 0usize;
-            use codense_vm::Fetch;
-            while let Ok(f) = fetch.fetch(pc) {
-                pc = f.next_pc;
-                n += 1;
-                if n >= m.len() {
-                    break;
-                }
+        let mut fetch = CompressedFetcher::new(&compressed);
+        let mut pc = 0u64;
+        let mut n = 0usize;
+        use codense_vm::Fetch;
+        while let Ok(f) = fetch.fetch(pc) {
+            pc = f.next_pc;
+            n += 1;
+            if n >= m.len() {
+                break;
             }
-            black_box(n)
-        })
+        }
+        black_box(n)
     });
-    g.finish();
-}
 
-fn bench_baseline_compressors(c: &mut Criterion) {
-    let m = module();
     let image = m.text_image();
-    let mut g = c.benchmark_group("baseline_compressors");
-    g.throughput(Throughput::Bytes(image.len() as u64));
-    g.sample_size(10);
-    g.bench_function("lzw", |b| b.iter(|| black_box(codense_lzw::compress(black_box(&image)))));
-    g.bench_function("ccrp_huffman_lines", |b| {
-        b.iter(|| black_box(codense_ccrp::compress(black_box(m), codense_ccrp::CcrpConfig::default())))
+    h.bench("baseline_compressors/lzw", || black_box(codense_lzw::compress(black_box(&image))));
+    h.bench("baseline_compressors/ccrp_huffman_lines", || {
+        black_box(codense_ccrp::compress(black_box(m), codense_ccrp::CcrpConfig::default()))
     });
-    g.bench_function("liao_call_dictionary", |b| {
-        b.iter(|| {
-            black_box(codense_liao::compress(
-                black_box(m),
-                codense_liao::LiaoMethod::CallDictionary,
-                4,
-            ))
-        })
+    h.bench("baseline_compressors/liao_call_dictionary", || {
+        black_box(codense_liao::compress(black_box(m), codense_liao::LiaoMethod::CallDictionary, 4))
     });
-    g.finish();
-}
 
-fn bench_execution_overhead(c: &mut Criterion) {
     // Dynamic overhead of the compressed fetch path on a real workload.
     let kernel = kernels::bubble_sort();
-    let compressed =
-        Compressor::new(CompressionConfig::nibble_aligned()).compress(&kernel.module).unwrap();
-    let mut g = c.benchmark_group("execution");
-    g.bench_function("uncompressed", |b| {
-        b.iter(|| {
-            let mut machine = Machine::new(1 << 20);
-            kernel.apply_init(&mut machine);
-            let mut fetch = LinearFetcher::new(kernel.module.code.clone());
-            black_box(run(&mut machine, &mut fetch, 0, 10_000_000).unwrap())
-        })
+    let kc = Compressor::new(CompressionConfig::nibble_aligned()).compress(&kernel.module).unwrap();
+    h.bench("execution/uncompressed", || {
+        let mut machine = Machine::new(1 << 20);
+        kernel.apply_init(&mut machine);
+        let mut fetch = LinearFetcher::new(kernel.module.code.clone());
+        black_box(run(&mut machine, &mut fetch, 0, 10_000_000).unwrap())
     });
-    g.bench_function("compressed_nibble", |b| {
-        b.iter(|| {
-            let mut machine = Machine::new(1 << 20);
-            kernel.apply_init(&mut machine);
-            let mut fetch = CompressedFetcher::new(&compressed);
-            black_box(run(&mut machine, &mut fetch, 0, 10_000_000).unwrap())
-        })
+    h.bench("execution/compressed_nibble", || {
+        let mut machine = Machine::new(1 << 20);
+        kernel.apply_init(&mut machine);
+        let mut fetch = CompressedFetcher::new(&kc);
+        black_box(run(&mut machine, &mut fetch, 0, 10_000_000).unwrap())
     });
-    g.finish();
-}
 
-fn bench_generation(c: &mut Criterion) {
-    let mut g = c.benchmark_group("codegen");
-    g.sample_size(10);
-    g.bench_function("generate_compress_benchmark", |b| {
-        b.iter(|| black_box(codense_codegen::benchmark("compress").unwrap()))
+    h.bench("codegen/generate_compress_benchmark", || {
+        black_box(codense_codegen::benchmark("compress").unwrap())
     });
-    g.finish();
 }
-
-criterion_group!(
-    throughput,
-    bench_compression_throughput,
-    bench_expansion_throughput,
-    bench_baseline_compressors,
-    bench_execution_overhead,
-    bench_generation,
-);
-criterion_main!(throughput);

@@ -1,2 +1,134 @@
-//! Criterion benchmark crate; see `benches/` for the benchmark targets:
-//! `figures` (one group per paper table/figure), `throughput`, `ablations`.
+//! Dependency-free benchmark harness (the workspace builds offline, so no
+//! Criterion): median-of-N wall-clock timing over `std::time::Instant`.
+//!
+//! The `benches/` targets (`figures`, `throughput`, `ablations`) all declare
+//! `harness = false` and drive a [`Harness`] from their `main`, so
+//! `cargo bench` works with zero external crates. Each benchmark reports
+//!
+//! ```text
+//! figures/fig5_codewords/sweep_to_8192   median 12,345,678 ns/iter  (9 samples x 1 iters)
+//! ```
+//!
+//! Environment knobs:
+//!
+//! * `CODENSE_BENCH_SAMPLES` — samples per benchmark (default 9).
+//! * `CODENSE_BENCH_TARGET_MS` — target wall-clock per sample used to pick
+//!   the iteration count (default 20 ms).
+//!
+//! A positional command-line argument filters benchmarks by substring
+//! (`cargo bench --bench figures -- fig5`).
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One bench-binary run: group name, sample policy, and name filter.
+pub struct Harness {
+    group: String,
+    samples: usize,
+    target_ms: u64,
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Builds a harness for the named group, reading the environment knobs
+    /// and the command-line filter (flags such as `--bench` are ignored —
+    /// cargo passes them to bench binaries).
+    pub fn new(group: &str) -> Harness {
+        let env_usize =
+            |k: &str, d: usize| std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(d);
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Harness {
+            group: group.to_string(),
+            samples: env_usize("CODENSE_BENCH_SAMPLES", 9).max(1),
+            target_ms: env_usize("CODENSE_BENCH_TARGET_MS", 20) as u64,
+            filter,
+        }
+    }
+
+    /// Times `f`, reporting the median ns/iter over the configured samples.
+    /// The iteration count per sample is calibrated so one sample takes
+    /// roughly `CODENSE_BENCH_TARGET_MS` (slow functions run once per
+    /// sample).
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        let full = format!("{}/{name}", self.group);
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // Calibration run (also warms caches).
+        let t0 = Instant::now();
+        black_box(f());
+        let once_ns = t0.elapsed().as_nanos().max(1);
+        let target_ns = self.target_ms as u128 * 1_000_000;
+        let iters = (target_ns / once_ns).clamp(1, 1_000_000) as usize;
+
+        let mut samples_ns: Vec<u128> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() / iters as u128
+            })
+            .collect();
+        samples_ns.sort_unstable();
+        let median = samples_ns[samples_ns.len() / 2];
+        println!(
+            "{full:56} median {} ns/iter  ({} samples x {iters} iters)",
+            group_digits(median),
+            self.samples,
+        );
+    }
+}
+
+/// Formats an integer with thousands separators (`12345678` → `12,345,678`).
+fn group_digits(n: u128) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1000), "1,000");
+        assert_eq!(group_digits(12_345_678), "12,345,678");
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let h = Harness { group: "test".into(), samples: 3, target_ms: 1, filter: None };
+        let mut n = 0u64;
+        h.bench("noop", || {
+            n = n.wrapping_add(1);
+            n
+        });
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let h = Harness {
+            group: "test".into(),
+            samples: 1,
+            target_ms: 1,
+            filter: Some("does-not-match-anything".into()),
+        };
+        let mut ran = false;
+        h.bench("skipped", || ran = true);
+        assert!(!ran);
+    }
+}

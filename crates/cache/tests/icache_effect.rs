@@ -49,10 +49,7 @@ fn aggregate_misses_shrink_at_realistic_sizes() {
             plain_total += plain;
             compressed_total += compressed;
         }
-        assert!(
-            compressed_total < plain_total,
-            "@ {size}B: {compressed_total} vs {plain_total}"
-        );
+        assert!(compressed_total < plain_total, "@ {size}B: {compressed_total} vs {plain_total}");
     }
 }
 

@@ -18,7 +18,11 @@ use codense_core::{container, verify::verify, CompressionConfig, Compressor, Enc
 use codense_obj::ObjectModule;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = take_jobs(&mut args) {
+        eprintln!("codense: {e}");
+        return ExitCode::from(2);
+    }
     let result = match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -44,6 +48,8 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
+  codense [--jobs N] <command> ...
+
   codense gen <benchmark|all> [-o DIR]
   codense info <FILE.cdm|FILE.cdns>
   codense disasm <FILE.cdm|FILE.cdns> [START [COUNT]]
@@ -53,11 +59,46 @@ usage:
   codense asm <FILE.s> [-o OUT.cdm]
   codense run-kernel <NAME|list> [--encoding baseline|onebyte|nibble|none]
 
+--jobs N sets the worker-thread count for parallel phases (candidate-index
+construction, suite generation); the default is the machine's available
+parallelism, and --jobs 1 is the exact sequential reference. Output is
+bit-identical at any job count.
+
 asm syntax: one instruction per line (the disasm output syntax), `label:`
 definitions, `label` usable as any branch target, `#` comments.
 ";
 
 type CliResult = Result<(), String>;
+
+/// Extracts a global `--jobs N` / `--jobs=N` and applies it to the worker
+/// pool before command dispatch.
+fn take_jobs(args: &mut Vec<String>) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let value: Option<String> = if args[i] == "--jobs" {
+            if i + 1 >= args.len() {
+                return Err("--jobs requires a value".into());
+            }
+            let v = args[i + 1].clone();
+            args.drain(i..i + 2);
+            Some(v)
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            let v = v.to_string();
+            args.remove(i);
+            Some(v)
+        } else {
+            i += 1;
+            None
+        };
+        if let Some(v) = value {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => codense_core::parallel::set_jobs(n),
+                _ => return Err(format!("invalid --jobs value `{v}` (expected an integer >= 1)")),
+            }
+        }
+    }
+    Ok(())
+}
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
@@ -82,7 +123,11 @@ fn cmd_gen(args: &[String]) -> CliResult {
     let dir = flag_value(args, "-o").unwrap_or(".");
     std::fs::create_dir_all(dir).map_err(|e| format!("{dir}: {e}"))?;
     let modules: Vec<ObjectModule> = if which == "all" {
-        codense_codegen::generate_suite()
+        // Each benchmark is generated from its own seeded profile, so the
+        // suite parallelizes with output identical to `generate_suite`.
+        codense_core::parallel::par_map(codense_codegen::spec_profiles(), |_, p| {
+            codense_codegen::generate_module(&p)
+        })
     } else {
         vec![codense_codegen::benchmark(which)
             .ok_or_else(|| format!("unknown benchmark `{which}`"))?]
@@ -148,11 +193,7 @@ fn cmd_disasm(args: &[String]) -> CliResult {
 
 /// Renders a compressed stream: nibble addresses, codewords with their
 /// expansions, and escaped instructions — an objdump for `.cdns` images.
-fn disasm_stream(
-    image: &container::ProgramImage,
-    skip_items: usize,
-    count: usize,
-) -> CliResult {
+fn disasm_stream(image: &container::ProgramImage, skip_items: usize, count: usize) -> CliResult {
     use codense_core::encoding::{read_item, Item};
     use codense_core::nibbles::NibbleReader;
     let mut r = NibbleReader::new(&image.image);
@@ -171,10 +212,8 @@ fn disasm_stream(
                         .dictionary_by_rank
                         .get(rank as usize)
                         .ok_or_else(|| format!("stream references unknown rank {rank}"))?;
-                    let expansion: Vec<String> = words
-                        .iter()
-                        .map(|&w| codense_ppc::disasm::disassemble(w, 0))
-                        .collect();
+                    let expansion: Vec<String> =
+                        words.iter().map(|&w| codense_ppc::disasm::disassemble(w, 0)).collect();
                     println!("{at:7}:  CODEWORD #{rank}  => {}", expansion.join("; "));
                 }
             }
@@ -189,11 +228,8 @@ fn cmd_compress(args: &[String]) -> CliResult {
     let path = args.first().ok_or("compress: missing input .cdm")?;
     let m = load_module(path)?;
     let encoding = parse_encoding(flag_value(args, "--encoding").unwrap_or("nibble"))?;
-    let mut config = CompressionConfig {
-        max_entry_len: 4,
-        max_codewords: encoding.capacity(),
-        encoding,
-    };
+    let mut config =
+        CompressionConfig { max_entry_len: 4, max_codewords: encoding.capacity(), encoding };
     if let Some(v) = flag_value(args, "--max-entry") {
         config.max_entry_len = v.parse().map_err(|_| "bad --max-entry")?;
     }
@@ -217,7 +253,10 @@ fn cmd_compress(args: &[String]) -> CliResult {
         100.0 * compressed.compression_ratio(),
     );
     if !compressed.overflow_table.is_empty() {
-        println!("  {} branch(es) rewritten through the overflow table", compressed.overflow_table.len());
+        println!(
+            "  {} branch(es) rewritten through the overflow table",
+            compressed.overflow_table.len()
+        );
     }
     Ok(())
 }
@@ -312,7 +351,8 @@ fn cmd_asm(args: &[String]) -> CliResult {
     }
 
     let stem = path.trim_end_matches(".s");
-    let out_path = flag_value(args, "-o").map(str::to_owned).unwrap_or_else(|| format!("{stem}.cdm"));
+    let out_path =
+        flag_value(args, "-o").map(str::to_owned).unwrap_or_else(|| format!("{stem}.cdm"));
     let mut module = ObjectModule::new(
         std::path::Path::new(stem)
             .file_name()
@@ -328,7 +368,9 @@ fn cmd_asm(args: &[String]) -> CliResult {
 }
 
 fn cmd_run_kernel(args: &[String]) -> CliResult {
-    use codense_vm::{fetch::CompressedFetcher, kernels, machine::Machine, run::run, LinearFetcher};
+    use codense_vm::{
+        fetch::CompressedFetcher, kernels, machine::Machine, run::run, LinearFetcher,
+    };
     let name = args.first().ok_or("run-kernel: missing kernel name (try `list`)")?;
     let all = kernels::all();
     if name == "list" {
@@ -350,8 +392,10 @@ fn cmd_run_kernel(args: &[String]) -> CliResult {
         run(&mut machine, &mut fetch, 0, 100_000_000).map_err(|e| e.to_string())?
     } else {
         let kind = parse_encoding(encoding)?;
-        let config = CompressionConfig { max_entry_len: 4, max_codewords: kind.capacity(), encoding: kind };
-        let compressed = Compressor::new(config).compress(&kernel.module).map_err(|e| e.to_string())?;
+        let config =
+            CompressionConfig { max_entry_len: 4, max_codewords: kind.capacity(), encoding: kind };
+        let compressed =
+            Compressor::new(config).compress(&kernel.module).map_err(|e| e.to_string())?;
         let mut fetch = CompressedFetcher::new(&compressed);
         run(&mut machine, &mut fetch, 0, 100_000_000).map_err(|e| e.to_string())?
     };

@@ -48,10 +48,8 @@ fn gen_compress_info_pipeline() {
 fn disasm_prints_paper_style_text() {
     let dir = tmpdir("dis");
     bin().args(["gen", "li", "-o", dir.to_str().unwrap()]).status().unwrap();
-    let out = bin()
-        .args(["disasm", dir.join("li.cdm").to_str().unwrap(), "0", "4"])
-        .output()
-        .unwrap();
+    let out =
+        bin().args(["disasm", dir.join("li.cdm").to_str().unwrap(), "0", "4"]).output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("stwu r1,"), "{text}");
@@ -95,10 +93,7 @@ fn asm_assembles_labeled_source() {
     let out = bin().args(["asm", src.to_str().unwrap()]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     // Disassemble it back and check the branch resolved to the label.
-    let out = bin()
-        .args(["disasm", dir.join("prog.cdm").to_str().unwrap()])
-        .output()
-        .unwrap();
+    let out = bin().args(["disasm", dir.join("prog.cdm").to_str().unwrap()]).output().unwrap();
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("bne 00000008"), "{text}");
     std::fs::remove_dir_all(&dir).ok();
@@ -121,14 +116,8 @@ fn disasm_renders_compressed_streams() {
     bin().args(["gen", "compress", "-o", dir.to_str().unwrap()]).status().unwrap();
     let cdm = dir.join("compress.cdm");
     let cdns = dir.join("compress.cdns");
-    bin()
-        .args(["compress", cdm.to_str().unwrap(), "-o", cdns.to_str().unwrap()])
-        .status()
-        .unwrap();
-    let out = bin()
-        .args(["disasm", cdns.to_str().unwrap(), "0", "20"])
-        .output()
-        .unwrap();
+    bin().args(["compress", cdm.to_str().unwrap(), "-o", cdns.to_str().unwrap()]).status().unwrap();
+    let out = bin().args(["disasm", cdns.to_str().unwrap(), "0", "20"]).output().unwrap();
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("CODEWORD #"), "{text}");

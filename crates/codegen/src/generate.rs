@@ -5,7 +5,9 @@
 
 use codense_obj::ObjectModule;
 
-use crate::ir::{BinOp, CmpOp, Cond, Expr, FuncRef, Function, Global, Local, Program, Stmt, UnOp, Width};
+use crate::ir::{
+    BinOp, CmpOp, Cond, Expr, FuncRef, Function, Global, Local, Program, Stmt, UnOp, Width,
+};
 use crate::profile::{lib_profile, spec_profiles, BenchProfile};
 use crate::rng::Rng;
 
@@ -118,20 +120,10 @@ impl Gen<'_> {
 
     fn cond(&mut self) -> Cond {
         let unsigned = self.rng.chance(0.4);
-        let op = *self.rng.pick(&[
-            CmpOp::Eq,
-            CmpOp::Ne,
-            CmpOp::Lt,
-            CmpOp::Le,
-            CmpOp::Gt,
-            CmpOp::Ge,
-        ]);
+        let op =
+            *self.rng.pick(&[CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge]);
         let rhs = if self.rng.chance(0.7) {
-            Expr::Const(if unsigned {
-                self.const_small().abs()
-            } else {
-                self.const_small()
-            })
+            Expr::Const(if unsigned { self.const_small().abs() } else { self.const_small() })
         } else {
             self.leaf()
         };
@@ -167,7 +159,11 @@ impl Gen<'_> {
             0 => {
                 // Assign: local or global target.
                 if self.rng.chance(0.3) {
-                    Stmt::AssignGlobal(self.global(), self.width(), self.expr(self.profile.expr_depth))
+                    Stmt::AssignGlobal(
+                        self.global(),
+                        self.width(),
+                        self.expr(self.profile.expr_depth),
+                    )
                 } else if self.rng.chance(0.18) {
                     // Call result assignment (the only place calls appear in
                     // expressions, per the lowering contract).
@@ -204,7 +200,8 @@ impl Gen<'_> {
             },
             4 => Stmt::Call(self.callee(), self.call_args()),
             5 => {
-                let ncases = self.rng.range(self.profile.switch_cases.0, self.profile.switch_cases.1);
+                let ncases =
+                    self.rng.range(self.profile.switch_cases.0, self.profile.switch_cases.1);
                 let cases = (0..ncases).map(|_| self.body(0, 1, 3)).collect();
                 Stmt::Switch { scrutinee: self.expr(2), cases }
             }
@@ -224,7 +221,8 @@ impl Gen<'_> {
 
     fn function(&mut self, name: String, giant: bool) -> Function {
         self.giant = giant;
-        let locals = self.rng.range(self.profile.locals.0 as usize, self.profile.locals.1 as usize) as u16;
+        let locals =
+            self.rng.range(self.profile.locals.0 as usize, self.profile.locals.1 as usize) as u16;
         self.locals = locals.max(1);
         let params = self.rng.range(0, 3.min(self.locals as usize)) as u16;
         let n = if giant {
@@ -259,13 +257,7 @@ fn generate_functions(
     name_prefix: &str,
     callees: std::ops::Range<u32>,
 ) -> Vec<Function> {
-    let mut g = Gen {
-        rng: Rng::new(profile.seed),
-        profile,
-        callees,
-        locals: 1,
-        giant: false,
-    };
+    let mut g = Gen { rng: Rng::new(profile.seed), profile, callees, locals: 1, giant: false };
     (0..profile.functions)
         .map(|i| g.function(format!("{name_prefix}{i}"), i < profile.giant_funcs))
         .collect()
@@ -281,11 +273,7 @@ pub fn build_program(profile: &BenchProfile) -> Program {
     // identical across benchmarks, so it cannot reference user functions).
     let mut functions = generate_functions(profile, "u_", 0..user_n + lib_n);
     functions.extend(generate_functions(&lib, "lib_", user_n..user_n + lib_n));
-    Program {
-        name: profile.name.to_owned(),
-        functions,
-        globals: profile.globals.max(lib.globals),
-    }
+    Program { name: profile.name.to_owned(), functions, globals: profile.globals.max(lib.globals) }
 }
 
 /// Generates the object module for one benchmark profile.
@@ -309,8 +297,8 @@ pub fn generate_module_with(
     options: crate::lower::LowerOptions,
 ) -> ObjectModule {
     let program = build_program(profile);
-    let module = crate::lower::lower_program_with(&program, options)
-        .expect("generated program lowers");
+    let module =
+        crate::lower::lower_program_with(&program, options).expect("generated program lowers");
     debug_assert_eq!(module.validate(), Ok(()));
     module
 }

@@ -213,9 +213,7 @@ impl Expr {
             Expr::Index { index, .. } => 1 + index.depth(),
             Expr::Un(_, e) => e.depth(),
             Expr::Bin(_, a, b) => 1 + a.depth().max(b.depth()),
-            Expr::Call(_, args) => {
-                1 + args.iter().map(Expr::depth).max().unwrap_or(0)
-            }
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::depth).max().unwrap_or(0),
         }
     }
 }

@@ -36,7 +36,9 @@ pub mod lower;
 pub mod profile;
 pub mod rng;
 
-pub use generate::{benchmark, build_program, generate_module, generate_module_with, generate_suite};
+pub use generate::{
+    benchmark, build_program, generate_module, generate_module_with, generate_suite,
+};
 pub use lower::LowerOptions;
 pub use profile::{lib_profile, spec_profiles, BenchProfile};
 pub use rng::Rng;

@@ -191,12 +191,7 @@ impl Lowerer {
         }
         let prologue_len = self.asm.here() - start;
 
-        let mut ctx = FnCtx {
-            places,
-            epilogue: self.fresh("E"),
-            live: 0,
-            leaf,
-        };
+        let mut ctx = FnCtx { places, epilogue: self.fresh("E"), live: 0, leaf };
 
         for stmt in &func.body {
             self.stmt(&mut ctx, stmt);
@@ -234,10 +229,7 @@ impl Lowerer {
 
     /// Allocates the next scratch register.
     fn alloc(&mut self, ctx: &mut FnCtx) -> Gpr {
-        assert!(
-            (ctx.live as usize) < SCRATCH.len(),
-            "expression too deep for scratch pool"
-        );
+        assert!((ctx.live as usize) < SCRATCH.len(), "expression too deep for scratch pool");
         let r = Gpr::new(SCRATCH[ctx.live as usize]).unwrap();
         ctx.live += 1;
         r
@@ -268,10 +260,20 @@ impl Lowerer {
                         // Sub-word read of a register local: mask template.
                         match w {
                             Width::Byte => self.asm.emit(Insn::Rlwinm {
-                                ra: d, rs: r, sh: 0, mb: 24, me: 31, rc: false,
+                                ra: d,
+                                rs: r,
+                                sh: 0,
+                                mb: 24,
+                                me: 31,
+                                rc: false,
                             }),
                             _ => self.asm.emit(Insn::Rlwinm {
-                                ra: d, rs: r, sh: 0, mb: 16, me: 31, rc: false,
+                                ra: d,
+                                rs: r,
+                                sh: 0,
+                                mb: 16,
+                                me: 31,
+                                rc: false,
                             }),
                         };
                     }
@@ -342,7 +344,12 @@ impl Lowerer {
                     UnOp::Not => self.asm.emit(Insn::Nor { ra: d, rs: s, rb: s, rc: false }),
                     UnOp::ExtByte => self.asm.emit(Insn::Extsb { ra: d, rs: s, rc: false }),
                     UnOp::MaskByte => self.asm.emit(Insn::Rlwinm {
-                        ra: d, rs: s, sh: 0, mb: 24, me: 31, rc: false,
+                        ra: d,
+                        rs: s,
+                        sh: 0,
+                        mb: 24,
+                        me: 31,
+                        rc: false,
                     }),
                 };
                 (d, 1.max(owned))
@@ -397,13 +404,9 @@ impl Lowerer {
                 let d = if owned > 0 { s } else { self.alloc(ctx) };
                 match op {
                     BinOp::Add => self.asm.emit(Insn::Addi { rt: d, ra: s, si: *c }),
-                    BinOp::Sub => {
-                        self.asm.emit(Insn::Addi { rt: d, ra: s, si: c.wrapping_neg() })
-                    }
+                    BinOp::Sub => self.asm.emit(Insn::Addi { rt: d, ra: s, si: c.wrapping_neg() }),
                     BinOp::Mul => self.asm.emit(Insn::Mulli { rt: d, ra: s, si: *c }),
-                    BinOp::And => {
-                        self.asm.emit(Insn::AndiRc { ra: d, rs: s, ui: *c as u16 })
-                    }
+                    BinOp::And => self.asm.emit(Insn::AndiRc { ra: d, rs: s, ui: *c as u16 }),
                     BinOp::Or => self.asm.emit(Insn::Ori { ra: d, rs: s, ui: *c as u16 }),
                     BinOp::Xor => self.asm.emit(Insn::Xori { ra: d, rs: s, ui: *c as u16 }),
                     _ => unreachable!(),
@@ -421,9 +424,7 @@ impl Lowerer {
             BinOp::Shr(c) => {
                 let (s, owned) = self.eval(ctx, a);
                 let d = if owned > 0 { s } else { self.alloc(ctx) };
-                self.asm.emit(Insn::Rlwinm {
-                    ra: d, rs: s, sh: 32 - c, mb: c, me: 31, rc: false,
-                });
+                self.asm.emit(Insn::Rlwinm { ra: d, rs: s, sh: 32 - c, mb: c, me: 31, rc: false });
                 return (d, 1.max(owned));
             }
             BinOp::Sar(c) => {
@@ -731,10 +732,5 @@ fn function_is_leaf(func: &Function) -> bool {
 
 /// Maps function name → index, for tests and tooling.
 pub fn function_index(program: &Program) -> HashMap<&str, u32> {
-    program
-        .functions
-        .iter()
-        .enumerate()
-        .map(|(i, f)| (f.name.as_str(), i as u32))
-        .collect()
+    program.functions.iter().enumerate().map(|(i, f)| (f.name.as_str(), i as u32)).collect()
 }

@@ -60,7 +60,7 @@ pub fn lib_profile() -> BenchProfile {
         cr1_bias: 0.3,
         else_prob: 0.35,
         switch_cases: (3, 8),
-            giant_funcs: 0,
+        giant_funcs: 0,
     }
 }
 
@@ -198,10 +198,7 @@ mod tests {
     #[test]
     fn eight_benchmarks_in_paper_order() {
         let names: Vec<&str> = spec_profiles().iter().map(|p| p.name).collect();
-        assert_eq!(
-            names,
-            ["compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"]
-        );
+        assert_eq!(names, ["compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl", "vortex"]);
     }
 
     #[test]

@@ -56,7 +56,11 @@ fn arithmetic_lowers_to_correct_semantics() {
             Stmt::AssignGlobal(
                 Global(0),
                 Width::Word,
-                Expr::Bin(BinOp::Sub, Box::new(Expr::Local(Local(0), Width::Word)), Box::new(Expr::Const(4))),
+                Expr::Bin(
+                    BinOp::Sub,
+                    Box::new(Expr::Local(Local(0), Width::Word)),
+                    Box::new(Expr::Const(4)),
+                ),
             ),
             Stmt::Return(None),
         ],
@@ -163,7 +167,11 @@ fn while_and_unary_ops() {
                 },
                 body: vec![Stmt::AssignLocal(
                     Local(0),
-                    Expr::Bin(BinOp::Shl(1), Box::new(Expr::Local(Local(0), Width::Word)), Box::new(Expr::Const(0))),
+                    Expr::Bin(
+                        BinOp::Shl(1),
+                        Box::new(Expr::Local(Local(0), Width::Word)),
+                        Box::new(Expr::Const(0)),
+                    ),
                 )],
             },
             Stmt::AssignGlobal(
@@ -187,11 +195,7 @@ fn prologue_template_shape() {
     // Every function starts with the frame-allocation store-with-update.
     for func in &module.functions {
         let first = decode(module.code[func.start]);
-        assert!(
-            matches!(first, Insn::Stwu { .. }),
-            "{}: prologue starts {first:?}",
-            func.name
-        );
+        assert!(matches!(first, Insn::Stwu { .. }), "{}: prologue starts {first:?}", func.name);
         // Epilogue ends with blr.
         let last = decode(module.code[func.end - 1]);
         assert!(matches!(last, Insn::Bclr { .. }), "{}: ends {last:?}", func.name);
@@ -202,21 +206,13 @@ fn prologue_template_shape() {
 fn standardized_prologues_are_identical() {
     let profile = &spec_profiles()[0];
     let program = build_program(profile);
-    let module = lower_program_with(
-        &program,
-        LowerOptions { standardize_prologues: true },
-    )
-    .unwrap();
+    let module =
+        lower_program_with(&program, LowerOptions { standardize_prologues: true }).unwrap();
     // The 4-instruction core prologue (stwu/mflr/stw/stmw) is bit-identical
     // in every function — the property that makes it one dictionary entry.
     let reference: Vec<u32> = module.code[module.functions[0].start..][..4].to_vec();
     for func in &module.functions {
-        assert_eq!(
-            &module.code[func.start..func.start + 4],
-            &reference[..],
-            "{}",
-            func.name
-        );
+        assert_eq!(&module.code[func.start..func.start + 4], &reference[..], "{}", func.name);
     }
 }
 

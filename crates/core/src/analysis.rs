@@ -173,9 +173,8 @@ mod tests {
     #[test]
     fn top_coverage_monotone() {
         let mut m = ObjectModule::new("t");
-        m.code = (0..100)
-            .map(|i| encode(&Insn::Addi { rt: R3, ra: R3, si: (i % 10) as i16 }))
-            .collect();
+        m.code =
+            (0..100).map(|i| encode(&Insn::Addi { rt: R3, ra: R3, si: (i % 10) as i16 })).collect();
         let c1 = top_encoding_coverage(&m, 0.01);
         let c10 = top_encoding_coverage(&m, 0.10);
         let c100 = top_encoding_coverage(&m, 1.0);
@@ -270,11 +269,28 @@ pub fn instruction_mix(module: &ObjectModule) -> InstructionMix {
     let mut mix = InstructionMix::default();
     for &w in &module.code {
         match codense_ppc::decode(w) {
-            Lwz { .. } | Lwzu { .. } | Lbz { .. } | Lbzu { .. } | Lhz { .. } | Lhzu { .. }
-            | Lha { .. } | Lhau { .. } | Lmw { .. } | Lwzx { .. } | Lbzx { .. }
+            Lwz { .. }
+            | Lwzu { .. }
+            | Lbz { .. }
+            | Lbzu { .. }
+            | Lhz { .. }
+            | Lhzu { .. }
+            | Lha { .. }
+            | Lhau { .. }
+            | Lmw { .. }
+            | Lwzx { .. }
+            | Lbzx { .. }
             | Lhzx { .. } => mix.loads += 1,
-            Stw { .. } | Stwu { .. } | Stb { .. } | Stbu { .. } | Sth { .. } | Sthu { .. }
-            | Stmw { .. } | Stwx { .. } | Stbx { .. } | Sthx { .. } => mix.stores += 1,
+            Stw { .. }
+            | Stwu { .. }
+            | Stb { .. }
+            | Stbu { .. }
+            | Sth { .. }
+            | Sthu { .. }
+            | Stmw { .. }
+            | Stwx { .. }
+            | Stbx { .. }
+            | Sthx { .. } => mix.stores += 1,
             B { .. } | Bc { .. } | Bclr { .. } | Bcctr { .. } | Sc => mix.branches += 1,
             Cmpwi { .. } | Cmplwi { .. } | Cmpw { .. } | Cmplw { .. } => mix.compares += 1,
             _ => mix.alu += 1,
@@ -301,10 +317,7 @@ mod mix_tests {
             encode(&Insn::Add { rt: R3, ra: R3, rb: R3, rc: false }),
         ];
         let mix = instruction_mix(&m);
-        assert_eq!(
-            (mix.loads, mix.stores, mix.branches, mix.compares, mix.alu),
-            (1, 1, 1, 1, 1)
-        );
+        assert_eq!((mix.loads, mix.stores, mix.branches, mix.compares, mix.alu), (1, 1, 1, 1, 1));
         assert_eq!(mix.total(), 5);
         assert!((mix.fractions().iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }

@@ -2,9 +2,7 @@
 //! patch branches → pack.
 
 use codense_obj::ObjectModule;
-use codense_ppc::branch::{
-    offset_expressible, patch_offset_units, rel_branch_info, RelBranchKind,
-};
+use codense_ppc::branch::{offset_expressible, patch_offset_units, rel_branch_info, RelBranchKind};
 use codense_ppc::insn::{bo, Insn};
 use codense_ppc::opcode;
 use codense_ppc::reg::R12;
@@ -278,11 +276,8 @@ impl Compressor {
         }
 
         // 5. Patch branch offsets and collect overflow-table targets.
-        let orig_addrs: std::collections::HashMap<usize, u64> = atoms
-            .iter()
-            .zip(&addresses)
-            .map(|(a, &addr)| (a.orig(), addr))
-            .collect();
+        let orig_addrs: std::collections::HashMap<usize, u64> =
+            atoms.iter().zip(&addresses).map(|(a, &addr)| (a.orig(), addr)).collect();
         let addr_of = move |orig: usize| -> u64 {
             *orig_addrs.get(&orig).expect("branch target is an atom start")
         };
@@ -387,13 +382,8 @@ pub fn via_table_expansion(kind: EncodingKind, word: u32, slot: usize) -> Vec<u3
             let inverted = b ^ 0b01000;
             let skip_nibbles = (1 + dispatch_len) * encoding::insn_nibbles(kind);
             let units = (skip_nibbles / kind.granule_nibbles()) as i32;
-            let skip = codense_ppc::encode(&Insn::Bc {
-                bo: inverted,
-                bi,
-                bd: 0,
-                aa: false,
-                lk: false,
-            });
+            let skip =
+                codense_ppc::encode(&Insn::Bc { bo: inverted, bi, bd: 0, aa: false, lk: false });
             out.push(patch_offset_units(skip, RelBranchKind::BForm, units));
         }
     }

@@ -101,10 +101,7 @@ impl Dictionary {
         order.sort_by(|&a, &b| {
             let ea = &self.entries[a as usize];
             let eb = &self.entries[b as usize];
-            eb.replaced
-                .cmp(&ea.replaced)
-                .then(eb.words.len().cmp(&ea.words.len()))
-                .then(a.cmp(&b))
+            eb.replaced.cmp(&ea.replaced).then(eb.words.len().cmp(&ea.words.len())).then(a.cmp(&b))
         });
         for (rank, &id) in order.iter().enumerate() {
             self.rank_of[id as usize] = rank as u32;

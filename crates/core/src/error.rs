@@ -29,10 +29,9 @@ pub enum CompressError {
 impl fmt::Display for CompressError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CompressError::EscapeCollision { at, word } => write!(
-                f,
-                "instruction {at} ({word:#010x}) uses a reserved escape opcode"
-            ),
+            CompressError::EscapeCollision { at, word } => {
+                write!(f, "instruction {at} ({word:#010x}) uses a reserved escape opcode")
+            }
             CompressError::UnsupportedOverflowBranch { at } => {
                 write!(f, "branch at instruction {at} overflows and uses the count register")
             }

@@ -49,9 +49,7 @@ impl CostModel {
     /// storage.
     pub fn savings_bits(&self, len: usize, n: usize) -> i64 {
         let per = self.insn_bits as i64 * len as i64 - self.codeword_bits as i64;
-        n as i64 * per
-            - self.dict_word_bits as i64 * len as i64
-            - self.dict_entry_fixed_bits as i64
+        n as i64 * per - self.dict_word_bits as i64 * len as i64 - self.dict_entry_fixed_bits as i64
     }
 }
 
@@ -183,10 +181,25 @@ struct Index {
 
 impl Index {
     fn build(model: &ProgramModel, max_len: usize) -> Index {
+        // Window mining is embarrassingly parallel over disjoint block
+        // ranges; merging unions per-chunk maps. Positions from different
+        // chunks never collide (they carry the block index), so the merged
+        // map — and everything downstream — is bit-identical to a
+        // sequential scan regardless of the worker count.
+        let ranges = crate::parallel::chunk_ranges(
+            model.blocks.len(),
+            crate::parallel::jobs().saturating_mul(4),
+        );
+        let chunks =
+            crate::parallel::par_map(ranges, |_, (b0, b1)| build_occ_range(model, b0, b1, max_len));
         let mut occ: HashMap<Seq, BTreeSet<Pos>> = HashMap::new();
-        for (b, block) in model.blocks.iter().enumerate() {
-            for (start, end) in runs(&block.cells) {
-                add_windows(&mut occ, &block.cells, b as u32, start, end, max_len);
+        for chunk in chunks {
+            if occ.is_empty() {
+                occ = chunk;
+                continue;
+            }
+            for (seq, set) in chunk {
+                occ.entry(seq).or_default().extend(set);
             }
         }
         // Heap seeding is the only place HashMap iteration order is
@@ -233,6 +246,23 @@ impl Index {
 /// Initial savings upper bound for a fresh candidate. Seeding only needs a
 /// value ≥ the real savings under any cost model; a count-proportional bound
 /// keeps early pops useful (few lazy re-insertions).
+/// Mines candidate windows for the block range `b0..b1` into a fresh map.
+/// Run on worker threads by [`Index::build`].
+fn build_occ_range(
+    model: &ProgramModel,
+    b0: usize,
+    b1: usize,
+    max_len: usize,
+) -> HashMap<Seq, BTreeSet<Pos>> {
+    let mut occ: HashMap<Seq, BTreeSet<Pos>> = HashMap::new();
+    for (b, block) in model.blocks[b0..b1].iter().enumerate() {
+        for (start, end) in runs(&block.cells) {
+            add_windows(&mut occ, &block.cells, (b0 + b) as u32, start, end, max_len);
+        }
+    }
+    occ
+}
+
 fn upper_bound_savings(seq: &[u32], raw_count: usize) -> i64 {
     // 36 bits/insn is the largest stream cost in any scheme; codeword ≥ 4
     // bits; this dominates every cost model's savings.
@@ -285,9 +315,7 @@ fn add_windows(
         let mut words = Vec::with_capacity(limit);
         for l in 1..=limit {
             words.push(cells[s + l - 1].compressible_word().expect("run cell"));
-            occ.entry(words.clone().into_boxed_slice())
-                .or_default()
-                .insert((b, s as u32));
+            occ.entry(words.clone().into_boxed_slice()).or_default().insert((b, s as u32));
         }
     }
 }

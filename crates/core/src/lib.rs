@@ -46,21 +46,22 @@
 
 pub mod analysis;
 pub mod compressor;
-pub mod container;
 pub mod config;
+pub mod container;
 pub mod dict;
 pub mod encoding;
 pub mod error;
 pub mod greedy;
 pub mod model;
 pub mod nibbles;
+pub mod parallel;
 pub mod stats;
 pub mod sweep;
 pub mod verify;
 
 pub use compressor::{Atom, CompressedProgram, Compressor};
-pub use container::{ProgramImage, ContainerError};
 pub use config::{CompressionConfig, EncodingKind};
+pub use container::{ContainerError, ProgramImage};
 pub use dict::Dictionary;
 pub use error::{CompressError, VerifyError};
 pub use greedy::PickRecord;

@@ -70,10 +70,7 @@ impl ProgramModel {
     /// Like [`build`](ProgramModel::build), with a custom compressibility
     /// predicate (baselines impose extra constraints — e.g. Liao's software
     /// mini-subroutines cannot contain link-register users).
-    pub fn build_with(
-        module: &ObjectModule,
-        compressible: impl Fn(u32) -> bool,
-    ) -> ProgramModel {
+    pub fn build_with(module: &ObjectModule, compressible: impl Fn(u32) -> bool) -> ProgramModel {
         let bbs = BasicBlocks::compute(module);
         let blocks = bbs
             .blocks()
@@ -107,20 +104,12 @@ impl ProgramModel {
 
     /// Counts uncompressed instructions remaining.
     pub fn uncompressed_insns(&self) -> usize {
-        self.blocks
-            .iter()
-            .flat_map(|b| &b.cells)
-            .filter(|c| matches!(c, Cell::Insn { .. }))
-            .count()
+        self.blocks.iter().flat_map(|b| &b.cells).filter(|c| matches!(c, Cell::Insn { .. })).count()
     }
 
     /// Counts codeword cells.
     pub fn codewords(&self) -> usize {
-        self.blocks
-            .iter()
-            .flat_map(|b| &b.cells)
-            .filter(|c| matches!(c, Cell::Code { .. }))
-            .count()
+        self.blocks.iter().flat_map(|b| &b.cells).filter(|c| matches!(c, Cell::Code { .. })).count()
     }
 }
 

@@ -1,0 +1,195 @@
+//! A std-only scoped worker pool: order-preserving `par_map` over indexed
+//! work items, with a process-wide job count (`--jobs N` in the CLIs).
+//!
+//! The registry is unreachable in the build environment, so no rayon — this
+//! is the minimal primitive the compression and sweep layers need:
+//!
+//! * **Order preservation.** `par_map(items, f)` returns results in item
+//!   order regardless of completion order, so callers observe exactly the
+//!   sequential output shape.
+//! * **Exact sequential reference.** With `jobs == 1` (or a single item) no
+//!   threads are spawned at all; the closure runs inline on the caller's
+//!   stack in item order. `--jobs 1` therefore *is* the sequential
+//!   implementation, not a one-worker simulation of it.
+//! * **No nested fan-out.** A `par_map` inside a pool worker runs
+//!   sequentially (a thread-local marks pool context). Outer parallelism —
+//!   sweep points, suite benchmarks — already saturates the machine;
+//!   nesting would oversubscribe it with `jobs²` threads.
+//!
+//! Work is distributed dynamically (a shared iterator behind a mutex), so
+//! uneven item costs — e.g. `gcc` vs `compress` in the benchmark suite —
+//! don't serialize on the slowest-first static partition. Determinism is
+//! unaffected: only the *completion order* varies; results are reassembled
+//! by index.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide job count; 0 means "auto" (available parallelism).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on pool worker threads — nested `par_map`s run sequentially.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Sets the process-wide worker count used by [`par_map`]. `0` restores the
+/// default (one worker per available hardware thread). `1` selects the
+/// exact sequential reference path.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: the last [`set_jobs`] value, or the
+/// machine's available parallelism when unset (or set to 0).
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Maps `f` over `items` on up to [`jobs`] worker threads, preserving item
+/// order in the output. `f` receives `(index, item)`.
+///
+/// Equivalent to `items.into_iter().enumerate().map(|(i, x)| f(i, x))` in
+/// every observable way except wall-clock time.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    par_map_with(jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (callers normally use the
+/// process-wide setting).
+pub fn par_map_with<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n = items.len();
+    let nested = IN_POOL.with(Cell::get);
+    if jobs <= 1 || n <= 1 || nested {
+        return items.into_iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let done: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|s| {
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| {
+                IN_POOL.with(|c| c.set(true));
+                loop {
+                    // Hold the queue lock only to pop; run `f` outside it.
+                    let next = queue.lock().unwrap().next();
+                    let Some((i, item)) = next else { break };
+                    let r = f(i, item);
+                    done.lock().unwrap().push((i, r));
+                }
+            });
+        }
+    });
+
+    let mut pairs = done.into_inner().unwrap();
+    debug_assert_eq!(pairs.len(), n, "every item produces exactly one result");
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges of near-equal size
+/// (the shorter ranges last). Used to chunk block lists for parallel index
+/// construction.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    if n == 0 || parts == 0 {
+        return Vec::new();
+    }
+    let parts = parts.min(n);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push((start, start + len));
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let got = par_map_with(8, items.clone(), |i, x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(got, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_sequential() {
+        let items: Vec<u64> = (0..257).map(|i| i * 37 % 101).collect();
+        let seq = par_map_with(1, items.clone(), |i, x| x.wrapping_mul(i as u64 + 1));
+        let par = par_map_with(7, items, |i, x| x.wrapping_mul(i as u64 + 1));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(par_map_with(4, Vec::<u32>::new(), |_, x| x), Vec::<u32>::new());
+        assert_eq!(par_map_with(4, vec![9], |i, x| x + i as u32), vec![9]);
+    }
+
+    #[test]
+    fn nested_par_map_runs_sequentially() {
+        // Inner par_map inside a worker must not deadlock or fan out; it
+        // must still produce correct, ordered results.
+        let got = par_map_with(4, vec![10usize, 20, 30], |_, base| {
+            par_map_with(4, (0..5usize).collect(), move |_, k| base + k)
+        });
+        assert_eq!(
+            got,
+            vec![vec![10, 11, 12, 13, 14], vec![20, 21, 22, 23, 24], vec![30, 31, 32, 33, 34]]
+        );
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for parts in [1usize, 2, 3, 8, 1500] {
+                let ranges = chunk_ranges(n, parts);
+                let total: usize = ranges.iter().map(|&(s, e)| e - s).sum();
+                assert_eq!(total, n, "n={n} parts={parts}");
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].1, pair[1].0, "contiguous");
+                }
+                if n > 0 {
+                    assert_eq!(ranges.first().unwrap().0, 0);
+                    assert_eq!(ranges.last().unwrap().1, n);
+                    assert!(ranges.len() <= parts.min(n));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jobs_setting_roundtrip() {
+        // Other tests may race on the global; just check set/get coherence
+        // of nonzero values through the public API.
+        set_jobs(3);
+        assert_eq!(jobs(), 3);
+        set_jobs(0);
+        assert!(jobs() >= 1);
+    }
+}

@@ -58,8 +58,8 @@ impl CompressedProgram {
                     }
                 }
                 Atom::ViaTable { word, slot, .. } => {
-                    let n = crate::compressor::via_table_expansion(self.encoding, word, slot)
-                        .len() as f64;
+                    let n = crate::compressor::via_table_expansion(self.encoding, word, slot).len()
+                        as f64;
                     uncompressed += 4.0 * n;
                     if self.encoding == EncodingKind::NibbleAligned {
                         escape += 0.5 * n;
@@ -96,8 +96,8 @@ impl CompressedProgram {
         for (id, e) in self.dictionary.entries().iter().enumerate() {
             let rank = self.dictionary.rank_of(id as u32);
             let cw_bytes = encoding::codeword_nibbles(self.encoding, rank) as f64 / 2.0;
-            let saved = e.replaced as f64 * (4.0 * e.len() as f64 - cw_bytes)
-                - 4.0 * e.len() as f64;
+            let saved =
+                e.replaced as f64 * (4.0 * e.len() as f64 - cw_bytes) - 4.0 * e.len() as f64;
             out[e.len().min(max_len)] += saved;
         }
         out
@@ -141,12 +141,7 @@ mod tests {
             let comp = c.composition();
             let expected = c.text_bytes() as f64 + c.dictionary_bytes() as f64;
             // Allow half a byte of final-nibble padding slack.
-            assert!(
-                (comp.total() - expected).abs() <= 0.5,
-                "{} vs {}",
-                comp.total(),
-                expected
-            );
+            assert!((comp.total() - expected).abs() <= 0.5, "{} vs {}", comp.total(), expected);
             let fracs = comp.fractions();
             assert!((fracs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         }
@@ -166,8 +161,7 @@ mod tests {
         let c = Compressor::new(CompressionConfig::baseline()).compress(&m).unwrap();
         let by_len: f64 = c.savings_by_length(4).iter().sum();
         let actual = m.text_bytes() as f64
-            - (c.text_bytes() as f64 + c.dictionary_bytes() as f64
-                - c.dictionary_bytes() as f64)
+            - (c.text_bytes() as f64 + c.dictionary_bytes() as f64 - c.dictionary_bytes() as f64)
             - c.dictionary_bytes() as f64;
         // by_len counts dictionary storage inside each entry's net saving,
         // so it equals original - (text + dictionary), up to padding.

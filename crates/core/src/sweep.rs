@@ -5,6 +5,12 @@
 //! sweeps over *dictionary size* are read off one full run's pick log
 //! instead of recompressing per point. Sweeps over *entry length* change the
 //! candidate set and therefore recompress.
+//!
+//! Sweeps whose points need independent full compression runs
+//! ([`entry_len_sweep`], [`small_dictionary_sweep`]) evaluate their points
+//! on the [`crate::parallel`] worker pool; each point is an independent
+//! compression of the same immutable module, so results are identical to
+//! the sequential loop and arrive in point order.
 
 use codense_obj::ObjectModule;
 
@@ -28,13 +34,10 @@ pub fn codeword_count_sweep(
     points: &[usize],
 ) -> Result<Vec<(usize, f64)>, CompressError> {
     let cap = points.iter().copied().max().unwrap_or(0).min(8192);
-    let config = CompressionConfig {
-        max_entry_len,
-        max_codewords: cap,
-        encoding: EncodingKind::Baseline,
-    };
+    let config =
+        CompressionConfig { max_entry_len, max_codewords: cap, encoding: EncodingKind::Baseline };
     let c = Compressor::new(config).compress(module)?;
-    Ok(points.iter().map(|&k| (k, ratio_at_prefix(&c, k))).collect())
+    Ok(crate::parallel::par_map(points.to_vec(), |_, k| (k, ratio_at_prefix(&c, k))))
 }
 
 /// The baseline-encoding compression ratio after only the first `k` greedy
@@ -61,16 +64,16 @@ pub fn entry_len_sweep(
     module: &ObjectModule,
     lens: &[usize],
 ) -> Result<Vec<(usize, f64)>, CompressError> {
-    lens.iter()
-        .map(|&l| {
-            let config = CompressionConfig {
-                max_entry_len: l,
-                max_codewords: 8192,
-                encoding: EncodingKind::Baseline,
-            };
-            Ok((l, Compressor::new(config).compress(module)?.compression_ratio()))
-        })
-        .collect()
+    crate::parallel::par_map(lens.to_vec(), |_, l| {
+        let config = CompressionConfig {
+            max_entry_len: l,
+            max_codewords: 8192,
+            encoding: EncodingKind::Baseline,
+        };
+        Ok((l, Compressor::new(config).compress(module)?.compression_ratio()))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Dictionary composition by entry length at several dictionary sizes
@@ -86,11 +89,8 @@ pub fn dict_composition_sweep(
     sizes: &[usize],
 ) -> Result<Vec<(usize, Vec<usize>)>, CompressError> {
     let cap = sizes.iter().copied().max().unwrap_or(0).min(8192);
-    let config = CompressionConfig {
-        max_entry_len,
-        max_codewords: cap,
-        encoding: EncodingKind::Baseline,
-    };
+    let config =
+        CompressionConfig { max_entry_len, max_codewords: cap, encoding: EncodingKind::Baseline };
     let c = Compressor::new(config).compress(module)?;
     Ok(sizes
         .iter()
@@ -116,11 +116,8 @@ pub fn savings_by_length_sweep(
     sizes: &[usize],
 ) -> Result<Vec<(usize, Vec<f64>)>, CompressError> {
     let cap = sizes.iter().copied().max().unwrap_or(0).min(8192);
-    let config = CompressionConfig {
-        max_entry_len,
-        max_codewords: cap,
-        encoding: EncodingKind::Baseline,
-    };
+    let config =
+        CompressionConfig { max_entry_len, max_codewords: cap, encoding: EncodingKind::Baseline };
     let c = Compressor::new(config).compress(module)?;
     let orig = c.original_text_bytes as f64;
     Ok(sizes
@@ -145,13 +142,12 @@ pub fn small_dictionary_sweep(
     module: &ObjectModule,
     entry_counts: &[usize],
 ) -> Result<Vec<(usize, f64)>, CompressError> {
-    entry_counts
-        .iter()
-        .map(|&n| {
-            let c = Compressor::new(CompressionConfig::small_dictionary(n)).compress(module)?;
-            Ok((n, c.compression_ratio()))
-        })
-        .collect()
+    crate::parallel::par_map(entry_counts.to_vec(), |_, n| {
+        let c = Compressor::new(CompressionConfig::small_dictionary(n)).compress(module)?;
+        Ok((n, c.compression_ratio()))
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -81,18 +81,13 @@ fn verify_coverage_and_words(
                     Some(info) => {
                         // Patched branch: non-offset bits must match, and the
                         // re-encoded offset must land on the target atom.
-                        let want_target =
-                            (orig as i64 + (info.offset / 4) as i64) as usize;
+                        let want_target = (orig as i64 + (info.offset / 4) as i64) as usize;
                         let units = read_offset_units(word, info.kind) as i64;
-                        let target_addr = c.addresses[i] as i64
-                            + units * c.encoding.granule_nibbles() as i64;
-                        let ok = c.address_of_orig(want_target)
-                            == Some(target_addr as u64);
+                        let target_addr =
+                            c.addresses[i] as i64 + units * c.encoding.granule_nibbles() as i64;
+                        let ok = c.address_of_orig(want_target) == Some(target_addr as u64);
                         if !ok {
-                            return Err(VerifyError::BranchTargetMismatch {
-                                orig,
-                                want_target,
-                            });
+                            return Err(VerifyError::BranchTargetMismatch { orig, want_target });
                         }
                     }
                 }

@@ -1,8 +1,10 @@
 //! Robustness: the stream parser and verifier must never panic on garbage —
 //! corrupt flash images should yield clean errors, not UB or aborts.
+//!
+//! Randomized cases are driven by the in-repo deterministic generator
+//! ([`codense_codegen::Rng`]) with fixed seeds.
 
-use proptest::prelude::*;
-
+use codense_codegen::Rng;
 use codense_core::encoding::read_item;
 use codense_core::nibbles::NibbleReader;
 use codense_core::{CompressionConfig, Compressor, EncodingKind};
@@ -11,41 +13,59 @@ use codense_ppc::encode;
 use codense_ppc::insn::Insn;
 use codense_ppc::reg::*;
 
-proptest! {
-    /// Parsing arbitrary bytes never panics in any encoding; it either
-    /// yields items or ends with None.
-    #[test]
-    fn read_item_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+const CASES: usize = 256;
+
+fn random_bytes(rng: &mut Rng, max_len: usize) -> Vec<u8> {
+    let len = rng.below(max_len + 1);
+    (0..len).map(|_| rng.next_u64() as u8).collect()
+}
+
+/// Parsing arbitrary bytes never panics in any encoding; it either yields
+/// items or ends with None.
+#[test]
+fn read_item_total_on_garbage() {
+    let mut rng = Rng::new(0xC0DE_0001);
+    for _ in 0..CASES {
+        let bytes = random_bytes(&mut rng, 255);
         for kind in [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned] {
             let mut r = NibbleReader::new(&bytes);
             let mut guard = 0;
             while read_item(kind, &mut r).is_some() {
                 guard += 1;
-                prop_assert!(guard <= 2 * bytes.len() + 2, "parser failed to progress");
+                assert!(guard <= 2 * bytes.len() + 2, "parser failed to progress");
             }
         }
     }
+}
 
-    /// Verification of a bit-flipped compressed program either fails
-    /// cleanly or the flip landed in dead padding — never a panic.
-    #[test]
-    fn verify_survives_bit_flips(flip_byte in 0usize..4096, flip_bit in 0u8..8) {
-        let mut m = ObjectModule::new("t");
-        for i in 0..100 {
-            m.code.push(encode(&Insn::Addi { rt: R3, ra: R3, si: (i % 7) as i16 }));
-        }
-        let mut c = Compressor::new(CompressionConfig::nibble_aligned()).compress(&m).unwrap();
-        if c.image.is_empty() {
-            return Ok(());
-        }
-        let at = flip_byte % c.image.len();
-        c.image[at] ^= 1 << flip_bit;
+/// Verification of a bit-flipped compressed program either fails cleanly or
+/// the flip landed in dead padding — never a panic.
+#[test]
+fn verify_survives_bit_flips() {
+    let mut m = ObjectModule::new("t");
+    for i in 0..100 {
+        m.code.push(encode(&Insn::Addi { rt: R3, ra: R3, si: (i % 7) as i16 }));
+    }
+    let clean = Compressor::new(CompressionConfig::nibble_aligned()).compress(&m).unwrap();
+    if clean.image.is_empty() {
+        return;
+    }
+    let mut rng = Rng::new(0xC0DE_0002);
+    for _ in 0..CASES {
+        let mut c = clean.clone();
+        let at = rng.below(c.image.len());
+        let bit = rng.below(8) as u8;
+        c.image[at] ^= 1 << bit;
         let _ = codense_core::verify::verify(&m, &c); // must not panic
     }
+}
 
-    /// Container deserialization never panics on arbitrary bytes.
-    #[test]
-    fn container_deserialize_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// Container deserialization never panics on arbitrary bytes.
+#[test]
+fn container_deserialize_total() {
+    let mut rng = Rng::new(0xC0DE_0003);
+    for _ in 0..CASES {
+        let bytes = random_bytes(&mut rng, 511);
         let _ = codense_core::container::deserialize(&bytes);
     }
 }

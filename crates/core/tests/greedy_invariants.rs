@@ -3,9 +3,11 @@
 //! *no* remaining candidate sequence can have positive savings — i.e. the
 //! incremental index + lazy heap computed exactly what a naive full rescan
 //! would.
+//!
+//! Randomized cases are driven by the in-repo deterministic generator
+//! ([`codense_codegen::Rng`]) with fixed seeds.
 
-use proptest::prelude::*;
-
+use codense_codegen::Rng;
 use codense_core::dict::Dictionary;
 use codense_core::greedy::{run_greedy, CostModel, GreedyParams};
 use codense_core::model::{Cell, ProgramModel};
@@ -14,12 +16,10 @@ use codense_ppc::encode;
 use codense_ppc::insn::Insn;
 use codense_ppc::reg::Gpr;
 
-const COST: CostModel = CostModel {
-    insn_bits: 32,
-    codeword_bits: 16,
-    dict_word_bits: 32,
-    dict_entry_fixed_bits: 0,
-};
+const CASES: usize = 256;
+
+const COST: CostModel =
+    CostModel { insn_bits: 32, codeword_bits: 16, dict_word_bits: 32, dict_entry_fixed_bits: 0 };
 
 /// All candidate windows of the post-greedy model, with greedy
 /// non-overlapping counts, computed naively.
@@ -69,25 +69,27 @@ fn best_remaining_savings(model: &ProgramModel, max_len: usize) -> i64 {
         .unwrap_or(i64::MIN)
 }
 
-fn module_from(picks: &[(u8, i16)]) -> ObjectModule {
+/// A random straight-line module of 4..120 instructions drawn from a small
+/// alphabet (6 registers × 5 immediates), mirroring the original proptest
+/// strategy `vec((0u8..6, 0i16..5), 4..120)`.
+fn random_module(rng: &mut Rng) -> ObjectModule {
+    let len = rng.range(4, 119);
     let mut m = ObjectModule::new("prop");
-    m.code = picks
-        .iter()
-        .map(|&(r, imm)| {
-            let reg = Gpr::new(3 + (r % 6)).unwrap();
-            encode(&Insn::Addi { rt: reg, ra: reg, si: imm % 5 })
+    m.code = (0..len)
+        .map(|_| {
+            let reg = Gpr::new(3 + rng.below(6) as u8).unwrap();
+            encode(&Insn::Addi { rt: reg, ra: reg, si: rng.below(5) as i16 })
         })
         .collect();
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Greedy-to-exhaustion leaves no profitable candidate behind.
-    #[test]
-    fn no_positive_savings_remain(picks in proptest::collection::vec((0u8..6, 0i16..5), 4..120)) {
-        let m = module_from(&picks);
+/// Greedy-to-exhaustion leaves no profitable candidate behind.
+#[test]
+fn no_positive_savings_remain() {
+    let mut rng = Rng::new(0x6EED_0001);
+    for _ in 0..CASES {
+        let m = random_module(&mut rng);
         let mut model = ProgramModel::build(&m);
         let mut dict = Dictionary::new();
         run_greedy(
@@ -96,17 +98,18 @@ proptest! {
             GreedyParams { max_entry_len: 4, max_codewords: 10_000, cost: COST },
         );
         let best = best_remaining_savings(&model, 4);
-        prop_assert!(best <= 0, "remaining candidate with savings {best}");
+        assert!(best <= 0, "remaining candidate with savings {best}");
     }
+}
 
-    /// Each pick's recorded savings is non-increasing along the run
-    /// (greedy always takes the current maximum, and replacements only
-    /// remove opportunities).
-    #[test]
-    fn pick_savings_monotone_nonincreasing(
-        picks in proptest::collection::vec((0u8..6, 0i16..5), 4..120),
-    ) {
-        let m = module_from(&picks);
+/// Each pick's recorded savings is non-increasing along the run (greedy
+/// always takes the current maximum, and replacements only remove
+/// opportunities).
+#[test]
+fn pick_savings_monotone_nonincreasing() {
+    let mut rng = Rng::new(0x6EED_0002);
+    for _ in 0..CASES {
+        let m = random_module(&mut rng);
         let mut model = ProgramModel::build(&m);
         let mut dict = Dictionary::new();
         let log = run_greedy(
@@ -115,20 +118,18 @@ proptest! {
             GreedyParams { max_entry_len: 4, max_codewords: 10_000, cost: COST },
         );
         for pair in log.windows(2) {
-            prop_assert!(
-                pair[1].savings_bits <= pair[0].savings_bits,
-                "savings increased: {pair:?}"
-            );
+            assert!(pair[1].savings_bits <= pair[0].savings_bits, "savings increased: {pair:?}");
         }
     }
+}
 
-    /// Dictionary entries and model state are consistent: every codeword
-    /// cell's entry expands to the words the original program held there.
-    #[test]
-    fn model_dictionary_consistency(
-        picks in proptest::collection::vec((0u8..6, 0i16..5), 4..120),
-    ) {
-        let m = module_from(&picks);
+/// Dictionary entries and model state are consistent: every codeword cell's
+/// entry expands to the words the original program held there.
+#[test]
+fn model_dictionary_consistency() {
+    let mut rng = Rng::new(0x6EED_0003);
+    for _ in 0..CASES {
+        let m = random_module(&mut rng);
         let mut model = ProgramModel::build(&m);
         let mut dict = Dictionary::new();
         run_greedy(
@@ -142,9 +143,9 @@ proptest! {
                 match *cell {
                     Cell::Code { entry, orig, len } => {
                         let words = &dict.entry(entry).words;
-                        prop_assert_eq!(words.len(), len);
+                        assert_eq!(words.len(), len);
                         for (k, &w) in words.iter().enumerate() {
-                            prop_assert_eq!(w, m.code[orig + k]);
+                            assert_eq!(w, m.code[orig + k]);
                         }
                         covered += len;
                     }
@@ -153,7 +154,7 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(covered, m.code.len());
+        assert_eq!(covered, m.code.len());
     }
 }
 

@@ -1,7 +1,9 @@
 //! One function per table/figure of the paper, each printing the measured
 //! reproduction of that exhibit.
 
-use codense_core::analysis::{branch_offset_usage, encoding_profile, prologue_epilogue, top_encoding_coverage};
+use codense_core::analysis::{
+    branch_offset_usage, encoding_profile, prologue_epilogue, top_encoding_coverage,
+};
 use codense_core::sweep::{
     codeword_count_sweep, dict_composition_sweep, entry_len_sweep, savings_by_length_sweep,
     small_dictionary_sweep,
@@ -30,15 +32,11 @@ impl Ctx {
     pub fn baseline_full(&mut self) -> &[CompressedProgram] {
         if self.baseline_full.is_none() {
             let compressor = Compressor::new(CompressionConfig::baseline());
-            let runs: Vec<CompressedProgram> = self
-                .suite
-                .iter()
-                .map(|m| {
-                    let c = compressor.compress(m).expect("baseline compression");
-                    verify(m, &c).expect("baseline verification");
-                    c
-                })
-                .collect();
+            let runs = codense_core::parallel::par_map(self.suite.iter().collect(), |_, m| {
+                let c = compressor.compress(m).expect("baseline compression");
+                verify(m, &c).expect("baseline verification");
+                c
+            });
             self.baseline_full = Some(runs);
         }
         self.baseline_full.as_deref().unwrap()
@@ -183,11 +181,11 @@ pub fn fig4(ctx: &mut Ctx) {
     let mut t = Table::new(
         std::iter::once("bench".to_string()).chain(lens.iter().map(|l| format!("len≤{l}"))),
     );
-    for m in &ctx.suite {
-        let sweep = entry_len_sweep(m, &lens).expect("sweep");
-        t.row(
-            std::iter::once(m.name.clone()).chain(sweep.iter().map(|&(_, r)| pct(r))),
-        );
+    let rows = codense_core::parallel::par_map(ctx.suite.iter().collect(), |_, m| {
+        (m.name.clone(), entry_len_sweep(m, &lens).expect("sweep"))
+    });
+    for (name, sweep) in rows {
+        t.row(std::iter::once(name).chain(sweep.iter().map(|&(_, r)| pct(r))));
     }
     println!("{}", t.render());
 }
@@ -200,9 +198,11 @@ pub fn fig5(ctx: &mut Ctx) {
     let mut t = Table::new(
         std::iter::once("bench".to_string()).chain(points.iter().map(|p| p.to_string())),
     );
-    for m in &ctx.suite {
-        let sweep = codeword_count_sweep(m, 4, &points).expect("sweep");
-        t.row(std::iter::once(m.name.clone()).chain(sweep.iter().map(|&(_, r)| pct(r))));
+    let rows = codense_core::parallel::par_map(ctx.suite.iter().collect(), |_, m| {
+        (m.name.clone(), codeword_count_sweep(m, 4, &points).expect("sweep"))
+    });
+    for (name, sweep) in rows {
+        t.row(std::iter::once(name).chain(sweep.iter().map(|&(_, r)| pct(r))));
     }
     println!("{}", t.render());
 }
@@ -226,9 +226,8 @@ pub fn fig6(ctx: &mut Ctx) {
     let m = ctx.suite.iter().find(|m| m.name == "ijpeg").expect("ijpeg present");
     let sizes = [16usize, 64, 256, 1024, 8192];
     let comp = dict_composition_sweep(m, 8, &sizes).expect("sweep");
-    let mut t = Table::new([
-        "dict size", "entries", "len1 %", "len2 %", "len3 %", "len4 %", "len5-8 %",
-    ]);
+    let mut t =
+        Table::new(["dict size", "entries", "len1 %", "len2 %", "len3 %", "len4 %", "len5-8 %"]);
     for (size, hist) in comp {
         let total: usize = hist.iter().sum();
         if total == 0 {
@@ -255,9 +254,8 @@ pub fn fig7(ctx: &mut Ctx) {
     let m = ctx.suite.iter().find(|m| m.name == "ijpeg").expect("ijpeg present");
     let sizes = [16usize, 64, 256, 1024, 8192];
     let sav = savings_by_length_sweep(m, 8, &sizes).expect("sweep");
-    let mut t = Table::new([
-        "dict size", "total %", "len1 %", "len2 %", "len3 %", "len4 %", "len5-8 %",
-    ]);
+    let mut t =
+        Table::new(["dict size", "total %", "len1 %", "len2 %", "len3 %", "len4 %", "len5-8 %"]);
     for (size, by_len) in sav {
         let total: f64 = by_len.iter().sum();
         let p = |x: f64| format!("{:.1}%", 100.0 * x);
@@ -280,14 +278,11 @@ pub fn fig8(ctx: &mut Ctx) {
     println!("(paper: a 512-byte dictionary already gives ~15% code reduction)\n");
     let counts = [8usize, 16, 32];
     let mut t = Table::new(["bench", "8 (128B dict)", "16 (256B dict)", "32 (512B dict)"]);
-    for m in &ctx.suite {
-        let sweep = small_dictionary_sweep(m, &counts).expect("sweep");
-        t.row([
-            m.name.clone(),
-            pct(sweep[0].1),
-            pct(sweep[1].1),
-            pct(sweep[2].1),
-        ]);
+    let rows = codense_core::parallel::par_map(ctx.suite.iter().collect(), |_, m| {
+        (m.name.clone(), small_dictionary_sweep(m, &counts).expect("sweep"))
+    });
+    for (name, sweep) in rows {
+        t.row([name, pct(sweep[0].1), pct(sweep[1].1), pct(sweep[2].1)]);
     }
     println!("{}", t.render());
 }
@@ -334,17 +329,15 @@ pub fn fig11(ctx: &mut Ctx) {
     println!("(paper: 30–50% reduction; Compress better but within ~5% on all benchmarks)\n");
     let mut t = Table::new(["bench", "nibble ratio", "lzw ratio", "gap (pts)"]);
     let compressor = Compressor::new(CompressionConfig::nibble_aligned());
-    for m in &ctx.suite {
+    let rows = codense_core::parallel::par_map(ctx.suite.iter().collect(), |_, m| {
         let c = compressor.compress(m).expect("nibble compression");
         verify(m, &c).expect("nibble verification");
         let nib = c.compression_ratio();
         let lzw = codense_lzw::compressed_size(&m.text_image()) as f64 / m.text_bytes() as f64;
-        t.row([
-            m.name.clone(),
-            pct(nib),
-            pct(lzw),
-            format!("{:+.1}", 100.0 * (nib - lzw)),
-        ]);
+        (m.name.clone(), nib, lzw)
+    });
+    for (name, nib, lzw) in rows {
+        t.row([name, pct(nib), pct(lzw), format!("{:+.1}", 100.0 * (nib - lzw))]);
     }
     println!("{}", t.render());
 }
@@ -369,10 +362,9 @@ pub fn table3(ctx: &mut Ctx) {
 /// Extension: related-work comparison across all implemented methods.
 pub fn methods(ctx: &mut Ctx) {
     println!("Extension: all methods side by side (compressed/original, lower is better)\n");
-    let mut t = Table::new([
-        "bench", "baseline", "nibble", "1B/32", "ccrp", "liao-hw", "liao-sw", "lzw",
-    ]);
-    for m in &ctx.suite {
+    let mut t =
+        Table::new(["bench", "baseline", "nibble", "1B/32", "ccrp", "liao-hw", "liao-sw", "lzw"]);
+    let rows = codense_core::parallel::par_map(ctx.suite.iter().collect(), |_, m| {
         let base = Compressor::new(CompressionConfig::baseline()).compress(m).unwrap();
         let nib = Compressor::new(CompressionConfig::nibble_aligned()).compress(m).unwrap();
         let small = Compressor::new(CompressionConfig::small_dictionary(32)).compress(m).unwrap();
@@ -380,7 +372,7 @@ pub fn methods(ctx: &mut Ctx) {
         let hw = codense_liao::compress(m, codense_liao::LiaoMethod::CallDictionary, 4);
         let sw = codense_liao::compress(m, codense_liao::LiaoMethod::MiniSubroutine, 4);
         let lzw = codense_lzw::compressed_size(&m.text_image()) as f64 / m.text_bytes() as f64;
-        t.row([
+        [
             m.name.clone(),
             pct(base.compression_ratio()),
             pct(nib.compression_ratio()),
@@ -389,14 +381,19 @@ pub fn methods(ctx: &mut Ctx) {
             pct(hw.compression_ratio()),
             pct(sw.compression_ratio()),
             pct(lzw),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
 }
 
 /// Extension: fetch-bandwidth effect measured on the runnable kernels.
 pub fn bandwidth(_ctx: &mut Ctx) {
-    use codense_vm::{fetch::CompressedFetcher, kernels, machine::Machine, run::run, LinearFetcher};
+    use codense_vm::{
+        fetch::CompressedFetcher, kernels, machine::Machine, run::run, LinearFetcher,
+    };
     println!("Extension: program-memory bits fetched per executed instruction");
     println!("(compressed fetch amortizes codeword bits over expanded instructions)\n");
     let mut t = Table::new(["kernel", "uncompressed b/insn", "nibble b/insn", "exit ok"]);
@@ -431,17 +428,20 @@ pub fn thumb(ctx: &mut Ctx) {
     println!("(paper: Thumb ~30% / MIPS16 ~40% smaller; the dictionary method matches");
     println!(" that while keeping every register and instruction reachable)\n");
     let mut t = Table::new(["bench", "16-bit coverage", "thumb-model ratio", "nibble dict ratio"]);
-    for m in &ctx.suite {
+    let rows = codense_core::parallel::par_map(ctx.suite.iter().collect(), |_, m| {
         let report = codense_thumb::analyze(m);
         let dict = Compressor::new(CompressionConfig::nibble_aligned())
             .compress(m)
             .expect("nibble compression");
-        t.row([
+        [
             m.name.clone(),
             pct(report.coverage()),
             pct(report.compression_ratio()),
             pct(dict.compression_ratio()),
-        ]);
+        ]
+    });
+    for row in rows {
+        t.row(row);
     }
     println!("{}", t.render());
 }
@@ -449,7 +449,9 @@ pub fn thumb(ctx: &mut Ctx) {
 /// Extension (§1/§5, [Chen97b]): I-cache misses, compressed vs uncompressed.
 pub fn cache(_ctx: &mut Ctx) {
     use codense_cache::{Cache, CacheConfig, TracingFetch};
-    use codense_vm::{fetch::CompressedFetcher, kernels, machine::Machine, run::run, LinearFetcher};
+    use codense_vm::{
+        fetch::CompressedFetcher, kernels, machine::Machine, run::run, LinearFetcher,
+    };
     println!("Extension: I-cache misses executing kernels (16B lines, direct-mapped)");
     println!("(compression shrinks the code working set; [Chen97b]'s premise)\n");
     let sizes = [64usize, 128, 256, 512];
@@ -529,13 +531,8 @@ pub fn partition(ctx: &mut Ctx) {
     println!("Extension: on-chip memory partitioning (paper §5: \"trade-offs in");
     println!(" partitioning the on-chip memory for the dictionary and program\")\n");
     let names: Vec<String> = ctx.suite.iter().map(|m| m.name.clone()).collect();
-    let mut t = Table::new([
-        "bench",
-        "best dict entries",
-        "dict bytes",
-        "text bytes",
-        "total / original",
-    ]);
+    let mut t =
+        Table::new(["bench", "best dict entries", "dict bytes", "text bytes", "total / original"]);
     for (name, c) in names.iter().zip(ctx.baseline_full()) {
         // From the pick log: total memory (text+dictionary) after k picks;
         // find the k minimizing it.
@@ -581,11 +578,8 @@ pub fn dictcache(_ctx: &mut Ctx) {
             let mut fetch = CompressedFetcher::new(&compressed).with_dict_cache(size);
             let stats = run(&mut machine, &mut fetch, 0, 10_000_000).expect("run").stats;
             let total = stats.dict_hits + stats.dict_misses;
-            let hit = if total == 0 {
-                100.0
-            } else {
-                100.0 * stats.dict_hits as f64 / total as f64
-            };
+            let hit =
+                if total == 0 { 100.0 } else { 100.0 * stats.dict_hits as f64 / total as f64 };
             row.push(format!("{hit:.0}%/{}", stats.dict_bytes_loaded));
         }
         t.row(row);
@@ -630,14 +624,7 @@ pub fn mix(ctx: &mut Ctx) {
     let mut t = Table::new(["bench", "loads", "stores", "branches", "compares", "alu"]);
     for m in &ctx.suite {
         let f = instruction_mix(m).fractions();
-        t.row([
-            m.name.clone(),
-            pct(f[0]),
-            pct(f[1]),
-            pct(f[2]),
-            pct(f[3]),
-            pct(f[4]),
-        ]);
+        t.row([m.name.clone(), pct(f[0]), pct(f[1]), pct(f[2]), pct(f[3]), pct(f[4])]);
     }
     println!("{}", t.render());
 }

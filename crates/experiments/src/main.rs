@@ -7,11 +7,19 @@
 //! repro fig5 table2    # specific exhibits
 //! repro methods        # extension: all baselines side by side
 //! repro bandwidth      # extension: fetch-bandwidth on runnable kernels
+//! repro --jobs 4 all   # run sweeps/suite phases on 4 worker threads
 //! ```
+//!
+//! `--jobs N` sets the worker-pool width for every parallel phase (suite
+//! generation, per-benchmark sweeps, baseline compression). `--jobs 1` is
+//! the exact sequential reference; the default is the machine's available
+//! parallelism. Output is bit-identical at any width.
 
 mod figures;
 mod report;
 mod suite;
+
+use std::time::{Duration, Instant};
 
 use figures::Ctx;
 
@@ -42,8 +50,42 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("mix", figures::mix),
 ];
 
+/// Extracts `--jobs N` / `--jobs=N` from `args` and applies it to the
+/// worker pool. Exits with a usage error on a malformed value.
+fn take_jobs(args: &mut Vec<String>) {
+    let mut i = 0;
+    while i < args.len() {
+        let jobs: Option<String> = if args[i] == "--jobs" {
+            if i + 1 >= args.len() {
+                eprintln!("--jobs requires a value");
+                std::process::exit(2);
+            }
+            let v = args[i + 1].clone();
+            args.drain(i..i + 2);
+            Some(v)
+        } else if let Some(v) = args[i].strip_prefix("--jobs=") {
+            let v = v.to_string();
+            args.remove(i);
+            Some(v)
+        } else {
+            i += 1;
+            None
+        };
+        if let Some(v) = jobs {
+            match v.parse::<usize>() {
+                Ok(n) if n >= 1 => codense_core::parallel::set_jobs(n),
+                _ => {
+                    eprintln!("invalid --jobs value `{v}` (expected an integer >= 1)");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    take_jobs(&mut args);
     let requested: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         EXPERIMENTS.iter().map(|&(n, _)| n).collect()
     } else {
@@ -60,16 +102,28 @@ fn main() {
         }
     }
 
+    let wall = Instant::now();
+    let t0 = Instant::now();
     let mut ctx = Ctx::new();
-    println!(
-        "benchmark suite: {} programs, {} total instructions\n",
-        ctx.suite.len(),
-        ctx.suite.iter().map(|m| m.len()).sum::<usize>(),
-    );
+    let mut timings: Vec<(&str, Duration)> = vec![("suite-gen", t0.elapsed())];
+    let suite_insns: usize = ctx.suite.iter().map(|m| m.len()).sum();
+    println!("benchmark suite: {} programs, {} total instructions\n", ctx.suite.len(), suite_insns,);
     for name in requested {
         let (_, runner) = EXPERIMENTS.iter().find(|&&(n, _)| n == name).expect("validated");
-        let t0 = std::time::Instant::now();
+        let t0 = Instant::now();
         runner(&mut ctx);
-        eprintln!("[{name} done in {:.1?}]\n", t0.elapsed());
+        let elapsed = t0.elapsed();
+        timings.push((name, elapsed));
+        eprintln!("[{name} done in {elapsed:.1?}]\n");
     }
+
+    let total = wall.elapsed();
+    eprintln!("--- timing (jobs = {}) ---", codense_core::parallel::jobs());
+    for (name, elapsed) in &timings {
+        // Throughput is phase-relative: the whole suite passes through each
+        // phase, so insns/s compares phases (and job counts) directly.
+        let per_s = suite_insns as f64 / elapsed.as_secs_f64().max(1e-9);
+        eprintln!("{name:<12} {:>9.1?}  ({per_s:>12.0} suite insns/s)", elapsed);
+    }
+    eprintln!("{:<12} {total:>9.1?}", "total");
 }

@@ -3,6 +3,13 @@
 use codense_obj::ObjectModule;
 
 /// The eight CINT95 stand-in modules, generated once, in the paper's order.
+///
+/// Each module is generated from its own seeded profile, so generation is
+/// independent per benchmark and runs on the worker pool; the output order
+/// (and content — every profile carries its own RNG seed) is identical to
+/// the sequential `generate_suite`.
 pub fn load() -> Vec<ObjectModule> {
-    codense_codegen::generate_suite()
+    codense_core::parallel::par_map(codense_codegen::spec_profiles(), |_, profile| {
+        codense_codegen::generate_module(&profile)
+    })
 }

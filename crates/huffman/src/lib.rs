@@ -281,10 +281,8 @@ mod tests {
     fn canonical_codes_are_prefix_free() {
         let data = b"the quick brown fox jumps over the lazy dog";
         let code = HuffmanCode::from_frequencies(&byte_frequencies(data));
-        let symbols: Vec<u8> = (0u16..256)
-            .map(|s| s as u8)
-            .filter(|&s| code.length(s) > 0)
-            .collect();
+        let symbols: Vec<u8> =
+            (0u16..256).map(|s| s as u8).filter(|&s| code.length(s) > 0).collect();
         for &a in &symbols {
             for &b in &symbols {
                 if a == b {

@@ -168,8 +168,7 @@ pub fn decompress(packed: &[u8]) -> Option<Vec<u8>> {
             // For subsequent codes the decoder's table trails the encoder's
             // next_code by one pending insertion, except when both sides hit
             // the cap and stop inserting.
-            let encoder_next =
-                (strings.len() as u32 + 1).min(1 << MAX_BITS);
+            let encoder_next = (strings.len() as u32 + 1).min(1 << MAX_BITS);
             let Some(code) = r.get(width_for(encoder_next)) else { break 'blocks };
             if code == CLEAR {
                 continue 'blocks;

@@ -218,9 +218,9 @@ impl ObjectModule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use codense_ppc::encode;
     use codense_ppc::insn::{bo, Insn};
     use codense_ppc::reg::*;
-    use codense_ppc::encode;
 
     fn nop() -> u32 {
         encode(&Insn::Ori { ra: R0, rs: R0, ui: 0 })
@@ -248,15 +248,9 @@ mod tests {
     #[test]
     fn out_of_range_branch_detected() {
         let m = module_with_branch(128);
-        assert_eq!(
-            m.validate(),
-            Err(ModuleError::BranchOutOfRange { at: 1, target: 33 })
-        );
+        assert_eq!(m.validate(), Err(ModuleError::BranchOutOfRange { at: 1, target: 33 }));
         let m = module_with_branch(-8);
-        assert_eq!(
-            m.validate(),
-            Err(ModuleError::BranchOutOfRange { at: 1, target: -1 })
-        );
+        assert_eq!(m.validate(), Err(ModuleError::BranchOutOfRange { at: 1, target: -1 }));
     }
 
     #[test]
@@ -266,10 +260,7 @@ mod tests {
         m.jump_tables.push(JumpTable { targets: vec![0, 3] });
         assert!(m.validate().is_ok());
         m.jump_tables.push(JumpTable { targets: vec![4] });
-        assert_eq!(
-            m.validate(),
-            Err(ModuleError::JumpTableOutOfRange { table: 1, entry: 0 })
-        );
+        assert_eq!(m.validate(), Err(ModuleError::JumpTableOutOfRange { table: 1, entry: 0 }));
     }
 
     #[test]

@@ -207,9 +207,7 @@ mod tests {
 
     fn module() -> ObjectModule {
         let mut m = ObjectModule::new("demo");
-        m.code = (0..32)
-            .map(|i| encode(&Insn::Addi { rt: R3, ra: R3, si: i }))
-            .collect();
+        m.code = (0..32).map(|i| encode(&Insn::Addi { rt: R3, ra: R3, si: i })).collect();
         m.functions.push(FunctionInfo {
             name: "f0".into(),
             start: 0,
@@ -269,21 +267,22 @@ mod tests {
 mod prop_tests {
     use super::*;
     use crate::module::{FunctionInfo, JumpTable, ObjectModule};
-    use proptest::prelude::*;
+    use codense_codegen::Rng;
 
-    proptest! {
-        /// Arbitrary well-formed modules survive the .cdm round trip.
-        #[test]
-        fn roundtrip_arbitrary_modules(
-            name in "[a-z]{0,12}",
-            words in proptest::collection::vec(any::<u32>(), 0..300),
-            func_splits in proptest::collection::vec(0usize..300, 0..6),
-            table in proptest::collection::vec(0usize..300, 0..8),
-        ) {
+    const CASES: usize = 256;
+
+    /// Arbitrary well-formed modules survive the .cdm round trip.
+    #[test]
+    fn roundtrip_arbitrary_modules() {
+        let mut rng = Rng::new(0x0B1E_0001);
+        for _ in 0..CASES {
+            let name: String =
+                (0..rng.below(13)).map(|_| (b'a' + rng.below(26) as u8) as char).collect();
             let mut m = ObjectModule::new(name);
-            m.code = words;
+            m.code = (0..rng.below(300)).map(|_| rng.next_u64() as u32).collect();
             let n = m.code.len();
-            let mut cuts: Vec<usize> = func_splits.into_iter().filter(|&c| c < n).collect();
+            let mut cuts: Vec<usize> =
+                (0..rng.below(6)).map(|_| rng.below(300)).filter(|&c| c < n).collect();
             cuts.sort_unstable();
             cuts.dedup();
             for pair in cuts.windows(2) {
@@ -296,18 +295,23 @@ mod prop_tests {
                 });
             }
             if n > 0 {
-                let targets: Vec<usize> = table.into_iter().filter(|&t| t < n).collect();
+                let targets: Vec<usize> =
+                    (0..rng.below(8)).map(|_| rng.below(300)).filter(|&t| t < n).collect();
                 if !targets.is_empty() {
                     m.jump_tables.push(JumpTable { targets });
                 }
             }
             let got = deserialize(&serialize(&m));
-            prop_assert_eq!(got, Ok(m));
+            assert_eq!(got, Ok(m));
         }
+    }
 
-        /// Deserialization never panics on arbitrary bytes.
-        #[test]
-        fn deserialize_total(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+    /// Deserialization never panics on arbitrary bytes.
+    #[test]
+    fn deserialize_total() {
+        let mut rng = Rng::new(0x0B1E_0002);
+        for _ in 0..CASES {
+            let bytes: Vec<u8> = (0..rng.below(512)).map(|_| rng.next_u64() as u8).collect();
             let _ = deserialize(&bytes);
         }
     }

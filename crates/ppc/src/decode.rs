@@ -129,9 +129,7 @@ fn decode_xl(w: u32) -> Insn {
     match (w >> 1) & 0x3ff {
         xo19::BCLR if (w >> 11) & 31 == 0 => Bclr { bo, bi, lk: rc(w) },
         xo19::BCCTR if (w >> 11) & 31 == 0 => Bcctr { bo, bi, lk: rc(w) },
-        xo19::CRXOR if w & 1 == 0 => {
-            Crxor { bt: bo, ba: bi, bb: ((w >> 11) & 31) as u8 }
-        }
+        xo19::CRXOR if w & 1 == 0 => Crxor { bt: bo, ba: bi, bb: ((w >> 11) & 31) as u8 },
         _ => Illegal(w),
     }
 }
@@ -171,17 +169,13 @@ fn decode_x31(w: u32) -> Insn {
         xo31::SLW => Slw { ra: ra(w), rs: rt(w), rb: rb(w), rc: rc(w) },
         xo31::SRW => Srw { ra: ra(w), rs: rt(w), rb: rb(w), rc: rc(w) },
         xo31::SRAW => Sraw { ra: ra(w), rs: rt(w), rb: rb(w), rc: rc(w) },
-        xo31::SRAWI => {
-            Srawi { ra: ra(w), rs: rt(w), sh: ((w >> 11) & 31) as u8, rc: rc(w) }
-        }
+        xo31::SRAWI => Srawi { ra: ra(w), rs: rt(w), sh: ((w >> 11) & 31) as u8, rc: rc(w) },
         xo31::EXTSB if (w >> 11) & 31 == 0 => Extsb { ra: ra(w), rs: rt(w), rc: rc(w) },
         xo31::EXTSH if (w >> 11) & 31 == 0 => Extsh { ra: ra(w), rs: rt(w), rc: rc(w) },
         xo31::CNTLZW if (w >> 11) & 31 == 0 => Cntlzw { ra: ra(w), rs: rt(w), rc: rc(w) },
 
         xo31::MFCR if w & 0x001f_f801 == 0 => Mfcr { rt: rt(w) },
-        xo31::MTCRF if w & 0x0010_0801 == 0 => {
-            Mtcrf { fxm: ((w >> 12) & 0xff) as u8, rs: rt(w) }
-        }
+        xo31::MTCRF if w & 0x0010_0801 == 0 => Mtcrf { fxm: ((w >> 12) & 0xff) as u8, rs: rt(w) },
         xo31::MFSPR | xo31::MTSPR if w & 1 == 0 => {
             let split = (w >> 11) & 0x3ff;
             let n = ((split & 0x1f) << 5) | (split >> 5);

@@ -258,7 +258,13 @@ mod tests {
         assert_eq!(dis(&Insn::Cmplwi { bf: CR1, ra: R0, ui: 8 }, 0), "cmplwi cr1,r0,8");
         assert_eq!(
             dis(
-                &Insn::Bc { bo: crate::insn::bo::IF_FALSE, bi: CR1.gt_bit(), bd: 0x1c8, aa: false, lk: false },
+                &Insn::Bc {
+                    bo: crate::insn::bo::IF_FALSE,
+                    bi: CR1.gt_bit(),
+                    bd: 0x1c8,
+                    aa: false,
+                    lk: false
+                },
                 0x0004_0000
             ),
             "ble cr1,000401c8"

@@ -55,12 +55,8 @@ pub fn encode(insn: &Insn) -> u32 {
 
         Cmpwi { bf, ra, si } => cmp_form(op::CMPWI, bf, ra, si as u16 as u32),
         Cmplwi { bf, ra, ui } => cmp_form(op::CMPLWI, bf, ra, ui as u32),
-        Cmpw { bf, ra, rb } => {
-            cmp_form(op::X31, bf, ra, (rb.field() << 11) | (xo31::CMPW << 1))
-        }
-        Cmplw { bf, ra, rb } => {
-            cmp_form(op::X31, bf, ra, (rb.field() << 11) | (xo31::CMPLW << 1))
-        }
+        Cmpw { bf, ra, rb } => cmp_form(op::X31, bf, ra, (rb.field() << 11) | (xo31::CMPW << 1)),
+        Cmplw { bf, ra, rb } => cmp_form(op::X31, bf, ra, (rb.field() << 11) | (xo31::CMPLW << 1)),
 
         Lwz { rt, ra, d } => d_form(op::LWZ, rt, ra, d as u16),
         Lwzu { rt, ra, d } => d_form(op::LWZU, rt, ra, d as u16),
@@ -208,10 +204,7 @@ mod tests {
         assert_eq!(encode(&Insn::Sc), 0x4400_0002);
         assert_eq!(encode(&Insn::Lwz { rt: R9, ra: R1, d: 8 }), 0x8121_0008);
         assert_eq!(encode(&Insn::Stwu { rs: R1, ra: R1, d: -32 }), 0x9421_ffe0);
-        assert_eq!(
-            encode(&Insn::Add { rt: R3, ra: R3, rb: R4, rc: false }),
-            0x7c63_2214
-        );
+        assert_eq!(encode(&Insn::Add { rt: R3, ra: R3, rb: R4, rc: false }), 0x7c63_2214);
         assert_eq!(
             encode(&Insn::Mfspr { rt: R0, spr: Spr::Lr }),
             0x7c08_02a6 // mflr r0

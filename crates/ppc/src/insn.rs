@@ -217,10 +217,7 @@ impl Insn {
 
     /// Returns `true` for any control-transfer instruction.
     pub fn is_branch(&self) -> bool {
-        matches!(
-            self,
-            Insn::B { .. } | Insn::Bc { .. } | Insn::Bclr { .. } | Insn::Bcctr { .. }
-        )
+        matches!(self, Insn::B { .. } | Insn::Bc { .. } | Insn::Bclr { .. } | Insn::Bcctr { .. })
     }
 
     /// Returns `true` for indirect branches (target comes from LR/CTR).

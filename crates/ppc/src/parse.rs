@@ -130,13 +130,21 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
     macro_rules! d_arith {
         ($variant:ident) => {{
             n(3)?;
-            Ok(Insn::$variant { rt: parse_gpr(ops[0])?, ra: parse_gpr(ops[1])?, si: parse_i16(ops[2])? })
+            Ok(Insn::$variant {
+                rt: parse_gpr(ops[0])?,
+                ra: parse_gpr(ops[1])?,
+                si: parse_i16(ops[2])?,
+            })
         }};
     }
     macro_rules! d_logic {
         ($variant:ident) => {{
             n(3)?;
-            Ok(Insn::$variant { ra: parse_gpr(ops[0])?, rs: parse_gpr(ops[1])?, ui: parse_u16(ops[2])? })
+            Ok(Insn::$variant {
+                ra: parse_gpr(ops[0])?,
+                rs: parse_gpr(ops[1])?,
+                ui: parse_u16(ops[2])?,
+            })
         }};
     }
     macro_rules! mem_load {
@@ -156,13 +164,21 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
     macro_rules! x_load {
         ($variant:ident) => {{
             n(3)?;
-            Ok(Insn::$variant { rt: parse_gpr(ops[0])?, ra: parse_gpr(ops[1])?, rb: parse_gpr(ops[2])? })
+            Ok(Insn::$variant {
+                rt: parse_gpr(ops[0])?,
+                ra: parse_gpr(ops[1])?,
+                rb: parse_gpr(ops[2])?,
+            })
         }};
     }
     macro_rules! x_store {
         ($variant:ident) => {{
             n(3)?;
-            Ok(Insn::$variant { rs: parse_gpr(ops[0])?, ra: parse_gpr(ops[1])?, rb: parse_gpr(ops[2])? })
+            Ok(Insn::$variant {
+                rs: parse_gpr(ops[0])?,
+                ra: parse_gpr(ops[1])?,
+                rb: parse_gpr(ops[2])?,
+            })
         }};
     }
     macro_rules! xo_arith {
@@ -189,32 +205,42 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
     }
 
     // Conditional-branch helper: `beq [crN,]TARGET`-style.
-    let cond_branch = |op: &str, bit_fn: fn(CrField) -> u8, sense: u8| -> Result<Insn, ParseError> {
-        let (crf, target) = match ops.len() {
-            1 => (CrField::new(0).unwrap(), ops[0]),
-            2 => (parse_crf(ops[0])?, ops[1]),
-            _ => return err(format!("`{op}` expects 1–2 operands")),
+    let cond_branch =
+        |op: &str, bit_fn: fn(CrField) -> u8, sense: u8| -> Result<Insn, ParseError> {
+            let (crf, target) = match ops.len() {
+                1 => (CrField::new(0).unwrap(), ops[0]),
+                2 => (parse_crf(ops[0])?, ops[1]),
+                _ => return err(format!("`{op}` expects 1–2 operands")),
+            };
+            let bd = parse_target(target, addr)?;
+            let bd = i16::try_from(bd).map_err(|_| ParseError {
+                message: format!("conditional branch target out of range `{target}`"),
+            })?;
+            Ok(Insn::Bc { bo: sense, bi: bit_fn(crf), bd, aa: false, lk: false })
         };
-        let bd = parse_target(target, addr)?;
-        let bd = i16::try_from(bd).map_err(|_| ParseError {
-            message: format!("conditional branch target out of range `{target}`"),
-        })?;
-        Ok(Insn::Bc { bo: sense, bi: bit_fn(crf), bd, aa: false, lk: false })
-    };
 
     match base {
         "li" => {
             n(2)?;
-            Ok(Insn::Addi { rt: parse_gpr(ops[0])?, ra: Gpr::new(0).unwrap(), si: parse_i16(ops[1])? })
+            Ok(Insn::Addi {
+                rt: parse_gpr(ops[0])?,
+                ra: Gpr::new(0).unwrap(),
+                si: parse_i16(ops[1])?,
+            })
         }
         "lis" => {
             n(2)?;
-            Ok(Insn::Addis { rt: parse_gpr(ops[0])?, ra: Gpr::new(0).unwrap(), si: parse_i16(ops[1])? })
+            Ok(Insn::Addis {
+                rt: parse_gpr(ops[0])?,
+                ra: Gpr::new(0).unwrap(),
+                si: parse_i16(ops[1])?,
+            })
         }
         "subi" => {
             n(3)?;
             let v = parse_int(ops[2])?;
-            let si = i16::try_from(-v).map_err(|_| ParseError { message: "subi immediate".into() })?;
+            let si =
+                i16::try_from(-v).map_err(|_| ParseError { message: "subi immediate".into() })?;
             Ok(Insn::Addi { rt: parse_gpr(ops[0])?, ra: parse_gpr(ops[1])?, si })
         }
         "addi" => d_arith!(Addi),
@@ -236,11 +262,12 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
         "andis" => d_logic!(AndisRc),
 
         "cmpwi" | "cmplwi" | "cmpw" | "cmplw" => {
-            let (bf, rest_ops): (CrField, &[&str]) = if ops.first().is_some_and(|o| o.starts_with("cr")) {
-                (parse_crf(ops[0])?, &ops[1..])
-            } else {
-                (CrField::new(0).unwrap(), &ops[..])
-            };
+            let (bf, rest_ops): (CrField, &[&str]) =
+                if ops.first().is_some_and(|o| o.starts_with("cr")) {
+                    (parse_crf(ops[0])?, &ops[1..])
+                } else {
+                    (CrField::new(0).unwrap(), &ops[..])
+                };
             if rest_ops.len() != 2 {
                 return err(format!("`{base}` expects 2 operands after the CR field"));
             }
@@ -354,7 +381,14 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
         "slwi" => {
             n(3)?;
             let sh = parse_u8_field(ops[2], 32)?;
-            Ok(Insn::Rlwinm { ra: parse_gpr(ops[0])?, rs: parse_gpr(ops[1])?, sh, mb: 0, me: 31 - sh, rc })
+            Ok(Insn::Rlwinm {
+                ra: parse_gpr(ops[0])?,
+                rs: parse_gpr(ops[1])?,
+                sh,
+                mb: 0,
+                me: 31 - sh,
+                rc,
+            })
         }
         "srwi" => {
             n(3)?;
@@ -498,10 +532,7 @@ mod tests {
 
     #[test]
     fn parses_paper_example_lines() {
-        assert_eq!(
-            parse_insn("lbz r9,0(r28)", 0).unwrap(),
-            Insn::Lbz { rt: R9, ra: R28, d: 0 }
-        );
+        assert_eq!(parse_insn("lbz r9,0(r28)", 0).unwrap(), Insn::Lbz { rt: R9, ra: R28, d: 0 });
         assert_eq!(
             parse_insn("clrlwi r11,r9,24", 0).unwrap(),
             Insn::Rlwinm { ra: R11, rs: R9, sh: 0, mb: 24, me: 31, rc: false }
@@ -562,9 +593,8 @@ mod tests {
         let mut words: Vec<u32> = Vec::new();
         for i in 0..6000u32 {
             // Mix opcodes and fields deterministically.
-            let op = [14, 15, 24, 31, 32, 36, 34, 38, 40, 44, 46, 47, 21, 11, 10, 16, 18, 19][
-                (i % 18) as usize
-            ];
+            let op = [14, 15, 24, 31, 32, 36, 34, 38, 40, 44, 46, 47, 21, 11, 10, 16, 18, 19]
+                [(i % 18) as usize];
             let w = (op << 26) | (i.wrapping_mul(0x9e37_79b9) & 0x03ff_fffc);
             words.push(w);
         }
@@ -581,8 +611,8 @@ mod tests {
             }
             let addr = (idx as u32) * 4;
             let text = disassemble(w, addr);
-            let parsed = parse_insn(&text, addr)
-                .unwrap_or_else(|e| panic!("`{text}` ({w:#010x}): {e}"));
+            let parsed =
+                parse_insn(&text, addr).unwrap_or_else(|e| panic!("`{text}` ({w:#010x}): {e}"));
             assert_eq!(encode(&parsed), w, "`{text}`");
             checked += 1;
         }

@@ -113,28 +113,70 @@ pub fn thumb_cost_bytes(insn: &Insn, model: ThumbModel) -> u32 {
         Mulli { .. } => wide,
         Addic { .. } | AddicRc { .. } | Subfic { .. } => wide,
 
-        Cmpwi { si, .. } => if (0..256).contains(&si) { narrow } else { wide },
-        Cmplwi { ui, .. } => if ui < 256 { narrow } else { wide },
+        Cmpwi { si, .. } => {
+            if (0..256).contains(&si) {
+                narrow
+            } else {
+                wide
+            }
+        }
+        Cmplwi { ui, .. } => {
+            if ui < 256 {
+                narrow
+            } else {
+                wide
+            }
+        }
         Cmpw { .. } | Cmplw { .. } => narrow,
 
         // Register ALU: Thumb ADD/SUB are 3-address; the rest 2-address.
         Add { .. } | Subf { .. } | Neg { .. } => narrow,
-        Mullw { rt, ra, rb, .. } => if rt == ra || rt == rb { narrow } else { wide },
+        Mullw { rt, ra, rb, .. } => {
+            if rt == ra || rt == rb {
+                narrow
+            } else {
+                wide
+            }
+        }
         And { ra, rs, rb, .. } | Xor { ra, rs, rb, .. } | Andc { ra, rs, rb, .. } => {
-            if ra == rs || ra == rb { narrow } else { wide }
+            if ra == rs || ra == rb {
+                narrow
+            } else {
+                wide
+            }
         }
         Or { ra, rs, rb, .. } => {
-            if rs == rb || ra == rs || ra == rb { narrow } else { wide } // mr or 2-address orr
+            if rs == rb || ra == rs || ra == rb {
+                narrow
+            } else {
+                wide
+            } // mr or 2-address orr
         }
-        Nor { rs, rb, .. } => if rs == rb { narrow } else { wide }, // mvn
+        Nor { rs, rb, .. } => {
+            if rs == rb {
+                narrow
+            } else {
+                wide
+            }
+        } // mvn
         Nand { .. } | Orc { .. } => wide,
         // D-form logical immediates: 8-bit values fit and-/orr-/eor-with-
         // mov-imm8 pairs poorly; only tiny masks stay narrow via lsls/lsrs.
         Ori { rs, ra, ui } => {
-            if ui == 0 && rs == ra { narrow } else if ui < 256 && rs == ra { narrow } else { wide }
+            if ui == 0 && rs == ra {
+                narrow
+            } else if ui < 256 && rs == ra {
+                narrow
+            } else {
+                wide
+            }
         }
         Xori { rs, ra, ui } | AndiRc { rs, ra, ui } => {
-            if ui < 256 && rs == ra { narrow } else { wide }
+            if ui < 256 && rs == ra {
+                narrow
+            } else {
+                wide
+            }
         }
         Slw { .. } | Srw { .. } | Sraw { .. } | Srawi { .. } => narrow,
         Extsb { .. } | Extsh { .. } => wide, // no sxtb/sxth in Thumb-1
@@ -155,33 +197,59 @@ pub fn thumb_cost_bytes(insn: &Insn, model: ThumbModel) -> u32 {
         // indexed forms exist.
         Lwz { ra, d, .. } | Stw { ra, d, .. } => {
             // SP-relative imm8*4, or general-base imm5*4.
-            let in_range = if ra.number() == 1 { (0..1024).contains(&d) } else { (0..128).contains(&d) };
-            if in_range && d % 4 == 0 { narrow } else { wide }
+            let in_range =
+                if ra.number() == 1 { (0..1024).contains(&d) } else { (0..128).contains(&d) };
+            if in_range && d % 4 == 0 {
+                narrow
+            } else {
+                wide
+            }
         }
-        Lbz { d, .. } | Stb { d, .. } => if (0..32).contains(&d) { narrow } else { wide },
+        Lbz { d, .. } | Stb { d, .. } => {
+            if (0..32).contains(&d) {
+                narrow
+            } else {
+                wide
+            }
+        }
         Lhz { d, .. } | Sth { d, .. } => {
-            if (0..64).contains(&d) && d % 2 == 0 { narrow } else { wide }
+            if (0..64).contains(&d) && d % 2 == 0 {
+                narrow
+            } else {
+                wide
+            }
         }
         Lha { .. } => wide,
-        Lwzu { .. } | Lbzu { .. } | Lhzu { .. } | Lhau { .. } | Stwu { .. } | Stbu { .. }
+        Lwzu { .. }
+        | Lbzu { .. }
+        | Lhzu { .. }
+        | Lhau { .. }
+        | Stwu { .. }
+        | Stbu { .. }
         | Sthu { .. } => wide,
-        Lwzx { .. } | Lbzx { .. } | Lhzx { .. } | Stwx { .. } | Stbx { .. } | Sthx { .. } => {
-            narrow
-        }
+        Lwzx { .. } | Lbzx { .. } | Lhzx { .. } | Stwx { .. } | Stbx { .. } | Sthx { .. } => narrow,
         Lmw { .. } | Stmw { .. } => narrow, // push/pop register list
 
         // Branches.
         B { li, aa: false, lk: false } => {
-            if (-2048..2048).contains(&li) { narrow } else { pair }
+            if (-2048..2048).contains(&li) {
+                narrow
+            } else {
+                pair
+            }
         }
         B { lk: true, .. } => pair, // Thumb BL is two halfwords
         B { .. } => pair,
         Bc { bd, aa: false, lk: false, .. } => {
-            if (-256..256).contains(&bd) { narrow } else { wide }
+            if (-256..256).contains(&bd) {
+                narrow
+            } else {
+                wide
+            }
         }
         Bc { .. } => wide,
-        Bclr { .. } => narrow,  // bx lr
-        Bcctr { .. } => narrow, // bx/mov pc, reg
+        Bclr { .. } => narrow,                 // bx lr
+        Bcctr { .. } => narrow,                // bx/mov pc, reg
         Mfspr { .. } | Mtspr { .. } => narrow, // hi-register mov
         Mfcr { .. } | Mtcrf { .. } | Crxor { .. } => wide,
         Twi { .. } => wide,
@@ -254,37 +322,71 @@ fn track_regs(insn: &Insn, regs: &mut HashSet<u8>) {
         }
     };
     match *insn {
-        Addi { rt, ra, .. } | Addis { rt, ra, .. } | Addic { rt, ra, .. }
-        | AddicRc { rt, ra, .. } | Subfic { rt, ra, .. } | Mulli { rt, ra, .. }
-        | Lwz { rt, ra, .. } | Lwzu { rt, ra, .. } | Lbz { rt, ra, .. }
-        | Lbzu { rt, ra, .. } | Lhz { rt, ra, .. } | Lhzu { rt, ra, .. }
-        | Lha { rt, ra, .. } | Lhau { rt, ra, .. } | Lmw { rt, ra, .. } => {
+        Addi { rt, ra, .. }
+        | Addis { rt, ra, .. }
+        | Addic { rt, ra, .. }
+        | AddicRc { rt, ra, .. }
+        | Subfic { rt, ra, .. }
+        | Mulli { rt, ra, .. }
+        | Lwz { rt, ra, .. }
+        | Lwzu { rt, ra, .. }
+        | Lbz { rt, ra, .. }
+        | Lbzu { rt, ra, .. }
+        | Lhz { rt, ra, .. }
+        | Lhzu { rt, ra, .. }
+        | Lha { rt, ra, .. }
+        | Lhau { rt, ra, .. }
+        | Lmw { rt, ra, .. } => {
             push(rt);
             push(ra);
         }
-        Ori { ra, rs, .. } | Oris { ra, rs, .. } | Xori { ra, rs, .. }
-        | Xoris { ra, rs, .. } | AndiRc { ra, rs, .. } | AndisRc { ra, rs, .. }
-        | Srawi { ra, rs, .. } | Extsb { ra, rs, .. } | Extsh { ra, rs, .. }
-        | Cntlzw { ra, rs, .. } | Rlwinm { ra, rs, .. } | Rlwimi { ra, rs, .. } => {
+        Ori { ra, rs, .. }
+        | Oris { ra, rs, .. }
+        | Xori { ra, rs, .. }
+        | Xoris { ra, rs, .. }
+        | AndiRc { ra, rs, .. }
+        | AndisRc { ra, rs, .. }
+        | Srawi { ra, rs, .. }
+        | Extsb { ra, rs, .. }
+        | Extsh { ra, rs, .. }
+        | Cntlzw { ra, rs, .. }
+        | Rlwinm { ra, rs, .. }
+        | Rlwimi { ra, rs, .. } => {
             push(ra);
             push(rs);
         }
-        Stw { rs, ra, .. } | Stwu { rs, ra, .. } | Stb { rs, ra, .. }
-        | Stbu { rs, ra, .. } | Sth { rs, ra, .. } | Sthu { rs, ra, .. }
+        Stw { rs, ra, .. }
+        | Stwu { rs, ra, .. }
+        | Stb { rs, ra, .. }
+        | Stbu { rs, ra, .. }
+        | Sth { rs, ra, .. }
+        | Sthu { rs, ra, .. }
         | Stmw { rs, ra, .. } => {
             push(rs);
             push(ra);
         }
-        Add { rt, ra, rb, .. } | Subf { rt, ra, rb, .. } | Mullw { rt, ra, rb, .. }
-        | Mulhw { rt, ra, rb, .. } | Divw { rt, ra, rb, .. } | Divwu { rt, ra, rb, .. }
-        | Lwzx { rt, ra, rb } | Lbzx { rt, ra, rb } | Lhzx { rt, ra, rb } => {
+        Add { rt, ra, rb, .. }
+        | Subf { rt, ra, rb, .. }
+        | Mullw { rt, ra, rb, .. }
+        | Mulhw { rt, ra, rb, .. }
+        | Divw { rt, ra, rb, .. }
+        | Divwu { rt, ra, rb, .. }
+        | Lwzx { rt, ra, rb }
+        | Lbzx { rt, ra, rb }
+        | Lhzx { rt, ra, rb } => {
             push(rt);
             push(ra);
             push(rb);
         }
-        And { ra, rs, rb, .. } | Or { ra, rs, rb, .. } | Xor { ra, rs, rb, .. }
-        | Nand { ra, rs, rb, .. } | Nor { ra, rs, rb, .. } | Andc { ra, rs, rb, .. }
-        | Orc { ra, rs, rb, .. } | Slw { ra, rs, rb, .. } | Srw { ra, rs, rb, .. }
+        And { ra, rs, rb, .. }
+        | Or { ra, rs, rb, .. }
+        | Xor { ra, rs, rb, .. }
+        | Nand { ra, rs, rb, .. }
+        | Nor { ra, rs, rb, .. }
+        | Andc { ra, rs, rb, .. }
+        | Orc { ra, rs, rb, .. }
+        | Slw { ra, rs, rb, .. }
+        | Srw { ra, rs, rb, .. }
         | Sraw { ra, rs, rb, .. } => {
             push(ra);
             push(rs);
@@ -354,10 +456,7 @@ mod tests {
         assert_eq!(cost(&Insn::B { li: 1000, aa: false, lk: false }), 2);
         assert_eq!(cost(&Insn::B { li: 100_000, aa: false, lk: false }), 4);
         assert_eq!(cost(&Insn::B { li: 64, aa: false, lk: true }), 4, "bl pair");
-        assert_eq!(
-            cost(&Insn::Bc { bo: bo::IF_TRUE, bi: 0, bd: 128, aa: false, lk: false }),
-            2
-        );
+        assert_eq!(cost(&Insn::Bc { bo: bo::IF_TRUE, bi: 0, bd: 128, aa: false, lk: false }), 2);
         assert_eq!(cost(&Insn::Bclr { bo: bo::ALWAYS, bi: 0, lk: false }), 2);
     }
 

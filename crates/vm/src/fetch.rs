@@ -224,11 +224,8 @@ impl CompressedFetcher {
         self.buffer_pos += 1;
         self.stats.insns += 1;
         self.stats.expanded_insns += 1;
-        let next_pc = if self.buffer_pos < self.buffer.len() {
-            self.buffer_pc
-        } else {
-            self.after_buffer
-        };
+        let next_pc =
+            if self.buffer_pos < self.buffer.len() { self.buffer_pc } else { self.after_buffer };
         Fetched { insn, next_pc }
     }
 }
@@ -251,11 +248,8 @@ impl Fetch for CompressedFetcher {
                 Ok(Fetched { insn: codense_ppc::decode(word), next_pc: r.pos() })
             }
             Some(Item::Codeword(rank)) => {
-                let seq = self
-                    .by_rank
-                    .get(rank as usize)
-                    .ok_or(MachineError::FetchFault { pc })?
-                    .clone();
+                let seq =
+                    self.by_rank.get(rank as usize).ok_or(MachineError::FetchFault { pc })?.clone();
                 if seq.is_empty() {
                     return Err(MachineError::FetchFault { pc });
                 }

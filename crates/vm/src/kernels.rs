@@ -34,7 +34,12 @@ impl Kernel {
     }
 }
 
-fn finish(name: &'static str, a: Assembler, init_mem: Vec<(u32, Vec<u8>)>, expected: u32) -> Kernel {
+fn finish(
+    name: &'static str,
+    a: Assembler,
+    init_mem: Vec<(u32, Vec<u8>)>,
+    expected: u32,
+) -> Kernel {
     let mut module = ObjectModule::new(name);
     module.code = a.finish().expect("kernel assembles");
     module.validate().expect("kernel validates");
@@ -154,12 +159,7 @@ pub fn strlen() -> Kernel {
     a.b("loop");
     a.label("done");
     a.emit(Insn::Sc);
-    finish(
-        "strlen",
-        a,
-        vec![(0x3000, TEST_STRING.to_vec())],
-        TEST_STRING.len() as u32 - 1,
-    )
+    finish("strlen", a, vec![(0x3000, TEST_STRING.to_vec())], TEST_STRING.len() as u32 - 1)
 }
 
 /// djb2 hash of the test string — exercises shifts and byte loads.
@@ -307,14 +307,14 @@ pub fn quicksort() -> Kernel {
     a.label("qsort");
     a.emit(Insn::Cmpw { bf: CR0, ra: R3, rb: R4 });
     a.bge(CR0, "qret0"); // lo >= hi
-    // prologue: save lr, r29 (lo), r30 (hi), r28 (pivot index)
+                         // prologue: save lr, r29 (lo), r30 (hi), r28 (pivot index)
     a.emit(Insn::Stwu { rs: R1, ra: R1, d: -32 });
     a.emit(Insn::Mfspr { rt: R0, spr: Spr::Lr });
     a.emit(Insn::Stw { rs: R0, ra: R1, d: 36 });
     a.emit(Insn::Stmw { rs: R28, ra: R1, d: 16 });
     a.emit(Insn::Or { ra: R29, rs: R3, rb: R3, rc: false }); // lo
     a.emit(Insn::Or { ra: R30, rs: R4, rb: R4, rc: false }); // hi
-    // partition: pivot = a[hi]; i = lo-1; for j in lo..hi
+                                                             // partition: pivot = a[hi]; i = lo-1; for j in lo..hi
     a.emit(Insn::Addi { rt: R9, ra: R0, si: 0x5000 });
     a.emit(Insn::Rlwinm { ra: R11, rs: R30, sh: 2, mb: 0, me: 29, rc: false });
     a.emit(Insn::Lwzx { rt: R12, ra: R9, rb: R11 }); // pivot value

@@ -86,14 +86,8 @@ impl Machine {
     /// Creates a machine with the given data-memory size in bytes, with the
     /// stack pointer (`r1`) parked near the top of memory.
     pub fn new(mem_bytes: usize) -> Machine {
-        let mut m = Machine {
-            gpr: [0; 32],
-            lr: 0,
-            ctr: 0,
-            cr: 0,
-            ca: false,
-            mem: vec![0; mem_bytes],
-        };
+        let mut m =
+            Machine { gpr: [0; 32], lr: 0, ctr: 0, cr: 0, ca: false, mem: vec![0; mem_bytes] };
         m.gpr[1] = (mem_bytes as u32).saturating_sub(64) & !15;
         m
     }
@@ -738,14 +732,10 @@ mod tests {
     fn branch_granule_scaling() {
         let mut mach = m();
         // b .+16 bytes = 4 units. At granule 8 (uncompressed): +32 nibbles.
-        let out = mach
-            .step(&Insn::B { li: 16, aa: false, lk: false }, 100, 108, 8)
-            .unwrap();
+        let out = mach.step(&Insn::B { li: 16, aa: false, lk: false }, 100, 108, 8).unwrap();
         assert_eq!(out, Outcome::Branch(100 + 4 * 8));
         // Same instruction in a nibble-compressed program (granule 1).
-        let out = mach
-            .step(&Insn::B { li: 16, aa: false, lk: false }, 100, 109, 1)
-            .unwrap();
+        let out = mach.step(&Insn::B { li: 16, aa: false, lk: false }, 100, 109, 1).unwrap();
         assert_eq!(out, Outcome::Branch(104));
     }
 
@@ -756,12 +746,7 @@ mod tests {
         assert_eq!(out, Outcome::Branch(64 + 10 * 8));
         assert_eq!(mach.lr, 72);
         let out = mach
-            .step(
-                &Insn::Bclr { bo: codense_ppc::insn::bo::ALWAYS, bi: 0, lk: false },
-                200,
-                208,
-                8,
-            )
+            .step(&Insn::Bclr { bo: codense_ppc::insn::bo::ALWAYS, bi: 0, lk: false }, 200, 208, 8)
             .unwrap();
         assert_eq!(out, Outcome::Branch(72));
     }

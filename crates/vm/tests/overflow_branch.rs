@@ -18,7 +18,7 @@ fn overflowing_module() -> ObjectModule {
     let mut a = Assembler::new();
     a.emit(Insn::Cmpwi { bf: CR0, ra: R4, si: 0 });
     a.beq(CR0, "far"); // taken when r4 == 0
-    // Filler: unique instructions (incompressible) so the span stays wide.
+                       // Filler: unique instructions (incompressible) so the span stays wide.
     for i in 0..1200i32 {
         let rt = Gpr::new(3 + (i % 4) as u8).unwrap();
         a.emit(Insn::Addi { rt, ra: rt, si: (i % 3000) as i16 + 1 });
@@ -69,10 +69,7 @@ fn overflow_dispatch_executes_correctly() {
         let result = run(&mut machine, &mut fetch, 0, 100_000).unwrap();
 
         assert_eq!(result.exit_code, reference.exit_code, "r4 = {r4}");
-        assert_eq!(
-            reference.exit_code,
-            if r4 == 0 { 222 } else { 111 }
-        );
+        assert_eq!(reference.exit_code, if r4 == 0 { 222 } else { 111 });
     }
 }
 
@@ -91,8 +88,5 @@ fn ctr_decrementing_overflow_is_rejected() {
     let mut m = ObjectModule::new("bdnz-overflow");
     m.code = a.finish().unwrap();
     let err = Compressor::new(CompressionConfig::nibble_aligned()).compress(&m).unwrap_err();
-    assert!(matches!(
-        err,
-        codense_core::CompressError::UnsupportedOverflowBranch { .. }
-    ));
+    assert!(matches!(err, codense_core::CompressError::UnsupportedOverflowBranch { .. }));
 }

@@ -14,8 +14,8 @@ use codense::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "m88ksim".to_owned());
-    let module = codense::codegen::benchmark(&name)
-        .unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
+    let module =
+        codense::codegen::benchmark(&name).unwrap_or_else(|| panic!("unknown benchmark `{name}`"));
     println!("design space for `{}` ({} bytes of text)\n", module.name, module.text_bytes());
 
     println!("dictionary entry length (baseline codewords):");
@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("mid      4/7/2/2", NibbleSplit { n4: 4, n8: 7, n12: 2, n16: 2 }),
     ] {
         let n = text_nibbles_under_split(&compressed, split);
-        println!("  {label}: {n} nibbles ({:+.2}% vs shipped)", 100.0 * (n as f64 - base as f64) / base as f64);
+        println!(
+            "  {label}: {n} nibbles ({:+.2}% vs shipped)",
+            100.0 * (n as f64 - base as f64) / base as f64
+        );
     }
 
     println!(

@@ -44,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert_eq!(result.steps, reference.steps, "{} {tag}", kernel.name);
             println!(
                 "{:12}  {:9}  {:7}  {:7}  {:.2}",
-                "", tag, result.exit_code, result.steps, result.stats.bits_per_insn()
+                "",
+                tag,
+                result.exit_code,
+                result.steps,
+                result.stats.bits_per_insn()
             );
         }
     }

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Tier-1 verification gate: offline build, full test suite, formatting.
+# Run from anywhere; operates on the repository containing this script.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "verify: OK"

@@ -44,24 +44,22 @@
 //! # }
 //! ```
 
+pub use codense_cache as cache;
 pub use codense_ccrp as ccrp;
 pub use codense_codegen as codegen;
 pub use codense_core as core;
 pub use codense_huffman as huffman;
+pub use codense_liao as liao;
 pub use codense_lzw as lzw;
 pub use codense_obj as obj;
 pub use codense_ppc as ppc;
-pub use codense_vm as vm;
-pub use codense_liao as liao;
-pub use codense_cache as cache;
 pub use codense_thumb as thumb;
+pub use codense_vm as vm;
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use codense_core::verify::verify;
-    pub use codense_core::{
-        CompressedProgram, CompressionConfig, Compressor, EncodingKind,
-    };
+    pub use codense_core::{CompressedProgram, CompressionConfig, Compressor, EncodingKind};
     pub use codense_obj::ObjectModule;
     pub use codense_ppc::{decode, encode, Insn};
     pub use codense_vm::{CompressedFetcher, LinearFetcher, Machine};

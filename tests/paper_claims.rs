@@ -59,11 +59,7 @@ fn nibble_scheme_reaches_30_to_50_percent_reduction() {
         let m = module(name);
         let c = Compressor::new(CompressionConfig::nibble_aligned()).compress(&m).unwrap();
         let reduction = 1.0 - c.compression_ratio();
-        assert!(
-            (0.30..=0.60).contains(&reduction),
-            "{name}: reduction {:.1}%",
-            100.0 * reduction
-        );
+        assert!((0.30..=0.60).contains(&reduction), "{name}: reduction {:.1}%", 100.0 * reduction);
     }
 }
 
