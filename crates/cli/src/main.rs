@@ -8,6 +8,7 @@
 //!                                             [--max-codewords N]
 //! codense analyze <FILE.cdm>                  redundancy / branch / size stats
 //! codense run-kernel <NAME> [--encoding E]    execute a built-in kernel
+//! codense fuzz [--cases N] [--seed S]         differential fuzz campaign
 //! ```
 //!
 //! Encodings: `baseline` (2-byte codewords), `onebyte`, `nibble`.
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("run-kernel") => cmd_run_kernel(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -58,11 +60,18 @@ usage:
   codense analyze <FILE.cdm>
   codense asm <FILE.s> [-o OUT.cdm]
   codense run-kernel <NAME|list> [--encoding baseline|onebyte|nibble|none]
+  codense fuzz [--cases N] [--seed S] [--max-steps N] [--fault-tries N]
 
 --jobs N sets the worker-thread count for parallel phases (candidate-index
-construction, suite generation); the default is the machine's available
-parallelism, and --jobs 1 is the exact sequential reference. Output is
-bit-identical at any job count.
+construction, suite generation, fuzz campaigns); the default is the
+machine's available parallelism, and --jobs 1 is the exact sequential
+reference. Output is bit-identical at any job count.
+
+fuzz generates seeded random programs, runs each natively and through the
+compressed fetch path under all three encodings in lockstep, and fault-
+injects the binary container formats; failures print a reproducer case
+seed and a shrunk minimal program weight. Exit status 1 on any divergence
+or panic.
 
 asm syntax: one instruction per line (the disasm output syntax), `label:`
 definitions, `label` usable as any branch target, `#` comments.
@@ -365,6 +374,39 @@ fn cmd_asm(args: &[String]) -> CliResult {
         .map_err(|e| format!("{out_path}: {e}"))?;
     println!("{out_path}: {} instructions", module.len());
     Ok(())
+}
+
+fn cmd_fuzz(args: &[String]) -> CliResult {
+    let mut opts = codense_fuzz::FuzzOptions::default();
+    if let Some(v) = flag_value(args, "--cases") {
+        opts.cases = v.parse().map_err(|_| "bad --cases")?;
+    }
+    if let Some(v) = flag_value(args, "--seed") {
+        opts.seed = parse_seed(v)?;
+    }
+    if let Some(v) = flag_value(args, "--max-steps") {
+        opts.max_steps = v.parse().map_err(|_| "bad --max-steps")?;
+    }
+    if let Some(v) = flag_value(args, "--fault-tries") {
+        opts.fault_tries = v.parse().map_err(|_| "bad --fault-tries")?;
+    }
+    let report = codense_fuzz::run(&opts);
+    println!("{}", report.render());
+    if report.ok() {
+        Ok(())
+    } else {
+        // The report already printed the failures; exit nonzero quietly.
+        Err(format!("{} failure(s) found", report.failures))
+    }
+}
+
+/// Parses a campaign seed in decimal or `0x` hex.
+fn parse_seed(v: &str) -> Result<u64, String> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("bad --seed `{v}` (decimal or 0x hex)"))
 }
 
 fn cmd_run_kernel(args: &[String]) -> CliResult {

@@ -221,7 +221,7 @@ impl Lowerer {
             start,
             end,
             prologue_len,
-            epilogues: vec![epi_start..end],
+            epilogues: std::iter::once(epi_start..end).collect(),
         });
     }
 
@@ -691,7 +691,7 @@ fn frame_off(ctx: &FnCtx, l: crate::ir::Local) -> i16 {
 /// indices toward hot use, so "first k slots" is the right policy.
 fn reg_locals_for(func: &Function) -> usize {
     // Reserve register homes for roughly half the locals, capped by pool.
-    ((func.locals as usize) + 1) / 2
+    (func.locals as usize).div_ceil(2)
 }
 
 fn function_is_leaf(func: &Function) -> bool {

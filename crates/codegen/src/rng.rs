@@ -63,7 +63,7 @@ impl Rng {
     pub fn weighted(&mut self, weights: &[u32]) -> usize {
         let total: u64 = weights.iter().map(|&w| w as u64).sum();
         assert!(total > 0, "all weights zero");
-        let mut x = (self.next_u64() as u128 * total as u128 >> 64) as u64;
+        let mut x = ((self.next_u64() as u128 * total as u128) >> 64) as u64;
         for (i, &w) in weights.iter().enumerate() {
             if x < w as u64 {
                 return i;

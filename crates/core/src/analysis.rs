@@ -211,7 +211,7 @@ mod tests {
             start: 0,
             end: 10,
             prologue_len: 3,
-            epilogues: vec![8..10],
+            epilogues: std::iter::once(8..10).collect(),
         });
         m.functions.push(FunctionInfo {
             name: "b".into(),

@@ -423,7 +423,7 @@ mod tests {
         let m = simple_module(words);
         let c = Compressor::new(CompressionConfig::baseline()).compress(&m).unwrap();
         assert!(c.compression_ratio() < 0.25, "ratio = {}", c.compression_ratio());
-        assert!(c.dictionary.len() >= 1);
+        assert!(!c.dictionary.is_empty());
         // Expanded stream equals the original.
         let expanded = c.expand();
         assert_eq!(expanded.len(), m.len());

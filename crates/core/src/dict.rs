@@ -105,7 +105,7 @@ impl Dictionary {
         });
         for (rank, &id) in order.iter().enumerate() {
             self.rank_of[id as usize] = rank as u32;
-            self.entry_of[rank as usize] = id;
+            self.entry_of[rank] = id;
         }
     }
 

@@ -421,7 +421,7 @@ mod tests {
     #[test]
     fn no_negative_savings_accepted() {
         // All-unique program: nothing is worth a dictionary entry.
-        let words: Vec<u32> = (0..40).map(|i| w(i)).collect();
+        let words: Vec<u32> = (0..40).map(w).collect();
         let mut model = model_of(words);
         let mut dict = Dictionary::new();
         let picks = run_greedy(&mut model, &mut dict, baseline_params(4, 100));

@@ -32,7 +32,7 @@ impl NibbleWriter {
     /// Appends one nibble (low 4 bits of `n`).
     pub fn push(&mut self, n: u8) {
         let n = n & 0xf;
-        if self.nibbles % 2 == 0 {
+        if self.nibbles.is_multiple_of(2) {
             self.data.push(n << 4);
         } else {
             *self.data.last_mut().expect("odd length implies a byte") |= n;
@@ -102,7 +102,7 @@ impl<'a> NibbleReader<'a> {
     #[allow(clippy::should_implement_trait)] // reader-style `next`, not an Iterator
     pub fn next(&mut self) -> Option<u8> {
         let byte = *self.data.get((self.pos / 2) as usize)?;
-        let n = if self.pos % 2 == 0 { byte >> 4 } else { byte & 0xf };
+        let n = if self.pos.is_multiple_of(2) { byte >> 4 } else { byte & 0xf };
         self.pos += 1;
         Some(n)
     }

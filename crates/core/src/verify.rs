@@ -197,7 +197,7 @@ mod tests {
     fn corrupted_dictionary_fails_verification() {
         let m = looped_module();
         let mut c = Compressor::new(CompressionConfig::baseline()).compress(&m).unwrap();
-        assert!(c.dictionary.len() > 0);
+        assert!(!c.dictionary.is_empty());
         // Corrupt an entry word.
         let mut dict = crate::dict::Dictionary::new();
         for e in c.dictionary.entries() {

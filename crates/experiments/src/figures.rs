@@ -123,7 +123,7 @@ pub fn fig2(ctx: &mut Ctx) {
         .expect("some multi-instruction codeword exists");
     let window = &c.atoms[pos.saturating_sub(2)..(pos + 4).min(c.atoms.len())];
 
-    println!("{:34}  {}", "Uncompressed code", "Compressed code");
+    println!("{:34}  Compressed code", "Uncompressed code");
     let mut used_entries = Vec::new();
     for atom in window {
         match *atom {

@@ -1,0 +1,282 @@
+//! Fault injection: corrupted-input batteries for every decoder path.
+//!
+//! The contract under test is the *no-panic decoder policy*: feeding any
+//! byte soup to `codense_core::container::deserialize`,
+//! `codense_obj::deserialize`, the nibble-stream parser, or a
+//! [`CompressedFetcher`] booted from a corrupt-but-checksummed image must
+//! produce a typed error (or a well-formed value) — never a panic, a hang,
+//! or an out-of-bounds read. Each battery mutates a valid artifact (bit
+//! flips, truncations, splices, extensions, and flips with the trailing
+//! CRC re-fixed so corruption *passes* the integrity check), then drives
+//! the decoder under `catch_unwind` with a bounded execution budget.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use codense_codegen::Rng;
+use codense_core::container;
+use codense_core::encoding::read_item;
+use codense_core::nibbles::NibbleReader;
+use codense_core::{CompressedProgram, CompressionConfig, Compressor, EncodingKind};
+use codense_obj::ObjectModule;
+use codense_vm::fetch::{CompressedFetcher, Fetch};
+use codense_vm::machine::{Machine, Outcome};
+
+/// Tally of one fault-injection battery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Corrupted inputs fed to a decoder.
+    pub checks: u64,
+    /// Inputs rejected with a typed error.
+    pub typed_errors: u64,
+    /// Inputs the decoder accepted (corruption missed the checked bytes, or
+    /// was CRC-fixed on purpose).
+    pub accepted: u64,
+    /// Accepted images additionally driven through bounded execution.
+    pub executed: u64,
+    /// Panics caught — must be zero; anything else is a bug.
+    pub panics: u64,
+}
+
+impl FaultReport {
+    /// Accumulates another report into this one.
+    pub fn absorb(&mut self, other: FaultReport) {
+        self.checks += other.checks;
+        self.typed_errors += other.typed_errors;
+        self.accepted += other.accepted;
+        self.executed += other.executed;
+        self.panics += other.panics;
+    }
+}
+
+/// One corruption of a byte string. Mutations that leave the input
+/// unchanged (flipping a bit back, zero-length splice) are fine: the
+/// decoder must accept the valid form too.
+fn mutate(bytes: &[u8], rng: &mut Rng) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    match rng.below(5) {
+        // Single or multi bit flip.
+        0 => {
+            for _ in 0..rng.range(1, 4) {
+                if out.is_empty() {
+                    break;
+                }
+                let i = rng.below(out.len());
+                out[i] ^= 1 << rng.below(8);
+            }
+        }
+        // Truncation (uniform over lengths, biased to field boundaries by
+        // the dedicated loop in each battery).
+        1 => {
+            out.truncate(rng.below(out.len().max(1)));
+        }
+        // Splice: copy a random slice over another position.
+        2 => {
+            if out.len() >= 2 {
+                let len = rng.range(1, (out.len() / 2).max(1));
+                let src = rng.below(out.len() - len + 1);
+                let dst = rng.below(out.len() - len + 1);
+                let chunk = out[src..src + len].to_vec();
+                out[dst..dst + len].copy_from_slice(&chunk);
+            }
+        }
+        // Extension with junk.
+        3 => {
+            for _ in 0..rng.range(1, 16) {
+                out.push(rng.next_u64() as u8);
+            }
+        }
+        // Flip payload bits, then re-fix the trailing CRC-32 so the
+        // corruption survives the integrity check and reaches the parser.
+        _ => {
+            if out.len() > 8 {
+                let i = rng.below(out.len() - 4);
+                out[i] ^= 1 << rng.below(8);
+                let crc = container::crc32(&out[..out.len() - 4]);
+                let n = out.len();
+                out[n - 4..].copy_from_slice(&crc.to_be_bytes());
+            }
+        }
+    }
+    out
+}
+
+/// Drives a fetcher booted from an accepted (possibly corrupt) image for a
+/// bounded number of steps. Every outcome — clean halt, typed fault, budget
+/// exhaustion — is acceptable; only a panic is not.
+fn bounded_run(image: &container::ProgramImage, max_steps: u64) {
+    let mut fetcher = CompressedFetcher::from_image(image);
+    let mut machine = Machine::new(1 << 16);
+    let mut pc = 0u64;
+    for _ in 0..max_steps {
+        let fetched = match fetcher.fetch(pc) {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        match machine.step(&fetched.insn, pc, fetched.next_pc, fetcher.granule()) {
+            Ok(Outcome::Next) => pc = fetched.next_pc,
+            Ok(Outcome::Branch(t)) => pc = t,
+            Ok(Outcome::Halt) | Err(_) => return,
+        }
+    }
+}
+
+/// Corrupts the `.cdns` container of a compressed program `tries` times and
+/// checks the decode-and-execute path end to end.
+pub fn container_battery(
+    compressed: &CompressedProgram,
+    rng: &mut Rng,
+    tries: usize,
+) -> FaultReport {
+    let bytes = container::serialize(compressed);
+    let mut report = FaultReport::default();
+
+    // Deterministic boundary truncations of the valid container, then the
+    // randomized mutation battery.
+    let boundary_lens =
+        (0..bytes.len().min(32)).chain((bytes.len().saturating_sub(8)..bytes.len()).rev());
+    let mut inputs: Vec<Vec<u8>> = boundary_lens.map(|n| bytes[..n].to_vec()).collect();
+    for _ in 0..tries {
+        inputs.push(mutate(&bytes, rng));
+    }
+
+    for input in inputs {
+        report.checks += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| match container::deserialize(&input) {
+            Ok(image) => {
+                bounded_run(&image, 50_000);
+                (false, true)
+            }
+            Err(_) => (true, false),
+        }));
+        match outcome {
+            Ok((typed, executed)) => {
+                report.typed_errors += typed as u64;
+                report.accepted += executed as u64;
+                report.executed += executed as u64;
+            }
+            Err(_) => report.panics += 1,
+        }
+    }
+    report
+}
+
+/// Corrupts the `.cdm` serialized form of an object module `tries` times;
+/// accepted modules are validated and, when still valid, compressed — the
+/// compressor must also return typed errors, never panic.
+pub fn module_battery(module: &ObjectModule, rng: &mut Rng, tries: usize) -> FaultReport {
+    let bytes = codense_obj::serialize(module);
+    let mut report = FaultReport::default();
+
+    let boundary_lens =
+        (0..bytes.len().min(32)).chain((bytes.len().saturating_sub(8)..bytes.len()).rev());
+    let mut inputs: Vec<Vec<u8>> = boundary_lens.map(|n| bytes[..n].to_vec()).collect();
+    for _ in 0..tries {
+        inputs.push(mutate(&bytes, rng));
+    }
+
+    for input in inputs {
+        report.checks += 1;
+        let config = match rng.below(3) {
+            0 => CompressionConfig::baseline(),
+            1 => CompressionConfig::small_dictionary(32),
+            _ => CompressionConfig::nibble_aligned(),
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| match codense_obj::deserialize(&input) {
+            Ok(m) => {
+                let mut exercised = false;
+                if m.validate().is_ok() && m.len() <= 4 * module.len() + 64 {
+                    // Typed CompressError or success — both fine; the size
+                    // bound keeps spliced-length monsters cheap.
+                    let _ = Compressor::new(config).compress(&m);
+                    exercised = true;
+                }
+                (false, exercised)
+            }
+            Err(_) => (true, false),
+        }));
+        match outcome {
+            Ok((typed, executed)) => {
+                report.typed_errors += typed as u64;
+                report.accepted += (!typed) as u64;
+                report.executed += executed as u64;
+            }
+            Err(_) => report.panics += 1,
+        }
+    }
+    report
+}
+
+/// Feeds random nibble soup to the stream parser under every encoding and
+/// asserts it terminates with monotonic progress — the decoder loop of the
+/// paper's fetch hardware must never live-lock on garbage.
+pub fn nibble_soup_battery(rng: &mut Rng, tries: usize) -> FaultReport {
+    let mut report = FaultReport::default();
+    for _ in 0..tries {
+        let len = rng.range(1, 96);
+        let soup: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        for kind in [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned] {
+            report.checks += 1;
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut r = NibbleReader::new(&soup);
+                let mut last = r.pos();
+                let mut items = 0u64;
+                while let Some(_item) = read_item(kind, &mut r) {
+                    assert!(r.pos() > last, "parser made no progress at nibble {last}");
+                    last = r.pos();
+                    items += 1;
+                    assert!(items <= 2 * soup.len() as u64 + 2, "parser over-ran the stream");
+                }
+                items
+            }));
+            match outcome {
+                Ok(_) => report.typed_errors += 1,
+                Err(_) => report.panics += 1,
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use codense_ppc::encode;
+    use codense_ppc::insn::Insn;
+    use codense_ppc::reg::{R3, R4};
+
+    fn module() -> ObjectModule {
+        let mut m = ObjectModule::new("t");
+        for _ in 0..24 {
+            m.code.push(encode(&Insn::Addi { rt: R3, ra: R3, si: 1 }));
+            m.code.push(encode(&Insn::Addi { rt: R4, ra: R4, si: 2 }));
+        }
+        m.code.push(encode(&Insn::Sc));
+        m
+    }
+
+    #[test]
+    fn container_battery_never_panics() {
+        let c = Compressor::new(CompressionConfig::nibble_aligned()).compress(&module()).unwrap();
+        let mut rng = Rng::new(7);
+        let report = container_battery(&c, &mut rng, 150);
+        assert_eq!(report.panics, 0, "{report:?}");
+        assert!(report.typed_errors > 0);
+        assert!(report.checks >= 150);
+    }
+
+    #[test]
+    fn module_battery_never_panics() {
+        let mut rng = Rng::new(8);
+        let report = module_battery(&module(), &mut rng, 150);
+        assert_eq!(report.panics, 0, "{report:?}");
+        assert!(report.typed_errors > 0);
+    }
+
+    #[test]
+    fn nibble_soup_never_hangs_or_panics() {
+        let mut rng = Rng::new(9);
+        let report = nibble_soup_battery(&mut rng, 120);
+        assert_eq!(report.panics, 0, "{report:?}");
+        assert_eq!(report.checks, 3 * 120);
+    }
+}

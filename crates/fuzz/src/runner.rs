@@ -1,0 +1,311 @@
+//! The fuzz campaign driver: seeded case generation, parallel execution,
+//! shrinking of failures, and a deterministic report.
+//!
+//! Every case derives its own RNG stream from the campaign seed, so the
+//! report is byte-identical for a given `(cases, seed)` pair regardless of
+//! the worker count: `codense_core::parallel::par_map` preserves order, the
+//! report carries no timing, and each case is self-contained.
+
+use codense_codegen::Rng;
+use codense_core::parallel::par_map;
+use codense_core::{verify, CompressionConfig, Compressor};
+use codense_vm::fetch::CompressedFetcher;
+
+use crate::faults::{container_battery, module_battery, nibble_soup_battery, FaultReport};
+use crate::gen::{generate_spec, GenConfig};
+use crate::oracle::{lockstep, lockstep_with, LockstepOk, TraceMask};
+use crate::shrink::shrink;
+use crate::spec::{build, BuiltProgram, ProgramSpec, JT_BASE, MEM_BYTES};
+
+/// Golden-ratio increment used to derive per-case seeds (SplitMix64's own
+/// stream constant, so cases are decorrelated).
+const CASE_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Extra salt separating the fault-injection stream from generation.
+const FAULT_SALT: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// Campaign options.
+#[derive(Debug, Clone)]
+pub struct FuzzOptions {
+    /// Number of differential cases to run.
+    pub cases: usize,
+    /// Campaign seed; every printed failure carries the derived case seed.
+    pub seed: u64,
+    /// Per-run instruction budget for the lockstep oracle.
+    pub max_steps: u64,
+    /// Randomized corruption attempts per fault battery per case.
+    pub fault_tries: usize,
+}
+
+impl Default for FuzzOptions {
+    fn default() -> FuzzOptions {
+        FuzzOptions { cases: 100, seed: 1, max_steps: 200_000, fault_tries: 4 }
+    }
+}
+
+/// The three encodings every case is checked under.
+fn encodings() -> [(&'static str, CompressionConfig); 3] {
+    [
+        ("baseline", CompressionConfig::baseline()),
+        ("one-byte", CompressionConfig::small_dictionary(32)),
+        ("nibble", CompressionConfig::nibble_aligned()),
+    ]
+}
+
+/// The oracle mask for generated programs: `r11` carries fetch-domain
+/// addresses in dispatch sequences, and the jump-table region of data
+/// memory holds domain-specific entries by construction.
+fn fuzz_mask(built: &BuiltProgram) -> TraceMask {
+    let entries: usize = built.module.jump_tables.iter().map(|t| t.targets.len()).sum();
+    TraceMask {
+        skip_gprs: 1 << 11,
+        mem_skip: std::iter::once(JT_BASE as usize..JT_BASE as usize + 4 * entries).collect(),
+    }
+}
+
+/// Outcome of one case, aggregated into the report.
+#[derive(Debug, Clone, Default)]
+struct CaseOutcome {
+    /// Per-encoding completed lockstep runs.
+    completed: [u64; 3],
+    /// Per-encoding skipped (overflow rewriting) runs.
+    skipped: [u64; 3],
+    /// Both-sides-faulted runs (the program was faulty, traces agreed).
+    agreed_faults: u64,
+    faults: FaultReport,
+    /// Failure lines (empty when the case passed).
+    failures: Vec<String>,
+}
+
+/// Runs the full differential pipeline for one case seed.
+fn run_case(opts: &FuzzOptions, case: usize) -> CaseOutcome {
+    let case_seed = opts.seed ^ (case as u64 + 1).wrapping_mul(CASE_SALT);
+    let mut out = CaseOutcome::default();
+    let mut rng = Rng::new(case_seed);
+    let spec = generate_spec(&mut rng, &GenConfig::default());
+
+    let built = match build(&spec) {
+        Ok(b) => b,
+        Err(e) => {
+            out.failures.push(format!("case {case} seed {case_seed:#018x}: build failed: {e}"));
+            return out;
+        }
+    };
+    let mask = fuzz_mask(&built);
+
+    for (ei, (label, config)) in encodings().into_iter().enumerate() {
+        let compressed = match Compressor::new(config.clone()).compress(&built.module) {
+            Ok(c) => c,
+            Err(e) => {
+                out.failures.push(format!(
+                    "case {case} seed {case_seed:#018x}: [{label}] compress error: {e}"
+                ));
+                continue;
+            }
+        };
+        if let Err(e) = verify::verify(&built.module, &compressed) {
+            out.failures
+                .push(format!("case {case} seed {case_seed:#018x}: [{label}] verify error: {e}"));
+            continue;
+        }
+        match lockstep(
+            &built.module,
+            &compressed,
+            &built.table_addrs,
+            &|_| {},
+            &mask,
+            MEM_BYTES,
+            opts.max_steps,
+        ) {
+            Ok(LockstepOk::Completed { .. }) => out.completed[ei] += 1,
+            Ok(LockstepOk::Faulted { .. }) => out.agreed_faults += 1,
+            Ok(LockstepOk::SkippedOverflow) => out.skipped[ei] += 1,
+            Err(divergence) => {
+                let small = shrink(&spec, &|cand| diverges_under(cand, &config, opts.max_steps));
+                out.failures.push(format!(
+                    "case {case} seed {case_seed:#018x}: [{label}] {divergence}; \
+                     reproducer shrunk weight {} -> {}",
+                    spec.weight(),
+                    small.weight()
+                ));
+            }
+        }
+    }
+
+    // Fault-injection stream: independent of the generation stream so
+    // adding mutators never perturbs generated programs.
+    let mut frng = Rng::new(case_seed ^ FAULT_SALT);
+    if let Ok(compressed) =
+        Compressor::new(CompressionConfig::nibble_aligned()).compress(&built.module)
+    {
+        out.faults.absorb(container_battery(&compressed, &mut frng, opts.fault_tries));
+    }
+    out.faults.absorb(module_battery(&built.module, &mut frng, opts.fault_tries));
+    out.faults.absorb(nibble_soup_battery(&mut frng, opts.fault_tries));
+    out
+}
+
+/// Whether `spec` (still) diverges under `config` — the shrinking predicate.
+fn diverges_under(spec: &ProgramSpec, config: &CompressionConfig, max_steps: u64) -> bool {
+    let Ok(built) = build(spec) else { return false };
+    let Ok(compressed) = Compressor::new(config.clone()).compress(&built.module) else {
+        return false;
+    };
+    let mask = fuzz_mask(&built);
+    lockstep(&built.module, &compressed, &built.table_addrs, &|_| {}, &mask, MEM_BYTES, max_steps)
+        .is_err()
+}
+
+/// Result of a fuzz campaign.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Rendered report lines (deterministic for a given options value).
+    pub lines: Vec<String>,
+    /// Total failures (divergences, panics, self-test misses).
+    pub failures: usize,
+}
+
+impl FuzzReport {
+    /// Whether the campaign found nothing.
+    pub fn ok(&self) -> bool {
+        self.failures == 0
+    }
+
+    /// The report as one printable string.
+    pub fn render(&self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+/// The fault-injection self-test: corrupt a dictionary entry of a known
+/// program, prove the oracle catches it, and shrink the program to a
+/// minimal reproducer. Returns report lines and the failure count (0 when
+/// the corruption was caught and the reproducer still reproduces).
+fn self_test(max_steps: u64) -> (Vec<String>, usize) {
+    let mut rng = Rng::new(0xC0DE_D0C5);
+    let cfg = GenConfig { max_funcs: 2, ..GenConfig::default() };
+    // Generated specs draw from a vocabulary, so a dictionary always forms;
+    // search a few seeds for one whose hottest entries sit on the hot path.
+    let mut found: Option<(ProgramSpec, u32, String)> = None;
+    for _ in 0..20 {
+        let spec = generate_spec(&mut rng, &cfg);
+        if let Some((rank, kind)) = detectable_rank(&spec, max_steps) {
+            found = Some((spec, rank, kind));
+            break;
+        }
+    }
+    let Some((spec, rank, kind)) = found else {
+        return (vec!["self-test: FAILED - no seeded corruption was ever detected".into()], 1);
+    };
+
+    let small = shrink(&spec, &|cand| detectable_rank(cand, max_steps).is_some());
+    let still = detectable_rank(&small, max_steps).is_some();
+    let line = format!(
+        "self-test: corrupt dictionary rank {rank} caught ({kind}); \
+         reproducer shrunk weight {} -> {}",
+        spec.weight(),
+        small.weight()
+    );
+    if still {
+        (vec![line], 0)
+    } else {
+        (vec![line, "self-test: FAILED - shrunk reproducer lost the failure".into()], 1)
+    }
+}
+
+/// Finds the lowest dictionary rank whose single-bit corruption makes the
+/// lockstep oracle diverge for this spec (nibble encoding), with the
+/// divergence kind. `None` if the spec builds no detectable dictionary use.
+fn detectable_rank(spec: &ProgramSpec, max_steps: u64) -> Option<(u32, String)> {
+    let built = build(spec).ok()?;
+    let compressed =
+        Compressor::new(CompressionConfig::nibble_aligned()).compress(&built.module).ok()?;
+    let mask = fuzz_mask(&built);
+    for rank in 0..compressed.dictionary.len() as u32 {
+        let mut image = compressed.to_image();
+        image.dictionary_by_rank[rank as usize][0] ^= 1 << 21;
+        let fetcher = CompressedFetcher::from_image(&image);
+        if let Err(d) = lockstep_with(
+            fetcher,
+            &built.module,
+            &compressed,
+            &built.table_addrs,
+            &|_| {},
+            &mask,
+            MEM_BYTES,
+            max_steps,
+        ) {
+            return Some((rank, d.kind.to_string()));
+        }
+    }
+    None
+}
+
+/// Runs a fuzz campaign. Worker count comes from
+/// [`codense_core::parallel::jobs`]; the report is independent of it.
+pub fn run(opts: &FuzzOptions) -> FuzzReport {
+    let mut lines = vec![format!(
+        "codense fuzz: cases={} seed={:#x} max-steps={} fault-tries={}",
+        opts.cases, opts.seed, opts.max_steps, opts.fault_tries
+    )];
+    let (st_lines, mut failures) = self_test(opts.max_steps);
+    lines.extend(st_lines);
+
+    let outcomes = par_map((0..opts.cases).collect(), |_, case| run_case(opts, case));
+
+    let mut completed = [0u64; 3];
+    let mut skipped = [0u64; 3];
+    let mut agreed_faults = 0u64;
+    let mut faults = FaultReport::default();
+    let mut failure_lines = Vec::new();
+    for out in outcomes {
+        for e in 0..3 {
+            completed[e] += out.completed[e];
+            skipped[e] += out.skipped[e];
+        }
+        agreed_faults += out.agreed_faults;
+        faults.absorb(out.faults);
+        failure_lines.extend(out.failures);
+    }
+    failures += failure_lines.len() + faults.panics as usize;
+
+    let labels = encodings().map(|(l, _)| l);
+    for e in 0..3 {
+        lines.push(format!(
+            "encoding {}: completed={} skipped-overflow={}",
+            labels[e], completed[e], skipped[e]
+        ));
+    }
+    lines.push(format!("agreed-faults={agreed_faults}"));
+    lines.push(format!(
+        "fault-injection: checks={} typed-errors={} accepted={} executed={} panics={}",
+        faults.checks, faults.typed_errors, faults.accepted, faults.executed, faults.panics
+    ));
+    lines.extend(failure_lines);
+    lines.push(if failures == 0 {
+        format!("result: OK ({} cases, 0 divergences, 0 panics)", opts.cases)
+    } else {
+        format!("result: FAIL ({failures} failures over {} cases)", opts.cases)
+    });
+    FuzzReport { lines, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_campaign_is_clean_and_deterministic() {
+        let opts = FuzzOptions { cases: 6, seed: 99, max_steps: 200_000, fault_tries: 2 };
+        let a = run(&opts);
+        assert!(a.ok(), "campaign found failures:\n{}", a.render());
+        let b = run(&opts);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn self_test_detects_seeded_corruption() {
+        let (lines, failures) = self_test(200_000);
+        assert_eq!(failures, 0, "{lines:?}");
+        assert!(lines[0].contains("caught"), "{lines:?}");
+    }
+}

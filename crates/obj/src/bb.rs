@@ -58,8 +58,8 @@ impl BasicBlocks {
         }
         let mut blocks = Vec::new();
         let mut start = 0;
-        for i in 1..n {
-            if leaders[i] {
+        for (i, &lead) in leaders.iter().enumerate().skip(1) {
+            if lead {
                 blocks.push((start, i));
                 start = i;
             }

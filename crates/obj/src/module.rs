@@ -272,7 +272,7 @@ mod tests {
             start: 0,
             end: 8,
             prologue_len: 2,
-            epilogues: vec![6..8],
+            epilogues: std::iter::once(6..8).collect(),
         });
         assert!(m.validate().is_ok());
         m.functions[0].end = 9;

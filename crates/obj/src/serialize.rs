@@ -213,7 +213,7 @@ mod tests {
             start: 0,
             end: 20,
             prologue_len: 3,
-            epilogues: vec![17..20],
+            epilogues: std::iter::once(17..20).collect(),
         });
         m.functions.push(FunctionInfo {
             name: "f1".into(),

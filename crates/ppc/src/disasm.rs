@@ -113,8 +113,14 @@ pub fn disassemble_insn(insn: &Insn, addr: u32) -> String {
             let target = if aa { li as u32 } else { addr.wrapping_add(li as u32) };
             format!("{m} {target:08x}")
         }
-        Bc { bo: b, bi, bd, aa, lk } => {
-            let target = if aa { bd as u32 } else { addr.wrapping_add(bd as i32 as u32) };
+        Bc { bo: b, bi, bd, aa: true, lk } => {
+            // Absolute conditional branches keep the generic form: the `a`
+            // suffix is the only thing that preserves the AA bit in text.
+            let m = if lk { "bcla" } else { "bca" };
+            format!("{m} {b},{bi},{:08x}", bd as u32)
+        }
+        Bc { bo: b, bi, bd, aa: false, lk } => {
+            let target = addr.wrapping_add(bd as i32 as u32);
             cond_branch(b, bi, lk, &format!("{target:08x}"))
         }
         Bclr { bo: b, bi, lk } => match (b, bi, lk) {
@@ -228,9 +234,13 @@ fn cond_branch(b: u8, bi: u8, lk: bool, target: &str) -> String {
                 format!("{n}{suffix}{l} cr{crf}")
             }
         }
-        None => match (b, bi) {
-            (bo::DNZ, 0) => format!("bdnz{l} {target}"),
-            (bo::DZ, 0) => format!("bdz{l} {target}"),
+        // `bdnz lr` would not round-trip, so register-indirect branches with
+        // a non-pretty BO always take the generic bclr/bcctr form.
+        None => match (target, b, bi) {
+            ("lr", _, _) => format!("bclr{l} {b},{bi}"),
+            ("ctr", _, _) => format!("bcctr{l} {b},{bi}"),
+            (_, bo::DNZ, 0) => format!("bdnz{l} {target}"),
+            (_, bo::DZ, 0) => format!("bdz{l} {target}"),
             _ => format!("bc{l} {b},{bi},{target}"),
         },
     }

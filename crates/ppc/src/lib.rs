@@ -68,7 +68,7 @@ pub fn words_to_bytes(words: &[u32]) -> Vec<u8> {
 ///
 /// Panics if `bytes.len()` is not a multiple of 4.
 pub fn bytes_to_words(bytes: &[u8]) -> Vec<u32> {
-    assert!(bytes.len() % 4 == 0, "text image must be word aligned");
+    assert!(bytes.len().is_multiple_of(4), "text image must be word aligned");
     bytes.chunks_exact(4).map(|c| u32::from_be_bytes([c[0], c[1], c[2], c[3]])).collect()
 }
 

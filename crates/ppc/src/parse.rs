@@ -204,7 +204,9 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
         }};
     }
 
-    // Conditional-branch helper: `beq [crN,]TARGET`-style.
+    // Conditional-branch helper: `beq[l] [crN,]TARGET`-style. The link bit
+    // comes from the mnemonic's trailing `l` (none of the condition names
+    // themselves end in `l`).
     let cond_branch =
         |op: &str, bit_fn: fn(CrField) -> u8, sense: u8| -> Result<Insn, ParseError> {
             let (crf, target) = match ops.len() {
@@ -216,7 +218,7 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
             let bd = i16::try_from(bd).map_err(|_| ParseError {
                 message: format!("conditional branch target out of range `{target}`"),
             })?;
-            Ok(Insn::Bc { bo: sense, bi: bit_fn(crf), bd, aa: false, lk: false })
+            Ok(Insn::Bc { bo: sense, bi: bit_fn(crf), bd, aa: false, lk: op.ends_with('l') })
         };
 
     match base {
@@ -405,8 +407,8 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
 
         "b" | "bl" | "ba" | "bla" => {
             n(1)?;
-            let aa = base.contains('a') && base != "b" && base != "bl";
-            let lk = base.ends_with('l') && base != "b";
+            let aa = base == "ba" || base == "bla";
+            let lk = base == "bl" || base == "bla";
             let li = if aa {
                 u32::from_str_radix(ops[0], 16)
                     .map_err(|_| ParseError { message: format!("bad target `{}`", ops[0]) })?
@@ -416,21 +418,21 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
             };
             Ok(Insn::B { li, aa, lk })
         }
-        "beq" => cond_branch("beq", CrField::eq_bit, bo::IF_TRUE),
-        "bne" => cond_branch("bne", CrField::eq_bit, bo::IF_FALSE),
-        "blt" => cond_branch("blt", CrField::lt_bit, bo::IF_TRUE),
-        "bge" => cond_branch("bge", CrField::lt_bit, bo::IF_FALSE),
-        "bgt" => cond_branch("bgt", CrField::gt_bit, bo::IF_TRUE),
-        "ble" => cond_branch("ble", CrField::gt_bit, bo::IF_FALSE),
-        "bso" => cond_branch("bso", CrField::so_bit, bo::IF_TRUE),
-        "bns" => cond_branch("bns", CrField::so_bit, bo::IF_FALSE),
-        "bdnz" | "bdz" => {
+        "beq" | "beql" => cond_branch(base, CrField::eq_bit, bo::IF_TRUE),
+        "bne" | "bnel" => cond_branch(base, CrField::eq_bit, bo::IF_FALSE),
+        "blt" | "bltl" => cond_branch(base, CrField::lt_bit, bo::IF_TRUE),
+        "bge" | "bgel" => cond_branch(base, CrField::lt_bit, bo::IF_FALSE),
+        "bgt" | "bgtl" => cond_branch(base, CrField::gt_bit, bo::IF_TRUE),
+        "ble" | "blel" => cond_branch(base, CrField::gt_bit, bo::IF_FALSE),
+        "bso" | "bsol" => cond_branch(base, CrField::so_bit, bo::IF_TRUE),
+        "bns" | "bnsl" => cond_branch(base, CrField::so_bit, bo::IF_FALSE),
+        "bdnz" | "bdz" | "bdnzl" | "bdzl" => {
             n(1)?;
             let bd = parse_target(ops[0], addr)?;
             let bd = i16::try_from(bd)
                 .map_err(|_| ParseError { message: "bdnz/bdz target out of range".into() })?;
-            let b = if base == "bdnz" { bo::DNZ } else { bo::DZ };
-            Ok(Insn::Bc { bo: b, bi: 0, bd, aa: false, lk: false })
+            let b = if base.starts_with("bdnz") { bo::DNZ } else { bo::DZ };
+            Ok(Insn::Bc { bo: b, bi: 0, bd, aa: false, lk: base.ends_with('l') })
         }
         "bc" | "bcl" => {
             n(3)?;
@@ -444,11 +446,31 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
                 lk: base == "bcl",
             })
         }
+        "bca" | "bcla" => {
+            n(3)?;
+            // The disassembler prints the raw (sign-extended) displacement as
+            // an absolute hex address.
+            let target = u32::from_str_radix(ops[2], 16)
+                .map_err(|_| ParseError { message: format!("bad branch target `{}`", ops[2]) })?;
+            let bd = i16::try_from(target as i32)
+                .map_err(|_| ParseError { message: "bca target out of range".into() })?;
+            Ok(Insn::Bc {
+                bo: parse_u8_field(ops[0], 32)?,
+                bi: parse_u8_field(ops[1], 32)?,
+                bd,
+                aa: true,
+                lk: base == "bcla",
+            })
+        }
         "blr" => Ok(Insn::Bclr { bo: bo::ALWAYS, bi: 0, lk: false }),
         "blrl" => Ok(Insn::Bclr { bo: bo::ALWAYS, bi: 0, lk: true }),
         "bctr" => Ok(Insn::Bcctr { bo: bo::ALWAYS, bi: 0, lk: false }),
         "bctrl" => Ok(Insn::Bcctr { bo: bo::ALWAYS, bi: 0, lk: true }),
-        "beqlr" | "bnelr" | "bltlr" | "bgelr" | "bgtlr" | "blelr" | "bsolr" | "bnslr" => {
+        "beqlr" | "bnelr" | "bltlr" | "bgelr" | "bgtlr" | "blelr" | "bsolr" | "bnslr"
+        | "beqlrl" | "bnelrl" | "bltlrl" | "bgelrl" | "bgtlrl" | "blelrl" | "bsolrl" | "bnslrl"
+        | "beqctr" | "bnectr" | "bltctr" | "bgectr" | "bgtctr" | "blectr" | "bsoctr" | "bnsctr"
+        | "beqctrl" | "bnectrl" | "bltctrl" | "bgectrl" | "bgtctrl" | "blectrl" | "bsoctrl"
+        | "bnsctrl" => {
             let crf = if ops.len() == 1 { parse_crf(ops[0])? } else { CrField::new(0).unwrap() };
             let (bit, sense) = match &base[1..3] {
                 "eq" => (crf.eq_bit(), bo::IF_TRUE),
@@ -460,7 +482,24 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
                 "ns" => (crf.so_bit(), bo::IF_FALSE),
                 _ => (crf.gt_bit(), bo::IF_FALSE),
             };
-            Ok(Insn::Bclr { bo: sense, bi: bit, lk: false })
+            let rest = &base[3..]; // "lr", "lrl", "ctr" or "ctrl"
+            let lk = rest.ends_with("rl");
+            if rest.starts_with("ctr") {
+                Ok(Insn::Bcctr { bo: sense, bi: bit, lk })
+            } else {
+                Ok(Insn::Bclr { bo: sense, bi: bit, lk })
+            }
+        }
+        "bclr" | "bclrl" | "bcctr" | "bcctrl" => {
+            n(2)?;
+            let b = parse_u8_field(ops[0], 32)?;
+            let bi = parse_u8_field(ops[1], 32)?;
+            let lk = base.ends_with('l');
+            if base.starts_with("bclr") {
+                Ok(Insn::Bclr { bo: b, bi, lk })
+            } else {
+                Ok(Insn::Bcctr { bo: b, bi, lk })
+            }
         }
 
         "crclr" => {
@@ -482,7 +521,10 @@ pub fn parse_insn(text: &str, addr: u32) -> Result<Insn, ParseError> {
         }
         "mtcrf" => {
             n(2)?;
-            Ok(Insn::Mtcrf { fxm: parse_u8_field(ops[0], 255)?, rs: parse_gpr(ops[1])? })
+            // fxm is a full 8-bit field mask; 255 (all fields) is valid.
+            let fxm = u8::try_from(parse_int(ops[0])?)
+                .map_err(|_| ParseError { message: format!("fxm out of range `{}`", ops[0]) })?;
+            Ok(Insn::Mtcrf { fxm, rs: parse_gpr(ops[1])? })
         }
         "mflr" | "mfctr" | "mfxer" => {
             n(1)?;
@@ -602,11 +644,6 @@ mod tests {
         for (idx, &w) in words.iter().enumerate() {
             let insn = crate::decode(w);
             if matches!(insn, Insn::Illegal(_)) {
-                continue;
-            }
-            // Absolute branches print raw addresses that don't roundtrip
-            // through the relative parser; skip aa forms.
-            if matches!(insn, Insn::B { aa: true, .. } | Insn::Bc { aa: true, .. }) {
                 continue;
             }
             let addr = (idx as u32) * 4;

@@ -99,12 +99,11 @@ pub fn thumb_cost_bytes(insn: &Insn, model: ThumbModel) -> u32 {
     match *insn {
         // Moves/ALU immediates: mov/add/sub imm8, add 3-address imm3.
         Addi { rt, ra, si } => {
-            if ra.number() == 0 && (0..256).contains(&si) {
-                narrow // mov rd, #imm8
-            } else if rt == ra && (-255..256).contains(&si) {
-                narrow // add/sub rd, #imm8
-            } else if (-7..8).contains(&si) {
-                narrow // add rd, rs, #imm3
+            let mov_imm8 = ra.number() == 0 && (0..256).contains(&si);
+            let add_sub_imm8 = rt == ra && (-255..256).contains(&si);
+            let add_imm3 = (-7..8).contains(&si);
+            if mov_imm8 || add_sub_imm8 || add_imm3 {
+                narrow
             } else {
                 wide
             }
@@ -163,9 +162,8 @@ pub fn thumb_cost_bytes(insn: &Insn, model: ThumbModel) -> u32 {
         // D-form logical immediates: 8-bit values fit and-/orr-/eor-with-
         // mov-imm8 pairs poorly; only tiny masks stay narrow via lsls/lsrs.
         Ori { rs, ra, ui } => {
-            if ui == 0 && rs == ra {
-                narrow
-            } else if ui < 256 && rs == ra {
+            // nop (ui == 0) and orr-imm8 both stay narrow.
+            if ui < 256 && rs == ra {
                 narrow
             } else {
                 wide
@@ -284,9 +282,11 @@ pub fn analyze_with(module: &ObjectModule, model: ThumbModel) -> ThumbReport {
     for func in &module.functions {
         let mut thumb_cost = model.veneer_bytes as usize;
         let mut regs: HashSet<u8> = HashSet::new();
-        for i in func.start..func.end {
-            covered[i] = true;
-            let insn = decode(module.code[i]);
+        for (flag, &word) in
+            covered[func.start..func.end].iter_mut().zip(&module.code[func.start..func.end])
+        {
+            *flag = true;
+            let insn = decode(word);
             let cost = thumb_cost_bytes(&insn, model);
             match cost {
                 2 => report.narrow += 1,

@@ -93,7 +93,7 @@ impl LinearFetcher {
 
 impl Fetch for LinearFetcher {
     fn fetch(&mut self, pc: u64) -> Result<Fetched, MachineError> {
-        if pc % 8 != 0 {
+        if !pc.is_multiple_of(8) {
             return Err(MachineError::FetchFault { pc });
         }
         let idx = (pc / 8) as usize;

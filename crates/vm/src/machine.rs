@@ -413,7 +413,7 @@ impl Machine {
             }
             Divwu { rt, ra, rb, rc } => {
                 let b = self.reg(rb);
-                let v = if b == 0 { 0 } else { self.reg(ra) / b };
+                let v = self.reg(ra).checked_div(b).unwrap_or(0);
                 let v = self.record_if(rc, v);
                 self.set_reg(rt, v);
             }

@@ -57,6 +57,57 @@ fn compressed_kernels_match_uncompressed() {
     }
 }
 
+/// Stronger form of [`compressed_kernels_match_uncompressed`]: instead of
+/// comparing final states, run every kernel through the differential oracle,
+/// which checks the *whole trace* — per-step PC correspondence against the
+/// atom map, fetched instructions, every unmasked register, CR, CA, and the
+/// control-flow outcome — under all three encodings.
+#[test]
+fn kernels_lockstep_full_trace_under_all_encodings() {
+    use codense_fuzz::oracle::{lockstep, LockstepOk, TraceMask};
+
+    // r0 legitimately differs: call-heavy kernels stage LR (a fetch-domain
+    // address) through it. The stack region likewise holds spilled return
+    // addresses, which are domain-specific.
+    let mask =
+        TraceMask { skip_gprs: 1 << 0, mem_skip: std::iter::once(0xE0000..1 << 20).collect() };
+
+    for kernel in kernels::all() {
+        assert!(
+            kernel.module.jump_tables.is_empty(),
+            "{}: kernels are table-free; extend table_addrs handling if this changes",
+            kernel.name
+        );
+        // Reference step count, for the cross-encoding agreement check.
+        let mut ref_machine = Machine::new(1 << 20);
+        kernel.apply_init(&mut ref_machine);
+        let mut ref_fetch = LinearFetcher::new(kernel.module.code.clone());
+        let reference = run(&mut ref_machine, &mut ref_fetch, 0, 1_000_000).unwrap();
+
+        for (tag, config) in configs() {
+            let compressed = Compressor::new(config)
+                .compress(&kernel.module)
+                .unwrap_or_else(|e| panic!("{} {tag}: {e}", kernel.name));
+            let got = lockstep(
+                &kernel.module,
+                &compressed,
+                &[],
+                &|machine| kernel.apply_init(machine),
+                &mask,
+                1 << 20,
+                1_000_000,
+            )
+            .unwrap_or_else(|d| panic!("{} {tag}: trace divergence: {d}", kernel.name));
+            assert_eq!(
+                got,
+                LockstepOk::Completed { steps: reference.steps, exit: kernel.expected },
+                "{} {tag}",
+                kernel.name
+            );
+        }
+    }
+}
+
 #[test]
 fn compressed_fetch_bandwidth_not_worse() {
     // Dictionary expansion means fewer program-memory bits per delivered

@@ -14,4 +14,10 @@ cargo test -q --workspace
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> fuzz smoke (500 cases)"
+./target/release/codense fuzz --cases 500 --seed 1
+
 echo "verify: OK"
