@@ -27,6 +27,7 @@
 //! assert_eq!(cache.stats().misses, 2);
 //! ```
 
+use codense_core::telemetry;
 use codense_vm::{Fetch, FetchStats};
 
 /// Cache geometry. All three parameters must be powers of two and
@@ -106,14 +107,18 @@ impl Cache {
         let set = (line as usize) % self.config.sets();
         let tags = &mut self.sets[set];
         self.stats.accesses += 1;
+        telemetry::CACHE_ACCESSES.inc();
         if let Some(pos) = tags.iter().position(|&t| t == line) {
             let tag = tags.remove(pos);
             tags.push(tag);
+            telemetry::CACHE_HITS.inc();
             true
         } else {
             self.stats.misses += 1;
+            telemetry::CACHE_MISSES.inc();
             if tags.len() == self.config.ways {
                 tags.remove(0);
+                telemetry::CACHE_EVICTIONS.inc();
             }
             tags.push(line);
             false
@@ -192,6 +197,7 @@ impl<F: Fetch> TracingFetch<F> {
 /// Replays a reference trace against a cache (nibble addresses halved to
 /// bytes, lengths rounded out to whole bytes).
 pub fn replay(trace: &[FetchRef], cache: &mut Cache) {
+    telemetry::CACHE_REPLAYS.inc();
     for r in trace {
         if r.nibbles == 0 {
             continue;

@@ -1,0 +1,120 @@
+//! Edge-case geometries for the I-cache model: direct-mapped caches,
+//! fully-associative caches, minimal line sizes, and explicit LRU
+//! eviction-order checks that pin the replacement policy (not just the
+//! hit/miss totals).
+
+use codense_cache::{Cache, CacheConfig};
+
+/// Line addresses for `n` distinct lines under `line` bytes.
+fn lines(line: u64, n: u64) -> Vec<u64> {
+    (0..n).map(|i| i * line).collect()
+}
+
+#[test]
+fn direct_mapped_single_set_thrashes() {
+    // 1 set, 1 way: every distinct line conflicts with every other.
+    let mut c = Cache::new(CacheConfig { size_bytes: 16, line_bytes: 16, ways: 1 });
+    assert_eq!(c.config().sets(), 1);
+    assert!(!c.access(0));
+    assert!(c.access(8), "same line hits");
+    assert!(!c.access(16), "any other line evicts");
+    assert!(!c.access(0), "and the original is gone");
+    assert_eq!(c.stats().misses, 3);
+}
+
+#[test]
+fn direct_mapped_distinct_sets_coexist() {
+    // 4 sets, 1 way: lines mapping to different sets never conflict.
+    let mut c = Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 1 });
+    assert_eq!(c.config().sets(), 4);
+    for addr in lines(16, 4) {
+        assert!(!c.access(addr), "cold miss at {addr}");
+    }
+    for addr in lines(16, 4) {
+        assert!(c.access(addr), "resident at {addr}");
+    }
+    assert_eq!(c.stats().misses, 4);
+}
+
+#[test]
+fn fully_associative_has_one_set() {
+    // ways == size/line: a single set holding every line.
+    let mut c = Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 4 });
+    assert_eq!(c.config().sets(), 1);
+    // Addresses that would all collide in a direct-mapped cache of the same
+    // size coexist here regardless of their set bits.
+    for i in 0..4u64 {
+        assert!(!c.access(i * 64));
+    }
+    for i in 0..4u64 {
+        assert!(c.access(i * 64), "line {i} resident");
+    }
+    assert_eq!(c.stats().misses, 4);
+}
+
+#[test]
+fn fully_associative_lru_eviction_order() {
+    let mut c = Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 4 });
+    // Fill: A B C D (LRU order A, B, C, D).
+    for addr in [0u64, 16, 32, 48] {
+        c.access(addr);
+    }
+    // Touch A and C: LRU order becomes B, D, A, C.
+    c.access(0);
+    c.access(32);
+    // Each new line must evict exactly the current LRU victim.
+    assert!(!c.access(64), "new line E (evicts B, the LRU)");
+    assert!(c.access(48), "D survived E's fill");
+    assert!(c.access(0), "A survived E's fill");
+    assert!(!c.access(16), "B was E's victim (reload evicts C)");
+    assert!(!c.access(32), "C was the reload's victim");
+    assert!(c.access(48), "D still resident after both evictions");
+}
+
+#[test]
+fn minimal_line_config() {
+    // Smallest legal geometry in every dimension: 1-byte lines, 1 way.
+    let mut c = Cache::new(CacheConfig { size_bytes: 4, line_bytes: 1, ways: 1 });
+    assert_eq!(c.config().sets(), 4);
+    assert!(!c.access(0));
+    assert!(c.access(0), "byte-granular hit");
+    assert!(!c.access(4), "same set (addr mod 4), new tag");
+    assert!(!c.access(0), "evicted by the conflict");
+    assert_eq!(c.stats(), codense_cache::CacheStats { accesses: 4, misses: 3 });
+}
+
+#[test]
+fn minimal_line_range_access_is_per_byte() {
+    let mut c = Cache::new(CacheConfig { size_bytes: 8, line_bytes: 1, ways: 1 });
+    c.access_range(0, 5);
+    assert_eq!(c.stats().accesses, 5, "one access per byte line");
+    assert_eq!(c.stats().misses, 5);
+    c.access_range(0, 5);
+    assert_eq!(c.stats().misses, 5, "second pass all hits");
+}
+
+#[test]
+fn set_associative_lru_is_per_set() {
+    // 2 sets x 2 ways; evictions in one set must not disturb the other.
+    let mut c = Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2 });
+    assert_eq!(c.config().sets(), 2);
+    // Set 0 lines: 0, 64, 128...; set 1 lines: 16, 80, ...
+    c.access(0);
+    c.access(16);
+    c.access(64);
+    // Set 0 now holds {0, 64}; pushing 128 evicts 0 (LRU of set 0).
+    assert!(!c.access(128));
+    assert!(!c.access(0), "0 evicted from set 0");
+    assert!(c.access(16), "set 1 untouched by set 0 traffic");
+}
+
+#[test]
+fn eviction_count_matches_capacity_overflow() {
+    let mut c = Cache::new(CacheConfig { size_bytes: 32, line_bytes: 16, ways: 2 });
+    // 6 distinct lines through a 2-line cache: every access misses
+    // (the first two fills find empty ways; the rest evict).
+    for addr in lines(16, 6) {
+        assert!(!c.access(addr));
+    }
+    assert_eq!(c.stats().misses, 6);
+}

@@ -8,10 +8,15 @@
 //!                                             [--max-codewords N]
 //! codense analyze <FILE.cdm>                  redundancy / branch / size stats
 //! codense run-kernel <NAME> [--encoding E]    execute a built-in kernel
+//! codense repro [--bench NAME]                suite ratio table, all encodings
+//! codense sweep [--bench NAME]                Figs 4/5/8 parameter sweeps
 //! codense fuzz [--cases N] [--seed S]         differential fuzz campaign
 //! ```
 //!
 //! Encodings: `baseline` (2-byte codewords), `onebyte`, `nibble`.
+//!
+//! Global flags: `--jobs N` (worker-pool width) and `--metrics OUT.json`
+//! (telemetry report + per-phase summary on stderr after the command).
 
 use std::process::ExitCode;
 
@@ -24,6 +29,14 @@ fn main() -> ExitCode {
         eprintln!("codense: {e}");
         return ExitCode::from(2);
     }
+    let metrics_path = match take_metrics(&mut args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("codense: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let command = args.first().cloned().unwrap_or_else(|| "help".to_owned());
     let result = match args.first().map(String::as_str) {
         Some("gen") => cmd_gen(&args[1..]),
         Some("info") => cmd_info(&args[1..]),
@@ -32,6 +45,8 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("asm") => cmd_asm(&args[1..]),
         Some("run-kernel") => cmd_run_kernel(&args[1..]),
+        Some("repro") => cmd_repro(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("help") | None => {
             print!("{}", USAGE);
@@ -39,6 +54,16 @@ fn main() -> ExitCode {
         }
         Some(other) => Err(format!("unknown command `{other}`\n{USAGE}")),
     };
+    // Metrics are written even when the command fails: the counters of a
+    // failing run are exactly what a bug report needs.
+    if let Some(path) = metrics_path {
+        let json = codense_core::telemetry::metrics_json(&command);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("codense: {path}: {e}");
+            return ExitCode::from(2);
+        }
+        eprint!("{}", codense_core::telemetry::render_summary());
+    }
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -50,7 +75,7 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "\
 usage:
-  codense [--jobs N] <command> ...
+  codense [--jobs N] [--metrics OUT.json] <command> ...
 
   codense gen <benchmark|all> [-o DIR]
   codense info <FILE.cdm|FILE.cdns>
@@ -60,12 +85,28 @@ usage:
   codense analyze <FILE.cdm>
   codense asm <FILE.s> [-o OUT.cdm]
   codense run-kernel <NAME|list> [--encoding baseline|onebyte|nibble|none]
+  codense repro [--bench NAME]
+  codense sweep [--bench NAME]
   codense fuzz [--cases N] [--seed S] [--max-steps N] [--fault-tries N]
 
 --jobs N sets the worker-thread count for parallel phases (candidate-index
 construction, suite generation, fuzz campaigns); the default is the
 machine's available parallelism, and --jobs 1 is the exact sequential
 reference. Output is bit-identical at any job count.
+
+--metrics OUT.json writes a schema-stable telemetry report (sorted-key
+JSON: every registered counter plus per-phase timings) after the command
+runs, and prints a per-phase summary table on stderr. The `counters`
+section is deterministic: byte-identical at any --jobs value; the
+`timings` section carries wall-clock data and is excluded from that
+contract.
+
+repro regenerates the deterministic synthetic benchmark suite, compresses
+every benchmark under all three encodings, verifies each result, and
+prints the compression-ratio table (the paper's headline numbers).
+
+sweep runs the parameter sweeps behind Figures 4-8 (max entry length,
+codeword count, small dictionaries) on one benchmark (default `compress`).
 
 fuzz generates seeded random programs, runs each natively and through the
 compressed fetch path under all three encodings in lockstep, and fault-
@@ -107,6 +148,28 @@ fn take_jobs(args: &mut Vec<String>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Extracts a global `--metrics PATH` / `--metrics=PATH`; the telemetry
+/// report is written there after command dispatch.
+fn take_metrics(args: &mut Vec<String>) -> Result<Option<String>, String> {
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics" {
+            if i + 1 >= args.len() {
+                return Err("--metrics requires a file path".into());
+            }
+            path = Some(args[i + 1].clone());
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--metrics=") {
+            path = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    Ok(path)
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -373,6 +436,114 @@ fn cmd_asm(args: &[String]) -> CliResult {
     std::fs::write(&out_path, codense_obj::serialize(&module))
         .map_err(|e| format!("{out_path}: {e}"))?;
     println!("{out_path}: {} instructions", module.len());
+    Ok(())
+}
+
+/// The paper's headline experiment: regenerate the deterministic synthetic
+/// suite, compress every benchmark under all three encodings, verify each
+/// result, and print the ratio table.
+fn cmd_repro(args: &[String]) -> CliResult {
+    use codense_core::telemetry;
+    let bench_filter = flag_value(args, "--bench");
+    let profiles: Vec<_> = codense_codegen::spec_profiles()
+        .into_iter()
+        .filter(|p| bench_filter.is_none_or(|b| p.name == b))
+        .collect();
+    if profiles.is_empty() {
+        return Err(format!("repro: unknown benchmark `{}`", bench_filter.unwrap_or("")));
+    }
+    let modules: Vec<ObjectModule> = {
+        let _phase = telemetry::phase("suite-gen");
+        codense_core::parallel::par_map(profiles, |_, p| codense_codegen::generate_module(&p))
+    };
+    const ENCODINGS: [EncodingKind; 3] =
+        [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned];
+
+    let compress_phase = telemetry::phase("compress-suite");
+    let rows: Vec<(String, usize, usize, [f64; 3])> =
+        codense_core::parallel::par_map(modules, |_, m| {
+            let mut ratios = [0.0f64; 3];
+            for (i, &encoding) in ENCODINGS.iter().enumerate() {
+                let config = CompressionConfig {
+                    max_entry_len: 4,
+                    max_codewords: encoding.capacity(),
+                    encoding,
+                };
+                let c =
+                    Compressor::new(config).compress(&m).map_err(|e| format!("{}: {e}", m.name))?;
+                verify(&m, &c).map_err(|e| format!("{} ({encoding:?}): {e}", m.name))?;
+                ratios[i] = c.compression_ratio();
+            }
+            Ok::<_, String>((m.name.clone(), m.len(), m.text_bytes(), ratios))
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
+    drop(compress_phase);
+
+    println!(
+        "{:<10} {:>7} {:>8} {:>9} {:>8} {:>7}",
+        "bench", "insns", "bytes", "baseline", "onebyte", "nibble"
+    );
+    let mut mean = [0.0f64; 3];
+    for (name, insns, bytes, r) in &rows {
+        println!(
+            "{name:<10} {insns:>7} {bytes:>8} {:>8.1}% {:>7.1}% {:>6.1}%",
+            100.0 * r[0],
+            100.0 * r[1],
+            100.0 * r[2]
+        );
+        for i in 0..3 {
+            mean[i] += r[i];
+        }
+    }
+    let n = rows.len() as f64;
+    println!(
+        "{:<10} {:>7} {:>8} {:>8.1}% {:>7.1}% {:>6.1}%",
+        "average",
+        "",
+        "",
+        100.0 * mean[0] / n,
+        100.0 * mean[1] / n,
+        100.0 * mean[2] / n
+    );
+    Ok(())
+}
+
+/// Parameter sweeps behind Figures 4-8 on one benchmark.
+fn cmd_sweep(args: &[String]) -> CliResult {
+    use codense_core::{sweep, telemetry};
+    let bench = flag_value(args, "--bench").unwrap_or("compress");
+    let module =
+        codense_codegen::benchmark(bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    println!("sweeps on `{}` ({} insns, {} bytes)", module.name, module.len(), module.text_bytes());
+
+    {
+        let _phase = telemetry::phase("sweep-entry-len");
+        let lens = [1usize, 2, 3, 4, 6, 8];
+        let points = sweep::entry_len_sweep(&module, &lens).map_err(|e| e.to_string())?;
+        println!("max entry length (Fig 4):");
+        for (l, ratio) in points {
+            println!("  {l:>2} insns: {:.1}%", 100.0 * ratio);
+        }
+    }
+    {
+        let _phase = telemetry::phase("sweep-codewords");
+        let counts = [16usize, 64, 256, 1024, 4096, 8192];
+        let points = sweep::codeword_count_sweep(&module, 4, &counts).map_err(|e| e.to_string())?;
+        println!("codeword count (Fig 5):");
+        for (k, ratio) in points {
+            println!("  {k:>5} codewords: {:.1}%", 100.0 * ratio);
+        }
+    }
+    {
+        let _phase = telemetry::phase("sweep-small-dict");
+        let counts = [16usize, 32, 64, 128, 256];
+        let points = sweep::small_dictionary_sweep(&module, &counts).map_err(|e| e.to_string())?;
+        println!("small dictionaries, 1-byte codewords (Fig 8):");
+        for (n, ratio) in points {
+            println!("  {n:>4} entries: {:.1}%", 100.0 * ratio);
+        }
+    }
     Ok(())
 }
 

@@ -191,6 +191,8 @@ impl Compressor {
     /// See [`CompressError`].
     pub fn compress(&self, module: &ObjectModule) -> Result<CompressedProgram, CompressError> {
         let kind = self.config.encoding;
+        crate::telemetry::COMPRESS_RUNS.inc();
+        let _phase = crate::telemetry::phase("compress");
 
         // Escape opcodes must not occur as real instructions under the
         // byte-level schemes (§4.1: escape bytes are *illegal* opcodes).
@@ -203,6 +205,7 @@ impl Compressor {
         }
 
         // 1. Greedy dictionary selection over the basic-block model.
+        let greedy_phase = crate::telemetry::phase("greedy");
         let mut model = ProgramModel::build(module);
         let mut dictionary = Dictionary::new();
         let params = GreedyParams {
@@ -216,6 +219,7 @@ impl Compressor {
             },
         };
         let picks = run_greedy(&mut model, &mut dictionary, params);
+        drop(greedy_phase);
 
         // 2. Rank assignment: shortest codewords to the most-used entries.
         dictionary.assign_ranks_by_use();
@@ -235,10 +239,12 @@ impl Compressor {
         //    changes sizes, hence the loop). Rewrites only grow atoms, so
         //    the set of rewritten branches grows monotonically and the loop
         //    terminates.
+        let layout_phase = crate::telemetry::phase("layout");
         let mut overflow_slots = 0usize;
         let mut addresses;
         let mut rounds = 0;
         loop {
+            crate::telemetry::COMPRESS_LAYOUT_ROUNDS.inc();
             addresses = self.layout(&atoms, &dictionary);
             let addr_of = |orig: usize, atoms: &[Atom]| -> u64 {
                 match atoms.binary_search_by_key(&orig, Atom::orig) {
@@ -262,6 +268,7 @@ impl Compressor {
                         }
                     }
                     atoms[i] = Atom::ViaTable { word, orig, slot: overflow_slots };
+                    crate::telemetry::COMPRESS_OVERFLOW_REWRITES.inc();
                     overflow_slots += 1;
                     changed = true;
                 }
@@ -301,7 +308,10 @@ impl Compressor {
             }
         }
 
+        drop(layout_phase);
+
         // 6. Pack the image.
+        let pack_phase = crate::telemetry::phase("pack");
         let mut w = NibbleWriter::new();
         for (i, atom) in atoms.iter().enumerate() {
             debug_assert_eq!(w.len(), addresses[i], "layout/pack disagreement at atom {i}");
@@ -318,6 +328,7 @@ impl Compressor {
             }
         }
         let total_nibbles = w.len();
+        drop(pack_phase);
 
         // 7. Patch jump tables to compressed addresses.
         let jump_tables = module

@@ -26,6 +26,7 @@ use std::collections::{BTreeSet, BinaryHeap, HashMap};
 
 use crate::dict::Dictionary;
 use crate::model::{Cell, ProgramModel};
+use crate::telemetry;
 
 /// Cost model for the savings function, in bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,6 +118,7 @@ pub fn run_greedy(
 
     while dict.len() < params.max_codewords {
         let Some(top) = index.heap.pop() else { break };
+        telemetry::GREEDY_HEAP_POPS.inc();
         let len = top.seq.len();
         let Some(set) = index.occ.get(&top.seq) else { continue };
         let n = effective_count(set, len);
@@ -126,6 +128,7 @@ pub fn run_greedy(
             continue; // candidate dead; others may still be live
         }
         if savings < top.savings {
+            telemetry::GREEDY_STALE_REINSERTS.inc();
             index.heap.push(HeapItem { savings, seq: top.seq });
             continue;
         }
@@ -137,6 +140,8 @@ pub fn run_greedy(
         for &(b, p) in &positions {
             index.replace(model, b as usize, p as usize, entry, len, params.max_entry_len);
         }
+        telemetry::GREEDY_PICKS_ACCEPTED.inc();
+        telemetry::GREEDY_REPLACEMENTS.add(n as u64);
         picks.push(PickRecord { entry, len, replaced: n, savings_bits: savings });
     }
     picks
@@ -202,6 +207,7 @@ impl Index {
                 occ.entry(seq).or_default().extend(set);
             }
         }
+        telemetry::GREEDY_CANDIDATES_SEEDED.add(occ.len() as u64);
         // Heap seeding is the only place HashMap iteration order is
         // observed; the heap's total order makes pops deterministic anyway.
         let heap = occ
@@ -310,14 +316,17 @@ fn add_windows(
     end: usize,
     max_len: usize,
 ) {
+    let mut added = 0u64;
     for s in start..end {
         let limit = max_len.min(end - s);
         let mut words = Vec::with_capacity(limit);
         for l in 1..=limit {
             words.push(cells[s + l - 1].compressible_word().expect("run cell"));
             occ.entry(words.clone().into_boxed_slice()).or_default().insert((b, s as u32));
+            added += 1;
         }
     }
+    telemetry::GREEDY_WINDOW_ADDS.add(added);
 }
 
 fn remove_windows(
@@ -328,6 +337,7 @@ fn remove_windows(
     end: usize,
     max_len: usize,
 ) {
+    let mut removed = 0u64;
     for s in start..end {
         let limit = max_len.min(end - s);
         let mut words = Vec::with_capacity(limit);
@@ -336,12 +346,14 @@ fn remove_windows(
             let key: Seq = words.clone().into_boxed_slice();
             if let Some(set) = occ.get_mut(&key) {
                 set.remove(&(b, s as u32));
+                removed += 1;
                 if set.is_empty() {
                     occ.remove(&key);
                 }
             }
         }
     }
+    telemetry::GREEDY_WINDOW_REMOVES.add(removed);
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@ pub mod nibbles;
 pub mod parallel;
 pub mod stats;
 pub mod sweep;
+pub mod telemetry;
 pub mod verify;
 
 pub use compressor::{Atom, CompressedProgram, Compressor};

@@ -34,6 +34,8 @@ pub fn codeword_count_sweep(
     points: &[usize],
 ) -> Result<Vec<(usize, f64)>, CompressError> {
     let cap = points.iter().copied().max().unwrap_or(0).min(8192);
+    crate::telemetry::SWEEP_POINTS.add(points.len() as u64);
+    crate::telemetry::SWEEP_FULL_COMPRESSIONS.inc();
     let config =
         CompressionConfig { max_entry_len, max_codewords: cap, encoding: EncodingKind::Baseline };
     let c = Compressor::new(config).compress(module)?;
@@ -43,6 +45,7 @@ pub fn codeword_count_sweep(
 /// The baseline-encoding compression ratio after only the first `k` greedy
 /// picks, reconstructed from the pick log.
 pub fn ratio_at_prefix(c: &CompressedProgram, k: usize) -> f64 {
+    crate::telemetry::SWEEP_PREFIX_POINTS.inc();
     let orig = c.original_text_bytes as f64;
     let mut text = orig;
     let mut dict = 0.0;
@@ -64,6 +67,8 @@ pub fn entry_len_sweep(
     module: &ObjectModule,
     lens: &[usize],
 ) -> Result<Vec<(usize, f64)>, CompressError> {
+    crate::telemetry::SWEEP_POINTS.add(lens.len() as u64);
+    crate::telemetry::SWEEP_FULL_COMPRESSIONS.add(lens.len() as u64);
     crate::parallel::par_map(lens.to_vec(), |_, l| {
         let config = CompressionConfig {
             max_entry_len: l,
@@ -88,6 +93,8 @@ pub fn dict_composition_sweep(
     max_entry_len: usize,
     sizes: &[usize],
 ) -> Result<Vec<(usize, Vec<usize>)>, CompressError> {
+    crate::telemetry::SWEEP_POINTS.add(sizes.len() as u64);
+    crate::telemetry::SWEEP_FULL_COMPRESSIONS.inc();
     let cap = sizes.iter().copied().max().unwrap_or(0).min(8192);
     let config =
         CompressionConfig { max_entry_len, max_codewords: cap, encoding: EncodingKind::Baseline };
@@ -115,6 +122,8 @@ pub fn savings_by_length_sweep(
     max_entry_len: usize,
     sizes: &[usize],
 ) -> Result<Vec<(usize, Vec<f64>)>, CompressError> {
+    crate::telemetry::SWEEP_POINTS.add(sizes.len() as u64);
+    crate::telemetry::SWEEP_FULL_COMPRESSIONS.inc();
     let cap = sizes.iter().copied().max().unwrap_or(0).min(8192);
     let config =
         CompressionConfig { max_entry_len, max_codewords: cap, encoding: EncodingKind::Baseline };
@@ -142,6 +151,8 @@ pub fn small_dictionary_sweep(
     module: &ObjectModule,
     entry_counts: &[usize],
 ) -> Result<Vec<(usize, f64)>, CompressError> {
+    crate::telemetry::SWEEP_POINTS.add(entry_counts.len() as u64);
+    crate::telemetry::SWEEP_FULL_COMPRESSIONS.add(entry_counts.len() as u64);
     crate::parallel::par_map(entry_counts.to_vec(), |_, n| {
         let c = Compressor::new(CompressionConfig::small_dictionary(n)).compress(module)?;
         Ok((n, c.compression_ratio()))

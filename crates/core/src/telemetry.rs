@@ -1,0 +1,367 @@
+//! Deterministic pipeline telemetry: typed counters and hierarchical phase
+//! timers behind `--metrics` on the CLI front ends.
+//!
+//! The design splits observability into two planes with different
+//! determinism contracts:
+//!
+//! * **Counters** ([`Counter`]) count *work*, never time: heap pops in the
+//!   greedy selector, occurrence-index window updates, codeword expansions
+//!   in the VM fetch path, cache misses, fuzz cases. Every increment site
+//!   counts a unit of work whose total is independent of scheduling, and
+//!   aggregation is a commutative atomic add — so for a fixed input the
+//!   final value of every counter is **byte-identical between `--jobs 1`
+//!   and `--jobs N`**. The `metrics-determinism` tests pin this.
+//! * **Phase timers** ([`phase`]) measure wall-clock time in a hierarchy
+//!   (`repro/compress/greedy`). Timings are inherently nondeterministic and
+//!   are reported in a separate `timings` section that determinism checks
+//!   exclude. Phase *paths* nest through a thread-local stack, so a phase
+//!   opened on a worker thread records under its own root rather than
+//!   inheriting an unrelated parent.
+//!
+//! Every counter in the system is declared in this module (the registry is
+//! the [`counters`] array), giving the JSON report a closed, schema-stable
+//! key set: a counter that never fires still appears with value 0. The
+//! report format is documented in `EXPERIMENTS.md` and produced by
+//! [`metrics_json`]; [`render_summary`] renders the human-oriented per-phase
+//! table printed to stderr.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A named monotonic event counter. Increments are relaxed atomic adds:
+/// commutative, so totals are independent of thread interleaving.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter (used by this module's static registry and by
+    /// tests needing a private instance).
+    pub const fn new(name: &'static str) -> Counter {
+        Counter { name, value: AtomicU64::new(0) }
+    }
+
+    /// The counter's registry name (`layer.event`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+macro_rules! registry {
+    ($($ident:ident => $name:literal),+ $(,)?) => {
+        $(
+            #[doc = concat!("The `", $name, "` counter.")]
+            pub static $ident: Counter = Counter::new($name);
+        )+
+
+        /// Every counter in the system, sorted by name. The closed set makes
+        /// the `counters` section of the metrics report schema-stable.
+        pub fn counters() -> &'static [&'static Counter] {
+            static ALL: &[&Counter] = &[$(&$ident),+];
+            ALL
+        }
+    };
+}
+
+// Sorted by name; `registry_is_sorted` pins the order (the JSON report
+// relies on it for stable output).
+registry! {
+    CACHE_ACCESSES => "cache.accesses",
+    CACHE_EVICTIONS => "cache.evictions",
+    CACHE_HITS => "cache.hits",
+    CACHE_MISSES => "cache.misses",
+    CACHE_REPLAYS => "cache.replays",
+    COMPRESS_LAYOUT_ROUNDS => "compress.layout_rounds",
+    COMPRESS_OVERFLOW_REWRITES => "compress.overflow_rewrites",
+    COMPRESS_RUNS => "compress.runs",
+    FUZZ_CASES => "fuzz.cases",
+    FUZZ_DIVERGENCES => "fuzz.divergences",
+    FUZZ_FAULT_CHECKS => "fuzz.fault_checks",
+    FUZZ_LOCKSTEP_RUNS => "fuzz.lockstep_runs",
+    FUZZ_SHRINK_CANDIDATES => "fuzz.shrink_candidates",
+    GREEDY_CANDIDATES_SEEDED => "greedy.candidates_seeded",
+    GREEDY_HEAP_POPS => "greedy.heap_pops",
+    GREEDY_PICKS_ACCEPTED => "greedy.picks_accepted",
+    GREEDY_REPLACEMENTS => "greedy.replacements",
+    GREEDY_STALE_REINSERTS => "greedy.stale_reinserts",
+    GREEDY_WINDOW_ADDS => "greedy.window_adds",
+    GREEDY_WINDOW_REMOVES => "greedy.window_removes",
+    SWEEP_FULL_COMPRESSIONS => "sweep.full_compressions",
+    SWEEP_POINTS => "sweep.points",
+    SWEEP_PREFIX_POINTS => "sweep.prefix_points",
+    VERIFY_RUNS => "verify.runs",
+    VM_FETCH_BUFFERED_INSNS => "vm.fetch.buffered_insns",
+    VM_FETCH_CODEWORDS => "vm.fetch.codewords",
+    VM_FETCH_ESCAPES => "vm.fetch.escapes",
+    VM_FETCH_LINEAR_INSNS => "vm.fetch.linear_insns",
+    VM_FETCH_NIBBLES => "vm.fetch.nibbles",
+}
+
+/// Accumulated wall-clock statistics of one phase path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Times the phase ran.
+    pub calls: u64,
+    /// Total wall-clock nanoseconds across calls.
+    pub total_ns: u64,
+}
+
+struct TimerState {
+    /// Phase path (`a/b/c`) → accumulated stats.
+    phases: std::collections::BTreeMap<String, PhaseStat>,
+    /// Wall-clock epoch: process start or last [`reset`].
+    epoch: Instant,
+}
+
+fn timers() -> &'static Mutex<TimerState> {
+    static TIMERS: std::sync::OnceLock<Mutex<TimerState>> = std::sync::OnceLock::new();
+    TIMERS.get_or_init(|| {
+        Mutex::new(TimerState { phases: std::collections::BTreeMap::new(), epoch: Instant::now() })
+    })
+}
+
+thread_local! {
+    /// The open phases on this thread, outermost first.
+    static PHASE_STACK: std::cell::RefCell<Vec<&'static str>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// An open phase; dropping it records the elapsed wall-clock time under the
+/// phase's hierarchical path.
+#[must_use = "a phase measures the scope it is bound to"]
+#[derive(Debug)]
+pub struct PhaseGuard {
+    start: Instant,
+}
+
+/// Opens a phase. Phases nest per thread: a phase opened while another is
+/// open records under `outer/inner`.
+pub fn phase(name: &'static str) -> PhaseGuard {
+    PHASE_STACK.with(|s| s.borrow_mut().push(name));
+    PhaseGuard { start: Instant::now() }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        let path = PHASE_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let path = stack.join("/");
+            stack.pop();
+            path
+        });
+        let mut t = timers().lock().unwrap();
+        let stat = t.phases.entry(path).or_default();
+        stat.calls += 1;
+        stat.total_ns += elapsed.as_nanos() as u64;
+    }
+}
+
+/// Zeroes every counter, clears phase statistics, and restarts the
+/// wall-clock epoch. Call at the start of an instrumented command (or
+/// between measured sections in tests).
+pub fn reset() {
+    for c in counters() {
+        c.reset();
+    }
+    let mut t = timers().lock().unwrap();
+    t.phases.clear();
+    t.epoch = Instant::now();
+}
+
+/// Snapshot of every counter as `(name, value)`, in registry (name) order.
+pub fn counter_snapshot() -> Vec<(&'static str, u64)> {
+    counters().iter().map(|c| (c.name(), c.get())).collect()
+}
+
+/// Snapshot of every recorded phase as `(path, stat)`, sorted by path.
+pub fn phase_snapshot() -> Vec<(String, PhaseStat)> {
+    timers().lock().unwrap().phases.iter().map(|(k, &v)| (k.clone(), v)).collect()
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full metrics report: schema-stable JSON with sorted keys and
+/// fixed indentation.
+///
+/// Layout (`schema` 1):
+///
+/// ```json
+/// {
+///   "command": "<subcommand>",
+///   "counters": { "<layer.event>": <u64>, ... },
+///   "schema": 1,
+///   "timings": {
+///     "jobs": <u64>,
+///     "phases": [ { "calls": <u64>, "name": "<a/b>", "total_us": <u64> } ],
+///     "wall_us": <u64>
+///   }
+/// }
+/// ```
+///
+/// The `counters` object is the determinism contract: for a fixed workload
+/// it is byte-identical at any `--jobs` value. `timings` carries wall-clock
+/// data and the worker count and is excluded from determinism checks.
+pub fn metrics_json(command: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"command\": \"{}\",\n", json_escape(command)));
+    out.push_str("  \"counters\": {\n");
+    let counters = counter_snapshot();
+    for (i, (name, value)) in counters.iter().enumerate() {
+        let comma = if i + 1 < counters.len() { "," } else { "" };
+        out.push_str(&format!("    \"{name}\": {value}{comma}\n"));
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"timings\": {\n");
+    out.push_str(&format!("    \"jobs\": {},\n", crate::parallel::jobs()));
+    out.push_str("    \"phases\": [\n");
+    let phases = phase_snapshot();
+    for (i, (path, stat)) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        out.push_str(&format!(
+            "      {{ \"calls\": {}, \"name\": \"{}\", \"total_us\": {} }}{comma}\n",
+            stat.calls,
+            json_escape(path),
+            stat.total_ns / 1_000
+        ));
+    }
+    out.push_str("    ],\n");
+    let wall = timers().lock().unwrap().epoch.elapsed();
+    out.push_str(&format!("    \"wall_us\": {}\n", wall.as_micros()));
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the per-phase summary table (plus non-zero counters) printed to
+/// stderr by instrumented commands.
+pub fn render_summary() -> String {
+    let phases = phase_snapshot();
+    let mut out = String::new();
+    out.push_str("--- telemetry ---\n");
+    if !phases.is_empty() {
+        let width = phases.iter().map(|(p, _)| p.len()).max().unwrap_or(5).max(5);
+        out.push_str(&format!("{:width$}  {:>6}  {:>12}\n", "phase", "calls", "total"));
+        for (path, stat) in &phases {
+            out.push_str(&format!(
+                "{path:width$}  {:>6}  {:>9.1?}\n",
+                stat.calls,
+                std::time::Duration::from_nanos(stat.total_ns)
+            ));
+        }
+    }
+    let hot: Vec<(&str, u64)> = counter_snapshot().into_iter().filter(|&(_, v)| v > 0).collect();
+    if !hot.is_empty() {
+        let width = hot.iter().map(|(n, _)| n.len()).max().unwrap().max(7);
+        out.push_str(&format!("{:width$}  {:>14}\n", "counter", "value"));
+        for (name, value) in hot {
+            out.push_str(&format!("{name:width$}  {value:>14}\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        let names: Vec<&str> = counters().iter().map(|c| c.name()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted, "registry must be sorted by name, without duplicates");
+    }
+
+    #[test]
+    fn counter_arithmetic() {
+        static LOCAL: Counter = Counter::new("test.local");
+        assert_eq!(LOCAL.get(), 0);
+        LOCAL.inc();
+        LOCAL.add(41);
+        assert_eq!(LOCAL.get(), 42);
+        assert_eq!(LOCAL.name(), "test.local");
+    }
+
+    #[test]
+    fn json_is_schema_stable() {
+        // Two reports from the same process have identical key structure:
+        // strip values and compare shapes.
+        let shape = |json: &str| -> Vec<String> {
+            json.lines().filter_map(|l| l.split(':').next()).map(str::to_string).collect()
+        };
+        let a = metrics_json("x");
+        let b = metrics_json("x");
+        assert_eq!(shape(&a), shape(&b));
+        assert!(a.contains("\"schema\": 1"));
+        assert!(a.contains("\"counters\""));
+        assert!(a.contains("\"timings\""));
+        // Every registered counter appears even when untouched.
+        for c in counters() {
+            assert!(a.contains(&format!("\"{}\":", c.name())), "{} missing", c.name());
+        }
+    }
+
+    #[test]
+    fn phases_nest_into_paths() {
+        // Use distinctive names to find our entries among other tests'.
+        {
+            let _outer = phase("telemetry-test-outer");
+            let _inner = phase("telemetry-test-inner");
+        }
+        let phases = phase_snapshot();
+        assert!(
+            phases
+                .iter()
+                .any(|(p, s)| p == "telemetry-test-outer/telemetry-test-inner" && s.calls >= 1),
+            "{phases:?}"
+        );
+        assert!(phases.iter().any(|(p, _)| p == "telemetry-test-outer"), "{phases:?}");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("tab\there"), "tab\\u0009here");
+    }
+}

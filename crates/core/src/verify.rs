@@ -31,6 +31,8 @@ use crate::nibbles::NibbleReader;
 /// program provably expands to the original (modulo the intended branch
 /// re-encoding).
 pub fn verify(module: &ObjectModule, compressed: &CompressedProgram) -> Result<(), VerifyError> {
+    crate::telemetry::VERIFY_RUNS.inc();
+    let _phase = crate::telemetry::phase("verify");
     verify_coverage_and_words(module, compressed)?;
     verify_image(compressed)?;
     verify_jump_tables(module, compressed)?;

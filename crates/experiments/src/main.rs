@@ -14,6 +14,10 @@
 //! generation, per-benchmark sweeps, baseline compression). `--jobs 1` is
 //! the exact sequential reference; the default is the machine's available
 //! parallelism. Output is bit-identical at any width.
+//!
+//! `--metrics OUT.json` writes the telemetry report (same schema as the
+//! `codense` CLI flag) after all requested exhibits have run. The
+//! `counters` section is byte-identical at any `--jobs` value.
 
 mod figures;
 mod report;
@@ -83,9 +87,33 @@ fn take_jobs(args: &mut Vec<String>) {
     }
 }
 
+/// Extracts `--metrics PATH` / `--metrics=PATH`; the telemetry report is
+/// written there after the run.
+fn take_metrics(args: &mut Vec<String>) -> Option<String> {
+    let mut path = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--metrics" {
+            if i + 1 >= args.len() {
+                eprintln!("--metrics requires a file path");
+                std::process::exit(2);
+            }
+            path = Some(args[i + 1].clone());
+            args.drain(i..i + 2);
+        } else if let Some(v) = args[i].strip_prefix("--metrics=") {
+            path = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    path
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     take_jobs(&mut args);
+    let metrics_path = take_metrics(&mut args);
     let requested: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
         EXPERIMENTS.iter().map(|&(n, _)| n).collect()
     } else {
@@ -126,4 +154,13 @@ fn main() {
         eprintln!("{name:<12} {:>9.1?}  ({per_s:>12.0} suite insns/s)", elapsed);
     }
     eprintln!("{:<12} {total:>9.1?}", "total");
+
+    if let Some(path) = metrics_path {
+        let json = codense_core::telemetry::metrics_json("repro");
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+        eprint!("{}", codense_core::telemetry::render_summary());
+    }
 }

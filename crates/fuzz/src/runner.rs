@@ -8,7 +8,7 @@
 
 use codense_codegen::Rng;
 use codense_core::parallel::par_map;
-use codense_core::{verify, CompressionConfig, Compressor};
+use codense_core::{telemetry, verify, CompressionConfig, Compressor};
 use codense_vm::fetch::CompressedFetcher;
 
 use crate::faults::{container_battery, module_battery, nibble_soup_battery, FaultReport};
@@ -78,6 +78,7 @@ struct CaseOutcome {
 
 /// Runs the full differential pipeline for one case seed.
 fn run_case(opts: &FuzzOptions, case: usize) -> CaseOutcome {
+    telemetry::FUZZ_CASES.inc();
     let case_seed = opts.seed ^ (case as u64 + 1).wrapping_mul(CASE_SALT);
     let mut out = CaseOutcome::default();
     let mut rng = Rng::new(case_seed);
@@ -107,6 +108,7 @@ fn run_case(opts: &FuzzOptions, case: usize) -> CaseOutcome {
                 .push(format!("case {case} seed {case_seed:#018x}: [{label}] verify error: {e}"));
             continue;
         }
+        telemetry::FUZZ_LOCKSTEP_RUNS.inc();
         match lockstep(
             &built.module,
             &compressed,
@@ -120,6 +122,7 @@ fn run_case(opts: &FuzzOptions, case: usize) -> CaseOutcome {
             Ok(LockstepOk::Faulted { .. }) => out.agreed_faults += 1,
             Ok(LockstepOk::SkippedOverflow) => out.skipped[ei] += 1,
             Err(divergence) => {
+                telemetry::FUZZ_DIVERGENCES.inc();
                 let small = shrink(&spec, &|cand| diverges_under(cand, &config, opts.max_steps));
                 out.failures.push(format!(
                     "case {case} seed {case_seed:#018x}: [{label}] {divergence}; \
@@ -141,11 +144,13 @@ fn run_case(opts: &FuzzOptions, case: usize) -> CaseOutcome {
     }
     out.faults.absorb(module_battery(&built.module, &mut frng, opts.fault_tries));
     out.faults.absorb(nibble_soup_battery(&mut frng, opts.fault_tries));
+    telemetry::FUZZ_FAULT_CHECKS.add(out.faults.checks);
     out
 }
 
 /// Whether `spec` (still) diverges under `config` — the shrinking predicate.
 fn diverges_under(spec: &ProgramSpec, config: &CompressionConfig, max_steps: u64) -> bool {
+    telemetry::FUZZ_SHRINK_CANDIDATES.inc();
     let Ok(built) = build(spec) else { return false };
     let Ok(compressed) = Compressor::new(config.clone()).compress(&built.module) else {
         return false;
@@ -221,6 +226,7 @@ fn detectable_rank(spec: &ProgramSpec, max_steps: u64) -> Option<(u32, String)> 
         Compressor::new(CompressionConfig::nibble_aligned()).compress(&built.module).ok()?;
     let mask = fuzz_mask(&built);
     for rank in 0..compressed.dictionary.len() as u32 {
+        telemetry::FUZZ_LOCKSTEP_RUNS.inc();
         let mut image = compressed.to_image();
         image.dictionary_by_rank[rank as usize][0] ^= 1 << 21;
         let fetcher = CompressedFetcher::from_image(&image);
@@ -247,10 +253,15 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
         "codense fuzz: cases={} seed={:#x} max-steps={} fault-tries={}",
         opts.cases, opts.seed, opts.max_steps, opts.fault_tries
     )];
-    let (st_lines, mut failures) = self_test(opts.max_steps);
+    let (st_lines, mut failures) = {
+        let _phase = telemetry::phase("fuzz-self-test");
+        self_test(opts.max_steps)
+    };
     lines.extend(st_lines);
 
+    let cases_phase = telemetry::phase("fuzz-cases");
     let outcomes = par_map((0..opts.cases).collect(), |_, case| run_case(opts, case));
+    drop(cases_phase);
 
     let mut completed = [0u64; 3];
     let mut skipped = [0u64; 3];

@@ -12,7 +12,7 @@
 
 use codense_core::encoding::{read_item, Item};
 use codense_core::nibbles::NibbleReader;
-use codense_core::CompressedProgram;
+use codense_core::{telemetry, CompressedProgram};
 use codense_ppc::Insn;
 
 use crate::machine::MachineError;
@@ -100,6 +100,8 @@ impl Fetch for LinearFetcher {
         let word = *self.code.get(idx).ok_or(MachineError::FetchFault { pc })?;
         self.stats.insns += 1;
         self.stats.nibbles_fetched += 8;
+        telemetry::VM_FETCH_LINEAR_INSNS.inc();
+        telemetry::VM_FETCH_NIBBLES.add(8);
         Ok(Fetched { insn: codense_ppc::decode(word), next_pc: pc + 8 })
     }
 
@@ -224,6 +226,7 @@ impl CompressedFetcher {
         self.buffer_pos += 1;
         self.stats.insns += 1;
         self.stats.expanded_insns += 1;
+        telemetry::VM_FETCH_BUFFERED_INSNS.inc();
         let next_pc =
             if self.buffer_pos < self.buffer.len() { self.buffer_pc } else { self.after_buffer };
         Fetched { insn, next_pc }
@@ -243,6 +246,10 @@ impl Fetch for CompressedFetcher {
             Some(Item::Insn(word)) => {
                 self.stats.insns += 1;
                 self.stats.nibbles_fetched += r.pos() - before;
+                // Under every encoding an uncompressed instruction in the
+                // stream is introduced by an escape prefix.
+                telemetry::VM_FETCH_ESCAPES.inc();
+                telemetry::VM_FETCH_NIBBLES.add(r.pos() - before);
                 // Leaving any previous codeword behind.
                 self.buffer_pc = u64::MAX;
                 Ok(Fetched { insn: codense_ppc::decode(word), next_pc: r.pos() })
@@ -255,6 +262,8 @@ impl Fetch for CompressedFetcher {
                 }
                 self.stats.codewords += 1;
                 self.stats.nibbles_fetched += r.pos() - before;
+                telemetry::VM_FETCH_CODEWORDS.inc();
+                telemetry::VM_FETCH_NIBBLES.add(r.pos() - before);
                 let after = r.pos();
                 self.touch_dict(rank);
                 self.buffer = seq;

@@ -8,8 +8,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> cargo build --examples --release"
+cargo build --examples --release
+
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+echo "==> golden snapshot suite"
+cargo test -q --test golden
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -19,5 +25,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> fuzz smoke (500 cases)"
 ./target/release/codense fuzz --cases 500 --seed 1
+
+echo "==> metrics determinism smoke (repro, --jobs 1 vs --jobs 8)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+./target/release/codense repro --jobs 1 --metrics "$tmp/j1.json" >/dev/null
+./target/release/codense repro --jobs 8 --metrics "$tmp/j8.json" >/dev/null
+# Compare only the counters section; timings are wall-clock and may differ.
+sed -n '/"counters"/,/}/p' "$tmp/j1.json" > "$tmp/j1.counters"
+sed -n '/"counters"/,/}/p' "$tmp/j8.json" > "$tmp/j8.counters"
+diff -u "$tmp/j1.counters" "$tmp/j8.counters"
 
 echo "verify: OK"

@@ -1,0 +1,109 @@
+//! Golden-snapshot regression suite for the compression pipeline.
+//!
+//! Each test compresses the full deterministic synthetic benchmark suite
+//! under one encoding and renders a snapshot record per benchmark:
+//! compression ratio, Fig-9 composition fractions, dictionary size, and the
+//! first entries of the dictionary in greedy pick order. The rendered JSON
+//! is compared byte-for-byte against the checked-in golden under
+//! `tests/golden/`.
+//!
+//! Any intentional change to the greedy selector, layout, or encodings will
+//! show up here as a diff. To re-bless the goldens after such a change:
+//!
+//! ```text
+//! CODENSE_BLESS=1 cargo test --test golden
+//! git diff tests/golden/   # review every changed number before committing
+//! ```
+//!
+//! A missing golden file fails with the same instruction, so the flow for a
+//! new encoding is identical.
+
+use codense::prelude::*;
+
+/// Number of leading dictionary entries (in pick order) pinned per bench.
+const PINNED_ENTRIES: usize = 8;
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compares `actual` against the checked-in golden, or rewrites the golden
+/// when `CODENSE_BLESS=1` is set.
+fn check_golden(file: &str, actual: &str) {
+    let path = golden_path(file);
+    if std::env::var("CODENSE_BLESS").as_deref() == Ok("1") {
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nmissing or unreadable golden; run `CODENSE_BLESS=1 cargo test --test \
+             golden` to (re)generate it, then review the diff",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "golden mismatch for {file}; if the change is intentional, re-bless with \
+         `CODENSE_BLESS=1 cargo test --test golden` and review `git diff tests/golden/`"
+    );
+}
+
+/// Renders the snapshot record for one suite under one config. Floats are
+/// formatted at fixed precision so the byte comparison is well-defined.
+fn render_snapshot(encoding_name: &str, config: &CompressionConfig) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"encoding\": \"{encoding_name}\",\n"));
+    out.push_str("  \"benches\": {\n");
+    let suite = codense::codegen::generate_suite();
+    for (i, module) in suite.iter().enumerate() {
+        let c = Compressor::new(config.clone())
+            .compress(module)
+            .unwrap_or_else(|e| panic!("{}: {e}", module.name));
+        verify(module, &c).unwrap_or_else(|e| panic!("{}: {e}", module.name));
+        let frac = c.composition().fractions();
+        let entries: Vec<String> = c
+            .dictionary
+            .entries()
+            .iter()
+            .take(PINNED_ENTRIES)
+            .map(|e| {
+                let words: Vec<String> = e.words.iter().map(|w| format!("{w:08x}")).collect();
+                format!("\"{}\"", words.join(" "))
+            })
+            .collect();
+        out.push_str(&format!("    \"{}\": {{\n", module.name));
+        out.push_str(&format!("      \"ratio\": \"{:.6}\",\n", c.compression_ratio()));
+        out.push_str(&format!("      \"text_bytes\": {},\n", c.text_bytes()));
+        out.push_str(&format!("      \"dictionary_entries\": {},\n", c.dictionary.len()));
+        out.push_str(&format!("      \"dictionary_bytes\": {},\n", c.dictionary_bytes()));
+        out.push_str(&format!("      \"overflow_slots\": {},\n", c.overflow_table.len()));
+        out.push_str(&format!(
+            "      \"composition\": [\"{:.6}\", \"{:.6}\", \"{:.6}\", \"{:.6}\"],\n",
+            frac[0], frac[1], frac[2], frac[3]
+        ));
+        out.push_str(&format!("      \"first_picks\": [{}]\n", entries.join(", ")));
+        out.push_str(&format!("    }}{}\n", if i + 1 < suite.len() { "," } else { "" }));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+#[test]
+fn golden_baseline() {
+    check_golden("baseline.json", &render_snapshot("baseline", &CompressionConfig::baseline()));
+}
+
+#[test]
+fn golden_onebyte() {
+    check_golden(
+        "onebyte.json",
+        &render_snapshot("onebyte", &CompressionConfig::small_dictionary(256)),
+    );
+}
+
+#[test]
+fn golden_nibble() {
+    check_golden("nibble.json", &render_snapshot("nibble", &CompressionConfig::nibble_aligned()));
+}
