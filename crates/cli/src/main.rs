@@ -11,6 +11,11 @@
 //! codense repro [--bench NAME]                suite ratio table, all encodings
 //! codense sweep [--bench NAME]                Figs 4/5/8 parameter sweeps
 //! codense fuzz [--cases N] [--seed S]         differential fuzz campaign
+//! codense serve --addr HOST:PORT [--queue-depth N] [--timeout-ms N]
+//!                                             batch-compression TCP server
+//! codense loadgen --addr HOST:PORT [--requests N] [--connections N]
+//!                 [--bench NAME] [--encoding E] [--out FILE] [--shutdown]
+//!                                             drive a server, write BENCH_serve.json
 //! ```
 //!
 //! Encodings: `baseline` (2-byte codewords), `onebyte`, `nibble`.
@@ -48,6 +53,8 @@ fn main() -> ExitCode {
         Some("repro") => cmd_repro(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -88,6 +95,12 @@ usage:
   codense repro [--bench NAME]
   codense sweep [--bench NAME]
   codense fuzz [--cases N] [--seed S] [--max-steps N] [--fault-tries N]
+  codense serve --addr HOST:PORT [--queue-depth N] [--timeout-ms N]
+  codense loadgen --addr HOST:PORT [--requests N] [--connections N]
+                  [--bench NAME] [--encoding baseline|onebyte|nibble]
+                  [--max-entry N] [--out BENCH_serve.json] [--shutdown]
+                  [--server-jobs N] [--server-queue-depth N]
+                  [--metrics-out METRICS.json]
 
 --jobs N sets the worker-thread count for parallel phases (candidate-index
 construction, suite generation, fuzz campaigns); the default is the
@@ -107,6 +120,19 @@ prints the compression-ratio table (the paper's headline numbers).
 
 sweep runs the parameter sweeps behind Figures 4-8 (max entry length,
 codeword count, small dictionaries) on one benchmark (default `compress`).
+
+serve runs the batch-compression TCP service (DESIGN.md section 10): a
+bounded work queue with --jobs workers, BUSY backpressure when the queue
+is full, per-request deadlines, and typed error frames for malformed
+input. The bound address is printed on stdout; serve blocks until a
+SHUTDOWN frame arrives, then drains in-flight work and exits.
+
+loadgen compresses --bench in process once, then drives --requests
+identical compression requests over --connections concurrent connections
+against --addr, byte-comparing every response (a mismatch counts as
+failed). Writes a schema-1 throughput + latency-quantile report (see
+EXPERIMENTS.md) to --out, and exits nonzero when any request failed.
+--shutdown sends a SHUTDOWN frame after the run.
 
 fuzz generates seeded random programs, runs each natively and through the
 compressed fetch path under all three encodings in lockstep, and fault-
@@ -621,6 +647,124 @@ fn cmd_run_kernel(args: &[String]) -> CliResult {
     );
     if result.exit_code != kernel.expected {
         return Err("kernel produced an unexpected result".into());
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> CliResult {
+    let mut opts = codense_service::ServeOptions {
+        addr: flag_value(args, "--addr").unwrap_or("127.0.0.1:0").to_owned(),
+        jobs: codense_core::parallel::jobs(),
+        ..Default::default()
+    };
+    if let Some(v) = flag_value(args, "--queue-depth") {
+        opts.queue_depth = match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --queue-depth `{v}` (expected an integer >= 1)")),
+        };
+    }
+    if let Some(v) = flag_value(args, "--timeout-ms") {
+        opts.timeout_ms = match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --timeout-ms `{v}` (expected an integer >= 1)")),
+        };
+    }
+    let handle = codense_service::serve(&opts).map_err(|e| format!("serve: {e}"))?;
+    // Scripts parse this line to learn the ephemeral port; flush so it is
+    // visible before the (blocking) join.
+    println!("serving on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    handle.join();
+    println!("drained, exiting");
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> CliResult {
+    let addr = flag_value(args, "--addr").ok_or("loadgen: missing --addr HOST:PORT")?;
+    let bench = flag_value(args, "--bench").unwrap_or("compress");
+    let encoding = parse_encoding(flag_value(args, "--encoding").unwrap_or("nibble"))?;
+    let max_entry: u16 = match flag_value(args, "--max-entry") {
+        Some(v) => v.parse().map_err(|_| "bad --max-entry")?,
+        None => 4,
+    };
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_serve.json");
+    let mut opts = codense_service::LoadgenOptions { addr: addr.to_owned(), ..Default::default() };
+    if let Some(v) = flag_value(args, "--requests") {
+        opts.requests = v.parse().map_err(|_| "bad --requests")?;
+    }
+    if let Some(v) = flag_value(args, "--connections") {
+        opts.connections = match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --connections `{v}` (expected an integer >= 1)")),
+        };
+    }
+    if let Some(v) = flag_value(args, "--timeout-ms") {
+        opts.timeout_ms = v.parse().map_err(|_| "bad --timeout-ms")?;
+    }
+
+    let module =
+        codense_codegen::benchmark(bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    let request = codense_service::CompressRequest {
+        encoding,
+        max_entry_len: max_entry,
+        max_codewords: 0, // the encoding's full codeword space
+        module: codense_obj::serialize(&module),
+    };
+    // The expected response, computed in process: every served result must
+    // be byte-identical, so the benchmark doubles as a correctness check.
+    let compressed = Compressor::new(request.config())
+        .compress(&module)
+        .map_err(|e| format!("loadgen: in-process compression failed: {e}"))?;
+    let expected = container::serialize(&compressed);
+
+    let report = codense_service::run_loadgen(&opts, &request, &expected)
+        .map_err(|e| format!("loadgen: {addr}: {e}"))?;
+
+    // Snapshot the server's telemetry right after the run (and before any
+    // --shutdown), for the determinism gate in scripts/verify.sh.
+    if let Some(path) = flag_value(args, "--metrics-out") {
+        let json = codense_service::Client::connect(addr, opts.timeout_ms)
+            .map_err(|e| format!("loadgen: metrics: {e}"))?
+            .metrics()
+            .map_err(|e| format!("loadgen: metrics: {e}"))?;
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+    }
+
+    // The server's shape is not observable through the wire protocol (the
+    // counters section must stay identical at any --jobs), so the caller
+    // records it explicitly; 0 means "not recorded".
+    let parse_shape = |flag: &str| -> Result<usize, String> {
+        match flag_value(args, flag) {
+            Some(v) => v.parse().map_err(|_| format!("bad {flag} `{v}`")),
+            None => Ok(0),
+        }
+    };
+    let meta = codense_service::BenchMeta {
+        bench: bench.to_owned(),
+        encoding: flag_value(args, "--encoding").unwrap_or("nibble").to_owned(),
+        jobs: parse_shape("--server-jobs")?,
+        queue_depth: parse_shape("--server-queue-depth")?,
+    };
+    let json = codense_service::render_bench_json(&report, &opts, &meta);
+    std::fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+    println!(
+        "{out_path}: {} ok, {} busy, {} failed; {:.1} req/s, p50 {} us, p99 {} us",
+        report.ok,
+        report.busy,
+        report.failed,
+        report.throughput_rps(),
+        report.percentile_us(50.0),
+        report.percentile_us(99.0),
+    );
+
+    if args.iter().any(|a| a == "--shutdown") {
+        codense_service::Client::connect(addr, opts.timeout_ms)
+            .and_then(|mut c| c.shutdown().map_err(|e| std::io::Error::other(e.to_string())))
+            .map_err(|e| format!("loadgen: shutdown: {e}"))?;
+    }
+    if report.failed > 0 {
+        return Err(format!("{} request(s) failed", report.failed));
     }
     Ok(())
 }

@@ -9,7 +9,7 @@ use codense_ppc::reg::R12;
 
 use crate::config::{CompressionConfig, EncodingKind};
 use crate::dict::Dictionary;
-use crate::encoding::{self, write_codeword, write_insn};
+use crate::encoding::{self, try_write_codeword, write_insn};
 use crate::error::CompressError;
 use crate::greedy::{run_greedy, CostModel, GreedyParams, PickRecord};
 use crate::model::{Cell, ProgramModel};
@@ -318,7 +318,7 @@ impl Compressor {
             match *atom {
                 Atom::Insn { word, .. } => write_insn(kind, &mut w, word),
                 Atom::Codeword { entry, .. } => {
-                    write_codeword(kind, &mut w, dictionary.rank_of(entry))
+                    try_write_codeword(kind, &mut w, dictionary.rank_of(entry))?
                 }
                 Atom::ViaTable { word, slot, .. } => {
                     for insn_word in via_table_expansion(kind, word, slot) {

@@ -48,22 +48,32 @@ pub mod nibble {
     /// Total codeword capacity (8760).
     pub const CAPACITY: usize = (N4 + N8 + N12 + N16) as usize;
 
+    /// Codeword length in nibbles for a rank, or `None` if the rank does
+    /// not fit the codeword space.
+    pub const fn try_codeword_nibbles(rank: u32) -> Option<u32> {
+        if rank < N4 {
+            Some(1)
+        } else if rank < N4 + N8 {
+            Some(2)
+        } else if rank < N4 + N8 + N12 {
+            Some(3)
+        } else if rank < CAPACITY as u32 {
+            Some(4)
+        } else {
+            None
+        }
+    }
+
     /// Codeword length in nibbles for a rank.
     ///
     /// # Panics
     ///
-    /// Panics if `rank >= CAPACITY`.
+    /// Panics if `rank >= CAPACITY`; use [`try_codeword_nibbles`] when the
+    /// rank is not known to be in range.
     pub const fn codeword_nibbles(rank: u32) -> u32 {
-        if rank < N4 {
-            1
-        } else if rank < N4 + N8 {
-            2
-        } else if rank < N4 + N8 + N12 {
-            3
-        } else if rank < CAPACITY as u32 {
-            4
-        } else {
-            panic!("rank out of nibble codeword space")
+        match try_codeword_nibbles(rank) {
+            Some(n) => n,
+            None => panic!("rank out of nibble codeword space"),
         }
     }
 }
@@ -76,13 +86,28 @@ pub fn insn_nibbles(kind: EncodingKind) -> u32 {
     }
 }
 
-/// How many nibbles the codeword of the given rank occupies.
-pub fn codeword_nibbles(kind: EncodingKind, rank: u32) -> u32 {
-    match kind {
-        EncodingKind::Baseline => 4,
-        EncodingKind::OneByte => 2,
-        EncodingKind::NibbleAligned => nibble::codeword_nibbles(rank),
+/// How many nibbles the codeword of the given rank occupies, or `None` if
+/// the rank does not fit the encoding's codeword space.
+pub fn try_codeword_nibbles(kind: EncodingKind, rank: u32) -> Option<u32> {
+    if rank as usize >= kind.capacity() {
+        return None;
     }
+    match kind {
+        EncodingKind::Baseline => Some(4),
+        EncodingKind::OneByte => Some(2),
+        EncodingKind::NibbleAligned => nibble::try_codeword_nibbles(rank),
+    }
+}
+
+/// How many nibbles the codeword of the given rank occupies.
+///
+/// # Panics
+///
+/// Panics if `rank` exceeds the encoding's capacity; use
+/// [`try_codeword_nibbles`] when the rank is not known to be in range.
+pub fn codeword_nibbles(kind: EncodingKind, rank: u32) -> u32 {
+    try_codeword_nibbles(kind, rank)
+        .unwrap_or_else(|| panic!("rank {rank} out of {kind:?} codeword space"))
 }
 
 /// Serializes an uncompressed instruction into the stream.
@@ -93,26 +118,31 @@ pub fn write_insn(kind: EncodingKind, w: &mut NibbleWriter, word: u32) {
     w.push_u32(word);
 }
 
-/// Serializes a codeword rank into the stream.
-///
-/// # Panics
-///
-/// Panics if `rank` exceeds the encoding's capacity.
-pub fn write_codeword(kind: EncodingKind, w: &mut NibbleWriter, rank: u32) {
+/// Serializes a codeword rank into the stream, or returns
+/// [`CompressError::CodewordSpaceExhausted`] if the rank does not fit the
+/// encoding's codeword space. Nothing is written on error.
+pub fn try_write_codeword(
+    kind: EncodingKind,
+    w: &mut NibbleWriter,
+    rank: u32,
+) -> Result<(), crate::CompressError> {
+    if rank as usize >= kind.capacity() {
+        return Err(crate::CompressError::CodewordSpaceExhausted {
+            rank,
+            capacity: kind.capacity(),
+        });
+    }
     match kind {
         EncodingKind::Baseline => {
-            assert!(rank < 8192, "baseline rank out of range");
             let escapes = opcode::escape_bytes();
             w.push_byte(escapes[(rank >> 8) as usize]);
             w.push_byte((rank & 0xff) as u8);
         }
         EncodingKind::OneByte => {
-            assert!(rank < 32, "one-byte rank out of range");
             w.push_byte(opcode::escape_bytes()[rank as usize]);
         }
         EncodingKind::NibbleAligned => {
             use nibble::*;
-            assert!((rank as usize) < CAPACITY, "nibble rank out of range");
             if rank < N4 {
                 w.push(rank as u8);
             } else if rank < N4 + N8 {
@@ -133,6 +163,17 @@ pub fn write_codeword(kind: EncodingKind, w: &mut NibbleWriter, rank: u32) {
             }
         }
     }
+    Ok(())
+}
+
+/// Serializes a codeword rank into the stream.
+///
+/// # Panics
+///
+/// Panics if `rank` exceeds the encoding's capacity; use
+/// [`try_write_codeword`] when the rank is not known to be in range.
+pub fn write_codeword(kind: EncodingKind, w: &mut NibbleWriter, rank: u32) {
+    try_write_codeword(kind, w, rank).expect("rank out of codeword space");
 }
 
 /// Parses the next stream item.

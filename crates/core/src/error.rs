@@ -24,6 +24,16 @@ pub enum CompressError {
     /// Branch-overflow rewriting failed to converge (cannot happen for sane
     /// inputs; guarded to bound the fixpoint loop).
     LayoutDiverged,
+    /// A codeword rank does not fit in the encoding's codeword space.
+    /// Unreachable through [`Compressor`](crate::Compressor), which clamps
+    /// the dictionary to the encoding capacity, but reported (instead of a
+    /// panic) when a hand-built dictionary exceeds it.
+    CodewordSpaceExhausted {
+        /// The offending rank.
+        rank: u32,
+        /// The encoding's codeword capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for CompressError {
@@ -36,6 +46,9 @@ impl fmt::Display for CompressError {
                 write!(f, "branch at instruction {at} overflows and uses the count register")
             }
             CompressError::LayoutDiverged => write!(f, "branch overflow layout did not converge"),
+            CompressError::CodewordSpaceExhausted { rank, capacity } => {
+                write!(f, "codeword rank {rank} exceeds the encoding capacity {capacity}")
+            }
         }
     }
 }

@@ -33,7 +33,7 @@ pub fn codeword_count_sweep(
     max_entry_len: usize,
     points: &[usize],
 ) -> Result<Vec<(usize, f64)>, CompressError> {
-    let cap = points.iter().copied().max().unwrap_or(0).min(8192);
+    let cap = points.iter().copied().max().unwrap_or(0).min(EncodingKind::Baseline.capacity());
     crate::telemetry::SWEEP_POINTS.add(points.len() as u64);
     crate::telemetry::SWEEP_FULL_COMPRESSIONS.inc();
     let config =
@@ -72,7 +72,7 @@ pub fn entry_len_sweep(
     crate::parallel::par_map(lens.to_vec(), |_, l| {
         let config = CompressionConfig {
             max_entry_len: l,
-            max_codewords: 8192,
+            max_codewords: EncodingKind::Baseline.capacity(),
             encoding: EncodingKind::Baseline,
         };
         Ok((l, Compressor::new(config).compress(module)?.compression_ratio()))
@@ -95,7 +95,7 @@ pub fn dict_composition_sweep(
 ) -> Result<Vec<(usize, Vec<usize>)>, CompressError> {
     crate::telemetry::SWEEP_POINTS.add(sizes.len() as u64);
     crate::telemetry::SWEEP_FULL_COMPRESSIONS.inc();
-    let cap = sizes.iter().copied().max().unwrap_or(0).min(8192);
+    let cap = sizes.iter().copied().max().unwrap_or(0).min(EncodingKind::Baseline.capacity());
     let config =
         CompressionConfig { max_entry_len, max_codewords: cap, encoding: EncodingKind::Baseline };
     let c = Compressor::new(config).compress(module)?;
@@ -124,7 +124,7 @@ pub fn savings_by_length_sweep(
 ) -> Result<Vec<(usize, Vec<f64>)>, CompressError> {
     crate::telemetry::SWEEP_POINTS.add(sizes.len() as u64);
     crate::telemetry::SWEEP_FULL_COMPRESSIONS.inc();
-    let cap = sizes.iter().copied().max().unwrap_or(0).min(8192);
+    let cap = sizes.iter().copied().max().unwrap_or(0).min(EncodingKind::Baseline.capacity());
     let config =
         CompressionConfig { max_entry_len, max_codewords: cap, encoding: EncodingKind::Baseline };
     let c = Compressor::new(config).compress(module)?;

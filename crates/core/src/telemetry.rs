@@ -61,6 +61,14 @@ impl Counter {
         self.add(1);
     }
 
+    /// Raises the counter to `n` if it is currently below (a high-water
+    /// mark). `max` is commutative and idempotent, so marks recorded from
+    /// any thread interleaving of the *same* work agree.
+    #[inline]
+    pub fn record_max(&self, n: u64) {
+        self.value.fetch_max(n, Ordering::Relaxed);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -110,6 +118,14 @@ registry! {
     GREEDY_STALE_REINSERTS => "greedy.stale_reinserts",
     GREEDY_WINDOW_ADDS => "greedy.window_adds",
     GREEDY_WINDOW_REMOVES => "greedy.window_removes",
+    SERVE_BYTES_IN => "serve.bytes_in",
+    SERVE_BYTES_OUT => "serve.bytes_out",
+    SERVE_FRAMES_BAD => "serve.frames_bad",
+    SERVE_QUEUE_HIGH_WATER => "serve.queue_high_water",
+    SERVE_REQUESTS_ACCEPTED => "serve.requests_accepted",
+    SERVE_REQUESTS_BUSY => "serve.requests_busy",
+    SERVE_REQUESTS_FAILED => "serve.requests_failed",
+    SERVE_REQUESTS_OK => "serve.requests_ok",
     SWEEP_FULL_COMPRESSIONS => "sweep.full_compressions",
     SWEEP_POINTS => "sweep.points",
     SWEEP_PREFIX_POINTS => "sweep.prefix_points",

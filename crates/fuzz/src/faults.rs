@@ -51,7 +51,11 @@ impl FaultReport {
 /// One corruption of a byte string. Mutations that leave the input
 /// unchanged (flipping a bit back, zero-length splice) are fine: the
 /// decoder must accept the valid form too.
-fn mutate(bytes: &[u8], rng: &mut Rng) -> Vec<u8> {
+///
+/// Public so other robustness batteries (e.g. the serve-protocol
+/// malformed-frame tests in `codense-service`) corrupt their inputs with
+/// exactly the patterns this crate's decoders are hardened against.
+pub fn corrupt(bytes: &[u8], rng: &mut Rng) -> Vec<u8> {
     let mut out = bytes.to_vec();
     match rng.below(5) {
         // Single or multi bit flip.
@@ -136,7 +140,7 @@ pub fn container_battery(
         (0..bytes.len().min(32)).chain((bytes.len().saturating_sub(8)..bytes.len()).rev());
     let mut inputs: Vec<Vec<u8>> = boundary_lens.map(|n| bytes[..n].to_vec()).collect();
     for _ in 0..tries {
-        inputs.push(mutate(&bytes, rng));
+        inputs.push(corrupt(&bytes, rng));
     }
 
     for input in inputs {
@@ -171,7 +175,7 @@ pub fn module_battery(module: &ObjectModule, rng: &mut Rng, tries: usize) -> Fau
         (0..bytes.len().min(32)).chain((bytes.len().saturating_sub(8)..bytes.len()).rev());
     let mut inputs: Vec<Vec<u8>> = boundary_lens.map(|n| bytes[..n].to_vec()).collect();
     for _ in 0..tries {
-        inputs.push(mutate(&bytes, rng));
+        inputs.push(corrupt(&bytes, rng));
     }
 
     for input in inputs {

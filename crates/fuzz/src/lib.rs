@@ -38,7 +38,7 @@ pub mod runner;
 pub mod shrink;
 pub mod spec;
 
-pub use faults::{container_battery, module_battery, nibble_soup_battery, FaultReport};
+pub use faults::{container_battery, corrupt, module_battery, nibble_soup_battery, FaultReport};
 pub use gen::{generate_spec, GenConfig};
 pub use oracle::{lockstep, lockstep_with, Divergence, DivergenceKind, LockstepOk, TraceMask};
 pub use runner::{run, FuzzOptions, FuzzReport};

@@ -24,6 +24,13 @@
 
 use std::collections::BinaryHeap;
 
+/// Maximum codeword length in bits. Codes are stored in `u32` and the
+/// decoder's accumulator is 32 bits, so [`HuffmanCode::from_frequencies`]
+/// length-limits the code to this bound (pathological — e.g. Fibonacci —
+/// frequency distributions otherwise produce code lengths up to
+/// `symbols - 1`, which would overflow the code storage).
+pub const MAX_CODE_LEN: u8 = 32;
+
 /// Counts byte frequencies over a buffer.
 pub fn byte_frequencies(data: &[u8]) -> [u64; 256] {
     let mut f = [0u64; 256];
@@ -98,7 +105,10 @@ impl HuffmanCode {
                     });
                     next_id += 1;
                 }
-                fn walk(n: &Node, depth: u8, lengths: &mut [u8; 256]) {
+                // Tree depth can reach `symbols - 1` (255) on pathological
+                // weight distributions, so raw depths are tracked in u16 and
+                // length-limited to [`MAX_CODE_LEN`] afterwards.
+                fn walk(n: &Node, depth: u16, lengths: &mut [u16; 256]) {
                     match &n.kind {
                         NodeKind::Leaf(s) => lengths[*s as usize] = depth.max(1),
                         NodeKind::Internal(a, b) => {
@@ -107,24 +117,38 @@ impl HuffmanCode {
                         }
                     }
                 }
-                walk(&heap.pop().expect("root"), 0, &mut lengths);
+                let mut deep = [0u16; 256];
+                walk(&heap.pop().expect("root"), 0, &mut deep);
+                limit_lengths(&deep, &mut lengths);
             }
         }
         HuffmanCode::from_lengths(lengths)
     }
 
     /// Builds the canonical code table from per-symbol lengths.
-    pub fn from_lengths(lengths: [u8; 256]) -> HuffmanCode {
+    ///
+    /// Lengths above [`MAX_CODE_LEN`] are clamped to it — codewords are
+    /// stored in `u32`, so longer lengths cannot be represented. A correct
+    /// prefix code results only when the (clamped) lengths satisfy the
+    /// Kraft inequality, as every length set produced by
+    /// [`HuffmanCode::from_frequencies`] does; arbitrary lengths never
+    /// cause a panic or overflow, merely a code that may not be decodable.
+    pub fn from_lengths(mut lengths: [u8; 256]) -> HuffmanCode {
+        for l in lengths.iter_mut() {
+            *l = (*l).min(MAX_CODE_LEN);
+        }
         let mut symbols: Vec<u8> = (0u16..256).map(|s| s as u8).collect();
         symbols.retain(|&s| lengths[s as usize] > 0);
         symbols.sort_by_key(|&s| (lengths[s as usize], s));
         let mut codes = [0u32; 256];
-        let mut code = 0u32;
+        // u64 accumulator: the canonical construction shifts by up to
+        // MAX_CODE_LEN, which a u32 could not absorb at the top length.
+        let mut code = 0u64;
         let mut prev_len = 0u8;
         for &s in &symbols {
             let l = lengths[s as usize];
             code <<= l - prev_len;
-            codes[s as usize] = code;
+            codes[s as usize] = code as u32;
             code += 1;
             prev_len = l;
         }
@@ -159,6 +183,60 @@ impl HuffmanCode {
                 l as u64
             })
             .sum()
+    }
+}
+
+/// Converts raw Huffman-tree depths into final code lengths, limiting them
+/// to [`MAX_CODE_LEN`] bits (zlib/miniz-style Kraft repair).
+///
+/// When no depth exceeds the limit — every realistic frequency
+/// distribution — the depths pass through unchanged, so length-limiting
+/// never perturbs the codes existing snapshots were built from. Only
+/// pathological (e.g. Fibonacci) weight sets take the repair path.
+fn limit_lengths(deep: &[u16; 256], out: &mut [u8; 256]) {
+    const MAX: usize = MAX_CODE_LEN as usize;
+    if deep.iter().all(|&d| d <= MAX as u16) {
+        for (o, &d) in out.iter_mut().zip(deep.iter()) {
+            *o = d as u8;
+        }
+        return;
+    }
+    // Histogram of code lengths with everything deeper than the limit
+    // clamped into the deepest bucket.
+    let mut num = [0u32; MAX + 1];
+    for &d in deep.iter().filter(|&&d| d > 0) {
+        num[(d as usize).min(MAX)] += 1;
+    }
+    // Clamping overfills the code space: a full tree has
+    // sum(2^(MAX - len)) == 2^MAX, and shortening a code only inflates its
+    // term. Repair by repeatedly retiring one deepest-bucket code and
+    // splitting a shallower code into two one bit longer — each step
+    // shrinks the sum by exactly one until the lengths again describe a
+    // full prefix tree.
+    let mut total: u64 = (1..=MAX).map(|i| (num[i] as u64) << (MAX - i)).sum();
+    while total > 1u64 << MAX {
+        num[MAX] -= 1;
+        for i in (1..MAX).rev() {
+            if num[i] > 0 {
+                num[i] -= 1;
+                num[i + 1] += 2;
+                break;
+            }
+        }
+        total -= 1;
+    }
+    // Hand the repaired lengths back out shortest-first to symbols ordered
+    // by original depth (ties by symbol value), preserving the relative
+    // code-length order of the unlimited tree.
+    let mut symbols: Vec<u8> = (0u16..256).map(|s| s as u8).collect();
+    symbols.retain(|&s| deep[s as usize] > 0);
+    symbols.sort_by_key(|&s| (deep[s as usize], s));
+    let mut it = symbols.into_iter();
+    for (l, &n) in num.iter().enumerate().skip(1) {
+        for _ in 0..n {
+            let s = it.next().expect("histogram covers every coded symbol");
+            out[s as usize] = l as u8;
+        }
     }
 }
 
@@ -295,6 +373,100 @@ mod tests {
                 }
             }
         }
+    }
+
+    fn assert_prefix_free(code: &HuffmanCode) {
+        let symbols: Vec<u8> =
+            (0u16..256).map(|s| s as u8).filter(|&s| code.length(s) > 0).collect();
+        for &a in &symbols {
+            for &b in &symbols {
+                if a == b {
+                    continue;
+                }
+                let (la, lb) = (code.length(a), code.length(b));
+                if la <= lb {
+                    let prefix = code.code(b) >> (lb - la);
+                    assert!(prefix != code.code(a), "{a:?} is a prefix of {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_weights_are_length_limited() {
+        // Fibonacci weights maximize Huffman tree depth: with n symbols the
+        // rarest gets an (n-1)-bit code, so 64 symbols would demand 63-bit
+        // codes — far past the u32 code storage. Regression for the
+        // shift-overflow this used to trigger in `from_lengths`.
+        let mut freq = [0u64; 256];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freq.iter_mut().take(64) {
+            *f = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let code = HuffmanCode::from_frequencies(&freq);
+        let mut kraft = 0u64;
+        for s in 0u16..256 {
+            let l = code.length(s as u8);
+            assert!(l <= MAX_CODE_LEN, "symbol {s} got {l}-bit code");
+            if s < 64 {
+                assert!(l > 0, "coded symbol {s} lost its code");
+                kraft += 1u64 << (MAX_CODE_LEN - l);
+            } else {
+                assert_eq!(l, 0);
+            }
+        }
+        // The limited lengths must still describe a *full* prefix tree.
+        assert_eq!(kraft, 1u64 << MAX_CODE_LEN);
+        assert_prefix_free(&code);
+
+        // Round-trip data touching every coded symbol, and check the
+        // encoded_bits accounting matches the materialized stream.
+        let mut data = Vec::new();
+        for s in 0..64u8 {
+            for _ in 0..=(s % 5) {
+                data.push(s);
+            }
+        }
+        let bits = encode(&code, &data);
+        assert_eq!(decode(&code, &bits, data.len()).unwrap(), data);
+        assert_eq!(code.encoded_bits(&data).div_ceil(8), bits.len() as u64);
+    }
+
+    #[test]
+    fn moderate_depths_are_untouched_by_length_limiting() {
+        // A 20-symbol Fibonacci set peaks at 19-bit codes — deep, but within
+        // the limit. The repair path must not fire: lengths equal raw tree
+        // depths (rarest two symbols share the maximum length).
+        let mut freq = [0u64; 256];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freq.iter_mut().take(20) {
+            *f = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let code = HuffmanCode::from_frequencies(&freq);
+        assert_eq!(code.length(0), 19);
+        assert_eq!(code.length(1), 19);
+        assert_eq!(code.length(19), 1);
+        assert_prefix_free(&code);
+    }
+
+    #[test]
+    fn from_lengths_clamps_hostile_lengths() {
+        // `from_lengths` is public; arbitrary length tables must never
+        // panic or shift-overflow, merely clamp.
+        let mut lengths = [0u8; 256];
+        lengths[0] = 255;
+        lengths[1] = 40;
+        lengths[2] = 2;
+        let code = HuffmanCode::from_lengths(lengths);
+        assert_eq!(code.length(0), MAX_CODE_LEN);
+        assert_eq!(code.length(1), MAX_CODE_LEN);
+        assert_eq!(code.length(2), 2);
     }
 
     #[test]

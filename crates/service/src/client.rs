@@ -1,0 +1,109 @@
+//! Blocking client for the serve frame protocol.
+
+use std::fmt;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{
+    decode_error, read_frame, write_frame, CompressRequest, ErrorCode, FrameError, Op,
+};
+
+/// Why a request got no usable answer.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The wire failed: socket error, malformed response frame, or the
+    /// server closed without answering.
+    Frame(FrameError),
+    /// The server answered with a typed error frame.
+    Rejected(ErrorCode, String),
+    /// The server answered with a frame type the request cannot accept.
+    Unexpected(Op),
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::Frame(e) => write!(f, "{e}"),
+            RequestError::Rejected(code, msg) => {
+                write!(f, "server rejected request: {code}: {msg}")
+            }
+            RequestError::Unexpected(op) => write!(f, "unexpected response frame {op:?}"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl From<FrameError> for RequestError {
+    fn from(e: FrameError) -> RequestError {
+        RequestError::Frame(e)
+    }
+}
+
+/// One connection to a serve instance. Requests are issued synchronously,
+/// one at a time, under the configured socket timeout.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and applies `timeout_ms` as the read/write timeout.
+    pub fn connect(addr: impl ToSocketAddrs, timeout_ms: u64) -> std::io::Result<Client> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("unresolvable address"))?;
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(timeout_ms.max(1)))?;
+        let timeout = Some(Duration::from_millis(timeout_ms.max(1)));
+        stream.set_read_timeout(timeout)?;
+        stream.set_write_timeout(timeout)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    fn roundtrip(&mut self, op: Op, payload: &[u8]) -> Result<(Op, Vec<u8>), RequestError> {
+        write_frame(&mut self.stream, op, payload).map_err(FrameError::Io)?;
+        match read_frame(&mut &self.stream)? {
+            Some((op, payload, _)) => Ok((op, payload)),
+            None => {
+                Err(RequestError::Frame(FrameError::Io(std::io::ErrorKind::UnexpectedEof.into())))
+            }
+        }
+    }
+
+    fn expect(&mut self, req: Op, payload: &[u8], want: Op) -> Result<Vec<u8>, RequestError> {
+        match self.roundtrip(req, payload)? {
+            (op, payload) if op == want => Ok(payload),
+            (Op::RespErr, payload) => {
+                let (code, msg) = decode_error(&payload)
+                    .ok_or(RequestError::Frame(FrameError::UnknownOp(Op::RespErr as u8)))?;
+                Err(RequestError::Rejected(code, msg))
+            }
+            (op, _) => Err(RequestError::Unexpected(op)),
+        }
+    }
+
+    /// Compresses a module remotely; the `Ok` bytes are the serialized
+    /// `.cdns` container, byte-identical to an in-process compression.
+    pub fn compress(&mut self, req: &CompressRequest) -> Result<Vec<u8>, RequestError> {
+        self.expect(Op::ReqCompress, &req.encode(), Op::RespOk)
+    }
+
+    /// Fetches the server's schema-1 telemetry JSON.
+    pub fn metrics(&mut self) -> Result<String, RequestError> {
+        let payload = self.expect(Op::ReqMetrics, b"", Op::RespMetrics)?;
+        String::from_utf8(payload)
+            .map_err(|_| RequestError::Frame(FrameError::UnknownOp(Op::RespMetrics as u8)))
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), RequestError> {
+        self.expect(Op::ReqPing, b"", Op::RespPong).map(|_| ())
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), RequestError> {
+        self.expect(Op::ReqShutdown, b"", Op::RespPong).map(|_| ())
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! `codense serve` — a long-lived TCP batch-compression service.
+//!
+//! The paper's compressor is a one-shot post-compilation tool; this crate
+//! puts the same pipeline behind a concurrent, fault-tolerant front end so
+//! its robustness and latency become measurable. A server
+//! ([`server::serve`]) accepts length-prefixed, CRC-checked binary frames
+//! ([`protocol`]) carrying a serialized `ObjectModule` plus compression
+//! parameters, compresses on a bounded worker pool, and answers with the
+//! `.cdns` container bytes — **byte-identical** to an in-process
+//! [`Compressor::compress`](codense_core::Compressor) + `container::serialize`
+//! of the same module, pinned by the integration tests.
+//!
+//! Robustness contract:
+//!
+//! * **Backpressure** — the work queue is bounded (`--queue-depth`); when it
+//!   is full the server answers `BUSY` immediately instead of queueing
+//!   without bound.
+//! * **Deadlines** — per-connection socket read/write timeouts and a
+//!   per-request completion deadline (`--timeout-ms`); an expired request
+//!   answers `DEADLINE`.
+//! * **Malformed input** — any corrupt frame (bad CRC, truncation, bogus
+//!   length, unknown op) yields a typed error frame, never a panic or hang;
+//!   the malformed-frame battery reuses the fuzz crate's corruption
+//!   patterns.
+//! * **Graceful drain** — shutdown lets in-flight requests complete while
+//!   new work is refused with `SHUTTING_DOWN`.
+//!
+//! Everything is observable through the `serve.*` telemetry counters and a
+//! `METRICS` request op returning the schema-1 JSON report. The
+//! [`loadgen`] module is the matching measurement client: N concurrent
+//! connections, a fixed request count, and a throughput + latency-quantile
+//! report (`BENCH_serve.json`).
+
+pub mod client;
+pub mod loadgen;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, RequestError};
+pub use loadgen::{render_bench_json, run_loadgen, BenchMeta, LoadgenOptions, LoadgenReport};
+pub use protocol::{CompressRequest, ErrorCode, FrameError, Op};
+pub use server::{serve, ServeOptions, ServerHandle};

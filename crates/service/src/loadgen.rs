@@ -1,0 +1,219 @@
+//! Load generation against a serve instance: N concurrent connections, a
+//! fixed request count, and a throughput + latency-quantile report.
+//!
+//! Every response is compared byte-for-byte against the expected container
+//! (the caller computes it once, in process), so the benchmark doubles as a
+//! correctness check: a served result that differs from the in-process
+//! compression counts as `failed`, not `ok`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::client::{Client, RequestError};
+use crate::protocol::{CompressRequest, ErrorCode};
+
+/// Load-generation parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server address.
+    pub addr: String,
+    /// Total requests to issue across all connections.
+    pub requests: usize,
+    /// Concurrent connections, each on its own thread.
+    pub connections: usize,
+    /// Client-side socket timeout per request.
+    pub timeout_ms: u64,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> LoadgenOptions {
+        LoadgenOptions {
+            addr: "127.0.0.1:0".into(),
+            requests: 32,
+            connections: 1,
+            timeout_ms: 30_000,
+        }
+    }
+}
+
+/// Outcome of one load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenReport {
+    /// Responses byte-identical to the expected container.
+    pub ok: u64,
+    /// `BUSY` backpressure rejections (not retried, not failures).
+    pub busy: u64,
+    /// Everything else: typed errors, wire errors, byte mismatches.
+    pub failed: u64,
+    /// Wall-clock for the whole run, microseconds.
+    pub wall_us: u64,
+    /// Per-`ok`-request latencies in microseconds, sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadgenReport {
+    /// The `p`-th latency percentile (0 < p <= 100) in microseconds; 0 when
+    /// no request succeeded.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.latencies_us.len() as f64).ceil() as usize;
+        self.latencies_us[rank.clamp(1, self.latencies_us.len()) - 1]
+    }
+
+    /// Mean `ok` latency in microseconds.
+    pub fn mean_us(&self) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        self.latencies_us.iter().sum::<u64>() / self.latencies_us.len() as u64
+    }
+
+    /// Completed (`ok`) requests per second of wall-clock.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.wall_us == 0 {
+            return 0.0;
+        }
+        self.ok as f64 / (self.wall_us as f64 / 1e6)
+    }
+}
+
+/// Static facts about a run, recorded alongside the measurements in
+/// `BENCH_serve.json`.
+#[derive(Debug, Clone)]
+pub struct BenchMeta {
+    /// Benchmark (module) name the requests compress.
+    pub bench: String,
+    /// Encoding name (`baseline`/`onebyte`/`nibble`).
+    pub encoding: String,
+    /// Server worker threads.
+    pub jobs: usize,
+    /// Server queue depth.
+    pub queue_depth: usize,
+}
+
+/// Drives `opts.requests` compression requests over `opts.connections`
+/// concurrent connections, checking each response against `expected`.
+pub fn run_loadgen(
+    opts: &LoadgenOptions,
+    request: &CompressRequest,
+    expected: &[u8],
+) -> std::io::Result<LoadgenReport> {
+    let next = AtomicUsize::new(0);
+    let ok = AtomicU64::new(0);
+    let busy = AtomicU64::new(0);
+    let failed = AtomicU64::new(0);
+    let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::with_capacity(opts.requests));
+    let connect_error: Mutex<Option<std::io::Error>> = Mutex::new(None);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.connections.max(1) {
+            scope.spawn(|| {
+                let mut client = match Client::connect(opts.addr.as_str(), opts.timeout_ms) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        connect_error.lock().unwrap().get_or_insert(e);
+                        return;
+                    }
+                };
+                let mut mine = Vec::new();
+                while next.fetch_add(1, Ordering::Relaxed) < opts.requests {
+                    let t0 = Instant::now();
+                    match client.compress(request) {
+                        Ok(bytes) if bytes == expected => {
+                            mine.push(t0.elapsed().as_micros() as u64);
+                            ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(RequestError::Rejected(ErrorCode::Busy, _)) => {
+                            busy.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    if let Some(e) = connect_error.into_inner().unwrap() {
+        return Err(e);
+    }
+
+    let mut latencies_us = latencies.into_inner().unwrap();
+    latencies_us.sort_unstable();
+    Ok(LoadgenReport {
+        ok: ok.into_inner(),
+        busy: busy.into_inner(),
+        failed: failed.into_inner(),
+        wall_us: start.elapsed().as_micros() as u64,
+        latencies_us,
+    })
+}
+
+/// Renders the `BENCH_serve.json` report (sorted keys, stable shape;
+/// schema 1 — documented in `EXPERIMENTS.md`).
+pub fn render_bench_json(
+    report: &LoadgenReport,
+    opts: &LoadgenOptions,
+    meta: &BenchMeta,
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"bench\": \"{}\",\n", meta.bench));
+    out.push_str(&format!("  \"busy\": {},\n", report.busy));
+    out.push_str(&format!("  \"connections\": {},\n", opts.connections));
+    out.push_str(&format!("  \"encoding\": \"{}\",\n", meta.encoding));
+    out.push_str(&format!("  \"failed\": {},\n", report.failed));
+    out.push_str(&format!("  \"jobs\": {},\n", meta.jobs));
+    out.push_str("  \"latency_us\": {\n");
+    out.push_str(&format!("    \"max\": {},\n", report.latencies_us.last().copied().unwrap_or(0)));
+    out.push_str(&format!("    \"mean\": {},\n", report.mean_us()));
+    out.push_str(&format!("    \"p50\": {},\n", report.percentile_us(50.0)));
+    out.push_str(&format!("    \"p95\": {},\n", report.percentile_us(95.0)));
+    out.push_str(&format!("    \"p99\": {}\n", report.percentile_us(99.0)));
+    out.push_str("  },\n");
+    out.push_str(&format!("  \"ok\": {},\n", report.ok));
+    out.push_str(&format!("  \"queue_depth\": {},\n", meta.queue_depth));
+    out.push_str(&format!("  \"requests\": {},\n", opts.requests));
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"throughput_rps\": {:.2},\n", report.throughput_rps()));
+    out.push_str(&format!("  \"wall_us\": {}\n", report.wall_us));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_expected_ranks() {
+        let r = LoadgenReport {
+            ok: 100,
+            latencies_us: (1..=100).collect(),
+            wall_us: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(r.percentile_us(50.0), 50);
+        assert_eq!(r.percentile_us(95.0), 95);
+        assert_eq!(r.percentile_us(99.0), 99);
+        assert_eq!(r.percentile_us(100.0), 100);
+        assert_eq!(r.mean_us(), 50);
+        assert!((r.throughput_rps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = LoadgenReport::default();
+        assert_eq!(r.percentile_us(99.0), 0);
+        assert_eq!(r.mean_us(), 0);
+        assert_eq!(r.throughput_rps(), 0.0);
+    }
+}

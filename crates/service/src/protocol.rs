@@ -1,0 +1,401 @@
+//! The serve frame protocol: length-prefixed, CRC-checked binary frames.
+//!
+//! Wire layout of one frame (all integers big-endian, matching the `.cdm` /
+//! `.cdns` formats):
+//!
+//! ```text
+//! u32  length     covers everything after this field: op + payload + crc
+//! u8   op         frame type (see [`Op`])
+//! ...  payload    op-specific body
+//! u32  crc        CRC-32 (IEEE) over op + payload
+//! ```
+//!
+//! A `REQ_COMPRESS` payload is:
+//!
+//! ```text
+//! u8   encoding       0 = baseline, 1 = onebyte, 2 = nibble
+//! u8   reserved       must be 0
+//! u16  max_entry_len  maximum instructions per dictionary entry
+//! u32  max_codewords  0 = the encoding's full codeword space
+//! ...  module         a serialized `.cdm` ObjectModule
+//! ```
+//!
+//! and the matching `RESP_OK` payload is the serialized `.cdns` container.
+//! An `RESP_ERR` payload is `u8 code | u16 msg_len | msg` (see
+//! [`ErrorCode`]). Every malformed frame — bad magic length, oversized
+//! length, CRC mismatch, short payload, unknown op — maps to a typed
+//! [`FrameError`]; the server answers with an error frame and closes, it
+//! never panics or hangs.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use codense_core::container::crc32;
+use codense_core::{CompressionConfig, EncodingKind};
+
+/// Largest accepted frame (length field bound): 64 MiB.
+pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Frame types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Compress a module (request).
+    ReqCompress = 0x01,
+    /// Fetch the schema-1 telemetry JSON (request).
+    ReqMetrics = 0x02,
+    /// Liveness probe (request).
+    ReqPing = 0x03,
+    /// Begin graceful shutdown (request).
+    ReqShutdown = 0x04,
+    /// Compression succeeded; payload is the `.cdns` container (response).
+    RespOk = 0x81,
+    /// Payload is the schema-1 telemetry JSON (response).
+    RespMetrics = 0x82,
+    /// Liveness / shutdown acknowledgement (response).
+    RespPong = 0x83,
+    /// Typed failure; payload is `code | msg_len | msg` (response).
+    RespErr = 0x7f,
+}
+
+impl Op {
+    /// Decodes a wire op byte.
+    pub fn from_u8(b: u8) -> Option<Op> {
+        match b {
+            0x01 => Some(Op::ReqCompress),
+            0x02 => Some(Op::ReqMetrics),
+            0x03 => Some(Op::ReqPing),
+            0x04 => Some(Op::ReqShutdown),
+            0x81 => Some(Op::RespOk),
+            0x82 => Some(Op::RespMetrics),
+            0x83 => Some(Op::RespPong),
+            0x7f => Some(Op::RespErr),
+            _ => None,
+        }
+    }
+}
+
+/// Typed request-failure codes carried by [`Op::RespErr`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// The frame failed to parse (bad CRC, truncation, unknown op, short
+    /// payload).
+    BadFrame = 1,
+    /// The `.cdm` module bytes failed to deserialize or validate.
+    BadModule = 2,
+    /// Compression returned a typed `CompressError`.
+    CompressFailed = 3,
+    /// The bounded work queue is full; retry later.
+    Busy = 4,
+    /// The request missed its completion deadline.
+    Deadline = 5,
+    /// The frame length exceeds [`MAX_FRAME`].
+    TooLarge = 6,
+    /// The server is draining; no new work is accepted.
+    ShuttingDown = 7,
+}
+
+impl ErrorCode {
+    /// Decodes a wire error-code byte.
+    pub fn from_u8(b: u8) -> Option<ErrorCode> {
+        match b {
+            1 => Some(ErrorCode::BadFrame),
+            2 => Some(ErrorCode::BadModule),
+            3 => Some(ErrorCode::CompressFailed),
+            4 => Some(ErrorCode::Busy),
+            5 => Some(ErrorCode::Deadline),
+            6 => Some(ErrorCode::TooLarge),
+            7 => Some(ErrorCode::ShuttingDown),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ErrorCode::BadFrame => "BAD_FRAME",
+            ErrorCode::BadModule => "BAD_MODULE",
+            ErrorCode::CompressFailed => "COMPRESS_FAILED",
+            ErrorCode::Busy => "BUSY",
+            ErrorCode::Deadline => "DEADLINE",
+            ErrorCode::TooLarge => "TOO_LARGE",
+            ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed (including read/write timeouts).
+    Io(io::Error),
+    /// The length field exceeds [`MAX_FRAME`].
+    TooLarge(u32),
+    /// The length field is shorter than op + CRC.
+    TooShort(u32),
+    /// The trailing CRC-32 does not match the frame body.
+    BadCrc {
+        /// CRC carried by the frame.
+        got: u32,
+        /// CRC computed over the received body.
+        want: u32,
+    },
+    /// The op byte is not a known frame type.
+    UnknownOp(u8),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "socket error: {e}"),
+            FrameError::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME}"),
+            FrameError::TooShort(n) => write!(f, "frame length {n} below minimum 5"),
+            FrameError::BadCrc { got, want } => {
+                write!(f, "frame crc {got:#010x}, computed {want:#010x}")
+            }
+            FrameError::UnknownOp(b) => write!(f, "unknown frame op {b:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl FrameError {
+    /// The error frame the server answers with for this parse failure, or
+    /// `None` when the connection is beyond answering (socket error).
+    pub fn response_code(&self) -> Option<ErrorCode> {
+        match self {
+            FrameError::Io(_) => None,
+            FrameError::TooLarge(_) => Some(ErrorCode::TooLarge),
+            FrameError::TooShort(_) | FrameError::BadCrc { .. } | FrameError::UnknownOp(_) => {
+                Some(ErrorCode::BadFrame)
+            }
+        }
+    }
+}
+
+/// Writes one frame. Returns the total bytes put on the wire.
+pub fn write_frame(w: &mut impl Write, op: Op, payload: &[u8]) -> io::Result<u64> {
+    let len = 1 + payload.len() + 4;
+    let mut frame = Vec::with_capacity(4 + len);
+    frame.extend_from_slice(&(len as u32).to_be_bytes());
+    frame.push(op as u8);
+    frame.extend_from_slice(payload);
+    let crc = crc32(&frame[4..]);
+    frame.extend_from_slice(&crc.to_be_bytes());
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(frame.len() as u64)
+}
+
+/// Reads one frame. `Ok(None)` is a clean end of stream (the peer closed
+/// between frames); any partial or corrupt frame is a typed [`FrameError`].
+/// The second tuple field is the total bytes consumed from the wire.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(Op, Vec<u8>, u64)>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf).map_err(FrameError::Io)? {
+        0 => return Ok(None),
+        mut got => {
+            while got < 4 {
+                let n = r.read(&mut len_buf[got..]).map_err(FrameError::Io)?;
+                if n == 0 {
+                    return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
+                }
+                got += n;
+            }
+        }
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(FrameError::TooLarge(len));
+    }
+    if len < 5 {
+        return Err(FrameError::TooShort(len));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body).map_err(FrameError::Io)?;
+    let crc_at = body.len() - 4;
+    let got = u32::from_be_bytes(body[crc_at..].try_into().expect("4 bytes"));
+    let want = crc32(&body[..crc_at]);
+    if got != want {
+        return Err(FrameError::BadCrc { got, want });
+    }
+    let op = Op::from_u8(body[0]).ok_or(FrameError::UnknownOp(body[0]))?;
+    body.truncate(crc_at);
+    body.remove(0);
+    Ok(Some((op, body, 4 + len as u64)))
+}
+
+/// Encodes an [`Op::RespErr`] payload.
+pub fn encode_error(code: ErrorCode, msg: &str) -> Vec<u8> {
+    let msg = &msg.as_bytes()[..msg.len().min(u16::MAX as usize)];
+    let mut out = Vec::with_capacity(3 + msg.len());
+    out.push(code as u8);
+    out.extend_from_slice(&(msg.len() as u16).to_be_bytes());
+    out.extend_from_slice(msg);
+    out
+}
+
+/// Decodes an [`Op::RespErr`] payload.
+pub fn decode_error(payload: &[u8]) -> Option<(ErrorCode, String)> {
+    if payload.len() < 3 {
+        return None;
+    }
+    let code = ErrorCode::from_u8(payload[0])?;
+    let len = u16::from_be_bytes([payload[1], payload[2]]) as usize;
+    let msg = payload.get(3..3 + len)?;
+    Some((code, String::from_utf8_lossy(msg).into_owned()))
+}
+
+/// A parsed `REQ_COMPRESS` body: compression parameters plus the serialized
+/// module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompressRequest {
+    /// Codeword encoding to compress under.
+    pub encoding: EncodingKind,
+    /// Maximum instructions per dictionary entry.
+    pub max_entry_len: u16,
+    /// Dictionary size cap; 0 selects the encoding's full codeword space.
+    pub max_codewords: u32,
+    /// The serialized `.cdm` module.
+    pub module: Vec<u8>,
+}
+
+impl CompressRequest {
+    /// Encodes the request into a `REQ_COMPRESS` frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let tag = match self.encoding {
+            EncodingKind::Baseline => 0u8,
+            EncodingKind::OneByte => 1,
+            EncodingKind::NibbleAligned => 2,
+        };
+        let mut out = Vec::with_capacity(8 + self.module.len());
+        out.push(tag);
+        out.push(0); // reserved
+        out.extend_from_slice(&self.max_entry_len.to_be_bytes());
+        out.extend_from_slice(&self.max_codewords.to_be_bytes());
+        out.extend_from_slice(&self.module);
+        out
+    }
+
+    /// Decodes a `REQ_COMPRESS` frame payload.
+    pub fn decode(payload: &[u8]) -> Result<CompressRequest, String> {
+        if payload.len() < 8 {
+            return Err(format!("compress request header needs 8 bytes, got {}", payload.len()));
+        }
+        let encoding = match payload[0] {
+            0 => EncodingKind::Baseline,
+            1 => EncodingKind::OneByte,
+            2 => EncodingKind::NibbleAligned,
+            other => return Err(format!("unknown encoding tag {other}")),
+        };
+        if payload[1] != 0 {
+            return Err(format!("reserved byte must be 0, got {}", payload[1]));
+        }
+        let max_entry_len = u16::from_be_bytes([payload[2], payload[3]]);
+        if max_entry_len == 0 {
+            return Err("max_entry_len must be >= 1".into());
+        }
+        let max_codewords = u32::from_be_bytes(payload[4..8].try_into().expect("4 bytes"));
+        Ok(CompressRequest {
+            encoding,
+            max_entry_len,
+            max_codewords,
+            module: payload[8..].to_vec(),
+        })
+    }
+
+    /// The [`CompressionConfig`] this request selects (0 codewords = the
+    /// encoding's full space; the compressor clamps oversized values).
+    pub fn config(&self) -> CompressionConfig {
+        CompressionConfig {
+            max_entry_len: self.max_entry_len as usize,
+            max_codewords: if self.max_codewords == 0 {
+                self.encoding.capacity()
+            } else {
+                self.max_codewords as usize
+            },
+            encoding: self.encoding,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut wire = Vec::new();
+        let wrote = write_frame(&mut wire, Op::ReqCompress, b"payload").unwrap();
+        assert_eq!(wrote, wire.len() as u64);
+        let mut r = &wire[..];
+        let (op, payload, read) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(op, Op::ReqCompress);
+        assert_eq!(payload, b"payload");
+        assert_eq!(read, wrote);
+        // Stream is exactly consumed: next read is a clean EOF.
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn crc_flip_is_detected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, Op::ReqPing, b"").unwrap();
+        for bit in 0..8 {
+            for i in 4..wire.len() {
+                let mut bad = wire.clone();
+                bad[i] ^= 1 << bit;
+                let err = read_frame(&mut &bad[..]).unwrap_err();
+                assert!(
+                    matches!(err, FrameError::BadCrc { .. } | FrameError::UnknownOp(_)),
+                    "flip at {i}.{bit}: {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_are_typed_errors() {
+        let too_large = (MAX_FRAME + 1).to_be_bytes();
+        assert!(matches!(read_frame(&mut &too_large[..]), Err(FrameError::TooLarge(_))));
+        let too_short = 2u32.to_be_bytes();
+        assert!(matches!(read_frame(&mut &too_short[..]), Err(FrameError::TooShort(2))));
+        let truncated = [0, 0, 0, 64, 1, 2, 3];
+        assert!(matches!(read_frame(&mut &truncated[..]), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn compress_request_roundtrips() {
+        let req = CompressRequest {
+            encoding: EncodingKind::NibbleAligned,
+            max_entry_len: 4,
+            max_codewords: 0,
+            module: vec![1, 2, 3, 4, 5],
+        };
+        assert_eq!(CompressRequest::decode(&req.encode()).unwrap(), req);
+        assert_eq!(req.config().max_codewords, EncodingKind::NibbleAligned.capacity());
+        assert_eq!(req.config().max_entry_len, 4);
+    }
+
+    #[test]
+    fn error_payloads_roundtrip() {
+        for code in [
+            ErrorCode::BadFrame,
+            ErrorCode::BadModule,
+            ErrorCode::CompressFailed,
+            ErrorCode::Busy,
+            ErrorCode::Deadline,
+            ErrorCode::TooLarge,
+            ErrorCode::ShuttingDown,
+        ] {
+            let payload = encode_error(code, "why it failed");
+            assert_eq!(decode_error(&payload), Some((code, "why it failed".to_owned())));
+        }
+        assert_eq!(decode_error(&[]), None);
+        assert_eq!(decode_error(&[99, 0, 0]), None, "unknown code");
+    }
+}

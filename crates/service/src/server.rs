@@ -1,0 +1,332 @@
+//! The batch-compression server: bounded work queue, worker pool, and
+//! per-connection frame loop.
+//!
+//! Threading model:
+//!
+//! * one **acceptor** thread owns the listener and spawns a thread per
+//!   connection;
+//! * `jobs` **worker** threads share a bounded [`sync_channel`] of
+//!   compression jobs — the queue depth is the backpressure bound, and a
+//!   full queue answers `BUSY` instead of blocking;
+//! * each **connection** thread reads frames under a socket read timeout,
+//!   serves `PING`/`METRICS`/`SHUTDOWN` inline, and for `COMPRESS` enqueues
+//!   a job and waits for its result with a completion deadline.
+//!
+//! Graceful drain: shutdown flips a flag and wakes the acceptor with a
+//! self-connection. The acceptor stops accepting, joins every connection
+//! thread (each finishes its in-flight request, then refuses new work with
+//! `SHUTTING_DOWN`; idle connections expire with their read timeout), then
+//! drops the job channel so the workers drain the queue and exit.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use codense_core::telemetry;
+use codense_core::{container, Compressor};
+
+use crate::protocol::{encode_error, read_frame, write_frame, CompressRequest, ErrorCode, Op};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Compression worker threads.
+    pub jobs: usize,
+    /// Bounded work-queue depth; a full queue answers `BUSY`.
+    pub queue_depth: usize,
+    /// Socket read/write timeout and per-request completion deadline.
+    pub timeout_ms: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions { addr: "127.0.0.1:0".into(), jobs: 1, queue_depth: 32, timeout_ms: 10_000 }
+    }
+}
+
+/// One queued compression request; the result travels back over a oneshot
+/// channel to the connection that enqueued it.
+struct Job {
+    payload: Vec<u8>,
+    resp: SyncSender<Result<Vec<u8>, (ErrorCode, String)>>,
+}
+
+#[derive(Debug)]
+struct Shared {
+    shutting_down: AtomicBool,
+    /// Jobs currently sitting in the queue (not yet dequeued by a worker).
+    depth: AtomicU64,
+}
+
+impl Shared {
+    /// Flips the shutdown flag and wakes the acceptor (blocked in
+    /// `accept`) with a throwaway self-connection.
+    fn begin_shutdown(&self, addr: SocketAddr) {
+        if !self.shutting_down.swap(true, Ordering::SeqCst) {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+        }
+    }
+}
+
+/// A running server. Dropping the handle shuts it down gracefully.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates graceful drain and blocks until every in-flight request
+    /// has completed and all threads have exited.
+    pub fn shutdown(&mut self) {
+        self.shared.begin_shutdown(self.addr);
+        self.join_threads();
+    }
+
+    /// Blocks until the server shuts down (via a `SHUTDOWN` frame or
+    /// [`ServerHandle::shutdown`] from another thread), then drains.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown(self.addr);
+        self.join_threads();
+    }
+}
+
+/// Binds the listener and starts the acceptor and worker threads. Returns
+/// once the server is accepting connections.
+pub fn serve(opts: &ServeOptions) -> std::io::Result<ServerHandle> {
+    let listener =
+        TcpListener::bind(opts.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::other(format!("unresolvable address {}", opts.addr))
+        })?)?;
+    let addr = listener.local_addr()?;
+    let shared =
+        Arc::new(Shared { shutting_down: AtomicBool::new(false), depth: AtomicU64::new(0) });
+
+    let (tx, rx) = sync_channel::<Job>(opts.queue_depth.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+    let workers: Vec<_> = (0..opts.jobs.max(1))
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("codense-worker-{i}"))
+                .spawn(move || worker_loop(&rx, &shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        let timeout = Duration::from_millis(opts.timeout_ms.max(1));
+        std::thread::Builder::new()
+            .name("codense-acceptor".into())
+            .spawn(move || acceptor_loop(&listener, addr, &shared, &tx, timeout))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle { addr, shared, acceptor: Some(acceptor), workers })
+}
+
+fn acceptor_loop(
+    listener: &TcpListener,
+    addr: SocketAddr,
+    shared: &Arc<Shared>,
+    tx: &SyncSender<Job>,
+    timeout: Duration,
+) {
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let tx = tx.clone();
+        let shared = Arc::clone(shared);
+        let conn = std::thread::Builder::new()
+            .name("codense-conn".into())
+            .spawn(move || handle_connection(stream, addr, &shared, &tx, timeout))
+            .expect("spawn connection thread");
+        conns.push(conn);
+        conns.retain(|h| !h.is_finished());
+    }
+    // Drain: every connection finishes its in-flight request (idle ones
+    // expire with their read timeout), then the workers see the channel
+    // close and exit after emptying the queue.
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, shared: &Shared) {
+    loop {
+        // Holding the lock only while blocked on `recv` serializes dequeue,
+        // not processing: the lock drops as soon as a job is claimed.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // all senders gone: drained
+        };
+        shared.depth.fetch_sub(1, Ordering::SeqCst);
+        // The library's no-panic policy is pinned by the fuzz crate;
+        // catch_unwind is defense in depth so one bad request can never
+        // take the worker (and with it the whole pool) down.
+        let result = catch_unwind(AssertUnwindSafe(|| process(&job.payload)))
+            .unwrap_or_else(|_| Err((ErrorCode::CompressFailed, "internal panic".into())));
+        let _ = job.resp.send(result); // requester may have hit its deadline
+    }
+}
+
+/// Decode → validate → compress → serialize; every failure is a typed
+/// error code plus message.
+fn process(payload: &[u8]) -> Result<Vec<u8>, (ErrorCode, String)> {
+    let req = CompressRequest::decode(payload).map_err(|e| (ErrorCode::BadFrame, e))?;
+    let module =
+        codense_obj::deserialize(&req.module).map_err(|e| (ErrorCode::BadModule, e.to_string()))?;
+    module.validate().map_err(|e| (ErrorCode::BadModule, e.to_string()))?;
+    let compressed = Compressor::new(req.config())
+        .compress(&module)
+        .map_err(|e| (ErrorCode::CompressFailed, e.to_string()))?;
+    Ok(container::serialize(&compressed))
+}
+
+/// Writes a frame, counting the bytes it puts on the wire.
+///
+/// The counter is bumped *before* the write: a client that has read this
+/// response — and then snapshots METRICS over another connection — must
+/// already observe it in `serve.bytes_out`, or the counters section loses
+/// its determinism under a sequential client.
+fn send(stream: &mut impl Write, op: Op, payload: &[u8]) -> std::io::Result<()> {
+    telemetry::SERVE_BYTES_OUT.add(4 + 1 + payload.len() as u64 + 4);
+    write_frame(stream, op, payload).map(|_| ())
+}
+
+fn send_err(stream: &mut impl Write, code: ErrorCode, msg: &str) -> std::io::Result<()> {
+    send(stream, Op::RespErr, &encode_error(code, msg))
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    addr: SocketAddr,
+    shared: &Shared,
+    tx: &SyncSender<Job>,
+    timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let _ = stream.set_nodelay(true);
+    let mut stream = stream;
+    loop {
+        let (op, payload, nbytes) = match read_frame(&mut &stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close
+            Err(e) => {
+                // A malformed frame gets a typed error; the connection then
+                // closes (resynchronizing an arbitrary byte stream is not
+                // worth guessing at). Socket errors — including the read
+                // timeout that bounds idle connections — just close.
+                if let Some(code) = e.response_code() {
+                    telemetry::SERVE_FRAMES_BAD.inc();
+                    let _ = send_err(&mut stream, code, &e.to_string());
+                }
+                return;
+            }
+        };
+        telemetry::SERVE_BYTES_IN.add(nbytes);
+        let result = match op {
+            Op::ReqPing => send(&mut stream, Op::RespPong, b""),
+            Op::ReqMetrics => {
+                send(&mut stream, Op::RespMetrics, telemetry::metrics_json("serve").as_bytes())
+            }
+            Op::ReqShutdown => {
+                let _ = send(&mut stream, Op::RespPong, b"");
+                shared.begin_shutdown(addr);
+                return;
+            }
+            Op::ReqCompress => handle_compress(&mut stream, shared, tx, payload, timeout),
+            // A response op arriving at the server is a protocol violation.
+            Op::RespOk | Op::RespMetrics | Op::RespPong | Op::RespErr => {
+                telemetry::SERVE_FRAMES_BAD.inc();
+                let _ = send_err(&mut stream, ErrorCode::BadFrame, "response op sent to server");
+                return;
+            }
+        };
+        if result.is_err() {
+            return; // write failed or timed out: drop the connection
+        }
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return; // in-flight request done; drain closes the connection
+        }
+    }
+}
+
+fn handle_compress(
+    stream: &mut TcpStream,
+    shared: &Shared,
+    tx: &SyncSender<Job>,
+    payload: Vec<u8>,
+    timeout: Duration,
+) -> std::io::Result<()> {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        return send_err(stream, ErrorCode::ShuttingDown, "server is draining");
+    }
+    let (rtx, rrx) = sync_channel(1);
+    // Reserve the depth slot *before* the send: the worker's decrement at
+    // dequeue must always observe the increment, or the gauge underflows.
+    let depth = shared.depth.fetch_add(1, Ordering::SeqCst) + 1;
+    match tx.try_send(Job { payload, resp: rtx }) {
+        Ok(()) => {
+            telemetry::SERVE_REQUESTS_ACCEPTED.inc();
+            telemetry::SERVE_QUEUE_HIGH_WATER.record_max(depth);
+            match rrx.recv_timeout(timeout) {
+                Ok(Ok(container)) => {
+                    telemetry::SERVE_REQUESTS_OK.inc();
+                    send(stream, Op::RespOk, &container)
+                }
+                Ok(Err((code, msg))) => {
+                    telemetry::SERVE_REQUESTS_FAILED.inc();
+                    send_err(stream, code, &msg)
+                }
+                Err(_) => {
+                    telemetry::SERVE_REQUESTS_FAILED.inc();
+                    send_err(stream, ErrorCode::Deadline, "request missed its deadline")
+                }
+            }
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.depth.fetch_sub(1, Ordering::SeqCst);
+            telemetry::SERVE_REQUESTS_BUSY.inc();
+            send_err(stream, ErrorCode::Busy, "work queue is full")
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.depth.fetch_sub(1, Ordering::SeqCst);
+            send_err(stream, ErrorCode::ShuttingDown, "server is draining")
+        }
+    }
+}

@@ -36,4 +36,38 @@ sed -n '/"counters"/,/}/p' "$tmp/j1.json" > "$tmp/j1.counters"
 sed -n '/"counters"/,/}/p' "$tmp/j8.json" > "$tmp/j8.counters"
 diff -u "$tmp/j1.counters" "$tmp/j8.counters"
 
+echo "==> serve smoke (loadgen -c 1, zero failures, counters --jobs 1 vs --jobs 8)"
+for j in 1 8; do
+    log="$tmp/serve-$j.log"
+    : > "$log"
+    ./target/release/codense --jobs "$j" serve --addr 127.0.0.1:0 --queue-depth 8 \
+        > "$log" 2>&1 &
+    serve_pid=$!
+    addr=""
+    i=0
+    while [ "$i" -lt 100 ]; do
+        addr="$(sed -n 's/^serving on //p' "$log" || true)"
+        if [ -n "$addr" ]; then
+            break
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo "serve --jobs $j never reported its address" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    # loadgen byte-compares every response against the in-process result and
+    # exits nonzero if any request failed, so set -e enforces zero failures.
+    ./target/release/codense loadgen --addr "$addr" --requests 16 --connections 1 \
+        --bench compress --encoding nibble --server-jobs "$j" --server-queue-depth 8 \
+        --metrics-out "$tmp/serve-$j.metrics.json" \
+        --out "$tmp/BENCH_serve-$j.json" --shutdown
+    wait "$serve_pid"
+    # Counters only: the timings section carries wall-clock data.
+    sed -n '/"counters"/,/}/p' "$tmp/serve-$j.metrics.json" > "$tmp/serve-$j.counters"
+done
+diff -u "$tmp/serve-1.counters" "$tmp/serve-8.counters"
+
 echo "verify: OK"
