@@ -10,7 +10,13 @@
 //! codense run-kernel <NAME> [--encoding E]    execute a built-in kernel
 //! codense repro [--bench NAME]                suite ratio table, all encodings
 //! codense sweep [--bench NAME]                Figs 4/5/8 parameter sweeps
-//! codense fuzz [--cases N] [--seed S]         differential fuzz campaign
+//! codense profile [--bench NAME] [--encoding E] [--out FILE]
+//!                                             execution profiles of the kernel suite
+//! codense hybrid --bench NAME [--coverage F|--threshold N] [--encoding E]
+//!                                             one profile-guided hybrid compression
+//! codense hybrid-sweep [--encoding E] [--out BENCH_hybrid.json]
+//!                                             size-vs-cycles Pareto frontier
+//! codense fuzz [--cases N] [--seed S] [--hybrid]  differential fuzz campaign
 //! codense serve --addr HOST:PORT [--queue-depth N] [--timeout-ms N]
 //!                                             batch-compression TCP server
 //! codense loadgen --addr HOST:PORT [--requests N] [--connections N]
@@ -52,6 +58,9 @@ fn main() -> ExitCode {
         Some("run-kernel") => cmd_run_kernel(&args[1..]),
         Some("repro") => cmd_repro(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
+        Some("hybrid") => cmd_hybrid(&args[1..]),
+        Some("hybrid-sweep") => cmd_hybrid_sweep(&args[1..]),
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
@@ -94,7 +103,14 @@ usage:
   codense run-kernel <NAME|list> [--encoding baseline|onebyte|nibble|none]
   codense repro [--bench NAME]
   codense sweep [--bench NAME]
+  codense profile [--bench NAME] [--encoding baseline|onebyte|nibble]
+                  [--max-steps N] [--out PROFILE.json]
+  codense hybrid --bench NAME [--coverage FRAC | --threshold N]
+                 [--encoding baseline|onebyte|nibble] [--max-steps N]
+  codense hybrid-sweep [--encoding baseline|onebyte|nibble]
+                       [--out BENCH_hybrid.json]
   codense fuzz [--cases N] [--seed S] [--max-steps N] [--fault-tries N]
+               [--hybrid]
   codense serve --addr HOST:PORT [--queue-depth N] [--timeout-ms N]
   codense loadgen --addr HOST:PORT [--requests N] [--connections N]
                   [--bench NAME] [--encoding baseline|onebyte|nibble]
@@ -134,11 +150,30 @@ failed). Writes a schema-1 throughput + latency-quantile report (see
 EXPERIMENTS.md) to --out, and exits nonzero when any request failed.
 --shutdown sends a SHUTDOWN frame after the run.
 
+profile runs the built-in kernel suite (each kernel extended with a large
+never-executed cold section) natively under the VM's tracing hook and
+writes per-instruction / per-basic-block execution counts plus the
+fetch-path event totals of a reference compressed run as a schema-1
+sorted-key JSON artifact — byte-identical at any --jobs value.
+
+hybrid profiles one benchmark, exempts its hot blocks from compression
+(--coverage F keeps the hottest blocks covering fraction F of dynamic
+execution; --threshold N exempts blocks executing at least N
+instructions), verifies and lockstep-executes the hybrid image, and
+prints the native/full/hybrid cycle and size comparison under the fetch
+cost model.
+
+hybrid-sweep walks the coverage knob over the whole suite and writes the
+size-vs-cycles Pareto frontier (BENCH_hybrid.json, schema 1; see
+EXPERIMENTS.md for the bless workflow).
+
 fuzz generates seeded random programs, runs each natively and through the
 compressed fetch path under all three encodings in lockstep, and fault-
 injects the binary container formats; failures print a reproducer case
 seed and a shrunk minimal program weight. Exit status 1 on any divergence
-or panic.
+or panic. --hybrid additionally derives a random block-aligned hotness
+mask per case and fuzzes hybrid (partially compressed) images the same
+way.
 
 asm syntax: one instruction per line (the disasm output syntax), `label:`
 definitions, `label` usable as any branch target, `#` comments.
@@ -573,6 +608,167 @@ fn cmd_sweep(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Profiles the kernel benchmark suite and renders the schema-1 artifact.
+fn cmd_profile(args: &[String]) -> CliResult {
+    use codense_profile::{bench, collect, render_profiles_json};
+    let encoding_name = flag_value(args, "--encoding").unwrap_or("nibble");
+    let encoding = parse_encoding(encoding_name)?;
+    let max_steps: u64 = match flag_value(args, "--max-steps") {
+        Some(v) => v.parse().map_err(|_| "bad --max-steps")?,
+        None => 10_000_000,
+    };
+    let kernels = match flag_value(args, "--bench") {
+        Some(name) => {
+            vec![bench::bench(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?]
+        }
+        None => bench::benches(),
+    };
+    let profiles = codense_core::parallel::par_map(kernels, |_, k| {
+        collect(&k, encoding, max_steps).map_err(|e| format!("{}: {e}", k.name))
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
+    let json = render_profiles_json(&profiles, encoding_name);
+    match flag_value(args, "--out") {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+            for p in &profiles {
+                println!(
+                    "{:<12} {:>6} insns, {:>7} steps, {:>3} blocks executed of {}",
+                    p.bench,
+                    p.insns,
+                    p.steps,
+                    p.blocks.iter().filter(|b| b.weight > 0).count(),
+                    p.blocks.len()
+                );
+            }
+            println!("{path}: {} profile(s), encoding {encoding_name}", profiles.len());
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
+/// One profile-guided hybrid compression with full-trace validation.
+fn cmd_hybrid(args: &[String]) -> CliResult {
+    use codense_fuzz::oracle::{lockstep, LockstepOk, TraceMask};
+    use codense_profile::{
+        bench, collect, hot_mask, score_compressed, score_native, CostParams, HotnessPolicy,
+    };
+    let name = flag_value(args, "--bench").ok_or("hybrid: missing --bench NAME")?;
+    let kernel = bench::bench(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let encoding = parse_encoding(flag_value(args, "--encoding").unwrap_or("nibble"))?;
+    let max_steps: u64 = match flag_value(args, "--max-steps") {
+        Some(v) => v.parse().map_err(|_| "bad --max-steps")?,
+        None => 10_000_000,
+    };
+    let policy = match (flag_value(args, "--coverage"), flag_value(args, "--threshold")) {
+        (Some(_), Some(_)) => return Err("hybrid: --coverage and --threshold conflict".into()),
+        (Some(v), None) => {
+            let f: f64 = v.parse().map_err(|_| "bad --coverage")?;
+            if !(0.0..=1.0).contains(&f) {
+                return Err(format!("bad --coverage `{v}` (expected 0.0..=1.0)"));
+            }
+            HotnessPolicy::TopCoverage(f)
+        }
+        (None, Some(v)) => HotnessPolicy::Threshold(v.parse().map_err(|_| "bad --threshold")?),
+        (None, None) => HotnessPolicy::TopCoverage(0.5),
+    };
+    let cost = CostParams::default();
+
+    let profile = collect(&kernel, encoding, max_steps).map_err(|e| e.to_string())?;
+    let mask = hot_mask(&profile, policy);
+    let config =
+        CompressionConfig { max_entry_len: 4, max_codewords: encoding.capacity(), encoding };
+    let full =
+        Compressor::new(config.clone()).compress(&kernel.module).map_err(|e| e.to_string())?;
+    let hybrid = Compressor::new(config)
+        .compress_masked(&kernel.module, &mask.exempt)
+        .map_err(|e| e.to_string())?;
+    verify(&kernel.module, &hybrid).map_err(|e| format!("verification failed: {e}"))?;
+
+    // Full-trace equivalence, not just matching exit codes.
+    let trace_mask =
+        TraceMask { skip_gprs: 1 << 0, mem_skip: std::iter::once(0xE0000..1 << 20).collect() };
+    let got = lockstep(
+        &kernel.module,
+        &hybrid,
+        &[],
+        &|machine| kernel.apply_init(machine),
+        &trace_mask,
+        1 << 20,
+        max_steps,
+    )
+    .map_err(|d| format!("hybrid image diverged from native: {d}"))?;
+    if got != (LockstepOk::Completed { steps: profile.steps, exit: kernel.expected }) {
+        return Err(format!("hybrid lockstep ended unexpectedly: {got:?}"));
+    }
+
+    let native = score_native(&kernel, &cost, max_steps).map_err(|e| e.to_string())?;
+    let full_score =
+        score_compressed(&kernel, &full, &cost, max_steps).map_err(|e| e.to_string())?;
+    let hybrid_score =
+        score_compressed(&kernel, &hybrid, &cost, max_steps).map_err(|e| e.to_string())?;
+
+    println!(
+        "{name}: {} insns, {} steps, lockstep ok ({:?})",
+        profile.insns, profile.steps, encoding
+    );
+    println!(
+        "  hot: {} of {} blocks, {} of {} insns exempt",
+        mask.hot_block_count(),
+        profile.blocks.len(),
+        mask.exempt_insn_count(),
+        profile.insns
+    );
+    println!("  {:<8} {:>8} {:>9}", "image", "cycles", "ratio");
+    println!("  {:<8} {:>8} {:>8.1}%", "native", native.cycles, 100.0);
+    println!("  {:<8} {:>8} {:>8.1}%", "full", full_score.cycles, 100.0 * full.compression_ratio());
+    println!(
+        "  {:<8} {:>8} {:>8.1}%",
+        "hybrid",
+        hybrid_score.cycles,
+        100.0 * hybrid.compression_ratio()
+    );
+    Ok(())
+}
+
+/// The whole-suite coverage sweep behind `BENCH_hybrid.json`.
+fn cmd_hybrid_sweep(args: &[String]) -> CliResult {
+    use codense_profile::{hybrid_sweep, render_bench_json, HybridOptions};
+    let encoding_name = flag_value(args, "--encoding").unwrap_or("nibble");
+    let options =
+        HybridOptions { encoding: parse_encoding(encoding_name)?, ..HybridOptions::default() };
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_hybrid.json");
+    let results = hybrid_sweep(&options).map_err(|e| e.to_string())?;
+    let json = render_bench_json(&results, encoding_name, &options.cost);
+    std::fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+    println!("{:<12} {:>7} {:>8} {:>8}  best mid-range point", "bench", "native", "full", "ratio");
+    for r in &results {
+        let best =
+            r.points.iter().filter(|p| p.coverage > 0.0 && p.coverage < 1.0).max_by(|a, b| {
+                (a.recovered_pct.min(100.0) + a.retained_pct.min(100.0))
+                    .total_cmp(&(b.recovered_pct.min(100.0) + b.retained_pct.min(100.0)))
+            });
+        match best {
+            Some(p) => println!(
+                "{:<12} {:>7} {:>8} {:>7.1}%  cov {:.2}: {} cycles, {:.1}% recovered, {:.1}% size kept",
+                r.bench,
+                r.native_cycles,
+                r.full_cycles,
+                100.0 * r.full_ratio,
+                p.coverage,
+                p.cycles,
+                p.recovered_pct,
+                p.retained_pct
+            ),
+            None => println!("{:<12} {:>7} {:>8} {:>7.1}%", r.bench, r.native_cycles, r.full_cycles, 100.0 * r.full_ratio),
+        }
+    }
+    println!("{out_path}: {} benches, encoding {encoding_name}", results.len());
+    Ok(())
+}
+
 fn cmd_fuzz(args: &[String]) -> CliResult {
     let mut opts = codense_fuzz::FuzzOptions::default();
     if let Some(v) = flag_value(args, "--cases") {
@@ -587,6 +783,7 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
     if let Some(v) = flag_value(args, "--fault-tries") {
         opts.fault_tries = v.parse().map_err(|_| "bad --fault-tries")?;
     }
+    opts.hybrid = args.iter().any(|a| a == "--hybrid");
     let report = codense_fuzz::run(&opts);
     println!("{}", report.render());
     if report.ok() {

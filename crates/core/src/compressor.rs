@@ -190,8 +190,44 @@ impl Compressor {
     ///
     /// See [`CompressError`].
     pub fn compress(&self, module: &ObjectModule) -> Result<CompressedProgram, CompressError> {
+        self.compress_masked(module, &[])
+    }
+
+    /// Profile-guided hybrid compression: like [`compress`](Self::compress),
+    /// but instruction `i` is exempted from dictionary replacement when
+    /// `exempt[i]` is true. Exempt (hot) instructions stay in the stream as
+    /// uncompressed atoms, and the greedy selector never counts occurrences
+    /// inside them, so hot-only sequences cannot pollute the dictionary
+    /// (§5's "leave frequently executed code uncompressed"). Callers derive
+    /// block-aligned masks from an execution profile (`codense-profile`);
+    /// an empty slice exempts nothing and is byte-identical to
+    /// [`compress`](Self::compress).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompressError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exempt` is non-empty and `exempt.len() != module.len()`.
+    pub fn compress_masked(
+        &self,
+        module: &ObjectModule,
+        exempt: &[bool],
+    ) -> Result<CompressedProgram, CompressError> {
+        assert!(
+            exempt.is_empty() || exempt.len() == module.len(),
+            "exemption mask length {} does not match module length {}",
+            exempt.len(),
+            module.len()
+        );
         let kind = self.config.encoding;
         crate::telemetry::COMPRESS_RUNS.inc();
+        if !exempt.is_empty() {
+            crate::telemetry::HYBRID_COMPRESSIONS.inc();
+            crate::telemetry::HYBRID_EXEMPT_INSNS
+                .add(exempt.iter().filter(|&&hot| hot).count() as u64);
+        }
         let _phase = crate::telemetry::phase("compress");
 
         // Escape opcodes must not occur as real instructions under the
@@ -204,9 +240,22 @@ impl Compressor {
             }
         }
 
-        // 1. Greedy dictionary selection over the basic-block model.
+        // 1. Greedy dictionary selection over the basic-block model. Hot
+        //    (exempt) cells are marked incompressible before selection, so
+        //    the occurrence index only ever sees eligible code.
         let greedy_phase = crate::telemetry::phase("greedy");
         let mut model = ProgramModel::build(module);
+        if !exempt.is_empty() {
+            for block in &mut model.blocks {
+                for cell in &mut block.cells {
+                    if let Cell::Insn { orig, compressible, .. } = cell {
+                        if exempt[*orig] {
+                            *compressible = false;
+                        }
+                    }
+                }
+            }
+        }
         let mut dictionary = Dictionary::new();
         let params = GreedyParams {
             max_entry_len: self.config.max_entry_len,

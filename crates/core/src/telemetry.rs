@@ -118,6 +118,13 @@ registry! {
     GREEDY_STALE_REINSERTS => "greedy.stale_reinserts",
     GREEDY_WINDOW_ADDS => "greedy.window_adds",
     GREEDY_WINDOW_REMOVES => "greedy.window_removes",
+    HYBRID_COMPRESSIONS => "hybrid.compressions",
+    HYBRID_EXEMPT_INSNS => "hybrid.exempt_insns",
+    HYBRID_HOT_BLOCKS => "hybrid.hot_blocks",
+    HYBRID_SWEEP_POINTS => "hybrid.sweep_points",
+    PROFILE_BLOCKS => "profile.blocks",
+    PROFILE_INSNS_COUNTED => "profile.insns_counted",
+    PROFILE_RUNS => "profile.runs",
     SERVE_BYTES_IN => "serve.bytes_in",
     SERVE_BYTES_OUT => "serve.bytes_out",
     SERVE_FRAMES_BAD => "serve.frames_bad",
@@ -135,6 +142,7 @@ registry! {
     VM_FETCH_ESCAPES => "vm.fetch.escapes",
     VM_FETCH_LINEAR_INSNS => "vm.fetch.linear_insns",
     VM_FETCH_NIBBLES => "vm.fetch.nibbles",
+    VM_FETCH_REALIGNS => "vm.fetch.realigns",
 }
 
 /// Accumulated wall-clock statistics of one phase path.

@@ -628,3 +628,45 @@ pub fn mix(ctx: &mut Ctx) {
     }
     println!("{}", t.render());
 }
+
+/// Extension (§5): profile-guided hybrid compression — size vs modeled
+/// cycles at a few hotness-coverage points per runnable kernel.
+pub fn hybrid(_ctx: &mut Ctx) {
+    use codense_profile::{hybrid_sweep, HybridOptions};
+    println!("Extension: profile-guided hybrid compression (paper §5 future work)");
+    println!("(exempting the hottest blocks recovers expansion cycles while keeping");
+    println!(" most of the size reduction; cost model in DESIGN.md §11)\n");
+    let options =
+        HybridOptions { coverages: vec![0.0, 0.25, 0.50, 0.75, 1.0], ..HybridOptions::default() };
+    let results = hybrid_sweep(&options).expect("hybrid sweep");
+    let mut t = Table::new([
+        "kernel",
+        "full ratio",
+        "full cyc",
+        "cov",
+        "hybrid ratio",
+        "hybrid cyc",
+        "recovered",
+        "retained",
+    ]);
+    for r in &results {
+        // Pick the mid-range point that recovers the most cycles.
+        let best = r
+            .points
+            .iter()
+            .filter(|p| p.coverage > 0.0 && p.coverage < 1.0)
+            .max_by(|a, b| a.recovered_pct.partial_cmp(&b.recovered_pct).unwrap())
+            .expect("mid-range point");
+        t.row([
+            r.bench.clone(),
+            format!("{:.3}", r.full_ratio),
+            r.full_cycles.to_string(),
+            format!("{:.2}", best.coverage),
+            format!("{:.3}", best.ratio),
+            best.cycles.to_string(),
+            format!("{:.1}%", best.recovered_pct),
+            format!("{:.1}%", best.retained_pct),
+        ]);
+    }
+    println!("{}", t.render());
+}

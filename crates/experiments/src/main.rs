@@ -52,6 +52,7 @@ const EXPERIMENTS: &[(&str, Runner)] = &[
     ("dictcache", figures::dictcache),
     ("splits", figures::splits),
     ("mix", figures::mix),
+    ("hybrid", figures::hybrid),
 ];
 
 /// Extracts `--jobs N` / `--jobs=N` from `args` and applies it to the

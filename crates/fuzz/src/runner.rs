@@ -9,6 +9,7 @@
 use codense_codegen::Rng;
 use codense_core::parallel::par_map;
 use codense_core::{telemetry, verify, CompressionConfig, Compressor};
+use codense_obj::{BasicBlocks, ObjectModule};
 use codense_vm::fetch::CompressedFetcher;
 
 use crate::faults::{container_battery, module_battery, nibble_soup_battery, FaultReport};
@@ -22,6 +23,8 @@ use crate::spec::{build, BuiltProgram, ProgramSpec, JT_BASE, MEM_BYTES};
 const CASE_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 /// Extra salt separating the fault-injection stream from generation.
 const FAULT_SALT: u64 = 0xD1B5_4A32_D192_ED03;
+/// Extra salt for the hybrid hotness-mask stream (`--hybrid` campaigns).
+const HYBRID_SALT: u64 = 0x94D0_49BB_1331_11EB;
 
 /// Campaign options.
 #[derive(Debug, Clone)]
@@ -34,11 +37,15 @@ pub struct FuzzOptions {
     pub max_steps: u64,
     /// Randomized corruption attempts per fault battery per case.
     pub fault_tries: usize,
+    /// Additionally fuzz hybrid images: per case, derive a random
+    /// block-aligned hotness mask from the case seed and run the lockstep
+    /// oracle on the partially compressed program under every encoding.
+    pub hybrid: bool,
 }
 
 impl Default for FuzzOptions {
     fn default() -> FuzzOptions {
-        FuzzOptions { cases: 100, seed: 1, max_steps: 200_000, fault_tries: 4 }
+        FuzzOptions { cases: 100, seed: 1, max_steps: 200_000, fault_tries: 4, hybrid: false }
     }
 }
 
@@ -62,6 +69,22 @@ fn fuzz_mask(built: &BuiltProgram) -> TraceMask {
     }
 }
 
+/// Derives the per-case block-aligned hotness mask for hybrid fuzzing.
+/// Recomputed from whatever module is at hand, so shrunk candidates get a
+/// mask over their *own* basic blocks from the same random stream.
+fn hybrid_mask(module: &ObjectModule, case_seed: u64) -> Vec<bool> {
+    let mut rng = Rng::new(case_seed ^ HYBRID_SALT);
+    // Per-case hot fraction between 10% and 60% of blocks.
+    let pct = rng.range(10, 60);
+    let mut exempt = vec![false; module.len()];
+    for &(start, end) in BasicBlocks::compute(module).blocks() {
+        if rng.below(100) < pct {
+            exempt[start..end].iter_mut().for_each(|e| *e = true);
+        }
+    }
+    exempt
+}
+
 /// Outcome of one case, aggregated into the report.
 #[derive(Debug, Clone, Default)]
 struct CaseOutcome {
@@ -69,6 +92,10 @@ struct CaseOutcome {
     completed: [u64; 3],
     /// Per-encoding skipped (overflow rewriting) runs.
     skipped: [u64; 3],
+    /// Per-encoding completed hybrid lockstep runs (`--hybrid` only).
+    hybrid_completed: [u64; 3],
+    /// Per-encoding skipped hybrid runs.
+    hybrid_skipped: [u64; 3],
     /// Both-sides-faulted runs (the program was faulty, traces agreed).
     agreed_faults: u64,
     faults: FaultReport,
@@ -134,6 +161,54 @@ fn run_case(opts: &FuzzOptions, case: usize) -> CaseOutcome {
         }
     }
 
+    if opts.hybrid {
+        let exempt = hybrid_mask(&built.module, case_seed);
+        for (ei, (label, config)) in encodings().into_iter().enumerate() {
+            let hybrid =
+                match Compressor::new(config.clone()).compress_masked(&built.module, &exempt) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        out.failures.push(format!(
+                        "case {case} seed {case_seed:#018x}: [{label}/hybrid] compress error: {e}"
+                    ));
+                        continue;
+                    }
+                };
+            if let Err(e) = verify::verify(&built.module, &hybrid) {
+                out.failures.push(format!(
+                    "case {case} seed {case_seed:#018x}: [{label}/hybrid] verify error: {e}"
+                ));
+                continue;
+            }
+            telemetry::FUZZ_LOCKSTEP_RUNS.inc();
+            match lockstep(
+                &built.module,
+                &hybrid,
+                &built.table_addrs,
+                &|_| {},
+                &mask,
+                MEM_BYTES,
+                opts.max_steps,
+            ) {
+                Ok(LockstepOk::Completed { .. }) => out.hybrid_completed[ei] += 1,
+                Ok(LockstepOk::Faulted { .. }) => out.agreed_faults += 1,
+                Ok(LockstepOk::SkippedOverflow) => out.hybrid_skipped[ei] += 1,
+                Err(divergence) => {
+                    telemetry::FUZZ_DIVERGENCES.inc();
+                    let small = shrink(&spec, &|cand| {
+                        hybrid_diverges_under(cand, &config, case_seed, opts.max_steps)
+                    });
+                    out.failures.push(format!(
+                        "case {case} seed {case_seed:#018x}: [{label}/hybrid] {divergence}; \
+                         reproducer shrunk weight {} -> {}",
+                        spec.weight(),
+                        small.weight()
+                    ));
+                }
+            }
+        }
+    }
+
     // Fault-injection stream: independent of the generation stream so
     // adding mutators never perturbs generated programs.
     let mut frng = Rng::new(case_seed ^ FAULT_SALT);
@@ -157,6 +232,26 @@ fn diverges_under(spec: &ProgramSpec, config: &CompressionConfig, max_steps: u64
     };
     let mask = fuzz_mask(&built);
     lockstep(&built.module, &compressed, &built.table_addrs, &|_| {}, &mask, MEM_BYTES, max_steps)
+        .is_err()
+}
+
+/// Whether `spec` (still) diverges as a hybrid image under `config` — the
+/// shrinking predicate for `--hybrid` failures. The mask is re-derived from
+/// each candidate's own blocks.
+fn hybrid_diverges_under(
+    spec: &ProgramSpec,
+    config: &CompressionConfig,
+    case_seed: u64,
+    max_steps: u64,
+) -> bool {
+    telemetry::FUZZ_SHRINK_CANDIDATES.inc();
+    let Ok(built) = build(spec) else { return false };
+    let exempt = hybrid_mask(&built.module, case_seed);
+    let Ok(hybrid) = Compressor::new(config.clone()).compress_masked(&built.module, &exempt) else {
+        return false;
+    };
+    let mask = fuzz_mask(&built);
+    lockstep(&built.module, &hybrid, &built.table_addrs, &|_| {}, &mask, MEM_BYTES, max_steps)
         .is_err()
 }
 
@@ -210,10 +305,56 @@ fn self_test(max_steps: u64) -> (Vec<String>, usize) {
         spec.weight(),
         small.weight()
     );
-    if still {
-        (vec![line], 0)
-    } else {
-        (vec![line, "self-test: FAILED - shrunk reproducer lost the failure".into()], 1)
+    let mut lines = vec![line];
+    let mut failures = 0;
+    if !still {
+        lines.push("self-test: FAILED - shrunk reproducer lost the failure".into());
+        failures += 1;
+    }
+    let (h_line, h_fail) = hybrid_smoke(max_steps);
+    lines.push(h_line);
+    failures += h_fail;
+    (lines, failures)
+}
+
+/// Hybrid smoke test: a fixed-seed program under a fixed-seed hotness mask
+/// must survive full-trace lockstep under the nibble encoding.
+fn hybrid_smoke(max_steps: u64) -> (String, usize) {
+    // Chosen so the derived mask exempts a real fraction of the program
+    // (84 of 208 instructions) — an empty mask would smoke-test nothing.
+    const SMOKE_SEED: u64 = 0x4B1D_C005;
+    // The smoke program is fixed-seed, so it must be allowed to halt even
+    // when the campaign runs with a tiny `--max-steps`.
+    let max_steps = max_steps.max(1 << 20);
+    let mut rng = Rng::new(SMOKE_SEED);
+    let spec = generate_spec(&mut rng, &GenConfig { max_funcs: 2, ..GenConfig::default() });
+    let built = match build(&spec) {
+        Ok(b) => b,
+        Err(e) => return (format!("self-test: FAILED - hybrid smoke build: {e}"), 1),
+    };
+    let exempt = hybrid_mask(&built.module, SMOKE_SEED);
+    let hybrid = match Compressor::new(CompressionConfig::nibble_aligned())
+        .compress_masked(&built.module, &exempt)
+    {
+        Ok(c) => c,
+        Err(e) => return (format!("self-test: FAILED - hybrid smoke compress: {e}"), 1),
+    };
+    if let Err(e) = verify::verify(&built.module, &hybrid) {
+        return (format!("self-test: FAILED - hybrid smoke verify: {e}"), 1);
+    }
+    let mask = fuzz_mask(&built);
+    telemetry::FUZZ_LOCKSTEP_RUNS.inc();
+    match lockstep(&built.module, &hybrid, &built.table_addrs, &|_| {}, &mask, MEM_BYTES, max_steps)
+    {
+        Ok(_) => (
+            format!(
+                "self-test: hybrid smoke ok ({} of {} insns exempt)",
+                exempt.iter().filter(|&&e| e).count(),
+                exempt.len()
+            ),
+            0,
+        ),
+        Err(d) => (format!("self-test: FAILED - hybrid smoke diverged: {d}"), 1),
     }
 }
 
@@ -250,8 +391,8 @@ fn detectable_rank(spec: &ProgramSpec, max_steps: u64) -> Option<(u32, String)> 
 /// [`codense_core::parallel::jobs`]; the report is independent of it.
 pub fn run(opts: &FuzzOptions) -> FuzzReport {
     let mut lines = vec![format!(
-        "codense fuzz: cases={} seed={:#x} max-steps={} fault-tries={}",
-        opts.cases, opts.seed, opts.max_steps, opts.fault_tries
+        "codense fuzz: cases={} seed={:#x} max-steps={} fault-tries={} hybrid={}",
+        opts.cases, opts.seed, opts.max_steps, opts.fault_tries, opts.hybrid
     )];
     let (st_lines, mut failures) = {
         let _phase = telemetry::phase("fuzz-self-test");
@@ -265,6 +406,8 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
 
     let mut completed = [0u64; 3];
     let mut skipped = [0u64; 3];
+    let mut hybrid_completed = [0u64; 3];
+    let mut hybrid_skipped = [0u64; 3];
     let mut agreed_faults = 0u64;
     let mut faults = FaultReport::default();
     let mut failure_lines = Vec::new();
@@ -272,6 +415,8 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
         for e in 0..3 {
             completed[e] += out.completed[e];
             skipped[e] += out.skipped[e];
+            hybrid_completed[e] += out.hybrid_completed[e];
+            hybrid_skipped[e] += out.hybrid_skipped[e];
         }
         agreed_faults += out.agreed_faults;
         faults.absorb(out.faults);
@@ -285,6 +430,14 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
             "encoding {}: completed={} skipped-overflow={}",
             labels[e], completed[e], skipped[e]
         ));
+    }
+    if opts.hybrid {
+        for e in 0..3 {
+            lines.push(format!(
+                "hybrid {}: completed={} skipped-overflow={}",
+                labels[e], hybrid_completed[e], hybrid_skipped[e]
+            ));
+        }
     }
     lines.push(format!("agreed-faults={agreed_faults}"));
     lines.push(format!(
@@ -306,9 +459,21 @@ mod tests {
 
     #[test]
     fn tiny_campaign_is_clean_and_deterministic() {
-        let opts = FuzzOptions { cases: 6, seed: 99, max_steps: 200_000, fault_tries: 2 };
+        let opts =
+            FuzzOptions { cases: 6, seed: 99, max_steps: 200_000, fault_tries: 2, hybrid: false };
         let a = run(&opts);
         assert!(a.ok(), "campaign found failures:\n{}", a.render());
+        let b = run(&opts);
+        assert_eq!(a.render(), b.render());
+    }
+
+    #[test]
+    fn tiny_hybrid_campaign_is_clean_and_deterministic() {
+        let opts =
+            FuzzOptions { cases: 4, seed: 7, max_steps: 200_000, fault_tries: 1, hybrid: true };
+        let a = run(&opts);
+        assert!(a.ok(), "hybrid campaign found failures:\n{}", a.render());
+        assert!(a.render().contains("hybrid nibble: completed="), "{}", a.render());
         let b = run(&opts);
         assert_eq!(a.render(), b.render());
     }

@@ -35,6 +35,10 @@ pub struct FetchStats {
     pub dict_misses: u64,
     /// Bytes of dictionary entries loaded from data memory on misses.
     pub dict_bytes_loaded: u64,
+    /// Nibble-PC realignments: control transfers into the packed stream at
+    /// an address that is not word-aligned, forcing the fetch unit to
+    /// realign mid-word (sequential flow streams and never realigns).
+    pub realigns: u64,
 }
 
 impl FetchStats {
@@ -140,6 +144,10 @@ pub struct CompressedFetcher {
     /// set in LRU order (most recent last). `None` = whole dictionary
     /// on-chip, no load traffic.
     dict_cache: Option<(usize, Vec<u32>)>,
+    /// `next_pc` of the previous delivery, for realignment detection:
+    /// a fetch anywhere else is a control transfer. `u64::MAX` before the
+    /// first fetch (entry is conventionally aligned at 0).
+    expect_pc: u64,
     stats: FetchStats,
 }
 
@@ -168,6 +176,7 @@ impl CompressedFetcher {
             buffer_pc: u64::MAX,
             after_buffer: 0,
             dict_cache: None,
+            expect_pc: u64::MAX,
             stats: FetchStats::default(),
         }
     }
@@ -188,6 +197,7 @@ impl CompressedFetcher {
             buffer_pc: u64::MAX,
             after_buffer: 0,
             dict_cache: None,
+            expect_pc: u64::MAX,
             stats: FetchStats::default(),
         }
     }
@@ -229,12 +239,20 @@ impl CompressedFetcher {
         telemetry::VM_FETCH_BUFFERED_INSNS.inc();
         let next_pc =
             if self.buffer_pos < self.buffer.len() { self.buffer_pc } else { self.after_buffer };
+        self.expect_pc = next_pc;
         Fetched { insn, next_pc }
     }
 }
 
 impl Fetch for CompressedFetcher {
     fn fetch(&mut self, pc: u64) -> Result<Fetched, MachineError> {
+        // A fetch anywhere but the previous delivery's `next_pc` is a
+        // control transfer; when it lands mid-word the fetch unit must
+        // realign its nibble pointer (the cost model charges this).
+        if pc != self.expect_pc && !pc.is_multiple_of(8) {
+            self.stats.realigns += 1;
+            telemetry::VM_FETCH_REALIGNS.inc();
+        }
         // Drain the expansion buffer while sequential flow stays on it.
         if pc == self.buffer_pc && self.buffer_pos < self.buffer.len() {
             return Ok(self.deliver_buffered());
@@ -252,6 +270,7 @@ impl Fetch for CompressedFetcher {
                 telemetry::VM_FETCH_NIBBLES.add(r.pos() - before);
                 // Leaving any previous codeword behind.
                 self.buffer_pc = u64::MAX;
+                self.expect_pc = r.pos();
                 Ok(Fetched { insn: codense_ppc::decode(word), next_pc: r.pos() })
             }
             Some(Item::Codeword(rank)) => {

@@ -36,6 +36,20 @@ sed -n '/"counters"/,/}/p' "$tmp/j1.json" > "$tmp/j1.counters"
 sed -n '/"counters"/,/}/p' "$tmp/j8.json" > "$tmp/j8.counters"
 diff -u "$tmp/j1.counters" "$tmp/j8.counters"
 
+echo "==> hybrid determinism gate (profile + hybrid, --jobs 1 vs --jobs 8)"
+for j in 1 8; do
+    ./target/release/codense --jobs "$j" --metrics "$tmp/hybrid-$j.metrics.json" \
+        profile --bench quicksort --out "$tmp/profile-$j.json" >/dev/null
+    ./target/release/codense --jobs "$j" hybrid --bench quicksort --coverage 0.5 \
+        > "$tmp/hybrid-$j.out"
+    sed -n '/"counters"/,/}/p' "$tmp/hybrid-$j.metrics.json" > "$tmp/hybrid-$j.counters"
+done
+# The profile artifact and the counters section are byte-identical at any
+# --jobs; the hybrid report carries no wall-clock data, so it is too.
+diff -u "$tmp/profile-1.json" "$tmp/profile-8.json"
+diff -u "$tmp/hybrid-1.counters" "$tmp/hybrid-8.counters"
+diff -u "$tmp/hybrid-1.out" "$tmp/hybrid-8.out"
+
 echo "==> serve smoke (loadgen -c 1, zero failures, counters --jobs 1 vs --jobs 8)"
 for j in 1 8; do
     log="$tmp/serve-$j.log"

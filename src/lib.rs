@@ -25,6 +25,7 @@
 //! | [`thumb`] | `codense-thumb` | Thumb/MIPS16-style subsetting baseline |
 //! | [`vm`] | `codense-vm` | interpreter + compressed fetch path |
 //! | [`cache`] | `codense-cache` | I-cache simulator + fetch tracing |
+//! | [`profile`] | `codense-profile` | execution profiler, hybrid policy, cycle model |
 //!
 //! # Quickstart
 //!
@@ -53,6 +54,7 @@ pub use codense_liao as liao;
 pub use codense_lzw as lzw;
 pub use codense_obj as obj;
 pub use codense_ppc as ppc;
+pub use codense_profile as profile;
 pub use codense_thumb as thumb;
 pub use codense_vm as vm;
 

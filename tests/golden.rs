@@ -52,15 +52,26 @@ fn check_golden(file: &str, actual: &str) {
 /// Renders the snapshot record for one suite under one config. Floats are
 /// formatted at fixed precision so the byte comparison is well-defined.
 fn render_snapshot(encoding_name: &str, config: &CompressionConfig) -> String {
+    render_snapshot_with(encoding_name, config, false)
+}
+
+/// [`render_snapshot`], optionally routed through `compress_masked` with an
+/// all-cold (nothing exempt) hotness mask — which must be indistinguishable
+/// from the plain path.
+fn render_snapshot_with(encoding_name: &str, config: &CompressionConfig, all_cold: bool) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"encoding\": \"{encoding_name}\",\n"));
     out.push_str("  \"benches\": {\n");
     let suite = codense::codegen::generate_suite();
     for (i, module) in suite.iter().enumerate() {
-        let c = Compressor::new(config.clone())
-            .compress(module)
-            .unwrap_or_else(|e| panic!("{}: {e}", module.name));
+        let compressor = Compressor::new(config.clone());
+        let c = if all_cold {
+            compressor.compress_masked(module, &vec![false; module.len()])
+        } else {
+            compressor.compress(module)
+        }
+        .unwrap_or_else(|e| panic!("{}: {e}", module.name));
         verify(module, &c).unwrap_or_else(|e| panic!("{}: {e}", module.name));
         let frac = c.composition().fractions();
         let entries: Vec<String> = c
@@ -106,4 +117,15 @@ fn golden_onebyte() {
 #[test]
 fn golden_nibble() {
     check_golden("nibble.json", &render_snapshot("nibble", &CompressionConfig::nibble_aligned()));
+}
+
+/// The hybrid all-cold edge case: `compress_masked` with nothing exempt is
+/// pinned to its own golden AND must stay byte-identical to the plain
+/// `compress` golden — the masked path may not perturb unmasked output.
+#[test]
+fn golden_hybrid_all_cold() {
+    let snapshot = render_snapshot_with("nibble", &CompressionConfig::nibble_aligned(), true);
+    check_golden("hybrid_all_cold.json", &snapshot);
+    let plain = std::fs::read_to_string(golden_path("nibble.json")).unwrap();
+    assert_eq!(snapshot, plain, "all-cold masked compression drifted from plain compression");
 }
