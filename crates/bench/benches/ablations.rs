@@ -51,20 +51,23 @@ fn main() {
         h.bench(&name, || {
             let mut model = ProgramModel::build(&sub);
             let mut dict = Dictionary::new();
-            black_box(run_greedy(
-                &mut model,
-                &mut dict,
-                GreedyParams {
-                    max_entry_len: 4,
-                    max_codewords: 8192,
-                    cost: CostModel {
-                        insn_bits: 32,
-                        codeword_bits: 16,
-                        dict_word_bits: 32,
-                        dict_entry_fixed_bits: 0,
+            black_box(
+                run_greedy(
+                    &mut model,
+                    &mut dict,
+                    GreedyParams {
+                        max_entry_len: 4,
+                        max_codewords: 8192,
+                        cost: CostModel {
+                            insn_bits: 32,
+                            codeword_bits: 16,
+                            dict_word_bits: 32,
+                            dict_entry_fixed_bits: 0,
+                        },
                     },
-                },
-            ))
+                )
+                .unwrap(),
+            )
         });
     }
 

@@ -83,6 +83,25 @@ impl Harness {
     }
 }
 
+/// Times one call of `f` per sample and returns the median wall-clock
+/// nanoseconds over `samples` runs, after one discarded warm-up call.
+///
+/// This is the measurement primitive behind `codense speed` (the
+/// `BENCH_speed.json` artifact): whole-run timing, no iteration
+/// calibration, median so a stray scheduler hiccup cannot skew the figure.
+pub fn median_ns<R>(samples: usize, mut f: impl FnMut() -> R) -> u64 {
+    black_box(f()); // warm-up, discarded
+    let mut times: Vec<u64> = (0..samples.max(1))
+        .map(|_| {
+            let t = Instant::now();
+            black_box(f());
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
 /// Formats an integer with thousands separators (`12345678` → `12,345,678`).
 fn group_digits(n: u128) -> String {
     let s = n.to_string();

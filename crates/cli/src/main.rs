@@ -22,6 +22,9 @@
 //! codense loadgen --addr HOST:PORT [--requests N] [--connections N]
 //!                 [--bench NAME] [--encoding E] [--out FILE] [--shutdown]
 //!                                             drive a server, write BENCH_serve.json
+//! codense speed [--bench NAME] [--samples N] [--out BENCH_speed.json]
+//!               [--no-reference] [--check FILE] [--floor X]
+//!                                             compression-throughput benchmark
 //! ```
 //!
 //! Encodings: `baseline` (2-byte codewords), `onebyte`, `nibble`.
@@ -64,6 +67,7 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("speed") => cmd_speed(&args[1..]),
         Some("help") | None => {
             print!("{}", USAGE);
             Ok(())
@@ -117,6 +121,8 @@ usage:
                   [--max-entry N] [--out BENCH_serve.json] [--shutdown]
                   [--server-jobs N] [--server-queue-depth N]
                   [--metrics-out METRICS.json]
+  codense speed [--bench NAME] [--samples N] [--out BENCH_speed.json]
+                [--no-reference] [--check BENCH_speed.json] [--floor X]
 
 --jobs N sets the worker-thread count for parallel phases (candidate-index
 construction, suite generation, fuzz campaigns); the default is the
@@ -142,6 +148,16 @@ bounded work queue with --jobs workers, BUSY backpressure when the queue
 is full, per-request deadlines, and typed error frames for malformed
 input. The bound address is printed on stdout; serve blocks until a
 SHUTDOWN frame arrives, then drains in-flight work and exits.
+
+speed measures compression throughput (instructions compressed per
+second, median of --samples whole runs) for every encoding on one
+benchmark (default `compress`), using the production interned matchfinder
+and — unless --no-reference — the original boxed-slice index as the
+speedup baseline. Writes the schema-1 BENCH_speed.json artifact with
+--out (see EXPERIMENTS.md for the bless workflow). --check FILE compares
+the current interned throughput against a checked-in baseline and fails
+when any encoding falls below baseline/--floor (default 3.0) — the
+speed-regression gate in scripts/verify.sh.
 
 loadgen compresses --bench in process once, then drives --requests
 identical compression requests over --connections concurrent connections
@@ -964,4 +980,158 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         return Err(format!("{} request(s) failed", report.failed));
     }
     Ok(())
+}
+
+/// Compression-throughput benchmark: median-of-N whole-run timing of the
+/// interned matchfinder (and optionally the boxed-slice reference index)
+/// per encoding, reported as instructions compressed per second. Writes the
+/// `BENCH_speed.json` artifact and implements the speed-regression gate.
+fn cmd_speed(args: &[String]) -> CliResult {
+    use codense_core::greedy::MatchfinderKind;
+
+    let bench = flag_value(args, "--bench").unwrap_or("compress");
+    let samples: usize = match flag_value(args, "--samples") {
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --samples `{v}` (expected an integer >= 1)")),
+        },
+        None => 5,
+    };
+    let with_reference = !args.iter().any(|a| a == "--no-reference");
+    let floor: f64 = match flag_value(args, "--floor") {
+        Some(v) => match v.parse() {
+            Ok(f) if f >= 1.0 => f,
+            _ => return Err(format!("bad --floor `{v}` (expected a number >= 1.0)")),
+        },
+        None => 3.0,
+    };
+    let module =
+        codense_codegen::benchmark(bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    let insns = module.len() as u64;
+    println!("speed on `{}` ({} insns, median of {samples})", module.name, insns);
+
+    // Alphabetical so the JSON artifact's keys are sorted.
+    const ENCODINGS: [(&str, EncodingKind); 3] = [
+        ("baseline", EncodingKind::Baseline),
+        ("nibble", EncodingKind::NibbleAligned),
+        ("onebyte", EncodingKind::OneByte),
+    ];
+    struct Row {
+        name: &'static str,
+        median_ns: u64,
+        reference_ns: Option<u64>,
+    }
+    let mut rows = Vec::new();
+    for (name, encoding) in ENCODINGS {
+        let config =
+            CompressionConfig { max_entry_len: 4, max_codewords: encoding.capacity(), encoding };
+        let time_engine = |kind: MatchfinderKind| {
+            let compressor = Compressor::new(config.clone()).with_matchfinder(kind);
+            codense_bench::median_ns(samples, || {
+                codense_bench::black_box(
+                    compressor.compress(&module).expect("benchmark compresses"),
+                )
+            })
+        };
+        let median_ns = time_engine(MatchfinderKind::Interned);
+        let reference_ns = with_reference.then(|| time_engine(MatchfinderKind::Reference));
+        let ips = insns_per_sec(insns, median_ns);
+        match reference_ns {
+            Some(r) => println!(
+                "  {name:<8} {:>12} insns/s ({:>7} us)   reference {:>10} insns/s ({:>8} us)   speedup {:.1}x",
+                ips,
+                median_ns / 1_000,
+                insns_per_sec(insns, r),
+                r / 1_000,
+                r as f64 / median_ns as f64,
+            ),
+            None => println!(
+                "  {name:<8} {:>12} insns/s ({:>7} us)",
+                ips,
+                median_ns / 1_000,
+            ),
+        }
+        rows.push(Row { name, median_ns, reference_ns });
+    }
+
+    // Schema-1 sorted-key JSON artifact.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"bench\": \"{bench}\",\n"));
+    json.push_str("  \"encodings\": {\n");
+    for (i, row) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        json.push_str(&format!("    \"{}\": {{\n", row.name));
+        json.push_str(&format!(
+            "      \"insns_per_sec\": {},\n      \"median_us\": {}",
+            insns_per_sec(insns, row.median_ns),
+            row.median_ns / 1_000
+        ));
+        if let Some(r) = row.reference_ns {
+            json.push_str(&format!(
+                ",\n      \"reference_insns_per_sec\": {},\n      \"reference_median_us\": {},\n      \"speedup\": {:.2}",
+                insns_per_sec(insns, r),
+                r / 1_000,
+                r as f64 / row.median_ns as f64
+            ));
+        }
+        json.push_str(&format!("\n    }}{comma}\n"));
+    }
+    json.push_str("  },\n");
+    json.push_str(&format!("  \"insns\": {insns},\n"));
+    json.push_str(&format!("  \"samples\": {samples},\n"));
+    json.push_str("  \"schema\": 1\n");
+    json.push_str("}\n");
+    if let Some(path) = flag_value(args, "--out") {
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: {} encoding(s)", rows.len());
+    }
+
+    // Regression gate: current interned throughput must stay within --floor
+    // of the checked-in baseline for every encoding.
+    if let Some(path) = flag_value(args, "--check") {
+        let baseline = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        for row in &rows {
+            let want = baseline_insns_per_sec(&baseline, row.name)
+                .ok_or_else(|| format!("{path}: no `insns_per_sec` for `{}`", row.name))?;
+            let got = insns_per_sec(insns, row.median_ns);
+            let lower = want / floor;
+            if (got as f64) < lower {
+                return Err(format!(
+                    "speed regression: {} at {got} insns/s, below baseline {want:.0}/{floor:.1} = {lower:.0} (from {path})",
+                    row.name
+                ));
+            }
+            println!(
+                "  {:<8} {got:>12} insns/s >= {lower:>12.0} (baseline/{floor:.1})  ok",
+                row.name
+            );
+        }
+    }
+    Ok(())
+}
+
+fn insns_per_sec(insns: u64, median_ns: u64) -> u64 {
+    ((insns as u128 * 1_000_000_000) / median_ns.max(1) as u128) as u64
+}
+
+/// Pulls `encodings.<name>.insns_per_sec` out of a `BENCH_speed.json`
+/// artifact with a minimal line scan (the artifact's key order is pinned by
+/// its schema; no JSON parser in the workspace).
+fn baseline_insns_per_sec(json: &str, encoding: &str) -> Option<f64> {
+    let mut in_section = false;
+    for line in json.lines() {
+        let t = line.trim();
+        if t.starts_with(&format!("\"{encoding}\":")) {
+            in_section = true;
+        } else if in_section {
+            if let Some(rest) = t.strip_prefix("\"insns_per_sec\":") {
+                return rest.trim_end_matches(',').trim().parse().ok();
+            }
+            if t.starts_with('}') {
+                return None;
+            }
+        }
+    }
+    None
 }

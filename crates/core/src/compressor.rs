@@ -11,7 +11,10 @@ use crate::config::{CompressionConfig, EncodingKind};
 use crate::dict::Dictionary;
 use crate::encoding::{self, try_write_codeword, write_insn};
 use crate::error::CompressError;
-use crate::greedy::{run_greedy, CostModel, GreedyParams, PickRecord};
+use crate::greedy::{
+    run_greedy, run_greedy_with, CandidateIndex, CostModel, GreedyParams, MatchfinderKind,
+    PickRecord,
+};
 use crate::model::{Cell, ProgramModel};
 use crate::nibbles::NibbleWriter;
 
@@ -171,17 +174,26 @@ impl CompressedProgram {
 #[derive(Debug, Clone, Default)]
 pub struct Compressor {
     config: CompressionConfig,
+    matchfinder: MatchfinderKind,
 }
 
 impl Compressor {
     /// Creates a compressor with the given configuration.
     pub fn new(config: CompressionConfig) -> Compressor {
-        Compressor { config }
+        Compressor { config, matchfinder: MatchfinderKind::default() }
     }
 
     /// The configuration in use.
     pub fn config(&self) -> &CompressionConfig {
         &self.config
+    }
+
+    /// Selects which matchfinder backs the greedy pass. Output is
+    /// byte-identical for every kind; [`MatchfinderKind::Reference`] exists
+    /// for equivalence testing and speed baselining.
+    pub fn with_matchfinder(mut self, kind: MatchfinderKind) -> Compressor {
+        self.matchfinder = kind;
+        self
     }
 
     /// Compresses a module.
@@ -191,6 +203,28 @@ impl Compressor {
     /// See [`CompressError`].
     pub fn compress(&self, module: &ObjectModule) -> Result<CompressedProgram, CompressError> {
         self.compress_masked(module, &[])
+    }
+
+    /// Compresses a module against a prebuilt [`CandidateIndex`] (mined from
+    /// a model of the same module at a window cap ≥ this configuration's
+    /// `max_entry_len`). The sweep engine uses this to mine the program once
+    /// and reuse the index at every sweep point; output is byte-identical to
+    /// [`compress`](Self::compress).
+    ///
+    /// # Errors
+    ///
+    /// See [`CompressError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index's window cap is smaller than
+    /// `config.max_entry_len`.
+    pub fn compress_with_index(
+        &self,
+        module: &ObjectModule,
+        index: &CandidateIndex,
+    ) -> Result<CompressedProgram, CompressError> {
+        self.compress_inner(module, &[], Some(index))
     }
 
     /// Profile-guided hybrid compression: like [`compress`](Self::compress),
@@ -214,6 +248,15 @@ impl Compressor {
         &self,
         module: &ObjectModule,
         exempt: &[bool],
+    ) -> Result<CompressedProgram, CompressError> {
+        self.compress_inner(module, exempt, None)
+    }
+
+    fn compress_inner(
+        &self,
+        module: &ObjectModule,
+        exempt: &[bool],
+        shared_index: Option<&CandidateIndex>,
     ) -> Result<CompressedProgram, CompressError> {
         assert!(
             exempt.is_empty() || exempt.len() == module.len(),
@@ -267,7 +310,13 @@ impl Compressor {
                 dict_entry_fixed_bits: 0,
             },
         };
-        let picks = run_greedy(&mut model, &mut dictionary, params);
+        let picks = match (shared_index, self.matchfinder) {
+            (Some(index), _) => run_greedy_with(index, &mut model, &mut dictionary, params),
+            (None, MatchfinderKind::Interned) => run_greedy(&mut model, &mut dictionary, params)?,
+            (None, MatchfinderKind::Reference) => {
+                crate::greedy::reference::run_greedy(&mut model, &mut dictionary, params)
+            }
+        };
         drop(greedy_phase);
 
         // 2. Rank assignment: shortest codewords to the most-used entries.
@@ -332,10 +381,15 @@ impl Compressor {
         }
 
         // 5. Patch branch offsets and collect overflow-table targets.
-        let orig_addrs: std::collections::HashMap<usize, u64> =
-            atoms.iter().zip(&addresses).map(|(a, &addr)| (a.orig(), addr)).collect();
-        let addr_of = move |orig: usize| -> u64 {
-            *orig_addrs.get(&orig).expect("branch target is an atom start")
+        // Targets are atom starts and atoms stay sorted by original index
+        // (patching rewrites words, never `orig`), so the same binary
+        // search the fixpoint loop uses stands in for a hash map of every
+        // atom address.
+        let addr_of = |orig: usize, atoms: &[Atom], addresses: &[u64]| -> u64 {
+            match atoms.binary_search_by_key(&orig, Atom::orig) {
+                Ok(i) => addresses[i],
+                Err(_) => unreachable!("branch target {orig} is not an atom start"),
+            }
         };
         let mut overflow_table = vec![0u64; overflow_slots];
         for i in 0..atoms.len() {
@@ -343,7 +397,7 @@ impl Compressor {
                 Atom::Insn { word, orig } => {
                     let Some(info) = rel_branch_info(word) else { continue };
                     let target = (orig as i64 + (info.offset / 4) as i64) as usize;
-                    let delta = addr_of(target) as i64 - addresses[i] as i64;
+                    let delta = addr_of(target, &atoms, &addresses) as i64 - addresses[i] as i64;
                     let units = delta / kind.granule_nibbles() as i64;
                     let patched = patch_offset_units(word, info.kind, units as i32);
                     atoms[i] = Atom::Insn { word: patched, orig };
@@ -351,7 +405,7 @@ impl Compressor {
                 Atom::ViaTable { word, orig, slot } => {
                     let info = rel_branch_info(word).expect("ViaTable holds a branch");
                     let target = (orig as i64 + (info.offset / 4) as i64) as usize;
-                    overflow_table[slot] = addr_of(target);
+                    overflow_table[slot] = addr_of(target, &atoms, &addresses);
                 }
                 Atom::Codeword { .. } => {}
             }
@@ -383,7 +437,7 @@ impl Compressor {
         let jump_tables = module
             .jump_tables
             .iter()
-            .map(|t| t.targets.iter().map(|&idx| addr_of(idx)).collect())
+            .map(|t| t.targets.iter().map(|&idx| addr_of(idx, &atoms, &addresses)).collect())
             .collect();
 
         Ok(CompressedProgram {

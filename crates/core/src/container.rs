@@ -89,17 +89,11 @@ impl std::fmt::Display for ContainerError {
 
 impl std::error::Error for ContainerError {}
 
-/// CRC-32 (IEEE 802.3, reflected), bitwise implementation.
+/// CRC-32 (IEEE 802.3, reflected). Delegates to the table/hardware
+/// implementation in [`codense_obj::crc32`] (the bitwise reference lives
+/// there too, pinned equal by its check-value suite).
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xffff_ffffu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
-        }
-    }
-    !crc
+    codense_obj::crc32::crc32(data)
 }
 
 fn encoding_tag(kind: EncodingKind) -> u8 {

@@ -47,7 +47,12 @@ impl Dictionary {
     }
 
     /// Appends an entry, returning its index, with an identity rank.
-    pub fn push(&mut self, words: Vec<u32>, replaced: usize) -> u32 {
+    ///
+    /// Accepts anything convertible into the stored `Vec<u32>` — an owned
+    /// vector by move, or a borrowed slice (e.g. the matchfinder's interned
+    /// arena view), so each accepted entry is materialized exactly once.
+    pub fn push(&mut self, words: impl Into<Vec<u32>>, replaced: usize) -> u32 {
+        let words = words.into();
         debug_assert!(!words.is_empty());
         let id = self.entries.len() as u32;
         self.entries.push(DictEntry { words, replaced });

@@ -34,6 +34,16 @@ pub enum CompressError {
         /// The encoding's codeword capacity.
         capacity: usize,
     },
+    /// The program exceeds the matchfinder's 32-bit position space (more
+    /// than `u32::MAX` blocks, or a block so large that cell indices could
+    /// wrap). Previously a silent `as u32` truncation; surfaced as a typed
+    /// error so SPEC-scale inputs fail loudly.
+    ProgramTooLarge {
+        /// Number of blocks in the program.
+        blocks: usize,
+        /// Cells in the largest block.
+        largest_block: usize,
+    },
 }
 
 impl fmt::Display for CompressError {
@@ -48,6 +58,13 @@ impl fmt::Display for CompressError {
             CompressError::LayoutDiverged => write!(f, "branch overflow layout did not converge"),
             CompressError::CodewordSpaceExhausted { rank, capacity } => {
                 write!(f, "codeword rank {rank} exceeds the encoding capacity {capacity}")
+            }
+            CompressError::ProgramTooLarge { blocks, largest_block } => {
+                write!(
+                    f,
+                    "program exceeds the matchfinder's 32-bit position space \
+                     ({blocks} blocks, largest block {largest_block} cells)"
+                )
             }
         }
     }

@@ -1,5 +1,5 @@
 //! The greedy dictionary-selection pass (§3.1.1 of the paper) with an
-//! incremental occurrence index.
+//! interned-sequence matchfinder.
 //!
 //! Choosing the optimum dictionary is NP-complete [Storer77], so — like the
 //! paper — "on every iteration of the algorithm, we examine each potential
@@ -8,25 +8,50 @@
 //! saves anything.
 //!
 //! The naive algorithm rescans the whole program every iteration. This
-//! implementation is equivalent but incremental:
+//! implementation is equivalent but incremental, and allocation-free on the
+//! selection hot path:
 //!
-//! * an **occurrence index** maps every candidate sequence (any run of
-//!   compressible instructions inside one basic block, up to the entry-length
-//!   cap) to the ordered set of its positions, updated locally when a
-//!   replacement rewrites a block;
-//! * a **lazy max-heap** holds an upper bound of each candidate's savings.
-//!   Counts only ever decrease, so a popped entry whose recomputed savings
-//!   still equals its key is the true maximum; stale entries are re-inserted
-//!   with their corrected value.
+//! * a **rolling-hash windower** walks every compressible run once, extending
+//!   each window's hash by one instruction at a time, and maps each distinct
+//!   candidate sequence to a dense [`SeqId`](crate::intern::SeqId) through an
+//!   arena-backed [`SeqInterner`] — zero per-window heap allocations;
+//! * the **occurrence index** ([`OccLists`]) is one flat position arena in
+//!   CSR layout — a span per `SeqId` bracketing that candidate's window
+//!   positions in (block, cell) order. Replacements never touch it: a
+//!   position is *live* iff its cells are still compressible in the model,
+//!   checked (and compacted out of the span, in place) lazily at recount
+//!   time. Every window created by a replacement is a sub-window of an
+//!   original run, so the candidate set is closed at build time and the
+//!   index only ever shrinks;
+//! * a **lazy max-heap** seeded with each candidate's exact initial savings
+//!   (every position is live before the first replacement, so one
+//!   sequential counting pass computes them; candidates that start
+//!   non-positive can never recover and are never enqueued). Counts only
+//!   ever decrease, so a popped entry whose recomputed savings still equals
+//!   its key is the true maximum; stale entries are re-inserted with their
+//!   corrected value.
 //!
-//! Tie-breaking is deterministic (savings, then lexicographic sequence), so
-//! compression output is bit-stable across runs and platforms.
+//! Tie-breaking is deterministic (savings, then lexicographic sequence
+//! content, materialized as a per-candidate rank so heap items stay three
+//! plain words), so compression output is bit-stable across runs, platforms,
+//! and worker counts — and byte-identical to the original boxed-slice index,
+//! kept in [`reference`] as the executable specification.
+//!
+//! A [`CandidateIndex`] is immutable once built and can be shared across
+//! runs: the sweep engine builds one index at the largest entry length and
+//! every sweep point reuses it (cloning only the dense position lists)
+//! instead of re-mining the program per point.
 
-use std::collections::{BTreeSet, BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use crate::dict::Dictionary;
+use crate::error::CompressError;
+use crate::intern::{hash_extend, hash_seed, SeqId, SeqInterner};
 use crate::model::{Cell, ProgramModel};
 use crate::telemetry;
+
+#[path = "greedy_reference.rs"]
+pub mod reference;
 
 /// Cost model for the savings function, in bits.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,20 +108,96 @@ pub struct PickRecord {
     pub savings_bits: i64,
 }
 
-type Seq = Box<[u32]>;
+/// Which matchfinder backs the greedy selector. Output is byte-identical
+/// either way; only the cost differs (the `matchfinder_equivalence` suite
+/// pins the identity).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MatchfinderKind {
+    /// The interned-sequence index (this module): arena interner, dense
+    /// `SeqId` occurrence lists, lazy liveness. The production path.
+    #[default]
+    Interned,
+    /// The original `Box<[u32]>`-keyed index ([`reference`]), kept as the
+    /// executable specification and speed baseline.
+    Reference,
+}
+
 /// Position of a window: (block index, cell index).
 type Pos = (u32, u32);
 
-#[derive(Debug, PartialEq, Eq)]
+/// Per-candidate occurrence lists packed into one flat arena (CSR layout):
+/// `spans[id]` brackets candidate `id`'s live positions in `flat`, in
+/// (block, cell) order. Compaction shrinks a span in place, so the
+/// selection hot path never allocates and cloning the lists for a shared-
+/// index run is two flat memcpys instead of one heap allocation per
+/// candidate.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct OccLists {
+    spans: Vec<(u32, u32)>,
+    flat: Vec<Pos>,
+}
+
+impl OccLists {
+    /// Builds the arena from mined `(candidate, position)` pairs by
+    /// counting-sort scatter; within each candidate, positions keep their
+    /// order of appearance in `pairs`.
+    fn from_pairs(candidates: usize, pairs: &[(SeqId, Pos)]) -> OccLists {
+        let mut counts = vec![0u32; candidates];
+        for &(id, _) in pairs {
+            counts[id as usize] += 1;
+        }
+        let mut spans = Vec::with_capacity(candidates);
+        let mut acc = 0u32;
+        for &c in &counts {
+            spans.push((acc, acc));
+            acc += c;
+        }
+        let mut flat = vec![(0u32, 0u32); pairs.len()];
+        for &(id, pos) in pairs {
+            let end = &mut spans[id as usize].1;
+            flat[*end as usize] = pos;
+            *end += 1;
+        }
+        OccLists { spans, flat }
+    }
+
+    /// The live positions of candidate `id`.
+    fn list(&self, id: SeqId) -> &[Pos] {
+        let (s, e) = self.spans[id as usize];
+        &self.flat[s as usize..e as usize]
+    }
+
+    /// In-place `retain` over one candidate's span; returns how many
+    /// positions were dropped. Each dead position is examined exactly once
+    /// across a run.
+    fn compact(&mut self, id: SeqId, mut keep: impl FnMut(Pos) -> bool) -> usize {
+        let (s, e) = self.spans[id as usize];
+        let mut w = s as usize;
+        for r in s as usize..e as usize {
+            let pos = self.flat[r];
+            if keep(pos) {
+                self.flat[w] = pos;
+                w += 1;
+            }
+        }
+        self.spans[id as usize].1 = w as u32;
+        e as usize - w
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct HeapItem {
     savings: i64,
-    seq: Seq,
+    /// Lexicographic rank of the candidate's sequence content — carries the
+    /// reference tie-break (greater sequence first) without touching words.
+    lex: u32,
+    id: SeqId,
 }
 
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // Max-heap by savings; deterministic lexicographic tie-break.
-        self.savings.cmp(&other.savings).then_with(|| self.seq.cmp(&other.seq))
+        self.savings.cmp(&other.savings).then_with(|| self.lex.cmp(&other.lex))
     }
 }
 
@@ -106,22 +207,208 @@ impl PartialOrd for HeapItem {
     }
 }
 
+/// The immutable product of window mining: every candidate sequence of the
+/// program interned to a dense id, with its occurrence positions and
+/// content-lexicographic rank. Build once, run greedy selection against it
+/// any number of times (`[run_greedy_with]`) — each run clones only the
+/// position lists.
+#[derive(Debug, Clone)]
+pub struct CandidateIndex {
+    interner: SeqInterner,
+    /// Initial window positions per candidate, sorted by (block, cell).
+    occ: OccLists,
+    /// The window length cap the index was mined with. Runs may use any
+    /// `max_entry_len` ≤ this.
+    max_entry_len: usize,
+}
+
+impl CandidateIndex {
+    /// Mines every candidate window of `model` (runs of compressible cells,
+    /// windows up to `max_entry_len` instructions).
+    ///
+    /// Mining is parallel over disjoint block ranges; per-chunk interners
+    /// are merged in block order, so the index is deterministic for a given
+    /// model regardless of the worker count.
+    ///
+    /// # Errors
+    ///
+    /// [`CompressError::ProgramTooLarge`] if the program exceeds the
+    /// matchfinder's 32-bit position space.
+    pub fn build(model: &ProgramModel, max_len: usize) -> Result<CandidateIndex, CompressError> {
+        let largest_block = model.blocks.iter().map(|b| b.cells.len()).max().unwrap_or(0);
+        check_position_space(model.blocks.len(), largest_block, max_len)?;
+
+        // One chunk per worker quantum; a single-threaded run mines the
+        // whole program in one pass and skips the merge entirely (the
+        // merged result is partition-invariant, so this is unobservable).
+        let jobs = crate::parallel::jobs();
+        let parts = if jobs <= 1 { 1 } else { jobs.saturating_mul(4) };
+        let ranges = crate::parallel::chunk_ranges(model.blocks.len(), parts);
+        let mut chunks =
+            crate::parallel::par_map(ranges, |_, (b0, b1)| mine_range(model, b0, b1, max_len));
+
+        let (interner, pairs) = if chunks.len() == 1 {
+            chunks.pop().expect("one chunk")
+        } else {
+            // Merge chunk interners in block order: re-intern each distinct
+            // local sequence once and remap that chunk's pairs through the
+            // global ids. Positions stay sorted per candidate because
+            // chunks cover ascending block ranges in mining order.
+            let seqs: usize = chunks.iter().map(|(li, _)| li.len()).sum();
+            let windows: usize = chunks.iter().map(|(_, lp)| lp.len()).sum();
+            let mut interner = SeqInterner::with_capacity(seqs, 2);
+            let mut pairs: Vec<(SeqId, Pos)> = Vec::with_capacity(windows);
+            for (li, lpairs) in chunks {
+                let remap: Vec<SeqId> = (0..li.len() as SeqId)
+                    .map(|lid| interner.intern(li.words(lid), li.hash(lid)))
+                    .collect();
+                pairs.extend(lpairs.into_iter().map(|(lid, pos)| (remap[lid as usize], pos)));
+            }
+            (interner, pairs)
+        };
+        if pairs.len() > u32::MAX as usize {
+            // The flat occurrence arena is u32-indexed too.
+            return Err(CompressError::ProgramTooLarge {
+                blocks: model.blocks.len(),
+                largest_block,
+            });
+        }
+
+        telemetry::GREEDY_CANDIDATES_SEEDED.add(interner.len() as u64);
+        telemetry::GREEDY_INTERNED_SEQS.add(interner.len() as u64);
+        telemetry::GREEDY_INTERNED_WORDS.add(interner.arena_words() as u64);
+        telemetry::GREEDY_WINDOW_ADDS.add(pairs.len() as u64);
+
+        let occ = OccLists::from_pairs(interner.len(), &pairs);
+
+        Ok(CandidateIndex { interner, occ, max_entry_len: max_len })
+    }
+
+    /// Number of distinct candidate sequences.
+    pub fn candidates(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The window length cap this index was mined with.
+    pub fn max_entry_len(&self) -> usize {
+        self.max_entry_len
+    }
+}
+
 /// Runs greedy selection over `model`, filling `dict` and rewriting the
 /// model's blocks in place. Returns the pick log.
+///
+/// # Errors
+///
+/// [`CompressError::ProgramTooLarge`] if the program exceeds the
+/// matchfinder's 32-bit position space.
 pub fn run_greedy(
     model: &mut ProgramModel,
     dict: &mut Dictionary,
     params: GreedyParams,
+) -> Result<Vec<PickRecord>, CompressError> {
+    let mut index = CandidateIndex::build(model, params.max_entry_len)?;
+    // The index is owned and dies with this call, so the position lists
+    // move into the selector instead of being cloned entry by entry.
+    let occ = std::mem::take(&mut index.occ);
+    Ok(run_core(&index, occ, model, dict, params))
+}
+
+/// Runs greedy selection against a prebuilt (shared) [`CandidateIndex`],
+/// cloning only its flat position arena (two memcpys). The index must have
+/// been mined
+/// from a model with identical cell content, with a window cap ≥
+/// `params.max_entry_len`; candidates longer than the run's cap are
+/// filtered at heap seeding, so the result is byte-identical to a fresh
+/// build at the smaller cap.
+///
+/// # Panics
+///
+/// Panics if `params.max_entry_len > index.max_entry_len()`.
+pub fn run_greedy_with(
+    index: &CandidateIndex,
+    model: &mut ProgramModel,
+    dict: &mut Dictionary,
+    params: GreedyParams,
 ) -> Vec<PickRecord> {
-    let mut index = Index::build(model, params.max_entry_len);
+    assert!(
+        params.max_entry_len <= index.max_entry_len,
+        "index mined at max_entry_len {} cannot serve a run at {}",
+        index.max_entry_len,
+        params.max_entry_len
+    );
+    telemetry::GREEDY_INDEX_REUSES.inc();
+    run_core(index, index.occ.clone(), model, dict, params)
+}
+
+fn run_core(
+    index: &CandidateIndex,
+    mut occ: OccLists,
+    model: &mut ProgramModel,
+    dict: &mut Dictionary,
+    params: GreedyParams,
+) -> Vec<PickRecord> {
+    let interner = &index.interner;
+    // Exact seeding: before any replacement every indexed position is
+    // live, so one sequential counting pass yields each candidate's true
+    // initial savings. Candidates that start non-positive can never become
+    // acceptable (counts only shrink), so they never enter the heap — the
+    // tail of hopeless candidates is discarded here, in cache order,
+    // instead of one heap pop + recount at a time.
+    let mut seeds: Vec<HeapItem> = (0..interner.len() as SeqId)
+        .filter_map(|id| {
+            let len = interner.seq_len(id);
+            if len > params.max_entry_len {
+                return None;
+            }
+            let n = effective_count_sorted(occ.list(id), len);
+            let savings = params.cost.savings_bits(len, n);
+            (savings > 0).then_some(HeapItem { savings, lex: 0, id })
+        })
+        .collect();
+    // Content-lexicographic ranks among the seeds only: tie-breaking never
+    // compares a heap member against a candidate that was filtered out, and
+    // the relative order of a subset equals its order under global ranks —
+    // so ranking the (much smaller) positive set reproduces the reference
+    // index's `Box<[u32]>` comparison without sorting the whole universe.
+    // Each entry carries its first two words packed into a u64 so almost
+    // every comparison resolves inside the sorted array; the packed order
+    // never contradicts slice order (a missing second word packs as 0, and
+    // any packed tie falls through to the full compare).
+    let mut order: Vec<(u64, u32)> = seeds
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let words = interner.words(s.id);
+            let key = (words[0] as u64) << 32 | words.get(1).copied().unwrap_or(0) as u64;
+            (key, i as u32)
+        })
+        .collect();
+    order.sort_unstable_by(|a, b| {
+        a.0.cmp(&b.0).then_with(|| {
+            interner.words(seeds[a.1 as usize].id).cmp(interner.words(seeds[b.1 as usize].id))
+        })
+    });
+    for (rank, &(_, i)) in order.iter().enumerate() {
+        seeds[i as usize].lex = rank as u32;
+    }
+    drop(order);
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::from(seeds);
     let mut picks = Vec::new();
 
     while dict.len() < params.max_codewords {
-        let Some(top) = index.heap.pop() else { break };
+        let Some(top) = heap.pop() else { break };
         telemetry::GREEDY_HEAP_POPS.inc();
-        let len = top.seq.len();
-        let Some(set) = index.occ.get(&top.seq) else { continue };
-        let n = effective_count(set, len);
+        let len = interner.seq_len(top.id);
+        // Lazy liveness: drop positions whose window lost a cell to an
+        // accepted replacement, then recount.
+        let dropped = occ.compact(top.id, |(b, p)| {
+            let cells = &model.blocks[b as usize].cells;
+            cells[p as usize..p as usize + len].iter().all(|c| c.compressible_word().is_some())
+        });
+        telemetry::GREEDY_WINDOW_REMOVES.add(dropped as u64);
+        let positions = occ.list(top.id);
+        let n = effective_count_sorted(positions, len);
         let savings = params.cost.savings_bits(len, n);
         debug_assert!(savings <= top.savings, "counts only decrease");
         if savings <= 0 {
@@ -129,16 +416,18 @@ pub fn run_greedy(
         }
         if savings < top.savings {
             telemetry::GREEDY_STALE_REINSERTS.inc();
-            index.heap.push(HeapItem { savings, seq: top.seq });
+            heap.push(HeapItem { savings, ..top });
             continue;
         }
 
         // Accept: replace every non-overlapping occurrence left to right.
-        let positions = select_positions(set, len);
-        debug_assert_eq!(positions.len(), n);
-        let entry = dict.push(top.seq.to_vec(), n);
-        for &(b, p) in &positions {
-            index.replace(model, b as usize, p as usize, entry, len, params.max_entry_len);
+        // No index surgery — occurrences overlapping a replacement simply
+        // stop being live and are compacted away on their next recount.
+        let selected = select_positions_sorted(positions, len);
+        debug_assert_eq!(selected.len(), n);
+        let entry = dict.push(interner.words(top.id), n);
+        for &(b, p) in &selected {
+            apply_replacement(model, b as usize, p as usize, entry, len);
         }
         telemetry::GREEDY_PICKS_ACCEPTED.inc();
         telemetry::GREEDY_REPLACEMENTS.add(n as u64);
@@ -147,11 +436,44 @@ pub fn run_greedy(
     picks
 }
 
-/// Greedy left-to-right non-overlapping occurrence count.
-fn effective_count(set: &BTreeSet<Pos>, len: usize) -> usize {
+/// Rejects programs whose (block, cell) positions would not fit the index's
+/// packed 32-bit coordinates. `max_len` headroom on the cell bound keeps
+/// the non-overlap scan's `p + len` arithmetic from wrapping.
+fn check_position_space(
+    blocks: usize,
+    largest_block: usize,
+    max_len: usize,
+) -> Result<(), CompressError> {
+    if blocks > u32::MAX as usize || largest_block > u32::MAX as usize - max_len {
+        return Err(CompressError::ProgramTooLarge { blocks, largest_block });
+    }
+    Ok(())
+}
+
+/// Rewrites the window at (`b`, `p`) into codeword `entry` covering `len`
+/// instructions: one [`Cell::Code`] plus `len − 1` tombstones.
+fn apply_replacement(model: &mut ProgramModel, b: usize, p: usize, entry: u32, len: usize) {
+    let block = &mut model.blocks[b];
+    let orig = match block.cells[p] {
+        Cell::Insn { orig, .. } => orig,
+        _ => unreachable!("replacement target must be an instruction"),
+    };
+    block.cells[p] = Cell::Code { entry, orig, len };
+    for cell in &mut block.cells[p + 1..p + len] {
+        *cell = Cell::Dead;
+    }
+}
+
+/// Greedy left-to-right non-overlapping occurrence count over positions
+/// sorted by (block, cell).
+pub(crate) fn effective_count_sorted(positions: &[Pos], len: usize) -> usize {
+    if len == 1 {
+        // Single-cell windows occupy distinct cells; none can overlap.
+        return positions.len();
+    }
     let mut n = 0;
     let mut last: Option<(u32, u32)> = None; // (block, end)
-    for &(b, p) in set {
+    for &(b, p) in positions {
         if let Some((lb, end)) = last {
             if lb == b && p < end {
                 continue;
@@ -163,11 +485,14 @@ fn effective_count(set: &BTreeSet<Pos>, len: usize) -> usize {
     n
 }
 
-/// The positions [`effective_count`] counted.
-fn select_positions(set: &BTreeSet<Pos>, len: usize) -> Vec<Pos> {
+/// The positions [`effective_count_sorted`] counted.
+pub(crate) fn select_positions_sorted(positions: &[Pos], len: usize) -> Vec<Pos> {
+    if len == 1 {
+        return positions.to_vec();
+    }
     let mut out = Vec::new();
     let mut last: Option<(u32, u32)> = None;
-    for &(b, p) in set {
+    for &(b, p) in positions {
         if let Some((lb, end)) = last {
             if lb == b && p < end {
                 continue;
@@ -179,104 +504,46 @@ fn select_positions(set: &BTreeSet<Pos>, len: usize) -> Vec<Pos> {
     out
 }
 
-struct Index {
-    occ: HashMap<Seq, BTreeSet<Pos>>,
-    heap: BinaryHeap<HeapItem>,
-}
-
-impl Index {
-    fn build(model: &ProgramModel, max_len: usize) -> Index {
-        // Window mining is embarrassingly parallel over disjoint block
-        // ranges; merging unions per-chunk maps. Positions from different
-        // chunks never collide (they carry the block index), so the merged
-        // map — and everything downstream — is bit-identical to a
-        // sequential scan regardless of the worker count.
-        let ranges = crate::parallel::chunk_ranges(
-            model.blocks.len(),
-            crate::parallel::jobs().saturating_mul(4),
-        );
-        let chunks =
-            crate::parallel::par_map(ranges, |_, (b0, b1)| build_occ_range(model, b0, b1, max_len));
-        let mut occ: HashMap<Seq, BTreeSet<Pos>> = HashMap::new();
-        for chunk in chunks {
-            if occ.is_empty() {
-                occ = chunk;
-                continue;
-            }
-            for (seq, set) in chunk {
-                occ.entry(seq).or_default().extend(set);
-            }
-        }
-        telemetry::GREEDY_CANDIDATES_SEEDED.add(occ.len() as u64);
-        // Heap seeding is the only place HashMap iteration order is
-        // observed; the heap's total order makes pops deterministic anyway.
-        let heap = occ
-            .iter()
-            .map(|(seq, set)| HeapItem {
-                savings: upper_bound_savings(seq, set.len()),
-                seq: seq.clone(),
-            })
-            .collect();
-        Index { occ, heap }
-    }
-
-    /// Replaces the window at (`b`, `p`) with codeword `entry` of `len`
-    /// instructions, updating the occurrence index locally.
-    fn replace(
-        &mut self,
-        model: &mut ProgramModel,
-        b: usize,
-        p: usize,
-        entry: u32,
-        len: usize,
-        max_len: usize,
-    ) {
-        let block = &mut model.blocks[b];
-        // The run containing p.
-        let (rs, re) = run_around(&block.cells, p);
-        debug_assert!(p + len <= re);
-        remove_windows(&mut self.occ, &block.cells, b as u32, rs, re, max_len);
-        let orig = match block.cells[p] {
-            Cell::Insn { orig, .. } => orig,
-            _ => unreachable!("replacement target must be an instruction"),
-        };
-        block.cells[p] = Cell::Code { entry, orig, len };
-        for cell in &mut block.cells[p + 1..p + len] {
-            *cell = Cell::Dead;
-        }
-        add_windows(&mut self.occ, &block.cells, b as u32, rs, p, max_len);
-        add_windows(&mut self.occ, &block.cells, b as u32, p + len, re, max_len);
-    }
-}
-
-/// Initial savings upper bound for a fresh candidate. Seeding only needs a
-/// value ≥ the real savings under any cost model; a count-proportional bound
-/// keeps early pops useful (few lazy re-insertions).
-/// Mines candidate windows for the block range `b0..b1` into a fresh map.
-/// Run on worker threads by [`Index::build`].
-fn build_occ_range(
+/// Mines candidate windows for the block range `b0..b1` into a fresh local
+/// interner + a flat `(candidate, position)` pair list. Run on worker
+/// threads by [`CandidateIndex::build`]. The run's words are staged in one
+/// reusable scratch buffer so every window is a borrowed subslice — no
+/// per-window allocation.
+fn mine_range(
     model: &ProgramModel,
     b0: usize,
     b1: usize,
     max_len: usize,
-) -> HashMap<Seq, BTreeSet<Pos>> {
-    let mut occ: HashMap<Seq, BTreeSet<Pos>> = HashMap::new();
+) -> (SeqInterner, Vec<(SeqId, Pos)>) {
+    // Upper-bound the window count so neither the interner table nor the
+    // pair list rehashes/reallocates mid-mine.
+    let cells: usize = model.blocks[b0..b1].iter().map(|b| b.cells.len()).sum();
+    let windows = cells.saturating_mul(max_len);
+    let mut interner = SeqInterner::with_capacity(windows, 2);
+    let mut pairs: Vec<(SeqId, Pos)> = Vec::with_capacity(windows);
+    let mut scratch: Vec<u32> = Vec::new();
     for (b, block) in model.blocks[b0..b1].iter().enumerate() {
         for (start, end) in runs(&block.cells) {
-            add_windows(&mut occ, &block.cells, (b0 + b) as u32, start, end, max_len);
+            scratch.clear();
+            scratch.extend(
+                block.cells[start..end].iter().map(|c| c.compressible_word().expect("run cell")),
+            );
+            for s in 0..scratch.len() {
+                let limit = max_len.min(scratch.len() - s);
+                let mut h = hash_seed();
+                for l in 1..=limit {
+                    h = hash_extend(h, scratch[s + l - 1]);
+                    let id = interner.intern(&scratch[s..s + l], h);
+                    pairs.push((id, ((b0 + b) as u32, (start + s) as u32)));
+                }
+            }
         }
     }
-    occ
-}
-
-fn upper_bound_savings(seq: &[u32], raw_count: usize) -> i64 {
-    // 36 bits/insn is the largest stream cost in any scheme; codeword ≥ 4
-    // bits; this dominates every cost model's savings.
-    raw_count as i64 * (36 * seq.len() as i64 - 4)
+    (interner, pairs)
 }
 
 /// Maximal runs of compressible instruction cells.
-fn runs(cells: &[Cell]) -> Vec<(usize, usize)> {
+pub(crate) fn runs(cells: &[Cell]) -> Vec<(usize, usize)> {
     let mut out = Vec::new();
     let mut start = None;
     for (i, c) in cells.iter().enumerate() {
@@ -292,68 +559,6 @@ fn runs(cells: &[Cell]) -> Vec<(usize, usize)> {
         out.push((s, cells.len()));
     }
     out
-}
-
-/// The maximal compressible run containing `p`.
-fn run_around(cells: &[Cell], p: usize) -> (usize, usize) {
-    debug_assert!(cells[p].compressible_word().is_some());
-    let mut s = p;
-    while s > 0 && cells[s - 1].compressible_word().is_some() {
-        s -= 1;
-    }
-    let mut e = p + 1;
-    while e < cells.len() && cells[e].compressible_word().is_some() {
-        e += 1;
-    }
-    (s, e)
-}
-
-fn add_windows(
-    occ: &mut HashMap<Seq, BTreeSet<Pos>>,
-    cells: &[Cell],
-    b: u32,
-    start: usize,
-    end: usize,
-    max_len: usize,
-) {
-    let mut added = 0u64;
-    for s in start..end {
-        let limit = max_len.min(end - s);
-        let mut words = Vec::with_capacity(limit);
-        for l in 1..=limit {
-            words.push(cells[s + l - 1].compressible_word().expect("run cell"));
-            occ.entry(words.clone().into_boxed_slice()).or_default().insert((b, s as u32));
-            added += 1;
-        }
-    }
-    telemetry::GREEDY_WINDOW_ADDS.add(added);
-}
-
-fn remove_windows(
-    occ: &mut HashMap<Seq, BTreeSet<Pos>>,
-    cells: &[Cell],
-    b: u32,
-    start: usize,
-    end: usize,
-    max_len: usize,
-) {
-    let mut removed = 0u64;
-    for s in start..end {
-        let limit = max_len.min(end - s);
-        let mut words = Vec::with_capacity(limit);
-        for l in 1..=limit {
-            words.push(cells[s + l - 1].compressible_word().expect("run cell"));
-            let key: Seq = words.clone().into_boxed_slice();
-            if let Some(set) = occ.get_mut(&key) {
-                set.remove(&(b, s as u32));
-                removed += 1;
-                if set.is_empty() {
-                    occ.remove(&key);
-                }
-            }
-        }
-    }
-    telemetry::GREEDY_WINDOW_REMOVES.add(removed);
 }
 
 #[cfg(test)]
@@ -400,7 +605,7 @@ mod tests {
         }
         let mut model = model_of(words);
         let mut dict = Dictionary::new();
-        let picks = run_greedy(&mut model, &mut dict, baseline_params(4, 100));
+        let picks = run_greedy(&mut model, &mut dict, baseline_params(4, 100)).unwrap();
         assert!(!picks.is_empty());
         // Best first pick is the pair (or a longer repetition of it).
         assert!(picks[0].savings_bits >= picks.last().unwrap().savings_bits);
@@ -421,12 +626,12 @@ mod tests {
         }
         let mut model = model_of(words.clone());
         let mut dict = Dictionary::new();
-        run_greedy(&mut model, &mut dict, baseline_params(1, 5));
+        run_greedy(&mut model, &mut dict, baseline_params(1, 5)).unwrap();
         assert_eq!(dict.len(), 5);
 
         let mut model = model_of(words);
         let mut dict = Dictionary::new();
-        run_greedy(&mut model, &mut dict, baseline_params(1, 1000));
+        run_greedy(&mut model, &mut dict, baseline_params(1, 1000)).unwrap();
         assert!(dict.len() > 5);
     }
 
@@ -436,7 +641,7 @@ mod tests {
         let words: Vec<u32> = (0..40).map(w).collect();
         let mut model = model_of(words);
         let mut dict = Dictionary::new();
-        let picks = run_greedy(&mut model, &mut dict, baseline_params(4, 100));
+        let picks = run_greedy(&mut model, &mut dict, baseline_params(4, 100)).unwrap();
         assert!(picks.is_empty(), "unique code must not be compressed: {picks:?}");
         assert_eq!(model.codewords(), 0);
     }
@@ -445,11 +650,9 @@ mod tests {
     fn overlapping_occurrences_counted_non_overlapping() {
         // "aaaa": sequence [a,a] has raw occurrences at 0,1,2 but only 2
         // non-overlapping.
-        let words = vec![w(7); 4];
-        let set: BTreeSet<Pos> = [(0, 0), (0, 1), (0, 2)].into_iter().collect();
-        assert_eq!(effective_count(&set, 2), 2);
-        assert_eq!(select_positions(&set, 2), vec![(0, 0), (0, 2)]);
-        drop(words);
+        let positions: Vec<Pos> = vec![(0, 0), (0, 1), (0, 2)];
+        assert_eq!(effective_count_sorted(&positions, 2), 2);
+        assert_eq!(select_positions_sorted(&positions, 2), vec![(0, 0), (0, 2)]);
     }
 
     #[test]
@@ -466,7 +669,7 @@ mod tests {
         let run = |cap: usize| {
             let mut model = model_of(words.clone());
             let mut dict = Dictionary::new();
-            run_greedy(&mut model, &mut dict, baseline_params(4, cap))
+            run_greedy(&mut model, &mut dict, baseline_params(4, cap)).unwrap()
         };
         let small = run(3);
         let large = run(12);
@@ -486,7 +689,7 @@ mod tests {
         let run = || {
             let mut model = model_of(words.clone());
             let mut dict = Dictionary::new();
-            let picks = run_greedy(&mut model, &mut dict, baseline_params(4, 100));
+            let picks = run_greedy(&mut model, &mut dict, baseline_params(4, 100)).unwrap();
             (picks, dict)
         };
         let (p1, d1) = run();
@@ -509,11 +712,77 @@ mod tests {
         m.code = a.finish().unwrap();
         let mut model = ProgramModel::build(&m);
         let mut dict = Dictionary::new();
-        run_greedy(&mut model, &mut dict, baseline_params(4, 100));
+        run_greedy(&mut model, &mut dict, baseline_params(4, 100)).unwrap();
         for e in dict.entries() {
             for &word in &e.words {
                 assert!(codense_ppc::branch::rel_branch_info(word).is_none());
             }
         }
+    }
+
+    #[test]
+    fn matches_reference_on_small_program() {
+        let mut words = Vec::new();
+        for i in 0..24 {
+            for _ in 0..3 {
+                words.push(w(i % 6));
+                words.push(w(i % 4 + 50));
+            }
+        }
+        let mut m1 = model_of(words.clone());
+        let mut d1 = Dictionary::new();
+        let p1 = run_greedy(&mut m1, &mut d1, baseline_params(4, 100)).unwrap();
+        let mut m2 = model_of(words);
+        let mut d2 = Dictionary::new();
+        let p2 = reference::run_greedy(&mut m2, &mut d2, baseline_params(4, 100));
+        assert_eq!(p1, p2);
+        assert_eq!(d1, d2);
+    }
+
+    #[test]
+    fn shared_index_matches_fresh_build_at_smaller_cap() {
+        let mut words = Vec::new();
+        for i in 0..16 {
+            for _ in 0..4 {
+                words.push(w(i % 5));
+                words.push(w(i % 3 + 30));
+                words.push(w(7));
+            }
+        }
+        // Index mined at 8; runs at caps 1, 2, 4 must match fresh builds.
+        let model0 = model_of(words.clone());
+        let index = CandidateIndex::build(&model0, 8).unwrap();
+        for cap in [1usize, 2, 4, 8] {
+            let mut shared_model = model0.clone();
+            let mut shared_dict = Dictionary::new();
+            let shared = run_greedy_with(
+                &index,
+                &mut shared_model,
+                &mut shared_dict,
+                baseline_params(cap, 64),
+            );
+            let mut fresh_model = model_of(words.clone());
+            let mut fresh_dict = Dictionary::new();
+            let fresh =
+                run_greedy(&mut fresh_model, &mut fresh_dict, baseline_params(cap, 64)).unwrap();
+            assert_eq!(shared, fresh, "cap {cap}");
+            assert_eq!(shared_dict, fresh_dict, "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn position_space_guard() {
+        // The checked conversion surfaces as a typed error instead of a
+        // silent `as u32` truncation (the SPEC-scale roadmap item).
+        assert!(check_position_space(1 << 20, 1 << 20, 8).is_ok());
+        assert!(check_position_space(u32::MAX as usize, 0, 8).is_ok());
+        assert!(check_position_space(u32::MAX as usize - 8, u32::MAX as usize - 8, 8).is_ok());
+        let err = check_position_space(u32::MAX as usize + 1, 0, 8).unwrap_err();
+        assert!(
+            matches!(err, CompressError::ProgramTooLarge { blocks, .. } if blocks > u32::MAX as usize)
+        );
+        let err = check_position_space(1, u32::MAX as usize - 7, 8).unwrap_err();
+        assert!(matches!(err, CompressError::ProgramTooLarge { largest_block, .. }
+            if largest_block == u32::MAX as usize - 7));
     }
 }

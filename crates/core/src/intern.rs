@@ -1,0 +1,258 @@
+//! An arena-backed interner for candidate instruction sequences.
+//!
+//! The greedy matchfinder examines every window of 1..=`max_entry_len`
+//! instructions inside every compressible run. Keying the occurrence index
+//! by `Box<[u32]>` made each window examination a heap allocation — on
+//! build, on replacement, and even on removal *lookups*. The interner
+//! removes all of that: every distinct sequence is stored once in a single
+//! contiguous word arena and identified by a dense [`SeqId`], so the
+//! occurrence index and the selection heap operate on plain `u32`s and
+//! lookups borrow the probe slice instead of boxing it.
+//!
+//! Hashes are computed incrementally by the windower ([`hash_seed`] /
+//! [`hash_extend`]): extending a window by one instruction extends its hash
+//! in O(1), so mining all `O(n · max_entry_len)` windows costs O(1) hashing
+//! per window. The table is open-addressing with a power-of-two capacity;
+//! collisions are resolved by comparing the stored arena slice, so hash
+//! quality affects speed only, never correctness.
+
+/// Dense identifier of an interned sequence. Ids are assigned in first-
+/// insertion order, starting at 0, with no gaps — callers index plain
+/// vectors by them.
+pub type SeqId = u32;
+
+/// Seed value for the incremental window hash.
+#[inline]
+pub fn hash_seed() -> u64 {
+    0xcbf2_9ce4_8422_2325 // FNV-1a 64 offset basis
+}
+
+/// Extends a window hash by one instruction word (FNV-1a over 32-bit
+/// chunks). `hash_extend(hash_seed(), w1)` then `hash_extend(.., w2)` …
+/// yields the hash of `[w1, w2, ..]`.
+#[inline]
+pub fn hash_extend(h: u64, word: u32) -> u64 {
+    (h ^ word as u64).wrapping_mul(0x1000_0000_01b3) // FNV-1a 64 prime
+}
+
+/// Final avalanche before indexing the table (FNV alone clusters low bits).
+#[inline]
+fn fmix(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h
+}
+
+/// The interner: one contiguous word arena plus a hash table mapping
+/// sequence content to its [`SeqId`]. Zero per-sequence heap allocations
+/// after table warm-up; lookups never allocate.
+#[derive(Debug, Clone, Default)]
+pub struct SeqInterner {
+    /// All interned sequences, concatenated.
+    words: Vec<u32>,
+    /// `SeqId` → (offset, len) into `words`.
+    spans: Vec<(u32, u32)>,
+    /// `SeqId` → full 64-bit hash (kept for cheap rehashing on growth).
+    hashes: Vec<u64>,
+    /// Open-addressing slots: 0 = empty, otherwise `SeqId + 1`.
+    table: Vec<u32>,
+}
+
+impl SeqInterner {
+    /// Creates an empty interner.
+    pub fn new() -> SeqInterner {
+        SeqInterner::default()
+    }
+
+    /// Creates an interner sized for roughly `seqs` distinct sequences of
+    /// `words_per_seq` average length (avoids growth churn during mining).
+    pub fn with_capacity(seqs: usize, words_per_seq: usize) -> SeqInterner {
+        let slots = (seqs * 2).next_power_of_two().max(16);
+        SeqInterner {
+            words: Vec::with_capacity(seqs * words_per_seq),
+            spans: Vec::with_capacity(seqs),
+            hashes: Vec::with_capacity(seqs),
+            table: vec![0; slots],
+        }
+    }
+
+    /// Number of distinct sequences interned.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total words in the arena (sum of distinct sequence lengths).
+    pub fn arena_words(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The instruction words of sequence `id`.
+    #[inline]
+    pub fn words(&self, id: SeqId) -> &[u32] {
+        let (off, len) = self.spans[id as usize];
+        &self.words[off as usize..off as usize + len as usize]
+    }
+
+    /// Length in instructions of sequence `id`.
+    #[inline]
+    pub fn seq_len(&self, id: SeqId) -> usize {
+        self.spans[id as usize].1 as usize
+    }
+
+    /// The full hash of sequence `id` (as produced by [`hash_extend`]).
+    #[inline]
+    pub fn hash(&self, id: SeqId) -> u64 {
+        self.hashes[id as usize]
+    }
+
+    /// Interns `seq` (whose [`hash_extend`] hash is `hash`), returning its
+    /// id — existing id if present, a fresh dense id otherwise. Only the
+    /// arena allocates, and only when a *new* sequence is appended.
+    pub fn intern(&mut self, seq: &[u32], hash: u64) -> SeqId {
+        if self.spans.len() * 2 >= self.table.len() {
+            self.grow();
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = fmix(hash) as usize & mask;
+        loop {
+            match self.table[slot] {
+                0 => {
+                    let id = self.spans.len() as SeqId;
+                    let off = self.words.len() as u32;
+                    self.words.extend_from_slice(seq);
+                    self.spans.push((off, seq.len() as u32));
+                    self.hashes.push(hash);
+                    self.table[slot] = id + 1;
+                    return id;
+                }
+                stored => {
+                    let id = stored - 1;
+                    if self.hashes[id as usize] == hash && self.words(id) == seq {
+                        return id;
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Looks up `seq` without inserting (and without allocating).
+    pub fn lookup(&self, seq: &[u32], hash: u64) -> Option<SeqId> {
+        if self.table.is_empty() {
+            return None;
+        }
+        let mask = self.table.len() - 1;
+        let mut slot = fmix(hash) as usize & mask;
+        loop {
+            match self.table[slot] {
+                0 => return None,
+                stored => {
+                    let id = stored - 1;
+                    if self.hashes[id as usize] == hash && self.words(id) == seq {
+                        return Some(id);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let slots = (self.table.len() * 2).max(16);
+        let mask = slots - 1;
+        let mut table = vec![0u32; slots];
+        for (i, &h) in self.hashes.iter().enumerate() {
+            let mut slot = fmix(h) as usize & mask;
+            while table[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = i as u32 + 1;
+        }
+        self.table = table;
+    }
+}
+
+/// Hashes a whole slice with the incremental combiner (convenience for
+/// non-windowed callers and tests).
+pub fn hash_of(seq: &[u32]) -> u64 {
+    seq.iter().fold(hash_seed(), |h, &w| hash_extend(h, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedups_and_ids_are_dense() {
+        let mut it = SeqInterner::new();
+        let a = it.intern(&[1, 2, 3], hash_of(&[1, 2, 3]));
+        let b = it.intern(&[1, 2], hash_of(&[1, 2]));
+        let a2 = it.intern(&[1, 2, 3], hash_of(&[1, 2, 3]));
+        assert_eq!(a, 0);
+        assert_eq!(b, 1);
+        assert_eq!(a2, a);
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.words(a), &[1, 2, 3]);
+        assert_eq!(it.words(b), &[1, 2]);
+        assert_eq!(it.seq_len(a), 3);
+        assert_eq!(it.arena_words(), 5);
+    }
+
+    #[test]
+    fn lookup_borrows_without_inserting() {
+        let mut it = SeqInterner::new();
+        assert_eq!(it.lookup(&[7], hash_of(&[7])), None);
+        let id = it.intern(&[7], hash_of(&[7]));
+        assert_eq!(it.lookup(&[7], hash_of(&[7])), Some(id));
+        assert_eq!(it.lookup(&[7, 7], hash_of(&[7, 7])), None);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn incremental_hash_matches_whole_slice_hash() {
+        let seq = [0xdead_beefu32, 1, 0, u32::MAX, 42];
+        let mut h = hash_seed();
+        for (i, &w) in seq.iter().enumerate() {
+            h = hash_extend(h, w);
+            assert_eq!(h, hash_of(&seq[..=i]));
+        }
+    }
+
+    #[test]
+    fn growth_preserves_lookups() {
+        let mut it = SeqInterner::new();
+        let ids: Vec<SeqId> = (0u32..10_000)
+            .map(|i| it.intern(&[i, i ^ 0xffff], hash_of(&[i, i ^ 0xffff])))
+            .collect();
+        for (i, &id) in ids.iter().enumerate() {
+            let i = i as u32;
+            let seq = [i, i ^ 0xffff];
+            assert_eq!(it.lookup(&seq, hash_of(&seq)), Some(id));
+            assert_eq!(it.words(id), &seq);
+        }
+        assert_eq!(it.len(), 10_000);
+    }
+
+    #[test]
+    fn prefixes_are_distinct_sequences() {
+        // The windower interns every prefix of a run window; prefixes must
+        // never collide with each other.
+        let mut it = SeqInterner::new();
+        let run = [5u32, 5, 5, 5];
+        let mut h = hash_seed();
+        let mut ids = Vec::new();
+        for l in 1..=run.len() {
+            h = hash_extend(h, run[l - 1]);
+            ids.push(it.intern(&run[..l], h));
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+}

@@ -52,6 +52,7 @@ pub mod dict;
 pub mod encoding;
 pub mod error;
 pub mod greedy;
+pub mod intern;
 pub mod model;
 pub mod nibbles;
 pub mod parallel;
@@ -65,5 +66,5 @@ pub use config::{CompressionConfig, EncodingKind};
 pub use container::{ContainerError, ProgramImage};
 pub use dict::Dictionary;
 pub use error::{CompressError, VerifyError};
-pub use greedy::PickRecord;
+pub use greedy::{CandidateIndex, MatchfinderKind, PickRecord};
 pub use stats::Composition;

@@ -64,7 +64,9 @@ impl ProgramModel {
     /// Builds the model from a module: computes basic blocks and marks
     /// PC-relative branches incompressible.
     pub fn build(module: &ObjectModule) -> ProgramModel {
-        ProgramModel::build_with(module, |w| rel_branch_info(w).is_none())
+        // `build_with` already excludes PC-relative branches; the extra
+        // predicate is identity so each word is decoded exactly once.
+        ProgramModel::build_with(module, |_| true)
     }
 
     /// Like [`build`](ProgramModel::build), with a custom compressibility

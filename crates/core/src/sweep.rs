@@ -10,13 +10,20 @@
 //! ([`entry_len_sweep`], [`small_dictionary_sweep`]) evaluate their points
 //! on the [`crate::parallel`] worker pool; each point is an independent
 //! compression of the same immutable module, so results are identical to
-//! the sequential loop and arrive in point order.
+//! the sequential loop and arrive in point order. These sweeps mine the
+//! program's candidate windows **once**, into a shared
+//! [`CandidateIndex`](crate::greedy::CandidateIndex) built at the largest
+//! entry length in the sweep; every point then reuses the shared index
+//! (candidates above the point's cap are filtered at heap seeding) instead
+//! of re-scanning the program, which is byte-identical to a fresh build.
 
 use codense_obj::ObjectModule;
 
 use crate::compressor::{CompressedProgram, Compressor};
 use crate::config::{CompressionConfig, EncodingKind};
 use crate::error::CompressError;
+use crate::greedy::CandidateIndex;
+use crate::model::ProgramModel;
 
 /// Compression ratio at each requested codeword-count point (Fig 5),
 /// computed from one baseline run to the largest point.
@@ -69,13 +76,15 @@ pub fn entry_len_sweep(
 ) -> Result<Vec<(usize, f64)>, CompressError> {
     crate::telemetry::SWEEP_POINTS.add(lens.len() as u64);
     crate::telemetry::SWEEP_FULL_COMPRESSIONS.add(lens.len() as u64);
+    let max_len = lens.iter().copied().max().unwrap_or(1);
+    let index = CandidateIndex::build(&ProgramModel::build(module), max_len)?;
     crate::parallel::par_map(lens.to_vec(), |_, l| {
         let config = CompressionConfig {
             max_entry_len: l,
             max_codewords: EncodingKind::Baseline.capacity(),
             encoding: EncodingKind::Baseline,
         };
-        Ok((l, Compressor::new(config).compress(module)?.compression_ratio()))
+        Ok((l, Compressor::new(config).compress_with_index(module, &index)?.compression_ratio()))
     })
     .into_iter()
     .collect()
@@ -153,8 +162,12 @@ pub fn small_dictionary_sweep(
 ) -> Result<Vec<(usize, f64)>, CompressError> {
     crate::telemetry::SWEEP_POINTS.add(entry_counts.len() as u64);
     crate::telemetry::SWEEP_FULL_COMPRESSIONS.add(entry_counts.len() as u64);
+    // Every point uses the same entry-length cap; mine the window set once.
+    let max_len = CompressionConfig::small_dictionary(0).max_entry_len;
+    let index = CandidateIndex::build(&ProgramModel::build(module), max_len)?;
     crate::parallel::par_map(entry_counts.to_vec(), |_, n| {
-        let c = Compressor::new(CompressionConfig::small_dictionary(n)).compress(module)?;
+        let compressor = Compressor::new(CompressionConfig::small_dictionary(n));
+        let c = compressor.compress_with_index(module, &index)?;
         Ok((n, c.compression_ratio()))
     })
     .into_iter()
@@ -229,6 +242,29 @@ mod tests {
         let m = module();
         let sweep = small_dictionary_sweep(&m, &[8, 16, 32]).unwrap();
         assert!(sweep[2].1 <= sweep[0].1 + 1e-9);
+    }
+
+    #[test]
+    fn shared_index_points_match_fresh_compressions() {
+        // The sweep reuses one CandidateIndex across points; every point
+        // must equal an independent full compression bit-for-bit (here via
+        // the exact ratio).
+        let m = module();
+        for (l, ratio) in entry_len_sweep(&m, &[1, 2, 4, 8]).unwrap() {
+            let fresh = Compressor::new(CompressionConfig {
+                max_entry_len: l,
+                max_codewords: EncodingKind::Baseline.capacity(),
+                encoding: EncodingKind::Baseline,
+            })
+            .compress(&m)
+            .unwrap();
+            assert_eq!(ratio, fresh.compression_ratio(), "entry len {l}");
+        }
+        for (n, ratio) in small_dictionary_sweep(&m, &[4, 16, 32]).unwrap() {
+            let fresh =
+                Compressor::new(CompressionConfig::small_dictionary(n)).compress(&m).unwrap();
+            assert_eq!(ratio, fresh.compression_ratio(), "entry count {n}");
+        }
     }
 }
 

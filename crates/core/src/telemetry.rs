@@ -113,7 +113,11 @@ registry! {
     FUZZ_SHRINK_CANDIDATES => "fuzz.shrink_candidates",
     GREEDY_CANDIDATES_SEEDED => "greedy.candidates_seeded",
     GREEDY_HEAP_POPS => "greedy.heap_pops",
+    GREEDY_INDEX_REUSES => "greedy.index_reuses",
+    GREEDY_INTERNED_SEQS => "greedy.interned_seqs",
+    GREEDY_INTERNED_WORDS => "greedy.interned_words",
     GREEDY_PICKS_ACCEPTED => "greedy.picks_accepted",
+    GREEDY_REMOVAL_ALLOCS => "greedy.removal_allocs",
     GREEDY_REPLACEMENTS => "greedy.replacements",
     GREEDY_STALE_REINSERTS => "greedy.stale_reinserts",
     GREEDY_WINDOW_ADDS => "greedy.window_adds",

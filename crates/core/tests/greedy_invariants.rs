@@ -96,7 +96,8 @@ fn no_positive_savings_remain() {
             &mut model,
             &mut dict,
             GreedyParams { max_entry_len: 4, max_codewords: 10_000, cost: COST },
-        );
+        )
+        .unwrap();
         let best = best_remaining_savings(&model, 4);
         assert!(best <= 0, "remaining candidate with savings {best}");
     }
@@ -116,7 +117,8 @@ fn pick_savings_monotone_nonincreasing() {
             &mut model,
             &mut dict,
             GreedyParams { max_entry_len: 4, max_codewords: 10_000, cost: COST },
-        );
+        )
+        .unwrap();
         for pair in log.windows(2) {
             assert!(pair[1].savings_bits <= pair[0].savings_bits, "savings increased: {pair:?}");
         }
@@ -136,7 +138,8 @@ fn model_dictionary_consistency() {
             &mut model,
             &mut dict,
             GreedyParams { max_entry_len: 4, max_codewords: 10_000, cost: COST },
-        );
+        )
+        .unwrap();
         let mut covered = 0usize;
         for block in &model.blocks {
             for cell in &block.cells {

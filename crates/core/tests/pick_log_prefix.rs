@@ -49,7 +49,8 @@ fn greedy_with_cap(
         &mut model,
         &mut dict,
         GreedyParams { max_entry_len: 4, max_codewords: cap, cost: COST },
-    );
+    )
+    .unwrap();
     (log, dict)
 }
 

@@ -102,7 +102,8 @@ pub fn compress(module: &ObjectModule, method: LiaoMethod, max_entry_len: usize)
                 dict_entry_fixed_bits: fixed_bits,
             },
         },
-    );
+    )
+    .expect("matchfinder position space exceeds any real embedded program");
 
     // Sizes: every atom in the rewritten model is one word (codeword call
     // or uncompressed instruction).

@@ -15,6 +15,7 @@
 //! block leaders.
 
 pub mod bb;
+pub mod crc32;
 pub mod module;
 pub mod serialize;
 

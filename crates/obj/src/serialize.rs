@@ -25,18 +25,7 @@ pub const MAGIC: [u8; 4] = *b"CDNM";
 /// Current version.
 pub const VERSION: u16 = 1;
 
-/// CRC-32 (IEEE 802.3, reflected), bitwise implementation.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xffff_ffffu32;
-    for &b in data {
-        crc ^= b as u32;
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
-        }
-    }
-    !crc
-}
+pub use crate::crc32::crc32;
 
 /// Module-format errors.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -84,4 +84,13 @@ for j in 1 8; do
 done
 diff -u "$tmp/serve-1.counters" "$tmp/serve-8.counters"
 
+echo "==> speed-regression smoke (interned matchfinder vs checked-in baseline)"
+# Times only the interned engine (3 samples) and gates against the
+# committed BENCH_speed.json with the default 3x floor: generous enough
+# for any shared-runner wobble, tight enough to catch an order-of-
+# magnitude regression of the matchfinder. Re-bless with
+#   codense speed --samples 9 --out BENCH_speed.json
+./target/release/codense speed --no-reference --samples 3 \
+    --out "$tmp/BENCH_speed.json" --check BENCH_speed.json
+
 echo "verify: OK"
