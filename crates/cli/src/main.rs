@@ -18,10 +18,12 @@
 //!                                             size-vs-cycles Pareto frontier
 //! codense fuzz [--cases N] [--seed S] [--hybrid]  differential fuzz campaign
 //! codense serve --addr HOST:PORT [--queue-depth N] [--timeout-ms N]
-//!                                             batch-compression TCP server
+//!               [--cache-bytes N]             batch-compression TCP server
 //! codense loadgen --addr HOST:PORT [--requests N] [--connections N]
 //!                 [--bench NAME] [--encoding E] [--out FILE] [--shutdown]
 //!                                             drive a server, write BENCH_serve.json
+//! codense loadsweep --addr HOST:PORT [--rates CSV] [--unique CSV]
+//!                   [--out FILE] [--shutdown] open-loop + cache sweeps, BENCH_load.json
 //! codense speed [--bench NAME] [--samples N] [--out BENCH_speed.json]
 //!               [--no-reference] [--check FILE] [--floor X]
 //!                                             compression-throughput benchmark
@@ -67,6 +69,7 @@ fn main() -> ExitCode {
         Some("fuzz") => cmd_fuzz(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("loadsweep") => cmd_loadsweep(&args[1..]),
         Some("speed") => cmd_speed(&args[1..]),
         Some("help") | None => {
             print!("{}", USAGE);
@@ -116,11 +119,17 @@ usage:
   codense fuzz [--cases N] [--seed S] [--max-steps N] [--fault-tries N]
                [--hybrid]
   codense serve --addr HOST:PORT [--queue-depth N] [--timeout-ms N]
+                [--cache-bytes N]
   codense loadgen --addr HOST:PORT [--requests N] [--connections N]
                   [--bench NAME] [--encoding baseline|onebyte|nibble]
                   [--max-entry N] [--out BENCH_serve.json] [--shutdown]
                   [--server-jobs N] [--server-queue-depth N]
                   [--metrics-out METRICS.json]
+  codense loadsweep --addr HOST:PORT [--bench NAME]
+                    [--encoding baseline|onebyte|nibble] [--max-entry N]
+                    [--rates CSV] [--point-requests N] [--connections N]
+                    [--unique CSV] [--cache-requests N] [--seed S]
+                    [--out BENCH_load.json] [--shutdown]
   codense speed [--bench NAME] [--samples N] [--out BENCH_speed.json]
                 [--no-reference] [--check BENCH_speed.json] [--floor X]
 
@@ -144,10 +153,13 @@ sweep runs the parameter sweeps behind Figures 4-8 (max entry length,
 codeword count, small dictionaries) on one benchmark (default `compress`).
 
 serve runs the batch-compression TCP service (DESIGN.md section 10): a
-bounded work queue with --jobs workers, BUSY backpressure when the queue
-is full, per-request deadlines, and typed error frames for malformed
-input. The bound address is printed on stdout; serve blocks until a
-SHUTDOWN frame arrives, then drains in-flight work and exits.
+poll(2) reactor with pipelined per-connection state machines, a bounded
+work queue with --jobs workers, BUSY backpressure when the queue is full,
+per-request deadlines, a content-addressed LRU result cache
+(--cache-bytes budget, default 64 MiB, 0 disables), and typed error
+frames for malformed input. The bound address is printed on stdout;
+serve blocks until a SHUTDOWN frame arrives, then drains in-flight work
+and exits.
 
 speed measures compression throughput (instructions compressed per
 second, median of --samples whole runs) for every encoding on one
@@ -165,6 +177,15 @@ against --addr, byte-comparing every response (a mismatch counts as
 failed). Writes a schema-1 throughput + latency-quantile report (see
 EXPERIMENTS.md) to --out, and exits nonzero when any request failed.
 --shutdown sends a SHUTDOWN frame after the run.
+
+loadsweep measures the serve front end along two axes and writes the
+schema-1 BENCH_load.json artifact (see EXPERIMENTS.md): an open-loop
+latency-vs-offered-load curve — requests arrive on a seeded Poisson-like
+schedule at each --rates point, pipelined over --connections connections,
+latency measured from the scheduled arrival — and a cache-hit-ratio sweep
+cycling --unique distinct module variants through one sequential
+connection while reading the server's serve.cache.* counters. Every
+response is byte-compared against in-process compression.
 
 profile runs the built-in kernel suite (each kernel extended with a large
 never-executed cold section) natively under the VM's tracing hook and
@@ -882,6 +903,10 @@ fn cmd_serve(args: &[String]) -> CliResult {
             _ => return Err(format!("bad --timeout-ms `{v}` (expected an integer >= 1)")),
         };
     }
+    if let Some(v) = flag_value(args, "--cache-bytes") {
+        opts.cache_bytes =
+            v.parse().map_err(|_| format!("bad --cache-bytes `{v}` (expected an integer >= 0)"))?;
+    }
     let handle = codense_service::serve(&opts).map_err(|e| format!("serve: {e}"))?;
     // Scripts parse this line to learn the ephemeral port; flush so it is
     // visible before the (blocking) join.
@@ -978,6 +1003,137 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
     }
     if report.failed > 0 {
         return Err(format!("{} request(s) failed", report.failed));
+    }
+    Ok(())
+}
+
+fn cmd_loadsweep(args: &[String]) -> CliResult {
+    let addr = flag_value(args, "--addr").ok_or("loadsweep: missing --addr HOST:PORT")?;
+    let bench = flag_value(args, "--bench").unwrap_or("compress");
+    let encoding_name = flag_value(args, "--encoding").unwrap_or("nibble");
+    let encoding = parse_encoding(encoding_name)?;
+    let max_entry: u16 = match flag_value(args, "--max-entry") {
+        Some(v) => v.parse().map_err(|_| "bad --max-entry")?,
+        None => 4,
+    };
+    let out_path = flag_value(args, "--out").unwrap_or("BENCH_load.json");
+    let timeout_ms: u64 = match flag_value(args, "--timeout-ms") {
+        Some(v) => v.parse().map_err(|_| "bad --timeout-ms")?,
+        None => 30_000,
+    };
+    let connections: usize = match flag_value(args, "--connections") {
+        Some(v) => match v.parse() {
+            Ok(n) if n >= 1 => n,
+            _ => return Err(format!("bad --connections `{v}` (expected an integer >= 1)")),
+        },
+        None => 4,
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(v) => v.parse().map_err(|_| "bad --seed")?,
+        None => 0xC0DE,
+    };
+    let parse_csv = |flag: &str, default: &str| -> Result<Vec<u64>, String> {
+        flag_value(args, flag)
+            .unwrap_or(default)
+            .split(',')
+            .map(|s| s.trim().parse().map_err(|_| format!("bad {flag} entry `{s}`")))
+            .collect()
+    };
+    let rates = parse_csv("--rates", "50,100,200,400,800")?;
+    let uniques = parse_csv("--unique", "1,2,4,8,16")?;
+    let point_requests: usize = match flag_value(args, "--point-requests") {
+        Some(v) => v.parse().map_err(|_| "bad --point-requests")?,
+        None => 64,
+    };
+    let cache_requests: usize = match flag_value(args, "--cache-requests") {
+        Some(v) => v.parse().map_err(|_| "bad --cache-requests")?,
+        None => 64,
+    };
+
+    // Distinct modules for the cache sweep: the base benchmark plus one
+    // differentiating instruction per variant — enough to change the
+    // content hash, cheap enough to compress in-process for every variant.
+    let base =
+        codense_codegen::benchmark(bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    let max_unique = uniques.iter().copied().max().unwrap_or(1).max(4) as usize;
+    let mut items = Vec::with_capacity(max_unique);
+    for v in 0..max_unique {
+        let mut module = base.clone();
+        module.code.push(0x3860_0000 | v as u32); // li r3, v
+        let request = codense_service::CompressRequest {
+            encoding,
+            max_entry_len: max_entry,
+            max_codewords: 0, // the encoding's full codeword space
+            module: codense_obj::serialize(&module),
+        };
+        let compressed = Compressor::new(request.config())
+            .compress(&module)
+            .map_err(|e| format!("loadsweep: in-process compression failed: {e}"))?;
+        items.push(codense_service::WorkItem {
+            request,
+            expected: container::serialize(&compressed),
+        });
+    }
+
+    // Latency-vs-offered-load curve over a small working set that fits the
+    // cache: the first touches exercise the workers, steady state measures
+    // the reactor + cache service path under pipelined arrivals.
+    let mix = &items[..items.len().min(4)];
+    let mut load_points = Vec::new();
+    let mut failed_total = 0u64;
+    for &rate in &rates {
+        let opts = codense_service::OpenLoopOptions {
+            addr: addr.to_owned(),
+            rate_rps: rate as f64,
+            requests: point_requests,
+            connections,
+            timeout_ms,
+            seed,
+        };
+        let report = codense_service::run_open_loop(&opts, mix)
+            .map_err(|e| format!("loadsweep: {addr}: {e}"))?;
+        println!(
+            "rate {rate} rps: {} ok, {} busy, {} failed; p50 {} us, p99 {} us",
+            report.ok,
+            report.busy,
+            report.failed,
+            report.percentile_us(50.0),
+            report.percentile_us(99.0),
+        );
+        failed_total += report.failed;
+        load_points.push(codense_service::LoadPoint { offered_rps: rate as f64, report });
+    }
+
+    let mut cache_points = Vec::new();
+    for &d in &uniques {
+        let d = (d as usize).clamp(1, items.len());
+        let point = codense_service::run_cache_point(addr, timeout_ms, cache_requests, &items[..d])
+            .map_err(|e| format!("loadsweep: cache point ({d} distinct): {e}"))?;
+        println!(
+            "distinct {d}: {} requests, {} hits, {} misses, hit ratio {:.3}",
+            point.requests, point.hits, point.misses, point.hit_ratio,
+        );
+        cache_points.push(point);
+    }
+
+    let json = codense_service::render_load_json(
+        bench,
+        encoding_name,
+        connections,
+        seed,
+        &load_points,
+        &cache_points,
+    );
+    std::fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
+    println!("{out_path}: {} load points, {} cache points", load_points.len(), cache_points.len());
+
+    if args.iter().any(|a| a == "--shutdown") {
+        codense_service::Client::connect(addr, timeout_ms)
+            .and_then(|mut c| c.shutdown().map_err(|e| std::io::Error::other(e.to_string())))
+            .map_err(|e| format!("loadsweep: shutdown: {e}"))?;
+    }
+    if failed_total > 0 {
+        return Err(format!("{failed_total} open-loop request(s) failed"));
     }
     Ok(())
 }

@@ -131,7 +131,13 @@ registry! {
     PROFILE_RUNS => "profile.runs",
     SERVE_BYTES_IN => "serve.bytes_in",
     SERVE_BYTES_OUT => "serve.bytes_out",
+    SERVE_CACHE_BYTES_HIGH_WATER => "serve.cache.bytes_high_water",
+    SERVE_CACHE_EVICTIONS => "serve.cache.evictions",
+    SERVE_CACHE_HITS => "serve.cache.hits",
+    SERVE_CACHE_MISSES => "serve.cache.misses",
+    SERVE_CONNS_ACCEPTED => "serve.conns_accepted",
     SERVE_FRAMES_BAD => "serve.frames_bad",
+    SERVE_PIPELINE_HIGH_WATER => "serve.pipeline_high_water",
     SERVE_QUEUE_HIGH_WATER => "serve.queue_high_water",
     SERVE_REQUESTS_ACCEPTED => "serve.requests_accepted",
     SERVE_REQUESTS_BUSY => "serve.requests_busy",

@@ -1,0 +1,102 @@
+//! The per-request codec registry.
+//!
+//! Frame headers select compression by a one-byte codec tag; the registry
+//! maps tags to servable encodings the way ClickHouse's
+//! `CompressionCodecFactory` maps codec names to implementations. The
+//! registry is deliberately wider than what is servable today: `huffman`
+//! holds tag 3 with no [`EncodingKind`] behind it yet, so the wire format,
+//! the error taxonomy, and the conformance tests are already in place when
+//! Huffman-coded codewords land (a `RESP_ERR COMPRESS_FAILED` today, a
+//! container tomorrow — no protocol bump).
+
+use codense_core::{container, Compressor, EncodingKind};
+use codense_obj::ObjectModule;
+
+use crate::protocol::{CompressRequest, ErrorCode};
+
+/// One registry entry: a wire tag plus the encoding it routes to (when
+/// servable).
+#[derive(Debug, Clone, Copy)]
+pub struct Codec {
+    /// The wire tag carried in a `REQ_COMPRESS` header.
+    pub tag: u8,
+    /// Stable registry name (CLI `--encoding` values match these).
+    pub name: &'static str,
+    /// The encoding behind the tag; `None` = registered, not yet servable.
+    pub kind: Option<EncodingKind>,
+}
+
+/// The closed registry, indexed by tag.
+pub const CODECS: [Codec; 4] = [
+    Codec { tag: 0, name: "baseline", kind: Some(EncodingKind::Baseline) },
+    Codec { tag: 1, name: "onebyte", kind: Some(EncodingKind::OneByte) },
+    Codec { tag: 2, name: "nibble", kind: Some(EncodingKind::NibbleAligned) },
+    Codec { tag: 3, name: "huffman", kind: None },
+];
+
+/// Resolves a wire tag; `None` for tags outside the registry.
+pub fn by_tag(tag: u8) -> Option<&'static Codec> {
+    CODECS.iter().find(|c| c.tag == tag)
+}
+
+/// Resolves a registry name; `None` for unknown names.
+pub fn by_name(name: &str) -> Option<&'static Codec> {
+    CODECS.iter().find(|c| c.name == name)
+}
+
+/// The registry entry serving an encoding (every [`EncodingKind`] has one).
+pub fn by_kind(kind: EncodingKind) -> &'static Codec {
+    CODECS.iter().find(|c| c.kind == Some(kind)).expect("every encoding is registered")
+}
+
+/// Runs one decoded request through its codec: deserialize → validate →
+/// compress → serialize, every failure a typed error code plus message.
+/// This is the worker-side entry point; the reactor never compresses.
+pub fn process(req: &CompressRequest) -> Result<Vec<u8>, (ErrorCode, String)> {
+    let module =
+        codense_obj::deserialize(&req.module).map_err(|e| (ErrorCode::BadModule, e.to_string()))?;
+    module.validate().map_err(|e| (ErrorCode::BadModule, e.to_string()))?;
+    compress_with(by_kind(req.encoding), &module, req)
+}
+
+fn compress_with(
+    codec: &Codec,
+    module: &ObjectModule,
+    req: &CompressRequest,
+) -> Result<Vec<u8>, (ErrorCode, String)> {
+    debug_assert!(codec.kind.is_some(), "unservable codecs are rejected at decode time");
+    let compressed = Compressor::new(req.config())
+        .compress(module)
+        .map_err(|e| (ErrorCode::CompressFailed, e.to_string()))?;
+    Ok(container::serialize(&compressed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_tags_are_dense_and_names_unique() {
+        for (i, c) in CODECS.iter().enumerate() {
+            assert_eq!(c.tag as usize, i, "tags are the array index");
+            assert_eq!(by_tag(c.tag).unwrap().name, c.name);
+            assert_eq!(by_name(c.name).unwrap().tag, c.tag);
+        }
+        assert!(by_tag(99).is_none());
+        assert!(by_name("lzw").is_none());
+    }
+
+    #[test]
+    fn every_encoding_has_a_codec() {
+        for kind in [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned] {
+            assert_eq!(by_kind(kind).kind, Some(kind));
+        }
+    }
+
+    #[test]
+    fn huffman_is_registered_without_an_encoding() {
+        let c = by_name("huffman").unwrap();
+        assert_eq!(c.tag, 3);
+        assert!(c.kind.is_none());
+    }
+}

@@ -1,19 +1,29 @@
-//! The serve frame protocol: length-prefixed, CRC-checked binary frames.
+//! The serve frame protocol: length-prefixed, CRC-checked binary frames
+//! with per-request correlation ids (protocol version 2).
 //!
 //! Wire layout of one frame (all integers big-endian, matching the `.cdm` /
 //! `.cdns` formats):
 //!
 //! ```text
-//! u32  length     covers everything after this field: op + payload + crc
-//! u8   op         frame type (see [`Op`])
-//! ...  payload    op-specific body
-//! u32  crc        CRC-32 (IEEE) over op + payload
+//! u32  length      covers everything after this field: op + id + payload + crc
+//! u8   op          frame type (see [`Op`])
+//! u32  request_id  client-chosen correlation id, echoed by the response
+//! ...  payload     op-specific body
+//! u32  crc         CRC-32 (IEEE) over op + request_id + payload
 //! ```
+//!
+//! The request id is what makes pipelining work: a connection may have many
+//! requests in flight, and responses — which may complete **out of order**
+//! — carry the id of the request they answer. Ids must be unique among a
+//! connection's in-flight requests (a reuse is answered with the typed
+//! `DUPLICATE_ID` error); id `0` is legal but is also what the server
+//! echoes for errors it cannot attribute to a parsed request, so clients
+//! that want unambiguous attribution should start at 1.
 //!
 //! A `REQ_COMPRESS` payload is:
 //!
 //! ```text
-//! u8   encoding       0 = baseline, 1 = onebyte, 2 = nibble
+//! u8   codec          registry tag: 0 baseline, 1 onebyte, 2 nibble, 3 huffman
 //! u8   reserved       must be 0
 //! u16  max_entry_len  maximum instructions per dictionary entry
 //! u32  max_codewords  0 = the encoding's full codeword space
@@ -21,11 +31,17 @@
 //! ```
 //!
 //! and the matching `RESP_OK` payload is the serialized `.cdns` container.
-//! An `RESP_ERR` payload is `u8 code | u16 msg_len | msg` (see
-//! [`ErrorCode`]). Every malformed frame — bad magic length, oversized
-//! length, CRC mismatch, short payload, unknown op — maps to a typed
-//! [`FrameError`]; the server answers with an error frame and closes, it
-//! never panics or hangs.
+//! A `RESP_ERR` payload is `u8 code | u16 msg_len | msg` (see
+//! [`ErrorCode`]).
+//!
+//! **Resynchronization contract.** The length prefix frames the stream, so
+//! most malformed frames do not cost the connection: as long as the length
+//! field itself is trustworthy (`<=` [`MAX_FRAME`]), the server can skip
+//! exactly the bad frame's bytes, answer a typed `RESP_ERR`, and keep
+//! parsing at the next frame boundary. Only an oversized length field (the
+//! framing can no longer be trusted) or an EOF in the middle of a frame is
+//! terminal for the connection. [`parse_frame`] encodes this contract in
+//! its return type; the protocol-conformance suite pins it case by case.
 
 use std::fmt;
 use std::io::{self, Read, Write};
@@ -33,8 +49,13 @@ use std::io::{self, Read, Write};
 use codense_core::container::crc32;
 use codense_core::{CompressionConfig, EncodingKind};
 
+use crate::codec;
+
 /// Largest accepted frame (length field bound): 64 MiB.
 pub const MAX_FRAME: u32 = 64 << 20;
+
+/// Smallest well-formed length field: op + request id + CRC.
+pub const MIN_FRAME: u32 = 1 + 4 + 4;
 
 /// Frame types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,11 +101,12 @@ impl Op {
 #[repr(u8)]
 pub enum ErrorCode {
     /// The frame failed to parse (bad CRC, truncation, unknown op, short
-    /// payload).
+    /// payload), or a request body's fixed header was malformed.
     BadFrame = 1,
     /// The `.cdm` module bytes failed to deserialize or validate.
     BadModule = 2,
-    /// Compression returned a typed `CompressError`.
+    /// Compression returned a typed `CompressError`, or the requested
+    /// codec is registered but not yet servable.
     CompressFailed = 3,
     /// The bounded work queue is full; retry later.
     Busy = 4,
@@ -94,6 +116,8 @@ pub enum ErrorCode {
     TooLarge = 6,
     /// The server is draining; no new work is accepted.
     ShuttingDown = 7,
+    /// The request id is already in flight on this connection.
+    DuplicateId = 8,
 }
 
 impl ErrorCode {
@@ -107,6 +131,7 @@ impl ErrorCode {
             5 => Some(ErrorCode::Deadline),
             6 => Some(ErrorCode::TooLarge),
             7 => Some(ErrorCode::ShuttingDown),
+            8 => Some(ErrorCode::DuplicateId),
             _ => None,
         }
     }
@@ -122,6 +147,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Deadline => "DEADLINE",
             ErrorCode::TooLarge => "TOO_LARGE",
             ErrorCode::ShuttingDown => "SHUTTING_DOWN",
+            ErrorCode::DuplicateId => "DUPLICATE_ID",
         };
         f.write_str(s)
     }
@@ -130,11 +156,12 @@ impl fmt::Display for ErrorCode {
 /// Why a frame could not be read.
 #[derive(Debug)]
 pub enum FrameError {
-    /// The underlying socket failed (including read/write timeouts).
+    /// The underlying socket failed (including read/write timeouts and an
+    /// EOF in the middle of a frame).
     Io(io::Error),
     /// The length field exceeds [`MAX_FRAME`].
     TooLarge(u32),
-    /// The length field is shorter than op + CRC.
+    /// The length field is shorter than op + request id + CRC.
     TooShort(u32),
     /// The trailing CRC-32 does not match the frame body.
     BadCrc {
@@ -152,7 +179,7 @@ impl fmt::Display for FrameError {
         match self {
             FrameError::Io(e) => write!(f, "socket error: {e}"),
             FrameError::TooLarge(n) => write!(f, "frame length {n} exceeds {MAX_FRAME}"),
-            FrameError::TooShort(n) => write!(f, "frame length {n} below minimum 5"),
+            FrameError::TooShort(n) => write!(f, "frame length {n} below minimum {MIN_FRAME}"),
             FrameError::BadCrc { got, want } => {
                 write!(f, "frame crc {got:#010x}, computed {want:#010x}")
             }
@@ -177,24 +204,125 @@ impl FrameError {
     }
 }
 
-/// Writes one frame. Returns the total bytes put on the wire.
-pub fn write_frame(w: &mut impl Write, op: Op, payload: &[u8]) -> io::Result<u64> {
-    let len = 1 + payload.len() + 4;
+/// One parsed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame type.
+    pub op: Op,
+    /// The correlation id this frame carries (echoed on responses).
+    pub request_id: u32,
+    /// Op-specific body.
+    pub payload: Vec<u8>,
+}
+
+/// Encodes one frame into a standalone byte vector.
+pub fn encode_frame(op: Op, request_id: u32, payload: &[u8]) -> Vec<u8> {
+    let len = 1 + 4 + payload.len() + 4;
     let mut frame = Vec::with_capacity(4 + len);
     frame.extend_from_slice(&(len as u32).to_be_bytes());
     frame.push(op as u8);
+    frame.extend_from_slice(&request_id.to_be_bytes());
     frame.extend_from_slice(payload);
     let crc = crc32(&frame[4..]);
     frame.extend_from_slice(&crc.to_be_bytes());
+    frame
+}
+
+/// Writes one frame. Returns the total bytes put on the wire.
+pub fn write_frame(w: &mut impl Write, op: Op, request_id: u32, payload: &[u8]) -> io::Result<u64> {
+    let frame = encode_frame(op, request_id, payload);
     w.write_all(&frame)?;
     w.flush()?;
     Ok(frame.len() as u64)
 }
 
-/// Reads one frame. `Ok(None)` is a clean end of stream (the peer closed
-/// between frames); any partial or corrupt frame is a typed [`FrameError`].
-/// The second tuple field is the total bytes consumed from the wire.
-pub fn read_frame(r: &mut impl Read) -> Result<Option<(Op, Vec<u8>, u64)>, FrameError> {
+/// Outcome of attempting to parse one frame from the front of a buffer.
+///
+/// This is the reactor's incremental interface: bytes accumulate in a
+/// per-connection buffer and are offered to [`parse_frame`] until it
+/// reports [`ParseOutcome::Incomplete`].
+#[derive(Debug)]
+pub enum ParseOutcome {
+    /// The buffer does not yet hold a whole frame; read more bytes.
+    Incomplete,
+    /// A well-formed frame; `consumed` bytes were used from the buffer.
+    Frame {
+        /// The parsed frame.
+        frame: Frame,
+        /// Bytes consumed from the front of the buffer.
+        consumed: usize,
+    },
+    /// A malformed frame whose length field is still trustworthy. The
+    /// caller answers with the typed error (echoing `request_id` when one
+    /// survived the damage, 0 otherwise), skips `consumed` bytes, and keeps
+    /// the connection: the next frame boundary is known.
+    Bad {
+        /// What was wrong with the frame.
+        err: FrameError,
+        /// Best-effort id recovered from the bad frame (0 when none).
+        request_id: u32,
+        /// Bytes to skip to resynchronize on the next frame boundary.
+        consumed: usize,
+    },
+    /// The framing itself is untrustworthy (length field over
+    /// [`MAX_FRAME`]): answer the typed error, then close the connection.
+    Fatal {
+        /// What was wrong with the stream.
+        err: FrameError,
+    },
+}
+
+/// Attempts to parse one frame from the front of `buf`. Never blocks and
+/// never consumes implicitly — the caller drains `consumed` bytes itself.
+pub fn parse_frame(buf: &[u8]) -> ParseOutcome {
+    if buf.len() < 4 {
+        return ParseOutcome::Incomplete;
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().expect("4 bytes"));
+    if len > MAX_FRAME {
+        return ParseOutcome::Fatal { err: FrameError::TooLarge(len) };
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return ParseOutcome::Incomplete;
+    }
+    if len < MIN_FRAME {
+        // The declared (tiny) body is still skippable: resynchronize past it.
+        return ParseOutcome::Bad {
+            err: FrameError::TooShort(len),
+            request_id: 0,
+            consumed: total,
+        };
+    }
+    let body = &buf[4..total];
+    let crc_at = body.len() - 4;
+    let request_id = u32::from_be_bytes(body[1..5].try_into().expect("4 bytes"));
+    let got = u32::from_be_bytes(body[crc_at..].try_into().expect("4 bytes"));
+    let want = crc32(&body[..crc_at]);
+    if got != want {
+        // `request_id` is best-effort here: the damage may have hit it.
+        return ParseOutcome::Bad {
+            err: FrameError::BadCrc { got, want },
+            request_id,
+            consumed: total,
+        };
+    }
+    let Some(op) = Op::from_u8(body[0]) else {
+        return ParseOutcome::Bad {
+            err: FrameError::UnknownOp(body[0]),
+            request_id,
+            consumed: total,
+        };
+    };
+    let payload = body[5..crc_at].to_vec();
+    ParseOutcome::Frame { frame: Frame { op, request_id, payload }, consumed: total }
+}
+
+/// Reads one frame from a blocking stream. `Ok(None)` is a clean end of
+/// stream (the peer closed between frames); any partial or corrupt frame is
+/// a typed [`FrameError`]. The second tuple field is the total bytes
+/// consumed from the wire.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<(Frame, u64)>, FrameError> {
     let mut len_buf = [0u8; 4];
     match r.read(&mut len_buf).map_err(FrameError::Io)? {
         0 => return Ok(None),
@@ -212,7 +340,7 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(Op, Vec<u8>, u64)>, Frame
     if len > MAX_FRAME {
         return Err(FrameError::TooLarge(len));
     }
-    if len < 5 {
+    if len < MIN_FRAME {
         return Err(FrameError::TooShort(len));
     }
     let mut body = vec![0u8; len as usize];
@@ -224,9 +352,10 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<(Op, Vec<u8>, u64)>, Frame
         return Err(FrameError::BadCrc { got, want });
     }
     let op = Op::from_u8(body[0]).ok_or(FrameError::UnknownOp(body[0]))?;
+    let request_id = u32::from_be_bytes(body[1..5].try_into().expect("4 bytes"));
     body.truncate(crc_at);
-    body.remove(0);
-    Ok(Some((op, body, 4 + len as u64)))
+    body.drain(..5);
+    Ok(Some((Frame { op, request_id, payload: body }, 4 + len as u64)))
 }
 
 /// Encodes an [`Op::RespErr`] payload.
@@ -250,6 +379,27 @@ pub fn decode_error(payload: &[u8]) -> Option<(ErrorCode, String)> {
     Some((code, String::from_utf8_lossy(msg).into_owned()))
 }
 
+/// Why a `REQ_COMPRESS` body could not be turned into work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The fixed header was malformed (answered as `BAD_FRAME`).
+    Malformed(String),
+    /// The codec tag names a registered codec with no servable encoding
+    /// yet (answered as `COMPRESS_FAILED`).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Malformed(msg) => f.write_str(msg),
+            DecodeError::Unsupported(name) => {
+                write!(f, "codec `{name}` is registered but not yet servable")
+            }
+        }
+    }
+}
+
 /// A parsed `REQ_COMPRESS` body: compression parameters plus the serialized
 /// module.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,11 +417,7 @@ pub struct CompressRequest {
 impl CompressRequest {
     /// Encodes the request into a `REQ_COMPRESS` frame payload.
     pub fn encode(&self) -> Vec<u8> {
-        let tag = match self.encoding {
-            EncodingKind::Baseline => 0u8,
-            EncodingKind::OneByte => 1,
-            EncodingKind::NibbleAligned => 2,
-        };
+        let tag = codec::by_kind(self.encoding).tag;
         let mut out = Vec::with_capacity(8 + self.module.len());
         out.push(tag);
         out.push(0); // reserved
@@ -281,23 +427,28 @@ impl CompressRequest {
         out
     }
 
-    /// Decodes a `REQ_COMPRESS` frame payload.
-    pub fn decode(payload: &[u8]) -> Result<CompressRequest, String> {
+    /// Decodes a `REQ_COMPRESS` frame payload. Codec tags resolve through
+    /// the [`codec`] registry, so a registered-but-not-servable codec (e.g.
+    /// `huffman`) is distinguished from an unknown tag.
+    pub fn decode(payload: &[u8]) -> Result<CompressRequest, DecodeError> {
         if payload.len() < 8 {
-            return Err(format!("compress request header needs 8 bytes, got {}", payload.len()));
+            return Err(DecodeError::Malformed(format!(
+                "compress request header needs 8 bytes, got {}",
+                payload.len()
+            )));
         }
-        let encoding = match payload[0] {
-            0 => EncodingKind::Baseline,
-            1 => EncodingKind::OneByte,
-            2 => EncodingKind::NibbleAligned,
-            other => return Err(format!("unknown encoding tag {other}")),
-        };
+        let codec = codec::by_tag(payload[0])
+            .ok_or_else(|| DecodeError::Malformed(format!("unknown codec tag {}", payload[0])))?;
+        let encoding = codec.kind.ok_or(DecodeError::Unsupported(codec.name))?;
         if payload[1] != 0 {
-            return Err(format!("reserved byte must be 0, got {}", payload[1]));
+            return Err(DecodeError::Malformed(format!(
+                "reserved byte must be 0, got {}",
+                payload[1]
+            )));
         }
         let max_entry_len = u16::from_be_bytes([payload[2], payload[3]]);
         if max_entry_len == 0 {
-            return Err("max_entry_len must be >= 1".into());
+            return Err(DecodeError::Malformed("max_entry_len must be >= 1".into()));
         }
         let max_codewords = u32::from_be_bytes(payload[4..8].try_into().expect("4 bytes"));
         Ok(CompressRequest {
@@ -330,21 +481,89 @@ mod tests {
     #[test]
     fn frames_roundtrip() {
         let mut wire = Vec::new();
-        let wrote = write_frame(&mut wire, Op::ReqCompress, b"payload").unwrap();
+        let wrote = write_frame(&mut wire, Op::ReqCompress, 7, b"payload").unwrap();
         assert_eq!(wrote, wire.len() as u64);
         let mut r = &wire[..];
-        let (op, payload, read) = read_frame(&mut r).unwrap().unwrap();
-        assert_eq!(op, Op::ReqCompress);
-        assert_eq!(payload, b"payload");
+        let (frame, read) = read_frame(&mut r).unwrap().unwrap();
+        assert_eq!(frame.op, Op::ReqCompress);
+        assert_eq!(frame.request_id, 7);
+        assert_eq!(frame.payload, b"payload");
         assert_eq!(read, wrote);
         // Stream is exactly consumed: next read is a clean EOF.
         assert!(read_frame(&mut r).unwrap().is_none());
     }
 
     #[test]
+    fn incremental_parser_agrees_with_blocking_reader() {
+        let wire = encode_frame(Op::ReqPing, 42, b"abc");
+        // Every strict prefix is Incomplete.
+        for cut in 0..wire.len() {
+            assert!(
+                matches!(parse_frame(&wire[..cut]), ParseOutcome::Incomplete),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        match parse_frame(&wire) {
+            ParseOutcome::Frame { frame, consumed } => {
+                assert_eq!(consumed, wire.len());
+                assert_eq!(frame.op, Op::ReqPing);
+                assert_eq!(frame.request_id, 42);
+                assert_eq!(frame.payload, b"abc");
+            }
+            other => panic!("expected a frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_resynchronizes_past_a_bad_crc() {
+        let mut wire = encode_frame(Op::ReqPing, 1, b"");
+        let bad_at = wire.len() - 1;
+        wire[bad_at] ^= 0xff; // corrupt the CRC
+        let good = encode_frame(Op::ReqPing, 2, b"");
+        wire.extend_from_slice(&good);
+        let (bad_consumed, id) = match parse_frame(&wire) {
+            ParseOutcome::Bad { err: FrameError::BadCrc { .. }, request_id, consumed } => {
+                (consumed, request_id)
+            }
+            other => panic!("expected BadCrc, got {other:?}"),
+        };
+        assert_eq!(id, 1, "id is recoverable when the damage missed it");
+        match parse_frame(&wire[bad_consumed..]) {
+            ParseOutcome::Frame { frame, .. } => assert_eq!(frame.request_id, 2),
+            other => panic!("expected the good frame after resync, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_treats_oversized_length_as_fatal() {
+        let mut wire = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        wire.extend_from_slice(&[0; 16]);
+        assert!(matches!(parse_frame(&wire), ParseOutcome::Fatal { err: FrameError::TooLarge(_) }));
+    }
+
+    #[test]
+    fn parser_skips_short_length_frames() {
+        // length 3 < MIN_FRAME but the 3 declared bytes are skippable.
+        let mut wire = 3u32.to_be_bytes().to_vec();
+        wire.extend_from_slice(&[9, 9, 9]);
+        let good = encode_frame(Op::ReqPing, 5, b"");
+        wire.extend_from_slice(&good);
+        match parse_frame(&wire) {
+            ParseOutcome::Bad { err: FrameError::TooShort(3), request_id: 0, consumed } => {
+                assert_eq!(consumed, 7);
+                match parse_frame(&wire[consumed..]) {
+                    ParseOutcome::Frame { frame, .. } => assert_eq!(frame.request_id, 5),
+                    other => panic!("expected resync, got {other:?}"),
+                }
+            }
+            other => panic!("expected TooShort, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn crc_flip_is_detected() {
         let mut wire = Vec::new();
-        write_frame(&mut wire, Op::ReqPing, b"").unwrap();
+        write_frame(&mut wire, Op::ReqPing, 3, b"").unwrap();
         for bit in 0..8 {
             for i in 4..wire.len() {
                 let mut bad = wire.clone();
@@ -382,6 +601,21 @@ mod tests {
     }
 
     #[test]
+    fn huffman_tag_is_registered_but_unsupported() {
+        let mut payload = vec![3u8, 0, 0, 4, 0, 0, 0, 0];
+        payload.extend_from_slice(b"module");
+        match CompressRequest::decode(&payload) {
+            Err(DecodeError::Unsupported("huffman")) => {}
+            other => panic!("expected Unsupported(huffman), got {other:?}"),
+        }
+        // A tag past the registry is malformed, not unsupported.
+        assert!(matches!(
+            CompressRequest::decode(&[99, 0, 0, 4, 0, 0, 0, 0]),
+            Err(DecodeError::Malformed(_))
+        ));
+    }
+
+    #[test]
     fn error_payloads_roundtrip() {
         for code in [
             ErrorCode::BadFrame,
@@ -391,6 +625,7 @@ mod tests {
             ErrorCode::Deadline,
             ErrorCode::TooLarge,
             ErrorCode::ShuttingDown,
+            ErrorCode::DuplicateId,
         ] {
             let payload = encode_error(code, "why it failed");
             assert_eq!(decode_error(&payload), Some((code, "why it failed".to_owned())));

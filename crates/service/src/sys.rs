@@ -1,0 +1,120 @@
+//! Thin `poll(2)` shim — the one OS interface the reactor needs that std
+//! does not expose.
+//!
+//! The workspace builds with zero external crates, so there is no `libc` to
+//! lean on; the binding is declared directly against the C ABI here, typed
+//! through [`std::os::fd`] so ownership of every descriptor stays with the
+//! safe wrappers (`TcpListener`, `TcpStream`, `PipeReader`) that std already
+//! manages. Linux and the BSDs agree on the `struct pollfd` layout and on
+//! the event-bit values used below; `nfds_t` is `unsigned long` on all of
+//! them.
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+
+/// Data is available to read (requestable and returnable).
+pub const POLLIN: i16 = 0x001;
+/// Writing will not block (requestable and returnable).
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (returned only; never requested).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (returned only; never requested).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is invalid (returned only; never requested).
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of the poll set, ABI-compatible with C `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events` (a bitwise-or of [`POLLIN`] /
+    /// [`POLLOUT`]). The caller keeps ownership of the descriptor and must
+    /// keep it open across the [`poll_fds`] call — the reactor guarantees
+    /// this by borrowing from live std objects in the same scope.
+    pub fn new(fd: &impl AsRawFd, events: i16) -> PollFd {
+        PollFd { fd: fd.as_raw_fd(), events, revents: 0 }
+    }
+
+    /// The returned event bits of the last [`poll_fds`] call.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// Reading will make progress: data, EOF, or an error to collect.
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+
+    /// Writing will make progress (or fail fast, which also counts).
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+}
+
+// `nfds_t` — `unsigned long` on Linux and the BSDs.
+type Nfds = std::os::raw::c_ulong;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: Nfds, timeout: i32) -> i32;
+}
+
+/// Blocks until at least one entry in `fds` has a ready event or
+/// `timeout_ms` elapses (`-1` = no timeout). Returns the number of entries
+/// with non-zero `revents`; `EINTR` is retried internally so callers never
+/// see spurious interrupts.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice of
+        // `#[repr(C)]` pollfd entries, and every fd in it is kept open by
+        // the caller for the duration of the call.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn poll_times_out_on_quiet_fd() {
+        let (reader, _writer) = std::io::pipe().unwrap();
+        let mut fds = [PollFd::new(&reader, POLLIN)];
+        let ready = poll_fds(&mut fds, 10).unwrap();
+        assert_eq!(ready, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn poll_sees_pipe_data() {
+        let (reader, mut writer) = std::io::pipe().unwrap();
+        writer.write_all(&[1]).unwrap();
+        let mut fds = [PollFd::new(&reader, POLLIN)];
+        let ready = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].readable());
+        assert!(!fds[0].writable());
+    }
+
+    #[test]
+    fn poll_reports_writable_pipe() {
+        let (_reader, writer) = std::io::pipe().unwrap();
+        let mut fds = [PollFd::new(&writer, POLLOUT)];
+        let ready = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(ready, 1);
+        assert!(fds[0].writable());
+    }
+}

@@ -82,7 +82,13 @@ fn one_connection_serves_many_sequential_requests() {
     for key in [
         "serve.bytes_in",
         "serve.bytes_out",
+        "serve.cache.bytes_high_water",
+        "serve.cache.evictions",
+        "serve.cache.hits",
+        "serve.cache.misses",
+        "serve.conns_accepted",
         "serve.frames_bad",
+        "serve.pipeline_high_water",
         "serve.queue_high_water",
         "serve.requests_accepted",
         "serve.requests_busy",
@@ -179,7 +185,7 @@ fn malformed_frames_get_typed_errors_and_never_kill_the_server() {
 
     // The pristine frame the corruption battery mutates.
     let mut pristine = Vec::new();
-    write_frame(&mut pristine, Op::ReqCompress, &req.encode()).unwrap();
+    write_frame(&mut pristine, Op::ReqCompress, 1, &req.encode()).unwrap();
 
     let mut rng = codense_codegen::Rng::new(0x5e7e_c0de);
     for round in 0..150 {
@@ -197,8 +203,8 @@ fn malformed_frames_get_typed_errors_and_never_kill_the_server() {
         // as the liveness check below failing.
         match read_frame(&mut &stream) {
             Ok(None) | Err(FrameError::Io(_)) => {}
-            Ok(Some((Op::RespErr, payload, _))) => {
-                let (code, _) = decode_error(&payload)
+            Ok(Some((frame, _))) if frame.op == Op::RespErr => {
+                let (code, _) = decode_error(&frame.payload)
                     .unwrap_or_else(|| panic!("round {round}: undecodable error frame"));
                 assert!(
                     matches!(
@@ -237,9 +243,9 @@ fn oversized_length_prefix_is_rejected_with_too_large() {
         TcpStream::connect_timeout(&handle.addr(), Duration::from_millis(1000)).unwrap();
     stream.set_read_timeout(Some(Duration::from_millis(2000))).unwrap();
     stream.write_all(&(MAX_FRAME + 1).to_be_bytes()).unwrap();
-    let (op, payload, _) = read_frame(&mut &stream).unwrap().expect("a typed response");
-    assert_eq!(op, Op::RespErr);
-    assert_eq!(decode_error(&payload).unwrap().0, ErrorCode::TooLarge);
+    let (frame, _) = read_frame(&mut &stream).unwrap().expect("a typed response");
+    assert_eq!(frame.op, Op::RespErr);
+    assert_eq!(decode_error(&frame.payload).unwrap().0, ErrorCode::TooLarge);
     drop(handle);
 }
 
@@ -249,10 +255,11 @@ fn response_op_sent_to_server_is_a_bad_frame() {
     let mut stream =
         TcpStream::connect_timeout(&handle.addr(), Duration::from_millis(1000)).unwrap();
     stream.set_read_timeout(Some(Duration::from_millis(2000))).unwrap();
-    write_frame(&mut stream, Op::RespOk, b"not a request").unwrap();
-    let (op, payload, _) = read_frame(&mut &stream).unwrap().expect("a typed response");
-    assert_eq!(op, Op::RespErr);
-    assert_eq!(decode_error(&payload).unwrap().0, ErrorCode::BadFrame);
+    write_frame(&mut stream, Op::RespOk, 7, b"not a request").unwrap();
+    let (frame, _) = read_frame(&mut &stream).unwrap().expect("a typed response");
+    assert_eq!(frame.op, Op::RespErr);
+    assert_eq!(frame.request_id, 7, "the violation echoes the offending id");
+    assert_eq!(decode_error(&frame.payload).unwrap().0, ErrorCode::BadFrame);
     drop(handle);
 }
 

@@ -17,6 +17,9 @@ cargo test -q --workspace
 echo "==> golden snapshot suite"
 cargo test -q --test golden
 
+echo "==> serve protocol / concurrency / cache batteries"
+cargo test -q -p codense-service --test protocol --test concurrency --test cache
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -83,6 +86,43 @@ for j in 1 8; do
     sed -n '/"counters"/,/}/p' "$tmp/serve-$j.metrics.json" > "$tmp/serve-$j.counters"
 done
 diff -u "$tmp/serve-1.counters" "$tmp/serve-8.counters"
+
+echo "==> loadsweep smoke (open-loop pipelining + cache-hit ratio > 0.9)"
+log="$tmp/serve-sweep.log"
+: > "$log"
+./target/release/codense --jobs 8 serve --addr 127.0.0.1:0 --queue-depth 32 \
+    > "$log" 2>&1 &
+serve_pid=$!
+addr=""
+i=0
+while [ "$i" -lt 100 ]; do
+    addr="$(sed -n 's/^serving on //p' "$log" || true)"
+    if [ -n "$addr" ]; then
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "serve (loadsweep smoke) never reported its address" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+# loadsweep byte-compares every open-loop and cache-sweep response and
+# exits nonzero on any failure, so set -e enforces zero failures.
+./target/release/codense loadsweep --addr "$addr" --rates 50,200,800 \
+    --point-requests 32 --unique 1,4,16 --cache-requests 64 \
+    --bench compress --encoding nibble \
+    --out "$tmp/BENCH_load.json" --shutdown
+wait "$serve_pid"
+# The distinct=1 cache point must be nearly all hits: 64 requests for one
+# module are 1 miss + 63 hits, a 0.98 ratio; gate at > 0.9.
+awk -F'"hit_ratio": ' '/"distinct": 1,/ {
+    split($2, a, ","); if (a[1] + 0 > 0.9) found = 1
+} END { exit !found }' "$tmp/BENCH_load.json" || {
+    echo "loadsweep: distinct=1 cache point hit ratio not > 0.9" >&2
+    exit 1
+}
 
 echo "==> speed-regression smoke (interned matchfinder vs checked-in baseline)"
 # Times only the interned engine (3 samples) and gates against the
