@@ -8,15 +8,17 @@
 //!                                             [--max-codewords N]
 //! codense analyze <FILE.cdm>                  redundancy / branch / size stats
 //! codense run-kernel <NAME> [--encoding E]    execute a built-in kernel
-//! codense repro [--bench NAME]                suite ratio table, all encodings
-//! codense sweep [--bench NAME]                Figs 4/5/8 parameter sweeps
+//! codense repro [--bench NAME] [--isa ppc|mips|both] [--out BENCH_isa.json]
+//!                                             suite ratio table, all encodings
+//! codense sweep [--bench NAME] [--isa ISA]    Figs 4/5/8 parameter sweeps
 //! codense profile [--bench NAME] [--encoding E] [--out FILE]
 //!                                             execution profiles of the kernel suite
 //! codense hybrid --bench NAME [--coverage F|--threshold N] [--encoding E]
 //!                                             one profile-guided hybrid compression
 //! codense hybrid-sweep [--encoding E] [--out BENCH_hybrid.json]
 //!                                             size-vs-cycles Pareto frontier
-//! codense fuzz [--cases N] [--seed S] [--hybrid]  differential fuzz campaign
+//! codense fuzz [--cases N] [--seed S] [--isa ISA] [--hybrid]
+//!                                             differential fuzz campaign
 //! codense serve --addr HOST:PORT [--queue-depth N] [--timeout-ms N]
 //!               [--cache-bytes N]             batch-compression TCP server
 //! codense loadgen --addr HOST:PORT [--requests N] [--connections N]
@@ -30,6 +32,8 @@
 //! ```
 //!
 //! Encodings: `baseline` (2-byte codewords), `onebyte`, `nibble`.
+//! ISAs (`--isa` on `asm`/`repro`/`sweep`/`fuzz`/`speed`): `ppc` (default),
+//! `mips`.
 //!
 //! Global flags: `--jobs N` (worker-pool width) and `--metrics OUT.json`
 //! (telemetry report + per-phase summary on stderr after the command).
@@ -106,10 +110,10 @@ usage:
   codense compress <FILE.cdm> [-o OUT.cdns] [--encoding baseline|onebyte|nibble]
                    [--max-entry N] [--max-codewords N]
   codense analyze <FILE.cdm>
-  codense asm <FILE.s> [-o OUT.cdm]
+  codense asm <FILE.s> [-o OUT.cdm] [--isa ppc|mips]
   codense run-kernel <NAME|list> [--encoding baseline|onebyte|nibble|none]
-  codense repro [--bench NAME]
-  codense sweep [--bench NAME]
+  codense repro [--bench NAME] [--isa ppc|mips|both] [--out BENCH_isa.json]
+  codense sweep [--bench NAME] [--isa ppc|mips]
   codense profile [--bench NAME] [--encoding baseline|onebyte|nibble]
                   [--max-steps N] [--out PROFILE.json]
   codense hybrid --bench NAME [--coverage FRAC | --threshold N]
@@ -117,7 +121,7 @@ usage:
   codense hybrid-sweep [--encoding baseline|onebyte|nibble]
                        [--out BENCH_hybrid.json]
   codense fuzz [--cases N] [--seed S] [--max-steps N] [--fault-tries N]
-               [--hybrid]
+               [--hybrid] [--isa ppc|mips]
   codense serve --addr HOST:PORT [--queue-depth N] [--timeout-ms N]
                 [--cache-bytes N]
   codense loadgen --addr HOST:PORT [--requests N] [--connections N]
@@ -132,6 +136,7 @@ usage:
                     [--out BENCH_load.json] [--shutdown]
   codense speed [--bench NAME] [--samples N] [--out BENCH_speed.json]
                 [--no-reference] [--check BENCH_speed.json] [--floor X]
+                [--isa ppc|mips]
 
 --jobs N sets the worker-thread count for parallel phases (candidate-index
 construction, suite generation, fuzz campaigns); the default is the
@@ -148,9 +153,14 @@ contract.
 repro regenerates the deterministic synthetic benchmark suite, compresses
 every benchmark under all three encodings, verifies each result, and
 prints the compression-ratio table (the paper's headline numbers).
+--isa selects the backend (the same IR suite lowered through PowerPC or
+MIPS templates; `both` prints one table per ISA). --out writes the
+schema-1 BENCH_isa.json cross-ISA density artifact, which always carries
+both backends (see EXPERIMENTS.md for the bless workflow).
 
 sweep runs the parameter sweeps behind Figures 4-8 (max entry length,
-codeword count, small dictionaries) on one benchmark (default `compress`).
+codeword count, small dictionaries) on one benchmark (default `compress`)
+under the --isa backend.
 
 serve runs the batch-compression TCP service (DESIGN.md section 10): a
 poll(2) reactor with pipelined per-connection state machines, a bounded
@@ -210,10 +220,13 @@ injects the binary container formats; failures print a reproducer case
 seed and a shrunk minimal program weight. Exit status 1 on any divergence
 or panic. --hybrid additionally derives a random block-aligned hotness
 mask per case and fuzzes hybrid (partially compressed) images the same
-way.
+way. --isa mips runs the MIPS half of the cross-ISA battery: the same
+campaign-seed stream drives a MIPS program generator through the same
+lockstep oracle (fault injection and --hybrid are PPC-only).
 
 asm syntax: one instruction per line (the disasm output syntax), `label:`
-definitions, `label` usable as any branch target, `#` comments.
+definitions, `label` usable as any branch target, `#` comments. --isa
+selects the instruction set the source is parsed and encoded as.
 ";
 
 type CliResult = Result<(), String>;
@@ -272,6 +285,33 @@ fn take_metrics(args: &mut Vec<String>) -> Result<Option<String>, String> {
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+/// Resolves a `--isa` flag to a backend name (default `ppc`).
+fn parse_isa(args: &[String]) -> Result<&'static str, String> {
+    match flag_value(args, "--isa") {
+        None | Some("ppc") => Ok("ppc"),
+        Some("mips") => Ok("mips"),
+        Some(other) => Err(format!("unknown ISA `{other}` (ppc|mips)")),
+    }
+}
+
+/// The trait object for a backend name from [`parse_isa`].
+fn isa_ref(isa: &str) -> codense_isa::IsaRef {
+    if isa == "mips" {
+        codense_isa::IsaRef(&codense_mips::ISA)
+    } else {
+        codense_isa::IsaRef(&codense_ppc::ISA)
+    }
+}
+
+/// Generates one benchmark module for the named backend.
+fn benchmark_for(isa: &str, bench: &str) -> Option<ObjectModule> {
+    if isa == "mips" {
+        codense_codegen::benchmark_mips(bench)
+    } else {
+        codense_codegen::benchmark(bench)
+    }
 }
 
 fn parse_encoding(name: &str) -> Result<EncodingKind, String> {
@@ -463,10 +503,12 @@ fn cmd_analyze(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// Two-pass textual assembler over `codense_ppc::parse`: pass 1 assigns
-/// label addresses, pass 2 substitutes them into branch targets.
+/// Two-pass textual assembler over the selected backend's `parse` module:
+/// pass 1 assigns label addresses, pass 2 substitutes them into branch
+/// targets. `--isa` picks the backend (default `ppc`).
 fn cmd_asm(args: &[String]) -> CliResult {
     let path = args.first().ok_or("asm: missing input .s file")?;
+    let isa_name = parse_isa(args)?;
     let source = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
 
     // Pass 1: strip comments/labels, record label -> instruction index.
@@ -495,6 +537,20 @@ fn cmd_asm(args: &[String]) -> CliResult {
     }
 
     // Pass 2: substitute label operands with absolute hex addresses, parse.
+    // Both backends print and parse branch targets as absolute *byte*
+    // addresses; instruction width comes from the backend, not a literal.
+    let insn_bytes: u32 = if isa_name == "mips" { codense_mips::INSN_BYTES } else { 4 };
+    let parse_encode = |text: &str, addr: u32| -> Result<u32, String> {
+        if isa_name == "mips" {
+            codense_mips::parse::parse_insn(text, addr)
+                .map(|i| codense_mips::encode(&i))
+                .map_err(|e| e.to_string())
+        } else {
+            codense_ppc::parse::parse_insn(text, addr)
+                .map(|i| codense_ppc::encode(&i))
+                .map_err(|e| e.to_string())
+        }
+    };
     let mut code = Vec::with_capacity(lines.len());
     for (idx, (no, text)) in lines.iter().enumerate() {
         let substituted: String = {
@@ -504,7 +560,7 @@ fn cmd_asm(args: &[String]) -> CliResult {
                 .map(|op| {
                     let op = op.trim();
                     match labels.get(op) {
-                        Some(&target) => format!("{:08x}", 4 * target as u32),
+                        Some(&target) => format!("{:08x}", insn_bytes * target as u32),
                         None => op.to_string(),
                     }
                 })
@@ -515,9 +571,9 @@ fn cmd_asm(args: &[String]) -> CliResult {
                 format!("{mnemonic} {}", ops.join(","))
             }
         };
-        let insn = codense_ppc::parse::parse_insn(&substituted, 4 * idx as u32)
+        let word = parse_encode(&substituted, insn_bytes * idx as u32)
             .map_err(|e| format!("{path}:{no}: {e}"))?;
-        code.push(codense_ppc::encode(&insn));
+        code.push(word);
     }
 
     let stem = path.trim_end_matches(".s");
@@ -530,7 +586,7 @@ fn cmd_asm(args: &[String]) -> CliResult {
             .unwrap_or_else(|| "module".to_owned()),
     );
     module.code = code;
-    module.validate().map_err(|e| format!("{path}: invalid program: {e}"))?;
+    module.validate_with(isa_ref(isa_name)).map_err(|e| format!("{path}: invalid program: {e}"))?;
     std::fs::write(&out_path, codense_obj::serialize(&module))
         .map_err(|e| format!("{out_path}: {e}"))?;
     println!("{out_path}: {} instructions", module.len());
@@ -540,9 +596,14 @@ fn cmd_asm(args: &[String]) -> CliResult {
 /// The paper's headline experiment: regenerate the deterministic synthetic
 /// suite, compress every benchmark under all three encodings, verify each
 /// result, and print the ratio table.
-fn cmd_repro(args: &[String]) -> CliResult {
+/// One `repro` table row: benchmark name, instruction count, text bytes,
+/// ratio per encoding (baseline, onebyte, nibble).
+type ReproRow = (String, usize, usize, [f64; 3]);
+
+/// Generates the suite for one backend and compresses every benchmark
+/// under all three encodings, verifying each result.
+fn repro_rows(isa: &str, bench_filter: Option<&str>) -> Result<Vec<ReproRow>, String> {
     use codense_core::telemetry;
-    let bench_filter = flag_value(args, "--bench");
     let profiles: Vec<_> = codense_codegen::spec_profiles()
         .into_iter()
         .filter(|p| bench_filter.is_none_or(|b| p.name == b))
@@ -550,40 +611,50 @@ fn cmd_repro(args: &[String]) -> CliResult {
     if profiles.is_empty() {
         return Err(format!("repro: unknown benchmark `{}`", bench_filter.unwrap_or("")));
     }
+    let isa_name = isa.to_owned();
     let modules: Vec<ObjectModule> = {
         let _phase = telemetry::phase("suite-gen");
-        codense_core::parallel::par_map(profiles, |_, p| codense_codegen::generate_module(&p))
+        codense_core::parallel::par_map(profiles, move |_, p| {
+            if isa_name == "mips" {
+                codense_codegen::generate_module_mips(&p)
+            } else {
+                codense_codegen::generate_module(&p)
+            }
+        })
     };
     const ENCODINGS: [EncodingKind; 3] =
         [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned];
 
-    let compress_phase = telemetry::phase("compress-suite");
-    let rows: Vec<(String, usize, usize, [f64; 3])> =
-        codense_core::parallel::par_map(modules, |_, m| {
-            let mut ratios = [0.0f64; 3];
-            for (i, &encoding) in ENCODINGS.iter().enumerate() {
-                let config = CompressionConfig {
-                    max_entry_len: 4,
-                    max_codewords: encoding.capacity(),
-                    encoding,
-                };
-                let c =
-                    Compressor::new(config).compress(&m).map_err(|e| format!("{}: {e}", m.name))?;
-                verify(&m, &c).map_err(|e| format!("{} ({encoding:?}): {e}", m.name))?;
-                ratios[i] = c.compression_ratio();
-            }
-            Ok::<_, String>((m.name.clone(), m.len(), m.text_bytes(), ratios))
-        })
-        .into_iter()
-        .collect::<Result<_, _>>()?;
-    drop(compress_phase);
+    let _compress_phase = telemetry::phase("compress-suite");
+    let isa = isa_ref(isa);
+    codense_core::parallel::par_map(modules, move |_, m| {
+        let mut ratios = [0.0f64; 3];
+        for (i, &encoding) in ENCODINGS.iter().enumerate() {
+            let config = CompressionConfig {
+                max_entry_len: 4,
+                max_codewords: encoding.capacity(),
+                encoding,
+            };
+            let c = Compressor::new(config)
+                .with_isa(isa)
+                .compress(&m)
+                .map_err(|e| format!("{}: {e}", m.name))?;
+            verify(&m, &c).map_err(|e| format!("{} ({encoding:?}): {e}", m.name))?;
+            ratios[i] = c.compression_ratio();
+        }
+        Ok::<_, String>((m.name.clone(), m.len(), m.text_bytes(), ratios))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()
+}
 
+fn print_repro_table(rows: &[ReproRow]) {
     println!(
         "{:<10} {:>7} {:>8} {:>9} {:>8} {:>7}",
         "bench", "insns", "bytes", "baseline", "onebyte", "nibble"
     );
     let mut mean = [0.0f64; 3];
-    for (name, insns, bytes, r) in &rows {
+    for (name, insns, bytes, r) in rows {
         println!(
             "{name:<10} {insns:>7} {bytes:>8} {:>8.1}% {:>7.1}% {:>6.1}%",
             100.0 * r[0],
@@ -604,6 +675,84 @@ fn cmd_repro(args: &[String]) -> CliResult {
         100.0 * mean[1] / n,
         100.0 * mean[2] / n
     );
+}
+
+/// Renders the schema-1 `BENCH_isa.json` cross-ISA density artifact:
+/// sorted-key JSON with per-benchmark ratios and per-ISA means for both
+/// backends under all three encodings.
+fn render_isa_artifact(per_isa: &[(&str, &[ReproRow])]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"isas\": {\n");
+    let mut isas: Vec<_> = per_isa.to_vec();
+    isas.sort_by_key(|(name, _)| *name);
+    for (ii, (isa, rows)) in isas.iter().enumerate() {
+        let isa_comma = if ii + 1 < isas.len() { "," } else { "" };
+        json.push_str(&format!("    \"{isa}\": {{\n      \"benches\": {{\n"));
+        let mut rows: Vec<_> = rows.to_vec();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut mean = [0.0f64; 3];
+        for (bi, (name, insns, bytes, r)) in rows.iter().enumerate() {
+            let comma = if bi + 1 < rows.len() { "," } else { "" };
+            json.push_str(&format!(
+                "        \"{name}\": {{ \"baseline\": {:.4}, \"insns\": {insns}, \
+                 \"nibble\": {:.4}, \"onebyte\": {:.4}, \"text_bytes\": {bytes} }}{comma}\n",
+                r[0], r[2], r[1]
+            ));
+            for i in 0..3 {
+                mean[i] += r[i];
+            }
+        }
+        let n = rows.len() as f64;
+        json.push_str("      },\n");
+        json.push_str(&format!(
+            "      \"mean\": {{ \"baseline\": {:.4}, \"nibble\": {:.4}, \"onebyte\": {:.4} }}\n",
+            mean[0] / n,
+            mean[2] / n,
+            mean[1] / n
+        ));
+        json.push_str(&format!("    }}{isa_comma}\n"));
+    }
+    json.push_str("  },\n  \"schema\": 1\n}\n");
+    json
+}
+
+fn cmd_repro(args: &[String]) -> CliResult {
+    let bench_filter = flag_value(args, "--bench");
+    let isa_flag = flag_value(args, "--isa").unwrap_or("ppc");
+    let show: Vec<&str> = match isa_flag {
+        "ppc" => vec!["ppc"],
+        "mips" => vec!["mips"],
+        "both" => vec!["ppc", "mips"],
+        other => return Err(format!("unknown ISA `{other}` (ppc|mips|both)")),
+    };
+    let out_path = flag_value(args, "--out");
+
+    let mut computed: Vec<(&str, Vec<ReproRow>)> = Vec::new();
+    for isa in &show {
+        computed.push((isa, repro_rows(isa, bench_filter)?));
+    }
+    for (isa, rows) in &computed {
+        // The single-ISA default output is the historical table, unchanged.
+        if show.len() > 1 || *isa != "ppc" {
+            println!("isa: {isa}");
+        }
+        print_repro_table(rows);
+    }
+
+    // The artifact is the cross-ISA comparison: it always carries both
+    // backends, computing whichever the table display didn't need.
+    if let Some(path) = out_path {
+        for isa in ["ppc", "mips"] {
+            if !computed.iter().any(|(i, _)| *i == isa) {
+                computed.push((isa, repro_rows(isa, bench_filter)?));
+            }
+        }
+        let per_isa: Vec<(&str, &[ReproRow])> =
+            computed.iter().map(|(i, r)| (*i, r.as_slice())).collect();
+        let json = render_isa_artifact(&per_isa);
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: {} isa(s)", per_isa.len());
+    }
     Ok(())
 }
 
@@ -611,14 +760,17 @@ fn cmd_repro(args: &[String]) -> CliResult {
 fn cmd_sweep(args: &[String]) -> CliResult {
     use codense_core::{sweep, telemetry};
     let bench = flag_value(args, "--bench").unwrap_or("compress");
+    let isa_name = parse_isa(args)?;
+    let isa = isa_ref(isa_name);
     let module =
-        codense_codegen::benchmark(bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+        benchmark_for(isa_name, bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
     println!("sweeps on `{}` ({} insns, {} bytes)", module.name, module.len(), module.text_bytes());
 
     {
         let _phase = telemetry::phase("sweep-entry-len");
         let lens = [1usize, 2, 3, 4, 6, 8];
-        let points = sweep::entry_len_sweep(&module, &lens).map_err(|e| e.to_string())?;
+        let points =
+            sweep::entry_len_sweep_with_isa(&module, isa, &lens).map_err(|e| e.to_string())?;
         println!("max entry length (Fig 4):");
         for (l, ratio) in points {
             println!("  {l:>2} insns: {:.1}%", 100.0 * ratio);
@@ -627,7 +779,8 @@ fn cmd_sweep(args: &[String]) -> CliResult {
     {
         let _phase = telemetry::phase("sweep-codewords");
         let counts = [16usize, 64, 256, 1024, 4096, 8192];
-        let points = sweep::codeword_count_sweep(&module, 4, &counts).map_err(|e| e.to_string())?;
+        let points = sweep::codeword_count_sweep_with_isa(&module, isa, 4, &counts)
+            .map_err(|e| e.to_string())?;
         println!("codeword count (Fig 5):");
         for (k, ratio) in points {
             println!("  {k:>5} codewords: {:.1}%", 100.0 * ratio);
@@ -636,7 +789,8 @@ fn cmd_sweep(args: &[String]) -> CliResult {
     {
         let _phase = telemetry::phase("sweep-small-dict");
         let counts = [16usize, 32, 64, 128, 256];
-        let points = sweep::small_dictionary_sweep(&module, &counts).map_err(|e| e.to_string())?;
+        let points = sweep::small_dictionary_sweep_with_isa(&module, isa, &counts)
+            .map_err(|e| e.to_string())?;
         println!("small dictionaries, 1-byte codewords (Fig 8):");
         for (n, ratio) in points {
             println!("  {n:>4} entries: {:.1}%", 100.0 * ratio);
@@ -821,7 +975,12 @@ fn cmd_fuzz(args: &[String]) -> CliResult {
         opts.fault_tries = v.parse().map_err(|_| "bad --fault-tries")?;
     }
     opts.hybrid = args.iter().any(|a| a == "--hybrid");
-    let report = codense_fuzz::run(&opts);
+    let isa = parse_isa(args)?;
+    if isa == "mips" && opts.hybrid {
+        return Err("fuzz: --hybrid is not supported with --isa mips".into());
+    }
+    let report =
+        if isa == "mips" { codense_fuzz::run_mips(&opts) } else { codense_fuzz::run(&opts) };
     println!("{}", report.render());
     if report.ok() {
         Ok(())
@@ -1161,8 +1320,9 @@ fn cmd_speed(args: &[String]) -> CliResult {
         },
         None => 3.0,
     };
+    let isa_name = parse_isa(args)?;
     let module =
-        codense_codegen::benchmark(bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+        benchmark_for(isa_name, bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
     let insns = module.len() as u64;
     println!("speed on `{}` ({} insns, median of {samples})", module.name, insns);
 
@@ -1182,7 +1342,8 @@ fn cmd_speed(args: &[String]) -> CliResult {
         let config =
             CompressionConfig { max_entry_len: 4, max_codewords: encoding.capacity(), encoding };
         let time_engine = |kind: MatchfinderKind| {
-            let compressor = Compressor::new(config.clone()).with_matchfinder(kind);
+            let compressor =
+                Compressor::new(config.clone()).with_isa(isa_ref(isa_name)).with_matchfinder(kind);
             codense_bench::median_ns(samples, || {
                 codense_bench::black_box(
                     compressor.compress(&module).expect("benchmark compresses"),

@@ -100,6 +100,65 @@ fn asm_assembles_labeled_source() {
 }
 
 #[test]
+fn asm_assembles_mips_source() {
+    // Regression test: `asm` used to hardcode PowerPC parsing and 4-byte
+    // branch-target scaling; `--isa mips` must assemble MIPS mnemonics and
+    // resolve labels through the MIPS branch encodings.
+    let dir = tmpdir("asm-mips");
+    let src = dir.join("prog.s");
+    std::fs::write(
+        &src,
+        "# countdown with a call\n\
+         start:\n\
+         addiu $4,$0,10\n\
+         loop:\n\
+         jal leaf\n\
+         addiu $4,$4,-1   # decrement\n\
+         bgtz $4,loop\n\
+         addu $2,$4,$0\n\
+         syscall\n\
+         leaf:\n\
+         jr $31\n",
+    )
+    .unwrap();
+    let out = bin().args(["asm", src.to_str().unwrap(), "--isa", "mips"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("7 instructions"), "{text}");
+
+    // The same source is not valid PowerPC assembly; the default ISA must
+    // reject it rather than silently mis-assemble.
+    let out = bin().args(["asm", src.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success(), "mips source must not assemble as ppc");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn isa_flag_rejects_unknown_backend() {
+    for cmd in
+        [&["repro", "--isa", "vax"][..], &["fuzz", "--isa", "vax"], &["sweep", "--isa", "vax"]]
+    {
+        let out = bin().args(cmd).output().unwrap();
+        assert!(!out.status.success(), "{cmd:?} accepted unknown isa");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("unknown ISA"), "{cmd:?}: {err}");
+    }
+}
+
+#[test]
+fn fuzz_mips_smoke_is_clean() {
+    let out =
+        bin().args(["fuzz", "--isa", "mips", "--cases", "3", "--seed", "9"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("isa=mips"), "{text}");
+    assert!(text.contains("result: OK (3 cases, 0 divergences, 0 panics)"), "{text}");
+    // Fault injection is PPC-only; the flag combination must be refused.
+    let out = bin().args(["fuzz", "--isa", "mips", "--hybrid"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
 fn asm_rejects_bad_source() {
     let dir = tmpdir("asmbad");
     let src = dir.join("bad.s");

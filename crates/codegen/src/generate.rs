@@ -313,6 +313,43 @@ pub fn benchmark(name: &str) -> Option<ObjectModule> {
     spec_profiles().iter().find(|p| p.name == name).map(generate_module)
 }
 
+/// Generates the MIPS object module for one benchmark profile — the *same*
+/// IR program as [`generate_module`] (bit-identical generator stream),
+/// lowered through the MIPS templates.
+///
+/// # Panics
+///
+/// Panics if lowering fails, which would indicate a generator bug.
+pub fn generate_module_mips(profile: &BenchProfile) -> ObjectModule {
+    generate_module_mips_with(profile, crate::lower::LowerOptions::default())
+}
+
+/// [`generate_module_mips`] with explicit lowering policy.
+///
+/// # Panics
+///
+/// Panics if lowering fails (a generator bug).
+pub fn generate_module_mips_with(
+    profile: &BenchProfile,
+    options: crate::lower::LowerOptions,
+) -> ObjectModule {
+    let program = build_program(profile);
+    let module = crate::lower_mips::lower_program_mips_with(&program, options)
+        .expect("generated program lowers");
+    debug_assert_eq!(module.validate_with(codense_isa::IsaRef(&codense_mips::ISA)), Ok(()));
+    module
+}
+
+/// Generates the full eight-benchmark suite as MIPS modules.
+pub fn generate_suite_mips() -> Vec<ObjectModule> {
+    spec_profiles().iter().map(generate_module_mips).collect()
+}
+
+/// Generates a single MIPS benchmark by its paper name.
+pub fn benchmark_mips(name: &str) -> Option<ObjectModule> {
+    spec_profiles().iter().find(|p| p.name == name).map(generate_module_mips)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,5 +388,54 @@ mod tests {
     #[test]
     fn unknown_benchmark_is_none() {
         assert!(benchmark("espresso").is_none());
+    }
+
+    #[test]
+    fn mips_generation_is_deterministic() {
+        let p = &spec_profiles()[0];
+        let a = generate_module_mips(p);
+        let b = generate_module_mips(p);
+        assert_eq!(a.code, b.code);
+        assert_eq!(a.functions, b.functions);
+        assert_eq!(a.jump_tables, b.jump_tables);
+    }
+
+    #[test]
+    fn mips_modules_validate() {
+        let m = benchmark_mips("compress").unwrap();
+        assert_eq!(m.validate_with(codense_isa::IsaRef(&codense_mips::ISA)), Ok(()));
+        assert!(m.len() > 2000, "compress stand-in too small: {}", m.len());
+    }
+
+    #[test]
+    fn both_isas_lower_the_same_ir() {
+        // The two backends consume the same IR program (one generator
+        // stream), so they agree on structure: function count, names, and
+        // jump-table shapes — only the instruction encoding differs.
+        let ppc = benchmark("compress").unwrap();
+        let mips = benchmark_mips("compress").unwrap();
+        assert_eq!(ppc.functions.len(), mips.functions.len());
+        for (a, b) in ppc.functions.iter().zip(&mips.functions) {
+            assert_eq!(a.name, b.name);
+        }
+        assert_eq!(ppc.jump_tables.len(), mips.jump_tables.len());
+        for (a, b) in ppc.jump_tables.iter().zip(&mips.jump_tables) {
+            assert_eq!(a.targets.len(), b.targets.len());
+        }
+        // And the encodings really are different ISAs.
+        assert_ne!(ppc.code, mips.code);
+    }
+
+    #[test]
+    fn mips_standardized_prologues_grow_code() {
+        let profiles = spec_profiles();
+        let p = profiles.iter().find(|p| p.name == "compress").unwrap();
+        let plain = generate_module_mips(p);
+        let std_pe = generate_module_mips_with(
+            p,
+            crate::lower::LowerOptions { standardize_prologues: true },
+        );
+        assert!(std_pe.len() > plain.len());
+        assert_eq!(std_pe.validate_with(codense_isa::IsaRef(&codense_mips::ISA)), Ok(()));
     }
 }

@@ -1,8 +1,8 @@
 #![warn(missing_docs)]
 
-//! A deterministic, SDTS-style synthetic compiler producing PowerPC object
-//! modules — the reproduction's stand-in for SPEC CINT95 compiled with GCC
-//! -O2.
+//! A deterministic, SDTS-style synthetic compiler producing PowerPC and
+//! MIPS object modules — the reproduction's stand-in for SPEC CINT95
+//! compiled with GCC -O2.
 //!
 //! The paper's compression method exploits a structural property of compiled
 //! code: compilers emit instructions from a fixed set of templates
@@ -14,9 +14,12 @@
 //! * [`generate`] — a seeded random program builder with per-benchmark
 //!   [`profile::BenchProfile`]s that mirror the scale ordering and character
 //!   of the eight SPEC CINT95 programs,
-//! * [`lower`] — template-based lowering with GCC-like conventions
+//! * [`lower`] — template-based PowerPC lowering with GCC-like conventions
 //!   (standard prologue/epilogue shapes, `stmw`/`lmw` register saves,
-//!   argument registers, scratch-register discipline, jump-table switches).
+//!   argument registers, scratch-register discipline, jump-table switches),
+//! * [`lower_mips`] — the MIPS twin: the same IR through O32-style
+//!   templates, sharing the register-allocation and leaf policies so one
+//!   program yields structurally parallel modules on both ISAs.
 //!
 //! Everything is deterministic: the same profile always yields the same
 //! bit-exact module, so the experiment tables are stable across runs and
@@ -33,11 +36,13 @@
 pub mod generate;
 pub mod ir;
 pub mod lower;
+pub mod lower_mips;
 pub mod profile;
 pub mod rng;
 
 pub use generate::{
-    benchmark, build_program, generate_module, generate_module_with, generate_suite,
+    benchmark, benchmark_mips, build_program, generate_module, generate_module_mips,
+    generate_module_mips_with, generate_module_with, generate_suite, generate_suite_mips,
 };
 pub use lower::LowerOptions;
 pub use profile::{lib_profile, spec_profiles, BenchProfile};

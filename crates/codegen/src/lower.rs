@@ -689,12 +689,16 @@ fn frame_off(ctx: &FnCtx, l: crate::ir::Local) -> i16 {
 /// How many of the function's locals should live in registers: loop
 /// variables and the hottest few slots. The generator biases low slot
 /// indices toward hot use, so "first k slots" is the right policy.
-fn reg_locals_for(func: &Function) -> usize {
+///
+/// Shared with the MIPS lowering ([`crate::lower_mips`]) so the
+/// register-allocation policy is ISA-independent.
+pub(crate) fn reg_locals_for(func: &Function) -> usize {
     // Reserve register homes for roughly half the locals, capped by pool.
     (func.locals as usize).div_ceil(2)
 }
 
-fn function_is_leaf(func: &Function) -> bool {
+/// Whether a function makes no calls (shared leaf policy across lowerings).
+pub(crate) fn function_is_leaf(func: &Function) -> bool {
     fn expr_calls(e: &Expr) -> bool {
         match e {
             Expr::Call(..) => true,

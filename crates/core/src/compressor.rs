@@ -1,15 +1,12 @@
 //! The compression pipeline: analyze → greedy select → rank → lay out →
 //! patch branches → pack.
 
+use codense_isa::IsaRef;
 use codense_obj::ObjectModule;
-use codense_ppc::branch::{offset_expressible, patch_offset_units, rel_branch_info, RelBranchKind};
-use codense_ppc::insn::{bo, Insn};
-use codense_ppc::opcode;
-use codense_ppc::reg::R12;
 
 use crate::config::{CompressionConfig, EncodingKind};
 use crate::dict::Dictionary;
-use crate::encoding::{self, try_write_codeword, write_insn};
+use crate::encoding::{self, try_write_codeword_with, write_insn};
 use crate::error::CompressError;
 use crate::greedy::{
     run_greedy, run_greedy_with, CandidateIndex, CostModel, GreedyParams, MatchfinderKind,
@@ -20,8 +17,9 @@ use crate::nibbles::NibbleWriter;
 
 /// Synthetic high half of the overflow jump table's address (a `.data`
 /// object created by the compressor for branches whose patched offsets no
-/// longer fit; §3.2.2).
-pub const OVERFLOW_TABLE_HI: i16 = 0x0060;
+/// longer fit; §3.2.2). Re-exported from `codense-isa` so backends can emit
+/// matching dispatch sequences.
+pub use codense_isa::OVERFLOW_TABLE_HI;
 
 /// One element of the compressed program's logical stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +79,8 @@ pub struct CompressedProgram {
     pub name: String,
     /// Encoding scheme used.
     pub encoding: EncodingKind,
+    /// The instruction-set architecture the program was compressed for.
+    pub isa: IsaRef,
     /// The instruction dictionary.
     pub dictionary: Dictionary,
     /// Logical stream in program order.
@@ -171,16 +171,27 @@ impl CompressedProgram {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Compressor {
     config: CompressionConfig,
     matchfinder: MatchfinderKind,
+    isa: IsaRef,
+}
+
+impl Default for Compressor {
+    fn default() -> Compressor {
+        Compressor::new(CompressionConfig::default())
+    }
 }
 
 impl Compressor {
-    /// Creates a compressor with the given configuration.
+    /// Creates a compressor with the given configuration, targeting PowerPC.
     pub fn new(config: CompressionConfig) -> Compressor {
-        Compressor { config, matchfinder: MatchfinderKind::default() }
+        Compressor {
+            config,
+            matchfinder: MatchfinderKind::default(),
+            isa: IsaRef(&codense_ppc::ISA),
+        }
     }
 
     /// The configuration in use.
@@ -188,11 +199,22 @@ impl Compressor {
         &self.config
     }
 
+    /// The target instruction-set architecture.
+    pub fn isa(&self) -> IsaRef {
+        self.isa
+    }
+
     /// Selects which matchfinder backs the greedy pass. Output is
     /// byte-identical for every kind; [`MatchfinderKind::Reference`] exists
     /// for equivalence testing and speed baselining.
     pub fn with_matchfinder(mut self, kind: MatchfinderKind) -> Compressor {
         self.matchfinder = kind;
+        self
+    }
+
+    /// Retargets the compressor at a different instruction-set architecture.
+    pub fn with_isa(mut self, isa: IsaRef) -> Compressor {
+        self.isa = isa;
         self
     }
 
@@ -277,7 +299,7 @@ impl Compressor {
         // byte-level schemes (§4.1: escape bytes are *illegal* opcodes).
         if kind != EncodingKind::NibbleAligned {
             for (i, &w) in module.code.iter().enumerate() {
-                if opcode::is_illegal_primary(w >> 26) {
+                if self.isa.escape_index((w >> 24) as u8).is_some() {
                     return Err(CompressError::EscapeCollision { at: i, word: w });
                 }
             }
@@ -287,7 +309,7 @@ impl Compressor {
         //    (exempt) cells are marked incompressible before selection, so
         //    the occurrence index only ever sees eligible code.
         let greedy_phase = crate::telemetry::phase("greedy");
-        let mut model = ProgramModel::build(module);
+        let mut model = ProgramModel::build_isa(module, self.isa);
         if !exempt.is_empty() {
             for block in &mut model.blocks {
                 for cell in &mut block.cells {
@@ -353,17 +375,21 @@ impl Compressor {
             let mut changed = false;
             for i in 0..atoms.len() {
                 let Atom::Insn { word, orig } = atoms[i] else { continue };
-                let Some(info) = rel_branch_info(word) else { continue };
+                let Some(info) = self.isa.rel_branch_info(word) else { continue };
                 let target = (orig as i64 + (info.offset / 4) as i64) as usize;
                 let delta = addr_of(target, &atoms) as i64 - addresses[i] as i64;
-                if !offset_expressible(info.kind, delta, kind.granule_nibbles()) {
-                    // Rewrite through the overflow table. CTR-decrementing
-                    // forms (BO bit 4 clear, e.g. `bdnz`) are unsupported:
-                    // the dispatch sequence clobbers CTR.
-                    if let Insn::Bc { bo: b, .. } = codense_ppc::decode(word) {
-                        if b & 0b00100 == 0 {
-                            return Err(CompressError::UnsupportedOverflowBranch { at: orig });
-                        }
+                if !self.isa.offset_expressible(info.kind, delta, kind.granule_nibbles()) {
+                    // Rewrite through the overflow table. Branches the ISA
+                    // cannot expand into a dispatch sequence (e.g. PowerPC's
+                    // CTR-decrementing forms, whose dispatch would clobber
+                    // CTR) are unsupported.
+                    let insn_nibbles = encoding::insn_nibbles(kind);
+                    if self
+                        .isa
+                        .overflow_expansion(word, 0, kind.granule_nibbles(), insn_nibbles)
+                        .is_none()
+                    {
+                        return Err(CompressError::UnsupportedOverflowBranch { at: orig });
                     }
                     atoms[i] = Atom::ViaTable { word, orig, slot: overflow_slots };
                     crate::telemetry::COMPRESS_OVERFLOW_REWRITES.inc();
@@ -395,15 +421,15 @@ impl Compressor {
         for i in 0..atoms.len() {
             match atoms[i] {
                 Atom::Insn { word, orig } => {
-                    let Some(info) = rel_branch_info(word) else { continue };
+                    let Some(info) = self.isa.rel_branch_info(word) else { continue };
                     let target = (orig as i64 + (info.offset / 4) as i64) as usize;
                     let delta = addr_of(target, &atoms, &addresses) as i64 - addresses[i] as i64;
                     let units = delta / kind.granule_nibbles() as i64;
-                    let patched = patch_offset_units(word, info.kind, units as i32);
+                    let patched = self.isa.patch_offset_units(word, info.kind, units as i32);
                     atoms[i] = Atom::Insn { word: patched, orig };
                 }
                 Atom::ViaTable { word, orig, slot } => {
-                    let info = rel_branch_info(word).expect("ViaTable holds a branch");
+                    let info = self.isa.rel_branch_info(word).expect("ViaTable holds a branch");
                     let target = (orig as i64 + (info.offset / 4) as i64) as usize;
                     overflow_table[slot] = addr_of(target, &atoms, &addresses);
                 }
@@ -421,10 +447,10 @@ impl Compressor {
             match *atom {
                 Atom::Insn { word, .. } => write_insn(kind, &mut w, word),
                 Atom::Codeword { entry, .. } => {
-                    try_write_codeword(kind, &mut w, dictionary.rank_of(entry))?
+                    try_write_codeword_with(kind, self.isa, &mut w, dictionary.rank_of(entry))?
                 }
                 Atom::ViaTable { word, slot, .. } => {
-                    for insn_word in via_table_expansion(kind, word, slot) {
+                    for insn_word in via_table_expansion_with(self.isa, kind, word, slot) {
                         write_insn(kind, &mut w, insn_word);
                     }
                 }
@@ -443,6 +469,7 @@ impl Compressor {
         Ok(CompressedProgram {
             name: module.name.clone(),
             encoding: kind,
+            isa: self.isa,
             dictionary,
             atoms,
             addresses,
@@ -462,60 +489,62 @@ impl Compressor {
         let mut out = Vec::with_capacity(atoms.len());
         for atom in atoms {
             out.push(addr);
-            addr += atom_nibbles(kind, atom, dict);
+            addr += atom_nibbles_with(self.isa, kind, atom, dict);
         }
         out
     }
 }
 
-/// Size of one atom in nibbles.
+/// Size of one atom in nibbles (PowerPC; see [`atom_nibbles_with`]).
 pub fn atom_nibbles(kind: EncodingKind, atom: &Atom, dict: &Dictionary) -> u64 {
+    atom_nibbles_with(IsaRef(&codense_ppc::ISA), kind, atom, dict)
+}
+
+/// Size of one atom in nibbles under `isa`.
+pub fn atom_nibbles_with(isa: IsaRef, kind: EncodingKind, atom: &Atom, dict: &Dictionary) -> u64 {
     match *atom {
         Atom::Insn { .. } => encoding::insn_nibbles(kind) as u64,
         Atom::Codeword { entry, .. } => {
             encoding::codeword_nibbles(kind, dict.rank_of(entry)) as u64
         }
         Atom::ViaTable { word, slot, .. } => {
-            via_table_expansion(kind, word, slot).len() as u64 * encoding::insn_nibbles(kind) as u64
+            via_table_expansion_with(isa, kind, word, slot).len() as u64
+                * encoding::insn_nibbles(kind) as u64
         }
     }
 }
 
-/// The instruction sequence a [`Atom::ViaTable`] packs: an optional inverted
-/// conditional skip, then `addis/lwz/mtctr/bctr` loading the true target
-/// from the overflow jump table (the paper's "modified to load their targets
-/// through jump tables", §3.2.2).
+/// The instruction sequence a [`Atom::ViaTable`] packs under PowerPC (see
+/// [`via_table_expansion_with`]).
 pub fn via_table_expansion(kind: EncodingKind, word: u32, slot: usize) -> Vec<u32> {
-    let info = rel_branch_info(word).expect("ViaTable holds a relative branch");
-    let mut out = Vec::with_capacity(5);
-    let dispatch_len = 4u32;
-    if let Insn::Bc { bo: b, bi, .. } = codense_ppc::decode(word) {
-        if b != bo::ALWAYS {
-            // Inverted condition skips the dispatch sequence. The skip is
-            // itself a relative branch patched in compressed-domain units.
-            let inverted = b ^ 0b01000;
-            let skip_nibbles = (1 + dispatch_len) * encoding::insn_nibbles(kind);
-            let units = (skip_nibbles / kind.granule_nibbles()) as i32;
-            let skip =
-                codense_ppc::encode(&Insn::Bc { bo: inverted, bi, bd: 0, aa: false, lk: false });
-            out.push(patch_offset_units(skip, RelBranchKind::BForm, units));
-        }
-    }
-    out.push(codense_ppc::encode(&Insn::Addis {
-        rt: R12,
-        ra: codense_ppc::reg::R0,
-        si: OVERFLOW_TABLE_HI,
-    }));
-    out.push(codense_ppc::encode(&Insn::Lwz { rt: R12, ra: R12, d: (slot * 4) as i16 }));
-    out.push(codense_ppc::encode(&Insn::Mtspr { spr: codense_ppc::Spr::Ctr, rs: R12 }));
-    out.push(codense_ppc::encode(&Insn::Bcctr { bo: bo::ALWAYS, bi: 0, lk: info.lk }));
-    out
+    via_table_expansion_with(IsaRef(&codense_ppc::ISA), kind, word, slot)
+}
+
+/// The instruction sequence a [`Atom::ViaTable`] packs under `isa`: an
+/// optional inverted conditional skip, then a dispatch sequence loading the
+/// true target from the overflow jump table (the paper's "modified to load
+/// their targets through jump tables", §3.2.2).
+///
+/// # Panics
+///
+/// Panics if the ISA cannot expand `word` (the compressor rejects such
+/// branches with [`CompressError::UnsupportedOverflowBranch`] earlier).
+pub fn via_table_expansion_with(
+    isa: IsaRef,
+    kind: EncodingKind,
+    word: u32,
+    slot: usize,
+) -> Vec<u32> {
+    isa.overflow_expansion(word, slot as u32, kind.granule_nibbles(), encoding::insn_nibbles(kind))
+        .expect("ViaTable holds a supported relative branch")
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use codense_ppc::branch::RelBranchKind;
     use codense_ppc::encode;
+    use codense_ppc::insn::{bo, Insn};
     use codense_ppc::reg::*;
 
     fn addi(rt: u8, si: i16) -> u32 {

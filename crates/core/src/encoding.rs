@@ -7,7 +7,7 @@
 
 use crate::config::EncodingKind;
 use crate::nibbles::{NibbleReader, NibbleWriter};
-use codense_ppc::opcode;
+use codense_isa::IsaRef;
 
 /// One parsed stream item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -121,8 +121,23 @@ pub fn write_insn(kind: EncodingKind, w: &mut NibbleWriter, word: u32) {
 /// Serializes a codeword rank into the stream, or returns
 /// [`CompressError::CodewordSpaceExhausted`] if the rank does not fit the
 /// encoding's codeword space. Nothing is written on error.
+///
+/// PowerPC convenience wrapper over [`try_write_codeword_with`].
 pub fn try_write_codeword(
     kind: EncodingKind,
+    w: &mut NibbleWriter,
+    rank: u32,
+) -> Result<(), crate::CompressError> {
+    try_write_codeword_with(kind, IsaRef(&codense_ppc::ISA), w, rank)
+}
+
+/// Serializes a codeword rank into the stream under `isa`'s escape-byte
+/// reservation, or returns [`CompressError::CodewordSpaceExhausted`] if the
+/// rank does not fit the encoding's codeword space. Nothing is written on
+/// error.
+pub fn try_write_codeword_with(
+    kind: EncodingKind,
+    isa: IsaRef,
     w: &mut NibbleWriter,
     rank: u32,
 ) -> Result<(), crate::CompressError> {
@@ -134,12 +149,12 @@ pub fn try_write_codeword(
     }
     match kind {
         EncodingKind::Baseline => {
-            let escapes = opcode::escape_bytes();
+            let escapes = isa.escape_bytes();
             w.push_byte(escapes[(rank >> 8) as usize]);
             w.push_byte((rank & 0xff) as u8);
         }
         EncodingKind::OneByte => {
-            w.push_byte(opcode::escape_bytes()[rank as usize]);
+            w.push_byte(isa.escape_bytes()[rank as usize]);
         }
         EncodingKind::NibbleAligned => {
             use nibble::*;
@@ -180,12 +195,24 @@ pub fn write_codeword(kind: EncodingKind, w: &mut NibbleWriter, rank: u32) {
 ///
 /// Returns `None` at (or past) end of stream, or on a malformed/truncated
 /// item.
+///
+/// PowerPC convenience wrapper over [`read_item_with`].
 pub fn read_item(kind: EncodingKind, r: &mut NibbleReader<'_>) -> Option<Item> {
+    read_item_with(kind, IsaRef(&codense_ppc::ISA), r)
+}
+
+/// Parses the next stream item under `isa`'s escape-byte reservation (the
+/// byte-level schemes classify items by whether the leading byte is one of
+/// the ISA's escape bytes; the nibble scheme has an explicit escape nibble
+/// and never consults the ISA).
+///
+/// Returns `None` at (or past) end of stream, or on a malformed/truncated
+/// item.
+pub fn read_item_with(kind: EncodingKind, isa: IsaRef, r: &mut NibbleReader<'_>) -> Option<Item> {
     match kind {
         EncodingKind::Baseline => {
             let b0 = r.next_byte()?;
-            if opcode::is_illegal_primary((b0 as u32) >> 2) {
-                let esc_index = escape_index(b0)?;
+            if let Some(esc_index) = isa.escape_index(b0) {
                 let idx = r.next_byte()?;
                 Some(Item::Codeword(esc_index * 256 + idx as u32))
             } else {
@@ -197,8 +224,8 @@ pub fn read_item(kind: EncodingKind, r: &mut NibbleReader<'_>) -> Option<Item> {
         }
         EncodingKind::OneByte => {
             let b0 = r.next_byte()?;
-            if opcode::is_illegal_primary((b0 as u32) >> 2) {
-                Some(Item::Codeword(escape_index(b0)?))
+            if let Some(esc_index) = isa.escape_index(b0) {
+                Some(Item::Codeword(esc_index))
             } else {
                 let b1 = r.next_byte()?;
                 let b2 = r.next_byte()?;
@@ -232,11 +259,6 @@ pub fn read_item(kind: EncodingKind, r: &mut NibbleReader<'_>) -> Option<Item> {
             }
         }
     }
-}
-
-/// Index of an escape byte within [`opcode::escape_bytes`]'s ordering.
-fn escape_index(b: u8) -> Option<u32> {
-    opcode::escape_bytes().iter().position(|&e| e == b).map(|i| i as u32)
 }
 
 #[cfg(test)]

@@ -2,8 +2,8 @@
 //! cells, where each cell is an instruction, a codeword, or a tombstone left
 //! behind by a replacement.
 
+use codense_isa::IsaRef;
 use codense_obj::{BasicBlocks, ObjectModule};
-use codense_ppc::branch::rel_branch_info;
 
 /// One slot of the rewrite model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,18 +62,32 @@ pub struct ProgramModel {
 
 impl ProgramModel {
     /// Builds the model from a module: computes basic blocks and marks
-    /// PC-relative branches incompressible.
+    /// PC-relative branches incompressible (PowerPC decoding).
     pub fn build(module: &ObjectModule) -> ProgramModel {
-        // `build_with` already excludes PC-relative branches; the extra
-        // predicate is identity so each word is decoded exactly once.
-        ProgramModel::build_with(module, |_| true)
+        ProgramModel::build_isa(module, IsaRef(&codense_ppc::ISA))
     }
 
     /// Like [`build`](ProgramModel::build), with a custom compressibility
     /// predicate (baselines impose extra constraints — e.g. Liao's software
     /// mini-subroutines cannot contain link-register users).
     pub fn build_with(module: &ObjectModule, compressible: impl Fn(u32) -> bool) -> ProgramModel {
-        let bbs = BasicBlocks::compute(module);
+        ProgramModel::build_isa_with(module, IsaRef(&codense_ppc::ISA), compressible)
+    }
+
+    /// Builds the model under `isa`.
+    pub fn build_isa(module: &ObjectModule, isa: IsaRef) -> ProgramModel {
+        // `build_isa_with` already excludes PC-relative branches; the extra
+        // predicate is identity so each word is decoded exactly once.
+        ProgramModel::build_isa_with(module, isa, |_| true)
+    }
+
+    /// Builds the model under `isa` with a custom compressibility predicate.
+    pub fn build_isa_with(
+        module: &ObjectModule,
+        isa: IsaRef,
+        compressible: impl Fn(u32) -> bool,
+    ) -> ProgramModel {
+        let bbs = BasicBlocks::compute_with(module, isa);
         let blocks = bbs
             .blocks()
             .iter()
@@ -85,7 +99,7 @@ impl ProgramModel {
                         Cell::Insn {
                             word,
                             orig: i,
-                            compressible: rel_branch_info(word).is_none() && compressible(word),
+                            compressible: isa.rel_branch_info(word).is_none() && compressible(word),
                         }
                     })
                     .collect(),

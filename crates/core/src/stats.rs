@@ -58,8 +58,13 @@ impl CompressedProgram {
                     }
                 }
                 Atom::ViaTable { word, slot, .. } => {
-                    let n = crate::compressor::via_table_expansion(self.encoding, word, slot).len()
-                        as f64;
+                    let n = crate::compressor::via_table_expansion_with(
+                        self.isa,
+                        self.encoding,
+                        word,
+                        slot,
+                    )
+                    .len() as f64;
                     uncompressed += 4.0 * n;
                     if self.encoding == EncodingKind::NibbleAligned {
                         escape += 0.5 * n;

@@ -17,6 +17,7 @@
 //! (candidates above the point's cap are filtered at heap seeding) instead
 //! of re-scanning the program, which is byte-identical to a fresh build.
 
+use codense_isa::IsaRef;
 use codense_obj::ObjectModule;
 
 use crate::compressor::{CompressedProgram, Compressor};
@@ -40,12 +41,26 @@ pub fn codeword_count_sweep(
     max_entry_len: usize,
     points: &[usize],
 ) -> Result<Vec<(usize, f64)>, CompressError> {
+    codeword_count_sweep_with_isa(module, IsaRef(&codense_ppc::ISA), max_entry_len, points)
+}
+
+/// [`codeword_count_sweep`] for an explicit target ISA.
+///
+/// # Errors
+///
+/// Propagates [`CompressError`] from the underlying run.
+pub fn codeword_count_sweep_with_isa(
+    module: &ObjectModule,
+    isa: IsaRef,
+    max_entry_len: usize,
+    points: &[usize],
+) -> Result<Vec<(usize, f64)>, CompressError> {
     let cap = points.iter().copied().max().unwrap_or(0).min(EncodingKind::Baseline.capacity());
     crate::telemetry::SWEEP_POINTS.add(points.len() as u64);
     crate::telemetry::SWEEP_FULL_COMPRESSIONS.inc();
     let config =
         CompressionConfig { max_entry_len, max_codewords: cap, encoding: EncodingKind::Baseline };
-    let c = Compressor::new(config).compress(module)?;
+    let c = Compressor::new(config).with_isa(isa).compress(module)?;
     Ok(crate::parallel::par_map(points.to_vec(), |_, k| (k, ratio_at_prefix(&c, k))))
 }
 
@@ -74,17 +89,31 @@ pub fn entry_len_sweep(
     module: &ObjectModule,
     lens: &[usize],
 ) -> Result<Vec<(usize, f64)>, CompressError> {
+    entry_len_sweep_with_isa(module, IsaRef(&codense_ppc::ISA), lens)
+}
+
+/// [`entry_len_sweep`] for an explicit target ISA.
+///
+/// # Errors
+///
+/// Propagates [`CompressError`] from the underlying runs.
+pub fn entry_len_sweep_with_isa(
+    module: &ObjectModule,
+    isa: IsaRef,
+    lens: &[usize],
+) -> Result<Vec<(usize, f64)>, CompressError> {
     crate::telemetry::SWEEP_POINTS.add(lens.len() as u64);
     crate::telemetry::SWEEP_FULL_COMPRESSIONS.add(lens.len() as u64);
     let max_len = lens.iter().copied().max().unwrap_or(1);
-    let index = CandidateIndex::build(&ProgramModel::build(module), max_len)?;
+    let index = CandidateIndex::build(&ProgramModel::build_isa(module, isa), max_len)?;
     crate::parallel::par_map(lens.to_vec(), |_, l| {
         let config = CompressionConfig {
             max_entry_len: l,
             max_codewords: EncodingKind::Baseline.capacity(),
             encoding: EncodingKind::Baseline,
         };
-        Ok((l, Compressor::new(config).compress_with_index(module, &index)?.compression_ratio()))
+        let c = Compressor::new(config).with_isa(isa).compress_with_index(module, &index)?;
+        Ok((l, c.compression_ratio()))
     })
     .into_iter()
     .collect()
@@ -160,13 +189,26 @@ pub fn small_dictionary_sweep(
     module: &ObjectModule,
     entry_counts: &[usize],
 ) -> Result<Vec<(usize, f64)>, CompressError> {
+    small_dictionary_sweep_with_isa(module, IsaRef(&codense_ppc::ISA), entry_counts)
+}
+
+/// [`small_dictionary_sweep`] for an explicit target ISA.
+///
+/// # Errors
+///
+/// Propagates [`CompressError`] from the underlying runs.
+pub fn small_dictionary_sweep_with_isa(
+    module: &ObjectModule,
+    isa: IsaRef,
+    entry_counts: &[usize],
+) -> Result<Vec<(usize, f64)>, CompressError> {
     crate::telemetry::SWEEP_POINTS.add(entry_counts.len() as u64);
     crate::telemetry::SWEEP_FULL_COMPRESSIONS.add(entry_counts.len() as u64);
     // Every point uses the same entry-length cap; mine the window set once.
     let max_len = CompressionConfig::small_dictionary(0).max_entry_len;
-    let index = CandidateIndex::build(&ProgramModel::build(module), max_len)?;
+    let index = CandidateIndex::build(&ProgramModel::build_isa(module, isa), max_len)?;
     crate::parallel::par_map(entry_counts.to_vec(), |_, n| {
-        let compressor = Compressor::new(CompressionConfig::small_dictionary(n));
+        let compressor = Compressor::new(CompressionConfig::small_dictionary(n)).with_isa(isa);
         let c = compressor.compress_with_index(module, &index)?;
         Ok((n, c.compression_ratio()))
     })
@@ -349,7 +391,8 @@ pub fn text_nibbles_under_split(c: &CompressedProgram, split: NibbleSplit) -> u6
         .map(|a| match *a {
             crate::compressor::Atom::Insn { .. } => 9,
             crate::compressor::Atom::ViaTable { word, slot, .. } => {
-                9 * crate::compressor::via_table_expansion(c.encoding, word, slot).len() as u64
+                9 * crate::compressor::via_table_expansion_with(c.isa, c.encoding, word, slot).len()
+                    as u64
             }
             crate::compressor::Atom::Codeword { .. } => 0,
         })

@@ -16,10 +16,9 @@
 //!    compressed address of its original target.
 
 use codense_obj::ObjectModule;
-use codense_ppc::branch::{read_offset_units, rel_branch_info};
 
-use crate::compressor::{via_table_expansion, Atom, CompressedProgram};
-use crate::encoding::{read_item, Item};
+use crate::compressor::{via_table_expansion_with, Atom, CompressedProgram};
+use crate::encoding::{read_item_with, Item};
 use crate::error::VerifyError;
 use crate::nibbles::NibbleReader;
 
@@ -70,7 +69,7 @@ fn verify_coverage_and_words(
             }
             Atom::Insn { word, orig } => {
                 let original = module.code[orig];
-                match rel_branch_info(original) {
+                match c.isa.rel_branch_info(original) {
                     None => {
                         if word != original {
                             return Err(VerifyError::WordMismatch {
@@ -84,7 +83,7 @@ fn verify_coverage_and_words(
                         // Patched branch: non-offset bits must match, and the
                         // re-encoded offset must land on the target atom.
                         let want_target = (orig as i64 + (info.offset / 4) as i64) as usize;
-                        let units = read_offset_units(word, info.kind) as i64;
+                        let units = c.isa.read_offset_units(word, info.kind) as i64;
                         let target_addr =
                             c.addresses[i] as i64 + units * c.encoding.granule_nibbles() as i64;
                         let ok = c.address_of_orig(want_target) == Some(target_addr as u64);
@@ -99,7 +98,7 @@ fn verify_coverage_and_words(
                 if word != original {
                     return Err(VerifyError::WordMismatch { orig, want: original, got: word });
                 }
-                let info = rel_branch_info(original).expect("ViaTable is a branch");
+                let info = c.isa.rel_branch_info(original).expect("ViaTable is a branch");
                 let want_target = (orig as i64 + (info.offset / 4) as i64) as usize;
                 if c.address_of_orig(want_target) != Some(c.overflow_table[slot]) {
                     return Err(VerifyError::BranchTargetMismatch { orig, want_target });
@@ -122,19 +121,19 @@ fn verify_image(c: &CompressedProgram) -> Result<(), VerifyError> {
         }
         match *atom {
             Atom::Insn { word, .. } => {
-                if read_item(c.encoding, &mut r) != Some(Item::Insn(word)) {
+                if read_item_with(c.encoding, c.isa, &mut r) != Some(Item::Insn(word)) {
                     return Err(VerifyError::ImageMismatch { atom: i });
                 }
             }
             Atom::Codeword { entry, .. } => {
                 let want = Item::Codeword(c.dictionary.rank_of(entry));
-                if read_item(c.encoding, &mut r) != Some(want) {
+                if read_item_with(c.encoding, c.isa, &mut r) != Some(want) {
                     return Err(VerifyError::ImageMismatch { atom: i });
                 }
             }
             Atom::ViaTable { word, slot, .. } => {
-                for w in via_table_expansion(c.encoding, word, slot) {
-                    if read_item(c.encoding, &mut r) != Some(Item::Insn(w)) {
+                for w in via_table_expansion_with(c.isa, c.encoding, word, slot) {
+                    if read_item_with(c.encoding, c.isa, &mut r) != Some(Item::Insn(w)) {
                         return Err(VerifyError::ImageMismatch { atom: i });
                     }
                 }

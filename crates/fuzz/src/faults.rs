@@ -116,7 +116,8 @@ fn bounded_run(image: &container::ProgramImage, max_steps: u64) {
             Ok(f) => f,
             Err(_) => return,
         };
-        match machine.step(&fetched.insn, pc, fetched.next_pc, fetcher.granule()) {
+        let insn = codense_ppc::decode(fetched.word);
+        match machine.step(&insn, pc, fetched.next_pc, fetcher.granule()) {
             Ok(Outcome::Next) => pc = fetched.next_pc,
             Ok(Outcome::Branch(t)) => pc = t,
             Ok(Outcome::Halt) | Err(_) => return,

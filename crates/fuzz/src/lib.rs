@@ -24,6 +24,9 @@
 //!   well-formed terminating program by construction.
 //! - [`runner`] — the campaign driver behind `codense fuzz`: per-case seed
 //!   derivation, parallel execution, shrinking, deterministic reporting.
+//! - [`mips`] — the cross-ISA battery: the same generator/oracle/campaign
+//!   structure ported to the MIPS backend, sharing the campaign seed
+//!   stream so `--isa ppc` and `--isa mips` fuzz the same case seeds.
 //!
 //! Reproducing a failure is always `seed → program`: the report prints the
 //! derived case seed, and `runner` rebuilds the identical case from it.
@@ -33,6 +36,7 @@
 
 pub mod faults;
 pub mod gen;
+pub mod mips;
 pub mod oracle;
 pub mod runner;
 pub mod shrink;
@@ -40,6 +44,7 @@ pub mod spec;
 
 pub use faults::{container_battery, corrupt, module_battery, nibble_soup_battery, FaultReport};
 pub use gen::{generate_spec, GenConfig};
+pub use mips::{generate_mips, lockstep_mips, lockstep_mips_with, run_mips, MipsProgram};
 pub use oracle::{lockstep, lockstep_with, Divergence, DivergenceKind, LockstepOk, TraceMask};
 pub use runner::{run, FuzzOptions, FuzzReport};
 pub use shrink::shrink;

@@ -1,0 +1,884 @@
+//! The MIPS half of the cross-ISA differential battery.
+//!
+//! The PPC pipeline ([`crate::gen`] → [`crate::spec`] → [`crate::oracle`])
+//! is typed against `codense_ppc` end to end; rather than make three
+//! modules generic over every ISA detail (condition registers, link
+//! registers, branch shapes), this module is a self-contained twin: a
+//! vocabulary-based generator of terminating MIPS programs, a lockstep
+//! oracle over [`codense_mips::Machine`], and a campaign driver producing
+//! the same deterministic report format as [`crate::runner::run`].
+//!
+//! Per-case seeds derive from the campaign seed with the same golden-ratio
+//! salt as the PPC campaign, so `--isa ppc` and `--isa mips` walk the same
+//! seed stream: one campaign seed exercises both compressor ports on
+//! decorrelated but reproducible inputs.
+//!
+//! Register discipline mirrors the PPC battery's: only `$t9` (jump-table
+//! dispatch) and `$ra` (`jal` link values) ever hold fetch-domain code
+//! addresses, so every other register must match bit-for-bit between the
+//! native and compressed runs at every step.
+
+use codense_codegen::Rng;
+use codense_core::parallel::par_map;
+use codense_core::{telemetry, verify, CompressionConfig, Compressor};
+use codense_isa::IsaRef;
+use codense_mips::asm::Assembler;
+use codense_mips::machine::Machine;
+use codense_mips::reg::{Reg, A0, A1, A2, A3, GP, RA, S0, S1, S2, S3, T8, T9, V0, V1, ZERO};
+use codense_mips::MInsn;
+use codense_obj::{FunctionInfo, JumpTable, ObjectModule};
+use codense_vm::fetch::{CompressedFetcher, Fetch, LinearFetcher};
+use codense_vm::machine::Outcome;
+
+use crate::gen::GenConfig;
+use crate::oracle::{error_kind, Divergence, DivergenceKind, LockstepOk, TraceMask};
+use crate::runner::{FuzzOptions, FuzzReport};
+use crate::spec::{DATA_BASE, DATA_MASK, JT_BASE, MEM_BYTES};
+
+/// Same per-case seed salt as the PPC campaign (`crate::runner`), so both
+/// ISAs draw from the same case-seed stream for a given campaign seed.
+const CASE_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Registers the generator may read or write in straight-line code.
+/// Excluded by role: `$zero`/`$at`, `$v0` (exit code staging), `$s0`–`$s3`
+/// (loop counters), `$t8`/`$t9` (dispatch scratch), `$gp` (data base),
+/// `$sp`/`$fp`, `$ra` (link).
+pub const MIPS_DATA_REGS: [Reg; 13] = [
+    V1,
+    A0,
+    A1,
+    A2,
+    A3,
+    codense_mips::reg::T0,
+    codense_mips::reg::T1,
+    codense_mips::reg::T2,
+    codense_mips::reg::T3,
+    codense_mips::reg::T4,
+    codense_mips::reg::T5,
+    codense_mips::reg::T6,
+    codense_mips::reg::T7,
+];
+
+/// Loop-counter bank: depth-0/1 loops of the entry use `$s0`/`$s1`,
+/// callee loops use `$s2`/`$s3` (callees never save/restore them, so the
+/// banks must not overlap).
+const LOOP_REGS: [Reg; 4] = [S0, S1, S2, S3];
+/// First [`LOOP_REGS`] index available to non-entry functions.
+const CALLEE_LOOP_BASE: usize = 2;
+
+/// A built MIPS fuzz program: the module plus the data-memory address of
+/// each jump table.
+#[derive(Debug, Clone)]
+pub struct MipsProgram {
+    /// The assembled, validated module.
+    pub module: ObjectModule,
+    /// Data-memory address of each `module.jump_tables[t]`.
+    pub table_addrs: Vec<u32>,
+}
+
+struct MGen<'a> {
+    rng: &'a mut Rng,
+    cfg: GenConfig,
+    /// Instruction vocabulary: straight-line code mostly re-draws from this
+    /// pool so repeated sequences exist for the dictionary to find.
+    vocab: Vec<MInsn>,
+    a: Assembler,
+    /// Per-table arm-entry label names, resolved after emission.
+    tables: Vec<Vec<String>>,
+    next_label: usize,
+    loop_base: usize,
+}
+
+impl MGen<'_> {
+    fn fresh(&mut self, what: &str) -> String {
+        self.next_label += 1;
+        format!("m_{}_{}", what, self.next_label)
+    }
+
+    fn data_reg(&mut self) -> Reg {
+        *self.rng.pick(&MIPS_DATA_REGS)
+    }
+
+    /// One fresh straight-line instruction over the data registers. Memory
+    /// accesses use bounded positive word-aligned offsets from `$gp`.
+    fn fresh_op(&mut self) -> MInsn {
+        let rd = self.data_reg();
+        let rs = self.data_reg();
+        let rt = self.data_reg();
+        let imm = self.rng.next_u64() as i16;
+        let uimm = self.rng.next_u64() as u16;
+        let d = (self.rng.below(0x7FF8) & !3) as i16;
+        let sa = self.rng.range(1, 31) as u8;
+        match self.rng.weighted(&[
+            16, // I-format arithmetic
+            10, // I-format logical
+            8,  // loads
+            6,  // stores
+            14, // R-format arithmetic
+            10, // R-format logic / shifts
+        ]) {
+            0 => match self.rng.below(3) {
+                0 => MInsn::Addiu { rt: rd, rs, imm },
+                1 => MInsn::Slti { rt: rd, rs, imm },
+                _ => MInsn::Sltiu { rt: rd, rs, imm },
+            },
+            1 => match self.rng.below(4) {
+                0 => MInsn::Andi { rt: rd, rs, imm: uimm },
+                1 => MInsn::Ori { rt: rd, rs, imm: uimm },
+                2 => MInsn::Xori { rt: rd, rs, imm: uimm },
+                _ => MInsn::Lui { rt: rd, imm: uimm },
+            },
+            2 => match self.rng.below(5) {
+                0 => MInsn::Lw { rt: rd, base: GP, offset: d },
+                1 => MInsn::Lh { rt: rd, base: GP, offset: d },
+                2 => MInsn::Lhu { rt: rd, base: GP, offset: d },
+                3 => MInsn::Lb { rt: rd, base: GP, offset: d },
+                _ => MInsn::Lbu { rt: rd, base: GP, offset: d },
+            },
+            3 => match self.rng.below(3) {
+                0 => MInsn::Sw { rt: rd, base: GP, offset: d },
+                1 => MInsn::Sh { rt: rd, base: GP, offset: d },
+                _ => MInsn::Sb { rt: rd, base: GP, offset: d },
+            },
+            4 => match self.rng.below(5) {
+                0 => MInsn::Addu { rd, rs, rt },
+                1 => MInsn::Subu { rd, rs, rt },
+                2 => MInsn::Mul { rd, rs, rt },
+                3 => MInsn::Div { rd, rs, rt },
+                _ => MInsn::Divu { rd, rs, rt },
+            },
+            _ => match self.rng.below(9) {
+                0 => MInsn::And { rd, rs, rt },
+                1 => MInsn::Or { rd, rs, rt },
+                2 => MInsn::Xor { rd, rs, rt },
+                3 => MInsn::Nor { rd, rs, rt },
+                4 => MInsn::Slt { rd, rs, rt },
+                5 => MInsn::Sltu { rd, rs, rt },
+                6 => MInsn::Sll { rd, rt, sa },
+                7 => MInsn::Srl { rd, rt, sa },
+                _ => MInsn::Sra { rd, rt, sa },
+            },
+        }
+    }
+
+    /// A run of straight-line instructions, drawn mostly from the
+    /// vocabulary. Occasionally emits a masked indexed access through `$t8`
+    /// (whose value is plain data, identical in both fetch domains).
+    fn straight(&mut self) {
+        let n = self.rng.range(1, self.cfg.max_block);
+        for _ in 0..n {
+            if self.rng.chance(0.12) {
+                let src = self.data_reg();
+                let val = self.data_reg();
+                self.a.emit(MInsn::Andi { rt: T8, rs: src, imm: DATA_MASK });
+                self.a.emit(MInsn::Addu { rd: T8, rs: GP, rt: T8 });
+                self.a.emit(if self.rng.chance(0.5) {
+                    MInsn::Lw { rt: val, base: T8, offset: 0 }
+                } else {
+                    MInsn::Sw { rt: val, base: T8, offset: 0 }
+                });
+            } else if !self.vocab.is_empty() && self.rng.chance(0.8) {
+                let op = *self.rng.pick(&self.vocab);
+                self.a.emit(op);
+            } else {
+                let op = self.fresh_op();
+                self.vocab.push(op);
+                self.a.emit(op);
+            }
+        }
+    }
+
+    fn region(&mut self, depth: usize, may_call: bool, funcs: usize) {
+        let max_depth = self.cfg.max_loop_depth.min(LOOP_REGS.len() - self.loop_base);
+        let choices: &[u32] = &[
+            40,                                        // straight
+            if depth < max_depth { 14 } else { 0 },    // loop
+            12,                                        // if
+            if depth == 0 { 6 } else { 0 },            // dispatch
+            if may_call && funcs > 1 { 8 } else { 0 }, // call
+        ];
+        match self.rng.weighted(choices) {
+            0 => self.straight(),
+            1 => {
+                let trips = self.rng.range(1, 6) as i16;
+                let counter = LOOP_REGS[self.loop_base + depth];
+                let head = self.fresh("loop");
+                self.a.emit(MInsn::Addiu { rt: counter, rs: ZERO, imm: trips });
+                self.a.label(&head);
+                self.body(depth + 1, may_call, funcs, 2);
+                self.a.emit(MInsn::Addiu { rt: counter, rs: counter, imm: -1 });
+                self.a.bgtz(counter, &head);
+            }
+            2 => {
+                let join = self.fresh("join");
+                let lhs = self.data_reg();
+                match self.rng.below(4) {
+                    0 => {
+                        let rhs = self.data_reg();
+                        self.a.beq(lhs, rhs, &join);
+                    }
+                    1 => {
+                        let rhs = self.data_reg();
+                        self.a.bne(lhs, rhs, &join);
+                    }
+                    2 => {
+                        self.a.blez(lhs, &join);
+                    }
+                    _ => {
+                        self.a.bltz(lhs, &join);
+                    }
+                };
+                self.body(depth, may_call, funcs, 2);
+                self.a.label(&join);
+            }
+            3 => self.dispatch(depth, may_call, funcs),
+            _ => {
+                let callee = self.rng.range(1, funcs - 1);
+                self.a.jal(&format!("mfn_{callee}"));
+            }
+        }
+    }
+
+    /// A jump-table dispatch: mask the index to the table, scale it, load
+    /// the patched target through `$t9`, and jump. `$t8` holds the scaled
+    /// index (plain data); only `$t9` ever holds the fetch-domain address.
+    fn dispatch(&mut self, depth: usize, may_call: bool, funcs: usize) {
+        let width = 1usize << self.rng.range(1, 3); // 2, 4 or 8 arms
+        let addr = JT_BASE + 4 * self.tables.iter().map(|t| t.len() as u32).sum::<u32>();
+        let index = self.data_reg();
+        self.a.emit(MInsn::Andi { rt: T8, rs: index, imm: (width - 1) as u16 });
+        self.a.emit(MInsn::Sll { rd: T8, rt: T8, sa: 2 });
+        self.a.emit(MInsn::Lui { rt: T9, imm: (addr >> 16) as u16 });
+        self.a.emit(MInsn::Ori { rt: T9, rs: T9, imm: (addr & 0xFFFF) as u16 });
+        self.a.emit(MInsn::Addu { rd: T9, rs: T9, rt: T8 });
+        self.a.emit(MInsn::Lw { rt: T9, base: T9, offset: 0 });
+        self.a.emit(MInsn::Jr { rs: T9 });
+        let join = self.fresh("join");
+        let mut entries = Vec::with_capacity(width);
+        for _ in 0..width {
+            let entry = self.fresh("arm");
+            self.a.label(&entry);
+            entries.push(entry);
+            self.body(depth + 1, may_call, funcs, 1);
+            self.a.j(&join);
+        }
+        self.a.label(&join);
+        self.tables.push(entries);
+    }
+
+    fn body(&mut self, depth: usize, may_call: bool, funcs: usize, max_regions: usize) {
+        let n = self.rng.range(1, max_regions.max(1));
+        for _ in 0..n {
+            self.region(depth, may_call, funcs);
+        }
+    }
+}
+
+/// Generates a terminating MIPS program from the RNG stream: an entry
+/// function (loops, ifs, dispatches, calls) plus up to `cfg.max_funcs - 1`
+/// leaf callees. The entry ends in `syscall` with the exit code in `$v0`;
+/// leaves end in `jr $ra`.
+pub fn generate_mips(rng: &mut Rng, cfg: &GenConfig) -> Result<MipsProgram, String> {
+    let funcs_n = rng.range(1, cfg.max_funcs.max(1));
+    let mut g = MGen {
+        rng,
+        cfg: cfg.clone(),
+        vocab: Vec::new(),
+        a: Assembler::new(),
+        tables: Vec::new(),
+        next_label: 0,
+        loop_base: 0,
+    };
+
+    let reg_init: Vec<(Reg, u32)> = MIPS_DATA_REGS
+        .iter()
+        .filter(|_| g.rng.chance(0.7))
+        .copied()
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|r| (r, g.rng.next_u64() as u32))
+        .collect();
+    let result_reg = *g.rng.pick(&MIPS_DATA_REGS);
+
+    let mut functions: Vec<FunctionInfo> = Vec::new();
+    for fi in 0..funcs_n {
+        g.loop_base = if fi == 0 { 0 } else { CALLEE_LOOP_BASE };
+        let start = g.a.here();
+        g.a.label(&format!("mfn_{fi}"));
+        let mut prologue_len = 0;
+        let framed = fi != 0 && g.rng.chance(0.5);
+        if fi == 0 {
+            // Entry preamble: data base pointer and initial register values.
+            g.a.emit(MInsn::Lui { rt: GP, imm: (DATA_BASE >> 16) as u16 });
+            for &(reg, value) in &reg_init {
+                g.a.emit(MInsn::Lui { rt: reg, imm: (value >> 16) as u16 });
+                g.a.emit(MInsn::Ori { rt: reg, rs: reg, imm: (value & 0xFFFF) as u16 });
+            }
+            prologue_len = g.a.here() - start;
+        } else if framed {
+            // Leaves save nothing (their loop bank is caller-disjoint), but
+            // a balanced frame adjust reproduces common prologue shapes.
+            g.a.emit(MInsn::Addiu {
+                rt: codense_mips::reg::SP,
+                rs: codense_mips::reg::SP,
+                imm: -24,
+            });
+            prologue_len = 1;
+        }
+        let regions = g.rng.range(1, g.cfg.max_regions);
+        for _ in 0..regions {
+            g.region(0, fi == 0, funcs_n);
+        }
+        let epi_start = g.a.here();
+        if fi == 0 {
+            g.a.emit(MInsn::Addu { rd: V0, rs: result_reg, rt: ZERO });
+            g.a.emit(MInsn::Syscall);
+        } else {
+            if framed {
+                g.a.emit(MInsn::Addiu {
+                    rt: codense_mips::reg::SP,
+                    rs: codense_mips::reg::SP,
+                    imm: 24,
+                });
+            }
+            g.a.ret();
+        }
+        let end = g.a.here();
+        functions.push(FunctionInfo {
+            name: format!("mfn_{fi}"),
+            start,
+            end,
+            prologue_len,
+            epilogues: std::iter::once(epi_start..end).collect(),
+        });
+    }
+
+    // Resolve jump-table entry labels to instruction indices.
+    let mut jump_tables = Vec::with_capacity(g.tables.len());
+    let mut table_addrs = Vec::with_capacity(g.tables.len());
+    let mut next_addr = JT_BASE;
+    for labels in &g.tables {
+        let targets: Vec<usize> =
+            labels.iter().map(|l| g.a.label_pos(l).expect("arm label defined")).collect();
+        table_addrs.push(next_addr);
+        next_addr += 4 * targets.len() as u32;
+        jump_tables.push(JumpTable { targets });
+    }
+
+    let code = g.a.finish().map_err(|e| format!("mips assembly failed: {e}"))?;
+    let mut module = ObjectModule::new("fuzz-mips");
+    module.code = code;
+    module.functions = functions;
+    module.jump_tables = jump_tables;
+    module
+        .validate_with(IsaRef(&codense_mips::ISA))
+        .map_err(|e| format!("invalid mips module: {e}"))?;
+    Ok(MipsProgram { module, table_addrs })
+}
+
+/// Instruction equality modulo branch-offset patching: the compressor
+/// rewrites relative branch and jump displacements into compressed-domain
+/// units, so only the non-offset fields are comparable across domains.
+fn same_insn_mips(native: &MInsn, comp: &MInsn) -> bool {
+    use MInsn::*;
+    match (native, comp) {
+        (Bltz { rs: a, .. }, Bltz { rs: b, .. }) => a == b,
+        (Bgez { rs: a, .. }, Bgez { rs: b, .. }) => a == b,
+        (Blez { rs: a, .. }, Blez { rs: b, .. }) => a == b,
+        (Bgtz { rs: a, .. }, Bgtz { rs: b, .. }) => a == b,
+        (Beq { rs: a, rt: x, .. }, Beq { rs: b, rt: y, .. }) => a == b && x == y,
+        (Bne { rs: a, rt: x, .. }, Bne { rs: b, rt: y, .. }) => a == b && x == y,
+        (J { .. }, J { .. }) => true,
+        (Jal { .. }, Jal { .. }) => true,
+        _ => native == comp,
+    }
+}
+
+fn outcome_kind(o: &Outcome) -> &'static str {
+    match o {
+        Outcome::Next => "next",
+        Outcome::Branch(_) => "branch",
+        Outcome::Halt => "halt",
+    }
+}
+
+/// First differing data-memory byte outside the masked ranges.
+fn first_mem_difference(native: &Machine, comp: &Machine, mask: &TraceMask) -> Option<usize> {
+    (0..native.mem.len().min(comp.mem.len()))
+        .find(|&i| native.mem[i] != comp.mem[i] && !mask.mem_skip.iter().any(|r| r.contains(&i)))
+}
+
+/// The oracle mask for generated MIPS programs: `$t9` carries fetch-domain
+/// addresses in dispatch sequences, `$ra` holds `jal` link values (also
+/// fetch-domain), and the jump-table region of data memory holds
+/// domain-specific entries by construction.
+fn mips_mask(program: &MipsProgram) -> TraceMask {
+    let entries: usize = program.module.jump_tables.iter().map(|t| t.targets.len()).sum();
+    let mut mask = TraceMask::skipping_gprs(&[T9.number(), RA.number()]);
+    mask.mem_skip = std::iter::once(JT_BASE as usize..JT_BASE as usize + 4 * entries).collect();
+    mask
+}
+
+/// Runs the MIPS differential oracle: the same program once through the
+/// native [`LinearFetcher`], once through the [`CompressedFetcher`], with
+/// the full architectural trace compared at every step (PC-to-atom
+/// correspondence, fetched instruction modulo offset patching, every
+/// unmasked GPR) and memory compared at halt.
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] between the two traces.
+pub fn lockstep_mips(
+    module: &ObjectModule,
+    compressed: &codense_core::CompressedProgram,
+    table_addrs: &[u32],
+    mask: &TraceMask,
+    mem_bytes: usize,
+    max_steps: u64,
+) -> Result<LockstepOk, Divergence> {
+    lockstep_mips_with(
+        CompressedFetcher::new(compressed),
+        module,
+        compressed,
+        table_addrs,
+        mask,
+        mem_bytes,
+        max_steps,
+    )
+}
+
+/// [`lockstep_mips`] with a caller-supplied compressed fetcher (the
+/// corruption self-check passes a deliberately damaged one).
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] between the two traces.
+pub fn lockstep_mips_with(
+    comp_fetch: CompressedFetcher,
+    module: &ObjectModule,
+    compressed: &codense_core::CompressedProgram,
+    table_addrs: &[u32],
+    mask: &TraceMask,
+    mem_bytes: usize,
+    max_steps: u64,
+) -> Result<LockstepOk, Divergence> {
+    if !compressed.overflow_table.is_empty() {
+        return Ok(LockstepOk::SkippedOverflow);
+    }
+    let mut comp_fetch = comp_fetch;
+    let mut native_fetch = LinearFetcher::new(module.code.clone());
+    let granule = comp_fetch.granule();
+
+    // Atom map: expected compressed PC for each original instruction index.
+    let mut expected_pc = vec![u64::MAX; module.code.len()];
+    for (i, atom) in compressed.atoms.iter().enumerate() {
+        for k in 0..atom.covered() {
+            if let Some(slot) = expected_pc.get_mut(atom.orig() + k) {
+                *slot = compressed.addresses[i];
+            }
+        }
+    }
+
+    let mut native = Machine::new(mem_bytes);
+    let mut comp = Machine::new(mem_bytes);
+    if module.jump_tables.len() != table_addrs.len()
+        || compressed.jump_tables.len() != table_addrs.len()
+    {
+        return Err(Divergence {
+            step: 0,
+            kind: DivergenceKind::PcMismatch,
+            detail: "table count mismatch".into(),
+        });
+    }
+    for (t, table) in module.jump_tables.iter().enumerate() {
+        for (e, &target) in table.targets.iter().enumerate() {
+            let addr = table_addrs[t] + 4 * e as u32;
+            let seed = native
+                .store32(addr, 8 * target as u32)
+                .and_then(|()| comp.store32(addr, compressed.jump_tables[t][e] as u32));
+            if let Err(err) = seed {
+                return Err(Divergence {
+                    step: 0,
+                    kind: DivergenceKind::PcMismatch,
+                    detail: format!("table seed: {err}"),
+                });
+            }
+        }
+    }
+
+    let mut npc = 0u64;
+    let mut cpc = compressed.address_of_orig(0).unwrap_or(0);
+
+    for step in 0..max_steps {
+        let diverge = |kind, detail| Err(Divergence { step, kind, detail });
+
+        if npc.is_multiple_of(8) {
+            if let Some(&want) = expected_pc.get((npc / 8) as usize) {
+                if want != u64::MAX && cpc != want {
+                    return diverge(
+                        DivergenceKind::PcMismatch,
+                        format!(
+                            "native pc {npc:#x} maps to atom {want:#x}, compressed pc {cpc:#x}"
+                        ),
+                    );
+                }
+            }
+        }
+
+        let (nf, cf) = match (native_fetch.fetch(npc), comp_fetch.fetch(cpc)) {
+            (Err(ne), Err(ce)) => {
+                let (nk, ck) = (error_kind(&ne), error_kind(&ce));
+                if nk == ck {
+                    return Ok(LockstepOk::Faulted { steps: step, kind: nk });
+                }
+                return diverge(
+                    DivergenceKind::ErrorMismatch,
+                    format!("native fetch {nk}, compressed fetch {ck}"),
+                );
+            }
+            (Err(ne), Ok(_)) => {
+                return diverge(
+                    DivergenceKind::ErrorMismatch,
+                    format!("native fetch faulted ({}) but compressed delivered", error_kind(&ne)),
+                );
+            }
+            (Ok(_), Err(ce)) => {
+                return diverge(
+                    DivergenceKind::ErrorMismatch,
+                    format!("compressed fetch faulted ({}) but native delivered", error_kind(&ce)),
+                );
+            }
+            (Ok(nf), Ok(cf)) => (nf, cf),
+        };
+
+        let ni = codense_mips::decode(nf.word);
+        let ci = codense_mips::decode(cf.word);
+        if !same_insn_mips(&ni, &ci) {
+            return diverge(
+                DivergenceKind::InsnMismatch,
+                format!("native {ni:?} vs compressed {ci:?} at native pc {npc:#x}"),
+            );
+        }
+
+        let no = native.step(&ni, npc, nf.next_pc, 8);
+        let co = comp.step(&ci, cpc, cf.next_pc, granule);
+
+        let (no, co) = match (no, co) {
+            (Err(ne), Err(ce)) => {
+                let (nk, ck) = (error_kind(&ne), error_kind(&ce));
+                if nk == ck {
+                    return Ok(LockstepOk::Faulted { steps: step + 1, kind: nk });
+                }
+                return diverge(
+                    DivergenceKind::ErrorMismatch,
+                    format!("native fault {nk}, compressed fault {ck}"),
+                );
+            }
+            (Err(ne), Ok(_)) => {
+                return diverge(
+                    DivergenceKind::ErrorMismatch,
+                    format!("only native faulted: {}", error_kind(&ne)),
+                );
+            }
+            (Ok(_), Err(ce)) => {
+                return diverge(
+                    DivergenceKind::ErrorMismatch,
+                    format!("only compressed faulted: {}", error_kind(&ce)),
+                );
+            }
+            (Ok(no), Ok(co)) => (no, co),
+        };
+
+        for r in 0..32 {
+            if mask.skip_gprs & (1 << r) == 0 && native.gpr[r] != comp.gpr[r] {
+                return diverge(
+                    DivergenceKind::RegMismatch,
+                    format!(
+                        "r{r}: native {:#010x}, compressed {:#010x} after {:?}",
+                        native.gpr[r], comp.gpr[r], ni
+                    ),
+                );
+            }
+        }
+
+        match (no, co) {
+            (Outcome::Next, Outcome::Next) => {
+                npc = nf.next_pc;
+                cpc = cf.next_pc;
+            }
+            (Outcome::Branch(nt), Outcome::Branch(ct)) => {
+                npc = nt;
+                cpc = ct;
+            }
+            (Outcome::Halt, Outcome::Halt) => {
+                if native.gpr[2] != comp.gpr[2] {
+                    return diverge(
+                        DivergenceKind::ExitMismatch,
+                        format!("exit: native {}, compressed {}", native.gpr[2], comp.gpr[2]),
+                    );
+                }
+                if let Some(addr) = first_mem_difference(&native, &comp, mask) {
+                    return diverge(
+                        DivergenceKind::MemMismatch,
+                        format!(
+                            "mem[{addr:#x}]: native {:#04x}, compressed {:#04x}",
+                            native.mem[addr], comp.mem[addr]
+                        ),
+                    );
+                }
+                return Ok(LockstepOk::Completed { steps: step + 1, exit: native.gpr[2] });
+            }
+            (a, b) => {
+                return diverge(
+                    DivergenceKind::OutcomeMismatch,
+                    format!("native {}, compressed {}", outcome_kind(&a), outcome_kind(&b)),
+                );
+            }
+        }
+    }
+    Err(Divergence {
+        step: max_steps,
+        kind: DivergenceKind::StepLimit,
+        detail: format!("no halt within {max_steps} steps"),
+    })
+}
+
+/// The three encodings every case is checked under, with the MIPS port of
+/// the compressor selected.
+fn encodings() -> [(&'static str, CompressionConfig); 3] {
+    [
+        ("baseline", CompressionConfig::baseline()),
+        ("one-byte", CompressionConfig::small_dictionary(32)),
+        ("nibble", CompressionConfig::nibble_aligned()),
+    ]
+}
+
+/// Outcome of one MIPS case.
+#[derive(Debug, Clone, Default)]
+struct CaseOutcome {
+    completed: [u64; 3],
+    skipped: [u64; 3],
+    agreed_faults: u64,
+    failures: Vec<String>,
+}
+
+fn run_mips_case(opts: &FuzzOptions, case: usize) -> CaseOutcome {
+    telemetry::FUZZ_CASES.inc();
+    let case_seed = opts.seed ^ (case as u64 + 1).wrapping_mul(CASE_SALT);
+    let mut out = CaseOutcome::default();
+    let mut rng = Rng::new(case_seed);
+    let program = match generate_mips(&mut rng, &GenConfig::default()) {
+        Ok(p) => p,
+        Err(e) => {
+            out.failures.push(format!("case {case} seed {case_seed:#018x}: build failed: {e}"));
+            return out;
+        }
+    };
+    let mask = mips_mask(&program);
+
+    for (ei, (label, config)) in encodings().into_iter().enumerate() {
+        let compressed = match Compressor::new(config)
+            .with_isa(IsaRef(&codense_mips::ISA))
+            .compress(&program.module)
+        {
+            Ok(c) => c,
+            Err(e) => {
+                out.failures.push(format!(
+                    "case {case} seed {case_seed:#018x}: [{label}] compress error: {e}"
+                ));
+                continue;
+            }
+        };
+        if let Err(e) = verify::verify(&program.module, &compressed) {
+            out.failures
+                .push(format!("case {case} seed {case_seed:#018x}: [{label}] verify error: {e}"));
+            continue;
+        }
+        telemetry::FUZZ_LOCKSTEP_RUNS.inc();
+        match lockstep_mips(
+            &program.module,
+            &compressed,
+            &program.table_addrs,
+            &mask,
+            MEM_BYTES,
+            opts.max_steps,
+        ) {
+            Ok(LockstepOk::Completed { .. }) => out.completed[ei] += 1,
+            Ok(LockstepOk::Faulted { .. }) => out.agreed_faults += 1,
+            Ok(LockstepOk::SkippedOverflow) => out.skipped[ei] += 1,
+            Err(divergence) => {
+                telemetry::FUZZ_DIVERGENCES.inc();
+                out.failures
+                    .push(format!("case {case} seed {case_seed:#018x}: [{label}] {divergence}"));
+            }
+        }
+    }
+    out
+}
+
+/// Fixed-seed smoke test: a known program must compress under the nibble
+/// encoding with a real dictionary and survive full-trace lockstep.
+fn mips_smoke(max_steps: u64) -> (String, usize) {
+    const SMOKE_SEED: u64 = 0x4B1D_C005;
+    let max_steps = max_steps.max(1 << 20);
+    let mut rng = Rng::new(SMOKE_SEED);
+    let program = match generate_mips(&mut rng, &GenConfig::default()) {
+        Ok(p) => p,
+        Err(e) => return (format!("self-test: FAILED - mips smoke build: {e}"), 1),
+    };
+    let compressed = match Compressor::new(CompressionConfig::nibble_aligned())
+        .with_isa(IsaRef(&codense_mips::ISA))
+        .compress(&program.module)
+    {
+        Ok(c) => c,
+        Err(e) => return (format!("self-test: FAILED - mips smoke compress: {e}"), 1),
+    };
+    if compressed.dictionary.is_empty() {
+        return ("self-test: FAILED - mips smoke built no dictionary".into(), 1);
+    }
+    if let Err(e) = verify::verify(&program.module, &compressed) {
+        return (format!("self-test: FAILED - mips smoke verify: {e}"), 1);
+    }
+    let mask = mips_mask(&program);
+    telemetry::FUZZ_LOCKSTEP_RUNS.inc();
+    match lockstep_mips(
+        &program.module,
+        &compressed,
+        &program.table_addrs,
+        &mask,
+        MEM_BYTES,
+        max_steps,
+    ) {
+        Ok(_) => (
+            format!(
+                "self-test: mips smoke ok ({} insns, {} dictionary entries)",
+                program.module.len(),
+                compressed.dictionary.len()
+            ),
+            0,
+        ),
+        Err(d) => (format!("self-test: FAILED - mips smoke diverged: {d}"), 1),
+    }
+}
+
+/// Runs a MIPS differential fuzz campaign. Same determinism contract as
+/// [`crate::runner::run`]: the report is byte-identical for a given
+/// `(cases, seed)` pair regardless of worker count. Fault-injection and
+/// hybrid batteries are PPC-only ([`FuzzOptions::fault_tries`] and
+/// [`FuzzOptions::hybrid`] are ignored here).
+pub fn run_mips(opts: &FuzzOptions) -> FuzzReport {
+    let mut lines = vec![format!(
+        "codense fuzz: isa=mips cases={} seed={:#x} max-steps={}",
+        opts.cases, opts.seed, opts.max_steps
+    )];
+    let (smoke_line, mut failures) = {
+        let _phase = telemetry::phase("fuzz-self-test");
+        mips_smoke(opts.max_steps)
+    };
+    lines.push(smoke_line);
+
+    let cases_phase = telemetry::phase("fuzz-cases");
+    let outcomes = par_map((0..opts.cases).collect(), |_, case| run_mips_case(opts, case));
+    drop(cases_phase);
+
+    let mut completed = [0u64; 3];
+    let mut skipped = [0u64; 3];
+    let mut agreed_faults = 0u64;
+    let mut failure_lines = Vec::new();
+    for out in outcomes {
+        for e in 0..3 {
+            completed[e] += out.completed[e];
+            skipped[e] += out.skipped[e];
+        }
+        agreed_faults += out.agreed_faults;
+        failure_lines.extend(out.failures);
+    }
+    failures += failure_lines.len();
+
+    let labels = encodings().map(|(l, _)| l);
+    for e in 0..3 {
+        lines.push(format!(
+            "encoding {}: completed={} skipped-overflow={}",
+            labels[e], completed[e], skipped[e]
+        ));
+    }
+    lines.push(format!("agreed-faults={agreed_faults}"));
+    lines.extend(failure_lines);
+    lines.push(if failures == 0 {
+        format!("result: OK ({} cases, 0 divergences, 0 panics)", opts.cases)
+    } else {
+        format!("result: FAIL ({failures} failures over {} cases)", opts.cases)
+    });
+    FuzzReport { lines, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = generate_mips(&mut Rng::new(42), &cfg).unwrap();
+        let b = generate_mips(&mut Rng::new(42), &cfg).unwrap();
+        assert_eq!(a.module.code, b.module.code);
+        let c = generate_mips(&mut Rng::new(43), &cfg).unwrap();
+        assert_ne!(a.module.code, c.module.code);
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        let cfg = GenConfig::default();
+        for seed in 0..40 {
+            let p = generate_mips(&mut Rng::new(seed), &cfg)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(p.module.validate_with(IsaRef(&codense_mips::ISA)).is_ok(), "seed {seed}");
+            assert!(!p.module.code.is_empty());
+        }
+    }
+
+    #[test]
+    fn tiny_mips_campaign_is_clean_and_deterministic() {
+        let opts = FuzzOptions { cases: 6, seed: 7, ..FuzzOptions::default() };
+        let a = run_mips(&opts);
+        assert!(a.ok(), "campaign failed:\n{}", a.render());
+        let b = run_mips(&opts);
+        assert_eq!(a.lines, b.lines);
+    }
+
+    #[test]
+    fn smoke_program_exercises_the_dictionary() {
+        let (line, failures) = mips_smoke(1 << 20);
+        assert_eq!(failures, 0, "{line}");
+    }
+
+    #[test]
+    fn lockstep_catches_a_corrupt_dictionary() {
+        // The oracle must not be vacuous: corrupting the hottest dictionary
+        // entry of the smoke program must produce a divergence for at least
+        // one entry.
+        let mut rng = Rng::new(0x4B1D_C005);
+        let program = generate_mips(&mut rng, &GenConfig::default()).unwrap();
+        let compressed = Compressor::new(CompressionConfig::nibble_aligned())
+            .with_isa(IsaRef(&codense_mips::ISA))
+            .compress(&program.module)
+            .unwrap();
+        let mask = mips_mask(&program);
+        let caught = (0..compressed.dictionary.len()).any(|rank| {
+            let mut image = compressed.to_image();
+            image.dictionary_by_rank[rank][0] ^= 1 << 21;
+            let fetcher = CompressedFetcher::from_image_with(&image, IsaRef(&codense_mips::ISA));
+            lockstep_mips_with(
+                fetcher,
+                &program.module,
+                &compressed,
+                &program.table_addrs,
+                &mask,
+                MEM_BYTES,
+                1 << 20,
+            )
+            .is_err()
+        });
+        assert!(caught, "no dictionary corruption was ever detected");
+    }
+}

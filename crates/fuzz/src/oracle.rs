@@ -313,15 +313,17 @@ pub fn lockstep_with(
             (Ok(nf), Ok(cf)) => (nf, cf),
         };
 
-        if !same_insn(&nf.insn, &cf.insn) {
+        let ni = codense_ppc::decode(nf.word);
+        let ci = codense_ppc::decode(cf.word);
+        if !same_insn(&ni, &ci) {
             return diverge(
                 DivergenceKind::InsnMismatch,
-                format!("native {:?} vs compressed {:?} at native pc {npc:#x}", nf.insn, cf.insn),
+                format!("native {ni:?} vs compressed {ci:?} at native pc {npc:#x}"),
             );
         }
 
-        let no = native.step(&nf.insn, npc, nf.next_pc, 8);
-        let co = comp.step(&cf.insn, cpc, cf.next_pc, granule);
+        let no = native.step(&ni, npc, nf.next_pc, 8);
+        let co = comp.step(&ci, cpc, cf.next_pc, granule);
 
         let (no, co) = match (no, co) {
             (Err(ne), Err(ce)) => {
@@ -356,7 +358,7 @@ pub fn lockstep_with(
                     DivergenceKind::RegMismatch,
                     format!(
                         "r{r}: native {:#010x}, compressed {:#010x} after {:?}",
-                        native.gpr[r], comp.gpr[r], nf.insn
+                        native.gpr[r], comp.gpr[r], ni
                     ),
                 );
             }

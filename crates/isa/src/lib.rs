@@ -1,0 +1,308 @@
+//! The ISA abstraction the rest of `codense` is written against.
+//!
+//! The paper's dictionary-compression scheme (Lefurgy et al., 1997) is
+//! ISA-agnostic: it needs a fixed-width 32-bit RISC with identifiable
+//! PC-relative branches (never compressed, patched after layout), a set of
+//! reserved escape byte patterns no legal instruction starts with, and a way
+//! to synthesize an indirect-jump trampoline for branches whose displacement
+//! field overflows at the compressed granularity. This crate captures exactly
+//! that contract as the object-safe [`Isa`] trait, plus the [`Core`]
+//! execution trait the VM's fetch/step loop drives, so `codense-core` and
+//! `codense-vm` work with any backend (`codense-ppc`, `codense-mips`, …).
+//!
+//! Every backend targets a fixed 4-byte instruction word ([`INSN_BYTES`]);
+//! branch *offsets* are exchanged in bytes, fetch-domain *addresses* in
+//! nibbles (see `codense-vm`). DESIGN.md §13 spells out the full contract.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Instruction width in bytes. Every [`Isa`] backend is a fixed-32-bit RISC;
+/// the compressor's layout arithmetic relies on this being uniform.
+pub const INSN_BYTES: u32 = 4;
+
+/// High halfword of the overflow jump table's base address: trampolines load
+/// their target from `(OVERFLOW_TABLE_HI << 16) + 4 * slot`.
+pub const OVERFLOW_TABLE_HI: i16 = 0x0060;
+
+/// Execution faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// A load or store touched memory outside the configured size.
+    MemoryFault {
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// Instruction fetch failed (bad PC or truncated stream).
+    FetchFault {
+        /// The faulting fetch-domain (nibble) address.
+        pc: u64,
+    },
+    /// A trap condition fired (the kernels use it for assertions).
+    Trap,
+    /// An instruction outside the executable subset was fetched.
+    IllegalInstruction {
+        /// The raw word.
+        word: u32,
+    },
+    /// The step budget ran out before the halt instruction.
+    StepLimit,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::MemoryFault { addr } => write!(f, "memory fault at {addr:#010x}"),
+            MachineError::FetchFault { pc } => write!(f, "fetch fault at nibble {pc:#x}"),
+            MachineError::Trap => write!(f, "trap instruction fired"),
+            MachineError::IllegalInstruction { word } => {
+                write!(f, "illegal instruction {word:#010x}")
+            }
+            MachineError::StepLimit => write!(f, "step limit exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// What an executed instruction asks the fetch engine to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Fall through to the next instruction.
+    Next,
+    /// Transfer control to the given fetch-domain (nibble) address.
+    Branch(u64),
+    /// The program executed its halt instruction; the exit code is in the
+    /// ISA's return register ([`Core::exit_code`]).
+    Halt,
+}
+
+/// A decoded PC-relative branch, ISA-neutral.
+///
+/// `kind` is a backend-defined discriminant (stable per backend) that keys
+/// [`Isa::branch_field_bits`] / [`Isa::patch_offset_units`]; the compressor
+/// treats it as opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelBranch {
+    /// Backend-defined branch-form discriminant.
+    pub kind: u8,
+    /// Byte displacement from the branch's own address (multiple of
+    /// [`INSN_BYTES`] in an uncompressed program).
+    pub offset: i32,
+    /// Whether the branch records a return address (a call).
+    pub lk: bool,
+}
+
+/// Returns `true` if `value` fits a signed two's-complement field of
+/// `bits` bits.
+pub const fn fits_signed(value: i64, bits: u32) -> bool {
+    let half = 1i64 << (bits - 1);
+    value >= -half && value < half
+}
+
+/// Architectural state driven by the VM's fetch/step loop.
+///
+/// Cores are PC-less: the program counter lives in the fetch engine, because
+/// a compressed-program processor's PC is nibble-granular. All code addresses
+/// a core sees (return registers, branch targets) are fetch-domain nibble
+/// addresses.
+pub trait Core {
+    /// Executes one instruction word.
+    ///
+    /// `cur_pc`/`next_pc` are the instruction's own and successor addresses
+    /// in the fetch domain; `granule` is the fetch domain's branch-offset
+    /// unit in nibbles (8 uncompressed, 4/2/1 compressed). Branch offset
+    /// fields are interpreted as raw units scaled by `granule`, exactly as
+    /// the paper's modified control unit does (§3.2.2).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] on faults; the core state reflects the
+    /// partial execution (registers already written stay written).
+    fn step_word(
+        &mut self,
+        word: u32,
+        cur_pc: u64,
+        next_pc: u64,
+        granule: u32,
+    ) -> Result<Outcome, MachineError>;
+
+    /// Reads general-purpose register `r`.
+    fn gpr(&self, r: usize) -> u32;
+
+    /// Writes general-purpose register `r`.
+    fn set_gpr(&mut self, r: usize, v: u32);
+
+    /// Writes a 32-bit word to data memory (big-endian).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError::MemoryFault`] past the end of memory.
+    fn write32(&mut self, addr: u32, v: u32) -> Result<(), MachineError>;
+
+    /// The full data memory, for state comparison.
+    fn mem_bytes(&self) -> &[u8];
+
+    /// The exit code after [`Outcome::Halt`]: the ISA's return-value
+    /// register (`r3` on PowerPC, `$v0` on MIPS).
+    fn exit_code(&self) -> u32;
+
+    /// Condition/carry state packed into one word for lockstep comparison.
+    /// Backends without architected flags return 0.
+    fn flags(&self) -> u64;
+}
+
+/// The backend contract: everything the compressor, verifier, basic-block
+/// builder, and VM need to know about an instruction set.
+///
+/// Implementations must be stateless (methods take `&self` and are pure);
+/// a backend exposes one `static` instance referenced through [`IsaRef`].
+pub trait Isa: Sync {
+    /// Short lowercase name (`"ppc"`, `"mips"`), used in reports and CLI
+    /// `--isa` selection.
+    fn name(&self) -> &'static str;
+
+    /// Extracts PC-relative branch information from a word, or `None` if the
+    /// word is not a PC-relative branch (absolute and indirect branches and
+    /// non-branches are all `None` — they need no displacement patching and
+    /// are therefore compressible).
+    fn rel_branch_info(&self, word: u32) -> Option<RelBranch>;
+
+    /// Width in bits of the signed displacement field of branch form `kind`
+    /// (sign bit included).
+    fn branch_field_bits(&self, kind: u8) -> u32;
+
+    /// Rewrites the displacement field of a relative branch with a new raw
+    /// field value (already divided down to the target granularity). All
+    /// other fields are preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is not a branch of form `kind` or `units` does not
+    /// fit the field.
+    fn patch_offset_units(&self, word: u32, kind: u8, units: i32) -> u32;
+
+    /// Reads back the raw displacement field of a patched branch,
+    /// sign-extended, in field units (the inverse of
+    /// [`patch_offset_units`](Isa::patch_offset_units)).
+    fn read_offset_units(&self, word: u32, kind: u8) -> i32;
+
+    /// The escape bytes reserved for codewords: byte values no legal
+    /// instruction's most-significant byte can take (§4.1 of the paper).
+    /// Must contain at least 32 distinct values; index order is the fixed
+    /// escape numbering the encoder and decoder share.
+    fn escape_bytes(&self) -> &'static [u8];
+
+    /// Position of `byte` in [`escape_bytes`](Isa::escape_bytes), or `None`
+    /// if it is not an escape byte. The default is a linear scan.
+    fn escape_index(&self, byte: u8) -> Option<u32> {
+        self.escape_bytes().iter().position(|&b| b == byte).map(|i| i as u32)
+    }
+
+    /// Returns `true` if `word` ends a basic block (any control transfer or
+    /// the halt instruction).
+    fn ends_block(&self, word: u32) -> bool;
+
+    /// Synthesizes the overflow-trampoline expansion for a relative branch
+    /// whose displacement no longer fits at the compressed granularity
+    /// (§3.2.2): an optional inverted-condition skip over the trampoline,
+    /// then an indirect jump through slot `slot` of the overflow table at
+    /// `(OVERFLOW_TABLE_HI << 16) + 4 * slot`.
+    ///
+    /// `granule_nibbles`/`insn_nibbles` describe the encoding the expansion
+    /// will be laid out in (the skip branch's displacement is patched in
+    /// granule units). Returns `None` if the branch's condition cannot be
+    /// inverted (e.g. PowerPC CTR-decrementing forms), which the compressor
+    /// reports as an unsupported overflow branch.
+    fn overflow_expansion(
+        &self,
+        word: u32,
+        slot: u32,
+        granule_nibbles: u32,
+        insn_nibbles: u32,
+    ) -> Option<Vec<u32>>;
+
+    /// Disassembles a word located at byte address `addr` to the backend's
+    /// assembly syntax.
+    fn disassemble(&self, word: u32, addr: u32) -> String;
+
+    /// Creates a fresh execution core with `mem_bytes` of data memory.
+    fn new_core(&self, mem_bytes: usize) -> Box<dyn Core>;
+
+    /// Can a displacement of `offset_nibbles` (4-bit units) be expressed by
+    /// branch form `kind` when the field is interpreted in `granule_nibbles`
+    /// units? The uncompressed ISA uses `granule_nibbles = 8` (4-byte
+    /// units); the paper's schemes use 4, 2 and 1.
+    fn offset_expressible(&self, kind: u8, offset_nibbles: i64, granule_nibbles: u32) -> bool {
+        debug_assert!(granule_nibbles > 0);
+        let g = granule_nibbles as i64;
+        offset_nibbles % g == 0 && fits_signed(offset_nibbles / g, self.branch_field_bits(kind))
+    }
+}
+
+/// A copyable handle to a backend's `static` [`Isa`] instance.
+///
+/// Compared by [`Isa::name`], so two handles to the same backend are equal.
+#[derive(Clone, Copy)]
+pub struct IsaRef(pub &'static dyn Isa);
+
+impl IsaRef {
+    /// The backend's short name.
+    pub fn name(self) -> &'static str {
+        self.0.name()
+    }
+}
+
+impl std::ops::Deref for IsaRef {
+    type Target = dyn Isa;
+
+    fn deref(&self) -> &Self::Target {
+        self.0
+    }
+}
+
+impl fmt::Debug for IsaRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IsaRef({})", self.0.name())
+    }
+}
+
+impl PartialEq for IsaRef {
+    fn eq(&self, other: &IsaRef) -> bool {
+        self.0.name() == other.0.name()
+    }
+}
+
+impl Eq for IsaRef {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_signed_bounds() {
+        assert!(fits_signed(8191, 14));
+        assert!(!fits_signed(8192, 14));
+        assert!(fits_signed(-8192, 14));
+        assert!(!fits_signed(-8193, 14));
+        assert!(fits_signed(0, 1));
+        assert!(fits_signed(-1, 1));
+        assert!(!fits_signed(1, 1));
+    }
+
+    #[test]
+    fn machine_error_messages_are_stable() {
+        assert_eq!(
+            MachineError::MemoryFault { addr: 0x100 }.to_string(),
+            "memory fault at 0x00000100"
+        );
+        assert_eq!(MachineError::FetchFault { pc: 0x20 }.to_string(), "fetch fault at nibble 0x20");
+        assert_eq!(MachineError::Trap.to_string(), "trap instruction fired");
+        assert_eq!(
+            MachineError::IllegalInstruction { word: 0x0400_0000 }.to_string(),
+            "illegal instruction 0x04000000"
+        );
+        assert_eq!(MachineError::StepLimit.to_string(), "step limit exhausted");
+    }
+}

@@ -1,0 +1,314 @@
+//! A small label-resolving assembler for building runnable programs.
+//!
+//! Instructions are appended through [`Assembler::emit`] or the branch
+//! helpers; [`Assembler::finish`] resolves label fixups into PC-relative
+//! displacements and returns the final instruction words.
+//!
+//! ```
+//! use codense_mips::asm::Assembler;
+//! use codense_mips::insn::MInsn;
+//! use codense_mips::reg::{V0, ZERO};
+//!
+//! # fn main() -> Result<(), codense_mips::asm::AsmError> {
+//! let mut a = Assembler::new();
+//! a.emit(MInsn::Addiu { rt: V0, rs: ZERO, imm: 10 });
+//! a.label("loop");
+//! a.emit(MInsn::Addiu { rt: V0, rs: V0, imm: -1 });
+//! a.bgtz(V0, "loop");
+//! a.emit(MInsn::Syscall);
+//! let words = a.finish()?;
+//! assert_eq!(words.len(), 4);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::branch::{fits_signed, RelBranchKind};
+use crate::encode::encode;
+use crate::insn::MInsn;
+use crate::reg::Reg;
+
+/// Errors produced by [`Assembler::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A branch referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// A resolved branch displacement does not fit its field.
+    OffsetOutOfRange {
+        /// The referenced label.
+        label: String,
+        /// Index of the branch instruction.
+        at: usize,
+        /// The displacement in bytes that failed to fit.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::OffsetOutOfRange { label, at, offset } => write!(
+                f,
+                "branch at instruction {at} to `{label}`: displacement {offset} out of range"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+struct Fixup {
+    at: usize,
+    label: String,
+    /// The branch instruction with a zero displacement; `finish` fills the
+    /// offset in. Its variant determines the field width to range-check.
+    template: MInsn,
+}
+
+fn kind_of(template: &MInsn) -> RelBranchKind {
+    match template {
+        MInsn::J { .. } | MInsn::Jal { .. } => RelBranchKind::J26,
+        _ => RelBranchKind::I16,
+    }
+}
+
+fn with_offset(template: &MInsn, offset: i32) -> MInsn {
+    use MInsn::*;
+    match *template {
+        Bltz { rs, .. } => Bltz { rs, offset },
+        Bgez { rs, .. } => Bgez { rs, offset },
+        Beq { rs, rt, .. } => Beq { rs, rt, offset },
+        Bne { rs, rt, .. } => Bne { rs, rt, offset },
+        Blez { rs, .. } => Blez { rs, offset },
+        Bgtz { rs, .. } => Bgtz { rs, offset },
+        J { .. } => J { offset },
+        Jal { .. } => Jal { offset },
+        ref other => panic!("not a relative branch template: {other:?}"),
+    }
+}
+
+/// An incremental program builder with symbolic branch labels.
+///
+/// See the [module docs](self) for an example.
+#[derive(Debug, Default)]
+pub struct Assembler {
+    insns: Vec<MInsn>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<Fixup>,
+}
+
+impl Assembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// The index (instruction count so far) the next instruction will get.
+    pub fn here(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Defines `name` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined (a programming error in the
+    /// caller, not an input condition).
+    pub fn label(&mut self, name: &str) -> &mut Assembler {
+        let prev = self.labels.insert(name.to_owned(), self.insns.len());
+        assert!(prev.is_none(), "label `{name}` defined twice");
+        self
+    }
+
+    /// Returns the position of a defined label, if any.
+    pub fn label_pos(&self, name: &str) -> Option<usize> {
+        self.labels.get(name).copied()
+    }
+
+    /// Appends an instruction.
+    pub fn emit(&mut self, insn: MInsn) -> &mut Assembler {
+        self.insns.push(insn);
+        self
+    }
+
+    /// Appends raw pre-encoded words.
+    pub fn emit_words(&mut self, words: &[u32]) -> &mut Assembler {
+        self.insns.extend(words.iter().map(|&w| crate::decode(w)));
+        self
+    }
+
+    /// Unconditional jump to `label` (`j`, via the `beq $0,$0` idiom is *not*
+    /// used; this emits the 26-bit-field form).
+    pub fn j(&mut self, label: &str) -> &mut Assembler {
+        self.branch_fixup(label, MInsn::J { offset: 0 })
+    }
+
+    /// Jump-and-link (call) to `label`.
+    pub fn jal(&mut self, label: &str) -> &mut Assembler {
+        self.branch_fixup(label, MInsn::Jal { offset: 0 })
+    }
+
+    /// Unconditional short branch to `label` (`beq $0,$0`, 16-bit field).
+    pub fn b(&mut self, label: &str) -> &mut Assembler {
+        let zero = Reg::new(0).unwrap();
+        self.branch_fixup(label, MInsn::Beq { rs: zero, rt: zero, offset: 0 })
+    }
+
+    /// Branch to `label` if `rs == rt`.
+    pub fn beq(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Assembler {
+        self.branch_fixup(label, MInsn::Beq { rs, rt, offset: 0 })
+    }
+
+    /// Branch to `label` if `rs != rt`.
+    pub fn bne(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Assembler {
+        self.branch_fixup(label, MInsn::Bne { rs, rt, offset: 0 })
+    }
+
+    /// Branch to `label` if `rs <= 0` (signed).
+    pub fn blez(&mut self, rs: Reg, label: &str) -> &mut Assembler {
+        self.branch_fixup(label, MInsn::Blez { rs, offset: 0 })
+    }
+
+    /// Branch to `label` if `rs > 0` (signed).
+    pub fn bgtz(&mut self, rs: Reg, label: &str) -> &mut Assembler {
+        self.branch_fixup(label, MInsn::Bgtz { rs, offset: 0 })
+    }
+
+    /// Branch to `label` if `rs < 0` (signed).
+    pub fn bltz(&mut self, rs: Reg, label: &str) -> &mut Assembler {
+        self.branch_fixup(label, MInsn::Bltz { rs, offset: 0 })
+    }
+
+    /// Branch to `label` if `rs >= 0` (signed).
+    pub fn bgez(&mut self, rs: Reg, label: &str) -> &mut Assembler {
+        self.branch_fixup(label, MInsn::Bgez { rs, offset: 0 })
+    }
+
+    /// Return through `$ra` (`jr $31`).
+    pub fn ret(&mut self) -> &mut Assembler {
+        self.emit(MInsn::Jr { rs: crate::reg::RA })
+    }
+
+    fn branch_fixup(&mut self, label: &str, template: MInsn) -> &mut Assembler {
+        self.fixups.push(Fixup { at: self.insns.len(), label: label.to_owned(), template });
+        // Placeholder; patched in finish().
+        self.insns.push(template);
+        self
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Returns `true` if no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Resolves all fixups and returns the encoded instruction words.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UndefinedLabel`] if a branch references an unknown
+    /// label, or [`AsmError::OffsetOutOfRange`] if a resolved displacement
+    /// does not fit its field (±128 KiB for conditional branches, ±128 MiB
+    /// for `j`/`jal`).
+    pub fn finish(mut self) -> Result<Vec<u32>, AsmError> {
+        for fix in &self.fixups {
+            let &target = self
+                .labels
+                .get(&fix.label)
+                .ok_or_else(|| AsmError::UndefinedLabel(fix.label.clone()))?;
+            let offset = (target as i64 - fix.at as i64) * 4;
+            // The displacement field holds offset/4, so the byte offset must
+            // fit field_bits + 2 signed bits.
+            if !fits_signed(offset, kind_of(&fix.template).field_bits() + 2) {
+                return Err(AsmError::OffsetOutOfRange {
+                    label: fix.label.clone(),
+                    at: fix.at,
+                    offset,
+                });
+            }
+            self.insns[fix.at] = with_offset(&fix.template, offset as i32);
+        }
+        Ok(self.insns.iter().map(encode).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::branch::rel_branch_info;
+    use crate::reg::*;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Assembler::new();
+        a.j("end");
+        a.label("loop");
+        a.emit(MInsn::Addiu { rt: V0, rs: V0, imm: 1 });
+        a.bne(V0, A0, "loop");
+        a.label("end");
+        a.emit(MInsn::Syscall);
+        let words = a.finish().unwrap();
+        assert_eq!(rel_branch_info(words[0]).unwrap().offset, 12);
+        assert_eq!(rel_branch_info(words[2]).unwrap().offset, -4);
+    }
+
+    #[test]
+    fn undefined_label_errors() {
+        let mut a = Assembler::new();
+        a.j("nowhere");
+        assert_eq!(a.finish(), Err(AsmError::UndefinedLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn conditional_out_of_range_errors() {
+        let mut a = Assembler::new();
+        a.bne(V0, ZERO, "far");
+        for _ in 0..40000 {
+            a.emit(MInsn::Ori { rt: T0, rs: T0, imm: 0 });
+        }
+        a.label("far");
+        a.emit(MInsn::Syscall);
+        match a.finish() {
+            Err(AsmError::OffsetOutOfRange { offset, .. }) => assert_eq!(offset, 40001 * 4),
+            other => panic!("expected out-of-range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut a = Assembler::new();
+        a.label("x").label("x");
+    }
+
+    #[test]
+    fn call_sets_link() {
+        let mut a = Assembler::new();
+        a.jal("f");
+        a.label("f");
+        a.ret();
+        let words = a.finish().unwrap();
+        assert!(rel_branch_info(words[0]).unwrap().lk);
+        assert_eq!(words[1], crate::encode(&MInsn::Jr { rs: RA }));
+    }
+
+    #[test]
+    fn short_branch_idiom() {
+        let mut a = Assembler::new();
+        a.b("end");
+        a.label("end");
+        a.emit(MInsn::Syscall);
+        let words = a.finish().unwrap();
+        let info = rel_branch_info(words[0]).unwrap();
+        assert_eq!(info.kind, RelBranchKind::I16);
+        assert_eq!(info.offset, 4);
+    }
+}

@@ -1,0 +1,142 @@
+//! Instruction decoding: raw 32-bit words → [`MInsn`].
+//!
+//! The decoder accepts *canonical* encodings only: a word whose must-be-zero
+//! fields (the `rs` of immediate shifts, the `sa` of register ops, the `rt`
+//! of `blez`/`bgtz`, …) are nonzero decodes as [`MInsn::Illegal`] carrying
+//! the word verbatim. This makes `encode(decode(w)) == w` a total identity
+//! and gives the compressor a precise notion of the executable subset.
+
+use crate::insn::MInsn;
+use crate::opcode::{funct, op, regimm};
+use crate::reg::Reg;
+
+/// Sign-extends the 16-bit immediate as a byte branch offset (field × 4).
+fn b_offset(word: u32) -> i32 {
+    ((word & 0xffff) as u16 as i16 as i32) << 2
+}
+
+/// Decodes one instruction word. Never panics; see the
+/// [module docs](self) for the canonicality rules.
+///
+/// ```
+/// use codense_mips::{decode, MInsn, reg::RA};
+/// assert_eq!(decode(0x03e0_0008), MInsn::Jr { rs: RA });
+/// assert!(matches!(decode(0x4800_0000), MInsn::Illegal(_))); // escape opcode
+/// ```
+pub fn decode(word: u32) -> MInsn {
+    let rs = Reg::from_field(word >> 21);
+    let rt = Reg::from_field(word >> 16);
+    let rd = Reg::from_field(word >> 11);
+    let sa = ((word >> 6) & 0x1f) as u8;
+    let imm = (word & 0xffff) as u16;
+    let ill = MInsn::Illegal(word);
+
+    match word >> 26 {
+        op::SPECIAL => {
+            let rs0 = rs.number() == 0;
+            let rt0 = rt.number() == 0;
+            let rd0 = rd.number() == 0;
+            let sa0 = sa == 0;
+            match word & 0x3f {
+                funct::SLL if rs0 => MInsn::Sll { rd, rt, sa },
+                funct::SRL if rs0 => MInsn::Srl { rd, rt, sa },
+                funct::SRA if rs0 => MInsn::Sra { rd, rt, sa },
+                funct::SLLV if sa0 => MInsn::Sllv { rd, rt, rs },
+                funct::SRLV if sa0 => MInsn::Srlv { rd, rt, rs },
+                funct::SRAV if sa0 => MInsn::Srav { rd, rt, rs },
+                funct::JR if rt0 && rd0 && sa0 => MInsn::Jr { rs },
+                funct::JALR if rt0 && sa0 => MInsn::Jalr { rd, rs },
+                funct::SYSCALL if word >> 6 == 0 => MInsn::Syscall,
+                funct::BREAK if word >> 6 == 0 => MInsn::Break,
+                funct::MUL if sa0 => MInsn::Mul { rd, rs, rt },
+                funct::DIV if sa0 => MInsn::Div { rd, rs, rt },
+                funct::DIVU if sa0 => MInsn::Divu { rd, rs, rt },
+                funct::ADDU if sa0 => MInsn::Addu { rd, rs, rt },
+                funct::SUBU if sa0 => MInsn::Subu { rd, rs, rt },
+                funct::AND if sa0 => MInsn::And { rd, rs, rt },
+                funct::OR if sa0 => MInsn::Or { rd, rs, rt },
+                funct::XOR if sa0 => MInsn::Xor { rd, rs, rt },
+                funct::NOR if sa0 => MInsn::Nor { rd, rs, rt },
+                funct::SLT if sa0 => MInsn::Slt { rd, rs, rt },
+                funct::SLTU if sa0 => MInsn::Sltu { rd, rs, rt },
+                _ => ill,
+            }
+        }
+        op::REGIMM => match (word >> 16) & 0x1f {
+            regimm::BLTZ => MInsn::Bltz { rs, offset: b_offset(word) },
+            regimm::BGEZ => MInsn::Bgez { rs, offset: b_offset(word) },
+            _ => ill,
+        },
+        op::J => MInsn::J { offset: (((word << 6) as i32) >> 6) << 2 },
+        op::JAL => MInsn::Jal { offset: (((word << 6) as i32) >> 6) << 2 },
+        op::BEQ => MInsn::Beq { rs, rt, offset: b_offset(word) },
+        op::BNE => MInsn::Bne { rs, rt, offset: b_offset(word) },
+        op::BLEZ if rt.number() == 0 => MInsn::Blez { rs, offset: b_offset(word) },
+        op::BGTZ if rt.number() == 0 => MInsn::Bgtz { rs, offset: b_offset(word) },
+        op::ADDIU => MInsn::Addiu { rt, rs, imm: imm as i16 },
+        op::SLTI => MInsn::Slti { rt, rs, imm: imm as i16 },
+        op::SLTIU => MInsn::Sltiu { rt, rs, imm: imm as i16 },
+        op::ANDI => MInsn::Andi { rt, rs, imm },
+        op::ORI => MInsn::Ori { rt, rs, imm },
+        op::XORI => MInsn::Xori { rt, rs, imm },
+        op::LUI if rs.number() == 0 => MInsn::Lui { rt, imm },
+        op::LB => MInsn::Lb { rt, base: rs, offset: imm as i16 },
+        op::LH => MInsn::Lh { rt, base: rs, offset: imm as i16 },
+        op::LW => MInsn::Lw { rt, base: rs, offset: imm as i16 },
+        op::LBU => MInsn::Lbu { rt, base: rs, offset: imm as i16 },
+        op::LHU => MInsn::Lhu { rt, base: rs, offset: imm as i16 },
+        op::SB => MInsn::Sb { rt, base: rs, offset: imm as i16 },
+        op::SH => MInsn::Sh { rt, base: rs, offset: imm as i16 },
+        op::SW => MInsn::Sw { rt, base: rs, offset: imm as i16 },
+        _ => ill,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use crate::reg::*;
+
+    #[test]
+    fn word_zero_is_nop() {
+        assert_eq!(decode(0), MInsn::Sll { rd: ZERO, rt: ZERO, sa: 0 });
+    }
+
+    #[test]
+    fn noncanonical_fields_are_illegal() {
+        // sll with a nonzero rs field.
+        assert_eq!(decode(0x0020_0000), MInsn::Illegal(0x0020_0000));
+        // addu with a nonzero sa field.
+        let addu = encode(&MInsn::Addu { rd: T0, rs: T0, rt: T1 });
+        assert_eq!(decode(addu | 1 << 6), MInsn::Illegal(addu | 1 << 6));
+        // jr with a nonzero rd field.
+        let jr = encode(&MInsn::Jr { rs: RA });
+        assert_eq!(decode(jr | 2 << 11), MInsn::Illegal(jr | 2 << 11));
+        // blez with a nonzero rt field.
+        let blez = encode(&MInsn::Blez { rs: T0, offset: 8 });
+        assert_eq!(decode(blez | 1 << 16), MInsn::Illegal(blez | 1 << 16));
+        // lui with a nonzero rs field.
+        let lui = encode(&MInsn::Lui { rt: T0, imm: 1 });
+        assert_eq!(decode(lui | 1 << 21), MInsn::Illegal(lui | 1 << 21));
+        // syscall with a nonzero code field.
+        assert_eq!(decode(0x0000_004c), MInsn::Illegal(0x0000_004c));
+    }
+
+    #[test]
+    fn escape_opcodes_are_illegal() {
+        for &o in &crate::opcode::ILLEGAL_PRIMARY {
+            let w = o << 26 | 0x0012_3456;
+            assert_eq!(decode(w), MInsn::Illegal(w));
+        }
+    }
+
+    #[test]
+    fn jump_offsets_sign_extend() {
+        assert_eq!(decode(encode(&MInsn::J { offset: -8 })), MInsn::J { offset: -8 });
+        let max = ((1 << 25) - 1) << 2;
+        assert_eq!(decode(encode(&MInsn::Jal { offset: max })), MInsn::Jal { offset: max });
+        let min = -(1i32 << 25) << 2;
+        assert_eq!(decode(encode(&MInsn::J { offset: min })), MInsn::J { offset: min });
+    }
+}

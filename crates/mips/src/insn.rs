@@ -1,0 +1,282 @@
+//! The structured instruction form for the MIPS-like subset.
+//!
+//! The subset is classic MIPS-I user-level integer code with three
+//! documented simplifications that keep the fetch model identical to the
+//! PowerPC backend's (see DESIGN.md §13):
+//!
+//! * **No delay slots.** Branches take effect immediately; the instruction
+//!   after a taken branch is not executed.
+//! * **Branch displacements are relative to the branch itself**, not to the
+//!   delay slot, so the compressor's patch arithmetic is uniform across
+//!   backends.
+//! * **`j`/`jal` are PC-relative** with a signed 26-bit word displacement
+//!   instead of pseudo-absolute region jumps, so they can be patched after
+//!   compression exactly like conditional branches.
+//!
+//! Branch offsets are stored in *bytes* (always a multiple of 4 in an
+//! uncompressed program), mirroring `codense_ppc::Insn`.
+
+use crate::reg::Reg;
+
+/// One decoded instruction.
+///
+/// Word values that do not decode to a *canonical* encoding of the subset —
+/// unknown opcodes, but also legal opcodes with nonzero must-be-zero fields —
+/// are preserved verbatim as [`MInsn::Illegal`], so
+/// `encode(decode(w)) == w` holds for every 32-bit word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variants are named for their mnemonics
+pub enum MInsn {
+    // ---- R-format shifts ----------------------------------------------
+    Sll {
+        rd: Reg,
+        rt: Reg,
+        sa: u8,
+    },
+    Srl {
+        rd: Reg,
+        rt: Reg,
+        sa: u8,
+    },
+    Sra {
+        rd: Reg,
+        rt: Reg,
+        sa: u8,
+    },
+    Sllv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srlv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srav {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+
+    // ---- R-format jumps and system ------------------------------------
+    Jr {
+        rs: Reg,
+    },
+    Jalr {
+        rd: Reg,
+        rs: Reg,
+    },
+    Syscall,
+    Break,
+
+    // ---- R-format arithmetic and logic --------------------------------
+    Mul {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Div {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Divu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Addu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Subu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    And {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Nor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+
+    // ---- branches (offset in bytes from the branch itself) -------------
+    Bltz {
+        rs: Reg,
+        offset: i32,
+    },
+    Bgez {
+        rs: Reg,
+        offset: i32,
+    },
+    Beq {
+        rs: Reg,
+        rt: Reg,
+        offset: i32,
+    },
+    Bne {
+        rs: Reg,
+        rt: Reg,
+        offset: i32,
+    },
+    Blez {
+        rs: Reg,
+        offset: i32,
+    },
+    Bgtz {
+        rs: Reg,
+        offset: i32,
+    },
+    J {
+        offset: i32,
+    },
+    Jal {
+        offset: i32,
+    },
+
+    // ---- I-format arithmetic and logic ---------------------------------
+    Addiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Slti {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Sltiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Andi {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Ori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Xori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Lui {
+        rt: Reg,
+        imm: u16,
+    },
+
+    // ---- loads and stores ----------------------------------------------
+    Lb {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lh {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lw {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lbu {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Lhu {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sb {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sh {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+    Sw {
+        rt: Reg,
+        base: Reg,
+        offset: i16,
+    },
+
+    /// Any word without a canonical decoding, preserved verbatim.
+    Illegal(u32),
+}
+
+impl MInsn {
+    /// Returns `true` for every control-transfer instruction (relative
+    /// branches, relative jumps, and register-indirect jumps).
+    pub fn is_branch(&self) -> bool {
+        use MInsn::*;
+        matches!(
+            self,
+            Bltz { .. }
+                | Bgez { .. }
+                | Beq { .. }
+                | Bne { .. }
+                | Blez { .. }
+                | Bgtz { .. }
+                | J { .. }
+                | Jal { .. }
+                | Jr { .. }
+                | Jalr { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{RA, T0, T1};
+
+    #[test]
+    fn branch_classification() {
+        assert!(MInsn::Beq { rs: T0, rt: T1, offset: 8 }.is_branch());
+        assert!(MInsn::J { offset: -16 }.is_branch());
+        assert!(MInsn::Jr { rs: RA }.is_branch());
+        assert!(MInsn::Jalr { rd: RA, rs: T0 }.is_branch());
+        assert!(!MInsn::Syscall.is_branch());
+        assert!(!MInsn::Addiu { rt: T0, rs: T0, imm: 1 }.is_branch());
+        assert!(!MInsn::Illegal(0xffff_ffff).is_branch());
+    }
+}

@@ -1,0 +1,464 @@
+//! Architectural state and instruction semantics for the MIPS-like subset.
+//!
+//! Like the PowerPC core, the machine is PC-less: the program counter lives
+//! in the fetch engine (`codense-vm`) because a compressed-program
+//! processor's PC is nibble-granular. All code addresses the machine sees
+//! (`$ra`, `jr`/`jalr` targets) are fetch-domain nibble addresses.
+
+pub use codense_isa::{MachineError, Outcome};
+
+use crate::insn::MInsn;
+use crate::reg::Reg;
+
+/// Architectural state: 32 GPRs (with `$0` hardwired to zero) and a flat
+/// big-endian data memory. The subset has no HI/LO pair — `mul`/`div` are
+/// the three-operand R6-style forms — and no architected flags.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// General-purpose registers; `gpr[0]` stays zero (writes are ignored).
+    pub gpr: [u32; 32],
+    /// Data memory, byte-addressed, big-endian multi-byte accesses.
+    pub mem: Vec<u8>,
+}
+
+impl Machine {
+    /// Creates a machine with the given data-memory size in bytes, with the
+    /// stack pointer (`$sp`) parked near the top of memory.
+    pub fn new(mem_bytes: usize) -> Machine {
+        let mut m = Machine { gpr: [0; 32], mem: vec![0; mem_bytes] };
+        m.gpr[29] = (mem_bytes as u32).saturating_sub(64) & !15;
+        m
+    }
+
+    fn reg(&self, r: Reg) -> u32 {
+        self.gpr[r.number() as usize]
+    }
+
+    fn set_reg(&mut self, r: Reg, v: u32) {
+        if r.number() != 0 {
+            self.gpr[r.number() as usize] = v;
+        }
+    }
+
+    // ---- memory -----------------------------------------------------------
+
+    fn check(&self, addr: u32, len: u32) -> Result<usize, MachineError> {
+        let end = addr as u64 + len as u64;
+        if end <= self.mem.len() as u64 {
+            Ok(addr as usize)
+        } else {
+            Err(MachineError::MemoryFault { addr })
+        }
+    }
+
+    /// Reads a big-endian 32-bit word.
+    pub fn load32(&self, addr: u32) -> Result<u32, MachineError> {
+        let i = self.check(addr, 4)?;
+        Ok(u32::from_be_bytes([self.mem[i], self.mem[i + 1], self.mem[i + 2], self.mem[i + 3]]))
+    }
+
+    /// Reads a big-endian 16-bit halfword.
+    pub fn load16(&self, addr: u32) -> Result<u16, MachineError> {
+        let i = self.check(addr, 2)?;
+        Ok(u16::from_be_bytes([self.mem[i], self.mem[i + 1]]))
+    }
+
+    /// Reads a byte.
+    pub fn load8(&self, addr: u32) -> Result<u8, MachineError> {
+        let i = self.check(addr, 1)?;
+        Ok(self.mem[i])
+    }
+
+    /// Writes a big-endian 32-bit word.
+    pub fn store32(&mut self, addr: u32, v: u32) -> Result<(), MachineError> {
+        let i = self.check(addr, 4)?;
+        self.mem[i..i + 4].copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Writes a big-endian 16-bit halfword.
+    pub fn store16(&mut self, addr: u32, v: u16) -> Result<(), MachineError> {
+        let i = self.check(addr, 2)?;
+        self.mem[i..i + 2].copy_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Writes a byte.
+    pub fn store8(&mut self, addr: u32, v: u8) -> Result<(), MachineError> {
+        let i = self.check(addr, 1)?;
+        self.mem[i] = v;
+        Ok(())
+    }
+
+    fn ea(&self, base: Reg, offset: i16) -> u32 {
+        self.reg(base).wrapping_add(offset as i32 as u32)
+    }
+
+    /// Executes one instruction.
+    ///
+    /// `cur_pc`/`next_pc` are the instruction's own and successor addresses
+    /// in the fetch domain; `granule` is the fetch domain's branch-offset
+    /// unit in nibbles (8 uncompressed, 4/2/1 compressed). Branch offset
+    /// fields are interpreted as raw units scaled by `granule`, exactly as
+    /// the paper's modified control unit does (§3.2.2). There are no delay
+    /// slots (see [`crate::insn`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] on faults; the machine state reflects the
+    /// partial execution (registers already written stay written).
+    pub fn step(
+        &mut self,
+        insn: &MInsn,
+        cur_pc: u64,
+        next_pc: u64,
+        granule: u32,
+    ) -> Result<Outcome, MachineError> {
+        use MInsn::*;
+        let g = granule as i64;
+        let rel = |offset: i32| {
+            let units = (offset / 4) as i64;
+            Outcome::Branch((cur_pc as i64 + units * g) as u64)
+        };
+        match *insn {
+            // ---- shifts --------------------------------------------------
+            Sll { rd, rt, sa } => self.set_reg(rd, self.reg(rt) << sa),
+            Srl { rd, rt, sa } => self.set_reg(rd, self.reg(rt) >> sa),
+            Sra { rd, rt, sa } => self.set_reg(rd, ((self.reg(rt) as i32) >> sa) as u32),
+            Sllv { rd, rt, rs } => self.set_reg(rd, self.reg(rt) << (self.reg(rs) & 0x1f)),
+            Srlv { rd, rt, rs } => self.set_reg(rd, self.reg(rt) >> (self.reg(rs) & 0x1f)),
+            Srav { rd, rt, rs } => {
+                self.set_reg(rd, ((self.reg(rt) as i32) >> (self.reg(rs) & 0x1f)) as u32);
+            }
+
+            // ---- R-format arithmetic and logic ---------------------------
+            Mul { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_mul(self.reg(rt))),
+            Div { rd, rs, rt } => {
+                let a = self.reg(rs) as i32;
+                let b = self.reg(rt) as i32;
+                // Architecturally undefined for /0 and MIN/-1; we define 0
+                // (same convention as the PowerPC core's divw).
+                let v = if b == 0 || (a == i32::MIN && b == -1) { 0 } else { a / b } as u32;
+                self.set_reg(rd, v);
+            }
+            Divu { rd, rs, rt } => {
+                let v = self.reg(rs).checked_div(self.reg(rt)).unwrap_or(0);
+                self.set_reg(rd, v);
+            }
+            Addu { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt))),
+            Subu { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt))),
+            And { rd, rs, rt } => self.set_reg(rd, self.reg(rs) & self.reg(rt)),
+            Or { rd, rs, rt } => self.set_reg(rd, self.reg(rs) | self.reg(rt)),
+            Xor { rd, rs, rt } => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)),
+            Nor { rd, rs, rt } => self.set_reg(rd, !(self.reg(rs) | self.reg(rt))),
+            Slt { rd, rs, rt } => {
+                self.set_reg(rd, u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)));
+            }
+            Sltu { rd, rs, rt } => self.set_reg(rd, u32::from(self.reg(rs) < self.reg(rt))),
+
+            // ---- I-format arithmetic and logic ---------------------------
+            Addiu { rt, rs, imm } => {
+                self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32));
+            }
+            Slti { rt, rs, imm } => {
+                self.set_reg(rt, u32::from((self.reg(rs) as i32) < imm as i32));
+            }
+            Sltiu { rt, rs, imm } => {
+                // The immediate is sign-extended, then compared unsigned.
+                self.set_reg(rt, u32::from(self.reg(rs) < imm as i32 as u32));
+            }
+            Andi { rt, rs, imm } => self.set_reg(rt, self.reg(rs) & imm as u32),
+            Ori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) | imm as u32),
+            Xori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) ^ imm as u32),
+            Lui { rt, imm } => self.set_reg(rt, (imm as u32) << 16),
+
+            // ---- loads and stores ----------------------------------------
+            Lb { rt, base, offset } => {
+                let v = self.load8(self.ea(base, offset))? as i8;
+                self.set_reg(rt, v as i32 as u32);
+            }
+            Lh { rt, base, offset } => {
+                let v = self.load16(self.ea(base, offset))? as i16;
+                self.set_reg(rt, v as i32 as u32);
+            }
+            Lw { rt, base, offset } => {
+                let v = self.load32(self.ea(base, offset))?;
+                self.set_reg(rt, v);
+            }
+            Lbu { rt, base, offset } => {
+                let v = self.load8(self.ea(base, offset))?;
+                self.set_reg(rt, v as u32);
+            }
+            Lhu { rt, base, offset } => {
+                let v = self.load16(self.ea(base, offset))?;
+                self.set_reg(rt, v as u32);
+            }
+            Sb { rt, base, offset } => self.store8(self.ea(base, offset), self.reg(rt) as u8)?,
+            Sh { rt, base, offset } => self.store16(self.ea(base, offset), self.reg(rt) as u16)?,
+            Sw { rt, base, offset } => self.store32(self.ea(base, offset), self.reg(rt))?,
+
+            // ---- branches ------------------------------------------------
+            Bltz { rs, offset } => {
+                if (self.reg(rs) as i32) < 0 {
+                    return Ok(rel(offset));
+                }
+            }
+            Bgez { rs, offset } => {
+                if (self.reg(rs) as i32) >= 0 {
+                    return Ok(rel(offset));
+                }
+            }
+            Beq { rs, rt, offset } => {
+                if self.reg(rs) == self.reg(rt) {
+                    return Ok(rel(offset));
+                }
+            }
+            Bne { rs, rt, offset } => {
+                if self.reg(rs) != self.reg(rt) {
+                    return Ok(rel(offset));
+                }
+            }
+            Blez { rs, offset } => {
+                if (self.reg(rs) as i32) <= 0 {
+                    return Ok(rel(offset));
+                }
+            }
+            Bgtz { rs, offset } => {
+                if (self.reg(rs) as i32) > 0 {
+                    return Ok(rel(offset));
+                }
+            }
+            J { offset } => return Ok(rel(offset)),
+            Jal { offset } => {
+                self.gpr[31] = next_pc as u32;
+                return Ok(rel(offset));
+            }
+            Jr { rs } => return Ok(Outcome::Branch(self.reg(rs) as u64)),
+            Jalr { rd, rs } => {
+                // Read the target before writing rd: `jalr $t0,$t0` must
+                // branch to the old value.
+                let target = self.reg(rs);
+                self.set_reg(rd, next_pc as u32);
+                return Ok(Outcome::Branch(target as u64));
+            }
+
+            // ---- system --------------------------------------------------
+            Syscall => return Ok(Outcome::Halt),
+            Break => return Err(MachineError::Trap),
+            Illegal(word) => return Err(MachineError::IllegalInstruction { word }),
+        }
+        Ok(Outcome::Next)
+    }
+}
+
+impl codense_isa::Core for Machine {
+    fn step_word(
+        &mut self,
+        word: u32,
+        cur_pc: u64,
+        next_pc: u64,
+        granule: u32,
+    ) -> Result<Outcome, MachineError> {
+        self.step(&crate::decode(word), cur_pc, next_pc, granule)
+    }
+
+    fn gpr(&self, r: usize) -> u32 {
+        self.gpr[r]
+    }
+
+    fn set_gpr(&mut self, r: usize, v: u32) {
+        if r != 0 {
+            self.gpr[r] = v;
+        }
+    }
+
+    fn write32(&mut self, addr: u32, v: u32) -> Result<(), MachineError> {
+        self.store32(addr, v)
+    }
+
+    fn mem_bytes(&self) -> &[u8] {
+        &self.mem
+    }
+
+    fn exit_code(&self) -> u32 {
+        self.gpr[2]
+    }
+
+    fn flags(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::*;
+
+    fn m() -> Machine {
+        Machine::new(64 * 1024)
+    }
+
+    fn exec(mach: &mut Machine, insn: MInsn) -> Outcome {
+        mach.step(&insn, 0, 8, 8).unwrap()
+    }
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut mach = m();
+        exec(&mut mach, MInsn::Addiu { rt: ZERO, rs: ZERO, imm: 5 });
+        assert_eq!(mach.gpr[0], 0);
+        exec(&mut mach, MInsn::Lui { rt: ZERO, imm: 0xffff });
+        assert_eq!(mach.gpr[0], 0);
+    }
+
+    #[test]
+    fn sp_parked_near_top() {
+        let mach = Machine::new(1 << 16);
+        assert_eq!(mach.gpr[29], (0x1_0000 - 64) & !15);
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let mut mach = m();
+        exec(&mut mach, MInsn::Addiu { rt: V0, rs: ZERO, imm: -5 });
+        assert_eq!(mach.gpr[2], (-5i32) as u32);
+        exec(&mut mach, MInsn::Lui { rt: V1, imm: 1 });
+        assert_eq!(mach.gpr[3], 0x0001_0000);
+        exec(&mut mach, MInsn::Addu { rd: A0, rs: V0, rt: V1 });
+        assert_eq!(mach.gpr[4], 0x0000_fffb);
+        exec(&mut mach, MInsn::Subu { rd: A1, rs: ZERO, rt: V0 });
+        assert_eq!(mach.gpr[5], 5);
+    }
+
+    #[test]
+    fn compare_signed_vs_unsigned() {
+        let mut mach = m();
+        mach.gpr[8] = (-1i32) as u32;
+        exec(&mut mach, MInsn::Slt { rd: T1, rs: T0, rt: ZERO });
+        assert_eq!(mach.gpr[9], 1, "-1 < 0 signed");
+        exec(&mut mach, MInsn::Sltu { rd: T1, rs: T0, rt: ZERO });
+        assert_eq!(mach.gpr[9], 0, "0xffffffff > 0 unsigned");
+        exec(&mut mach, MInsn::Slti { rt: T1, rs: T0, imm: 0 });
+        assert_eq!(mach.gpr[9], 1);
+        // sltiu sign-extends then compares unsigned: imm -1 → 0xffffffff.
+        mach.gpr[8] = 7;
+        exec(&mut mach, MInsn::Sltiu { rt: T1, rs: T0, imm: -1 });
+        assert_eq!(mach.gpr[9], 1);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_endianness() {
+        let mut mach = m();
+        mach.gpr[9] = 0x100;
+        mach.gpr[8] = 0xdead_beef;
+        exec(&mut mach, MInsn::Sw { rt: T0, base: T1, offset: 4 });
+        assert_eq!(&mach.mem[0x104..0x108], &[0xde, 0xad, 0xbe, 0xef]);
+        exec(&mut mach, MInsn::Lbu { rt: T2, base: T1, offset: 5 });
+        assert_eq!(mach.gpr[10], 0xad);
+        exec(&mut mach, MInsn::Lhu { rt: T2, base: T1, offset: 6 });
+        assert_eq!(mach.gpr[10], 0xbeef);
+        exec(&mut mach, MInsn::Lh { rt: T2, base: T1, offset: 6 });
+        assert_eq!(mach.gpr[10], 0xffff_beef);
+        exec(&mut mach, MInsn::Lb { rt: T2, base: T1, offset: 4 });
+        assert_eq!(mach.gpr[10], 0xffff_ffde);
+    }
+
+    #[test]
+    fn memory_fault_detected() {
+        let mut mach = m();
+        mach.gpr[9] = mach.mem.len() as u32;
+        let err = mach.step(&MInsn::Lw { rt: T0, base: T1, offset: 0 }, 0, 8, 8).unwrap_err();
+        assert!(matches!(err, MachineError::MemoryFault { .. }));
+    }
+
+    #[test]
+    fn shifts_variable_and_immediate() {
+        let mut mach = m();
+        mach.gpr[8] = 0x8000_0001;
+        exec(&mut mach, MInsn::Srl { rd: T1, rt: T0, sa: 4 });
+        assert_eq!(mach.gpr[9], 0x0800_0000);
+        exec(&mut mach, MInsn::Sra { rd: T1, rt: T0, sa: 4 });
+        assert_eq!(mach.gpr[9], 0xf800_0000);
+        mach.gpr[10] = 36; // only the low 5 bits count
+        exec(&mut mach, MInsn::Sllv { rd: T1, rt: T0, rs: T2 });
+        assert_eq!(mach.gpr[9], 0x0000_0010);
+    }
+
+    #[test]
+    fn division_edge_cases_defined() {
+        let mut mach = m();
+        mach.gpr[8] = 7;
+        exec(&mut mach, MInsn::Div { rd: T1, rs: T0, rt: ZERO });
+        assert_eq!(mach.gpr[9], 0, "divide by zero yields 0 in this model");
+        mach.gpr[8] = 0x8000_0000;
+        mach.gpr[10] = 0xffff_ffff;
+        exec(&mut mach, MInsn::Div { rd: T1, rs: T0, rt: T2 });
+        assert_eq!(mach.gpr[9], 0, "MIN / -1 yields 0 in this model");
+        mach.gpr[8] = 100;
+        mach.gpr[10] = 7;
+        exec(&mut mach, MInsn::Divu { rd: T1, rs: T0, rt: T2 });
+        assert_eq!(mach.gpr[9], 14);
+        exec(&mut mach, MInsn::Div { rd: T1, rs: T0, rt: T2 });
+        assert_eq!(mach.gpr[9], 14);
+    }
+
+    #[test]
+    fn branch_granule_scaling() {
+        let mut mach = m();
+        // beq $0,$0,.+16 bytes = 4 units. At granule 8: +32 nibbles.
+        let beq = MInsn::Beq { rs: ZERO, rt: ZERO, offset: 16 };
+        assert_eq!(mach.step(&beq, 100, 108, 8).unwrap(), Outcome::Branch(100 + 4 * 8));
+        // Same instruction in a nibble-compressed program (granule 1).
+        assert_eq!(mach.step(&beq, 100, 109, 1).unwrap(), Outcome::Branch(104));
+        // Not taken falls through.
+        mach.gpr[8] = 1;
+        let bne_not = MInsn::Beq { rs: T0, rt: ZERO, offset: 16 };
+        assert_eq!(mach.step(&bne_not, 100, 108, 8).unwrap(), Outcome::Next);
+    }
+
+    #[test]
+    fn conditional_senses() {
+        let mut mach = m();
+        let taken = |mach: &mut Machine, insn: MInsn| {
+            matches!(mach.step(&insn, 0, 8, 8).unwrap(), Outcome::Branch(_))
+        };
+        mach.gpr[8] = (-3i32) as u32;
+        assert!(taken(&mut mach, MInsn::Bltz { rs: T0, offset: 8 }));
+        assert!(!taken(&mut mach, MInsn::Bgez { rs: T0, offset: 8 }));
+        assert!(taken(&mut mach, MInsn::Blez { rs: T0, offset: 8 }));
+        assert!(!taken(&mut mach, MInsn::Bgtz { rs: T0, offset: 8 }));
+        mach.gpr[8] = 0;
+        assert!(taken(&mut mach, MInsn::Bgez { rs: T0, offset: 8 }));
+        assert!(taken(&mut mach, MInsn::Blez { rs: T0, offset: 8 }));
+        assert!(!taken(&mut mach, MInsn::Bltz { rs: T0, offset: 8 }));
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut mach = m();
+        let out = mach.step(&MInsn::Jal { offset: 40 }, 64, 72, 8).unwrap();
+        assert_eq!(out, Outcome::Branch(64 + 10 * 8));
+        assert_eq!(mach.gpr[31], 72);
+        let out = mach.step(&MInsn::Jr { rs: RA }, 200, 208, 8).unwrap();
+        assert_eq!(out, Outcome::Branch(72));
+    }
+
+    #[test]
+    fn jalr_reads_target_before_link() {
+        let mut mach = m();
+        mach.gpr[8] = 0x400;
+        let out = mach.step(&MInsn::Jalr { rd: T0, rs: T0 }, 0, 8, 8).unwrap();
+        assert_eq!(out, Outcome::Branch(0x400));
+        assert_eq!(mach.gpr[8], 8, "rd gets the return address");
+    }
+
+    #[test]
+    fn trap_and_halt() {
+        let mut mach = m();
+        assert_eq!(mach.step(&MInsn::Break, 0, 8, 8).unwrap_err(), MachineError::Trap);
+        mach.gpr[2] = 42;
+        assert_eq!(exec(&mut mach, MInsn::Syscall), Outcome::Halt);
+        use codense_isa::Core;
+        assert_eq!(mach.exit_code(), 42);
+    }
+}

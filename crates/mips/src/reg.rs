@@ -1,0 +1,139 @@
+//! Register newtype and O32 calling-convention aliases.
+//!
+//! Field values are validated at construction ([`Reg::new`]) so encoded
+//! instructions are well-formed by construction.
+
+use std::fmt;
+
+/// A general-purpose register, `$0`–`$31`.
+///
+/// ```
+/// use codense_mips::reg::Reg;
+/// let r = Reg::new(2).unwrap();
+/// assert_eq!(r.number(), 2);
+/// assert_eq!(r.to_string(), "$2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Creates a register from its number. Returns `None` if `n > 31`.
+    pub const fn new(n: u8) -> Option<Reg> {
+        if n < 32 {
+            Some(Reg(n))
+        } else {
+            None
+        }
+    }
+
+    /// Creates a register from the low 5 bits of an encoded field.
+    pub(crate) const fn from_field(bits: u32) -> Reg {
+        Reg((bits & 0x1f) as u8)
+    }
+
+    /// The register number, `0..=31`.
+    pub const fn number(self) -> u8 {
+        self.0
+    }
+
+    /// The register number as an encodable field value.
+    pub(crate) const fn field(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.0)
+    }
+}
+
+macro_rules! reg_consts {
+    ($($(#[doc = $doc:expr])* $name:ident = $n:expr),* $(,)?) => {
+        $(
+            $(#[doc = $doc])*
+            pub const $name: Reg = Reg($n);
+        )*
+    };
+}
+
+reg_consts! {
+    /// `$0` — hardwired zero.
+    ZERO = 0,
+    /// `$1` — assembler temporary (the overflow-dispatch scratch).
+    AT = 1,
+    /// `$2` — first return value (`$v0`; the VM's exit code).
+    V0 = 2,
+    /// `$3` — second return value (`$v1`).
+    V1 = 3,
+    /// `$4` — first argument (`$a0`).
+    A0 = 4,
+    /// `$5` — second argument (`$a1`).
+    A1 = 5,
+    /// `$6` — third argument (`$a2`).
+    A2 = 6,
+    /// `$7` — fourth argument (`$a3`).
+    A3 = 7,
+    /// `$8` — caller-saved temporary (`$t0`).
+    T0 = 8,
+    /// `$9` — caller-saved temporary (`$t1`).
+    T1 = 9,
+    /// `$10` — caller-saved temporary (`$t2`).
+    T2 = 10,
+    /// `$11` — caller-saved temporary (`$t3`).
+    T3 = 11,
+    /// `$12` — caller-saved temporary (`$t4`).
+    T4 = 12,
+    /// `$13` — caller-saved temporary (`$t5`).
+    T5 = 13,
+    /// `$14` — caller-saved temporary (`$t6`).
+    T6 = 14,
+    /// `$15` — caller-saved temporary (`$t7`).
+    T7 = 15,
+    /// `$16` — callee-saved (`$s0`).
+    S0 = 16,
+    /// `$17` — callee-saved (`$s1`).
+    S1 = 17,
+    /// `$18` — callee-saved (`$s2`).
+    S2 = 18,
+    /// `$19` — callee-saved (`$s3`).
+    S3 = 19,
+    /// `$20` — callee-saved (`$s4`).
+    S4 = 20,
+    /// `$21` — callee-saved (`$s5`).
+    S5 = 21,
+    /// `$22` — callee-saved (`$s6`).
+    S6 = 22,
+    /// `$23` — callee-saved (`$s7`).
+    S7 = 23,
+    /// `$24` — caller-saved temporary (`$t8`).
+    T8 = 24,
+    /// `$25` — caller-saved temporary (`$t9`).
+    T9 = 25,
+    /// `$28` — global pointer (`$gp`).
+    GP = 28,
+    /// `$29` — stack pointer (`$sp`).
+    SP = 29,
+    /// `$30` — frame pointer (`$fp`).
+    FP = 30,
+    /// `$31` — return address (`$ra`).
+    RA = 31,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds() {
+        assert_eq!(Reg::new(31), Some(RA));
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(SP.number(), 29);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(V0.to_string(), "$2");
+        assert_eq!(RA.to_string(), "$31");
+    }
+}

@@ -7,7 +7,7 @@
 //! contains no branch target except possibly its own first instruction.
 
 use crate::module::ObjectModule;
-use codense_ppc::branch::rel_branch_info;
+use codense_isa::IsaRef;
 
 /// The basic-block partition of a module's text section.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,17 +19,30 @@ pub struct BasicBlocks {
 }
 
 impl BasicBlocks {
-    /// Computes the partition for a module.
-    ///
-    /// Leaders are: instruction 0, every function entry, every PC-relative
-    /// branch target, every jump-table target, and every instruction
-    /// following a control transfer (including indirect branches and `sc`).
+    /// Computes the partition for a module under PowerPC decoding (see
+    /// [`compute_with`](Self::compute_with)).
     ///
     /// # Panics
     ///
     /// Panics if a branch or jump-table target lies outside the text
     /// section — run [`ObjectModule::validate`] first for untrusted input.
     pub fn compute(module: &ObjectModule) -> BasicBlocks {
+        BasicBlocks::compute_with(module, IsaRef(&codense_ppc::ISA))
+    }
+
+    /// Computes the partition for a module under `isa`.
+    ///
+    /// Leaders are: instruction 0, every function entry, every PC-relative
+    /// branch target, every jump-table target, and every instruction
+    /// following a control transfer (including indirect branches and
+    /// system calls).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a branch or jump-table target lies outside the text
+    /// section — run [`ObjectModule::validate_with`] first for untrusted
+    /// input.
+    pub fn compute_with(module: &ObjectModule, isa: IsaRef) -> BasicBlocks {
         let n = module.code.len();
         let mut leaders = vec![false; n];
         if n > 0 {
@@ -46,13 +59,11 @@ impl BasicBlocks {
             }
         }
         for (i, &w) in module.code.iter().enumerate() {
-            let insn = codense_ppc::decode(w);
-            if let Some(info) = rel_branch_info(w) {
+            if let Some(info) = isa.rel_branch_info(w) {
                 let target = (i as i64 + (info.offset / 4) as i64) as usize;
                 leaders[target] = true;
             }
-            let ends_block = insn.is_branch() || matches!(insn, codense_ppc::Insn::Sc);
-            if ends_block && i + 1 < n {
+            if isa.ends_block(w) && i + 1 < n {
                 leaders[i + 1] = true;
             }
         }

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::ops::Range;
 
-use codense_ppc::branch::rel_branch_info;
+use codense_isa::IsaRef;
 
 /// Metadata for one function in the text section.
 ///
@@ -162,24 +162,41 @@ impl ObjectModule {
     }
 
     /// The instruction-index target of the PC-relative branch at `at`, if
-    /// the instruction is one.
+    /// the instruction is one (PowerPC decoding; see
+    /// [`branch_target_with`](Self::branch_target_with)).
     pub fn branch_target(&self, at: usize) -> Option<usize> {
-        let info = rel_branch_info(self.code[at])?;
+        self.branch_target_with(IsaRef(&codense_ppc::ISA), at)
+    }
+
+    /// The instruction-index target of the PC-relative branch at `at` under
+    /// `isa`, if the instruction is one.
+    pub fn branch_target_with(&self, isa: IsaRef, at: usize) -> Option<usize> {
+        let info = isa.rel_branch_info(self.code[at])?;
         let target = at as i64 + info.offset as i64 / 4;
         debug_assert!(target >= 0 && (target as usize) < self.code.len());
         Some(target as usize)
     }
 
-    /// Checks internal consistency: every relative branch and jump-table
-    /// entry targets a valid, aligned instruction, and function ranges are
-    /// sane.
+    /// Checks internal consistency under PowerPC decoding (see
+    /// [`validate_with`](Self::validate_with)).
     ///
     /// # Errors
     ///
     /// Returns the first [`ModuleError`] encountered.
     pub fn validate(&self) -> Result<(), ModuleError> {
+        self.validate_with(IsaRef(&codense_ppc::ISA))
+    }
+
+    /// Checks internal consistency under `isa`: every relative branch and
+    /// jump-table entry targets a valid, aligned instruction, and function
+    /// ranges are sane.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ModuleError`] encountered.
+    pub fn validate_with(&self, isa: IsaRef) -> Result<(), ModuleError> {
         for (i, &w) in self.code.iter().enumerate() {
-            if let Some(info) = rel_branch_info(w) {
+            if let Some(info) = isa.rel_branch_info(w) {
                 if info.offset % 4 != 0 {
                     return Err(ModuleError::MisalignedBranch { at: i });
                 }

@@ -35,6 +35,8 @@ pub mod decode;
 pub mod disasm;
 pub mod encode;
 pub mod insn;
+pub mod isa;
+pub mod machine;
 pub mod opcode;
 pub mod parse;
 pub mod reg;
@@ -42,6 +44,8 @@ pub mod reg;
 pub use decode::decode;
 pub use encode::encode;
 pub use insn::Insn;
+pub use isa::ISA;
+pub use machine::Machine;
 pub use reg::{CrField, Gpr, Spr};
 
 /// Size of one (uncompressed) PowerPC instruction in bytes.

@@ -7,13 +7,17 @@
 //! dictionary into an expansion buffer that feeds the core one instruction
 //! at a time.
 //!
+//! Both engines deliver raw instruction *words* — decode belongs to the
+//! target core ([`codense_isa::Core::step_word`]), which keeps the fetch
+//! path ISA-independent.
+//!
 //! Both engines report [`FetchStats`], making the fetch-bandwidth effect of
 //! compression measurable (the I-cache angle of [Chen97]).
 
-use codense_core::encoding::{read_item, Item};
+use codense_core::encoding::{read_item_with, Item};
 use codense_core::nibbles::NibbleReader;
 use codense_core::{telemetry, CompressedProgram};
-use codense_ppc::Insn;
+use codense_isa::IsaRef;
 
 use crate::machine::MachineError;
 
@@ -55,8 +59,8 @@ impl FetchStats {
 /// One fetched instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Fetched {
-    /// The decoded instruction.
-    pub insn: Insn,
+    /// The raw instruction word (the core decodes it).
+    pub word: u32,
     /// Fetch-domain address of the following instruction (what sequential
     /// flow and `lk` should use).
     pub next_pc: u64,
@@ -106,7 +110,7 @@ impl Fetch for LinearFetcher {
         self.stats.nibbles_fetched += 8;
         telemetry::VM_FETCH_LINEAR_INSNS.inc();
         telemetry::VM_FETCH_NIBBLES.add(8);
-        Ok(Fetched { insn: codense_ppc::decode(word), next_pc: pc + 8 })
+        Ok(Fetched { word, next_pc: pc + 8 })
     }
 
     fn granule(&self) -> u32 {
@@ -129,10 +133,12 @@ impl Fetch for LinearFetcher {
 pub struct CompressedFetcher {
     image: Vec<u8>,
     encoding: codense_core::EncodingKind,
+    /// The ISA whose escape bytes introduce stream items.
+    isa: IsaRef,
     /// Dictionary entries by codeword rank.
-    by_rank: Vec<Vec<Insn>>,
+    by_rank: Vec<Vec<u32>>,
     /// Remaining instructions of the codeword being drained.
-    buffer: Vec<Insn>,
+    buffer: Vec<u32>,
     /// Position within the draining codeword.
     buffer_pos: usize,
     /// PC the buffer belongs to.
@@ -154,22 +160,18 @@ pub struct CompressedFetcher {
 impl CompressedFetcher {
     /// Builds the fetch engine from a compressed program (the image and the
     /// dictionary; atoms/addresses are not consulted — the engine parses
-    /// the byte image exactly as hardware would).
+    /// the byte image exactly as hardware would). The program's ISA is used
+    /// for escape detection.
     pub fn new(program: &CompressedProgram) -> CompressedFetcher {
         let mut by_rank = vec![Vec::new(); program.dictionary.len()];
         for rank in 0..program.dictionary.len() as u32 {
             let entry = program.dictionary.entry_of_rank(rank);
-            by_rank[rank as usize] = program
-                .dictionary
-                .entry(entry)
-                .words
-                .iter()
-                .map(|&w| codense_ppc::decode(w))
-                .collect();
+            by_rank[rank as usize] = program.dictionary.entry(entry).words.clone();
         }
         CompressedFetcher {
             image: program.image.clone(),
             encoding: program.encoding,
+            isa: program.isa,
             by_rank,
             buffer: Vec::new(),
             buffer_pos: 0,
@@ -182,16 +184,23 @@ impl CompressedFetcher {
     }
 
     /// Builds the fetch engine from a deserialized container image (see
-    /// `codense_core::container`): what a real decoder boots from.
+    /// `codense_core::container`): what a real decoder boots from. The
+    /// container format does not record an ISA; this assumes PowerPC (see
+    /// [`from_image_with`](Self::from_image_with)).
     pub fn from_image(image: &codense_core::container::ProgramImage) -> CompressedFetcher {
+        CompressedFetcher::from_image_with(image, IsaRef(&codense_ppc::ISA))
+    }
+
+    /// Like [`from_image`](Self::from_image), for an explicit target ISA.
+    pub fn from_image_with(
+        image: &codense_core::container::ProgramImage,
+        isa: IsaRef,
+    ) -> CompressedFetcher {
         CompressedFetcher {
             image: image.image.clone(),
             encoding: image.encoding,
-            by_rank: image
-                .dictionary_by_rank
-                .iter()
-                .map(|words| words.iter().map(|&w| codense_ppc::decode(w)).collect())
-                .collect(),
+            isa,
+            by_rank: image.dictionary_by_rank.clone(),
             buffer: Vec::new(),
             buffer_pos: 0,
             buffer_pc: u64::MAX,
@@ -232,7 +241,7 @@ impl CompressedFetcher {
     }
 
     fn deliver_buffered(&mut self) -> Fetched {
-        let insn = self.buffer[self.buffer_pos];
+        let word = self.buffer[self.buffer_pos];
         self.buffer_pos += 1;
         self.stats.insns += 1;
         self.stats.expanded_insns += 1;
@@ -240,7 +249,7 @@ impl CompressedFetcher {
         let next_pc =
             if self.buffer_pos < self.buffer.len() { self.buffer_pc } else { self.after_buffer };
         self.expect_pc = next_pc;
-        Fetched { insn, next_pc }
+        Fetched { word, next_pc }
     }
 }
 
@@ -260,7 +269,7 @@ impl Fetch for CompressedFetcher {
         let mut r = NibbleReader::new(&self.image);
         r.seek(pc);
         let before = r.pos();
-        match read_item(self.encoding, &mut r) {
+        match read_item_with(self.encoding, self.isa, &mut r) {
             Some(Item::Insn(word)) => {
                 self.stats.insns += 1;
                 self.stats.nibbles_fetched += r.pos() - before;
@@ -271,7 +280,7 @@ impl Fetch for CompressedFetcher {
                 // Leaving any previous codeword behind.
                 self.buffer_pc = u64::MAX;
                 self.expect_pc = r.pos();
-                Ok(Fetched { insn: codense_ppc::decode(word), next_pc: r.pos() })
+                Ok(Fetched { word, next_pc: r.pos() })
             }
             Some(Item::Codeword(rank)) => {
                 let seq =
@@ -310,6 +319,7 @@ mod tests {
     use codense_core::{CompressionConfig, Compressor};
     use codense_obj::ObjectModule;
     use codense_ppc::encode;
+    use codense_ppc::insn::Insn;
     use codense_ppc::reg::*;
 
     fn module() -> ObjectModule {
@@ -328,7 +338,7 @@ mod tests {
         let mut f = LinearFetcher::new(m.code.clone());
         let f0 = f.fetch(0).unwrap();
         assert_eq!(f0.next_pc, 8);
-        assert_eq!(f0.insn, Insn::Addi { rt: R3, ra: R3, si: 1 });
+        assert_eq!(f0.word, encode(&Insn::Addi { rt: R3, ra: R3, si: 1 }));
         assert!(f.fetch(4).is_err(), "misaligned fetch must fault");
         assert!(f.fetch(8 * 100).is_err());
         assert_eq!(f.stats().insns, 1);
@@ -348,11 +358,10 @@ mod tests {
             let mut got = Vec::new();
             for _ in 0..m.len() {
                 let fetched = f.fetch(pc).unwrap();
-                got.push(fetched.insn);
+                got.push(fetched.word);
                 pc = fetched.next_pc;
             }
-            let want: Vec<Insn> = m.code.iter().map(|&w| codense_ppc::decode(w)).collect();
-            assert_eq!(got, want);
+            assert_eq!(got, m.code);
         }
     }
 

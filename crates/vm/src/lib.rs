@@ -41,5 +41,5 @@ pub mod machine;
 pub mod run;
 
 pub use fetch::{CompressedFetcher, Fetch, FetchStats, LinearFetcher};
-pub use machine::{Machine, MachineError, Outcome};
+pub use machine::{Core, Machine, MachineError, Outcome};
 pub use run::{run, run_traced, RunResult};

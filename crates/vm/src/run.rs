@@ -1,27 +1,27 @@
-//! The execution loop gluing a [`Machine`] to a fetch engine.
+//! The execution loop gluing a [`Core`] to a fetch engine.
 
 use crate::fetch::{Fetch, FetchStats};
-use crate::machine::{Machine, MachineError, Outcome};
+use crate::machine::{Core, MachineError, Outcome};
 
 /// Result of a completed run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunResult {
-    /// Value of `r3` at the `sc` halt.
+    /// The core's exit value at the halt (`r3` on PowerPC, `$v0` on MIPS).
     pub exit_code: u32,
-    /// Instructions executed (including the `sc`).
+    /// Instructions executed (including the halting one).
     pub steps: u64,
     /// Final fetch counters.
     pub stats: FetchStats,
 }
 
-/// Runs until `sc` or the step budget is exhausted.
+/// Runs until the core halts or the step budget is exhausted.
 ///
 /// # Errors
 ///
 /// Propagates any [`MachineError`]; [`MachineError::StepLimit`] if the
 /// program does not halt within `max_steps`.
 pub fn run(
-    machine: &mut Machine,
+    core: &mut dyn Core,
     fetch: &mut dyn Fetch,
     entry: u64,
     max_steps: u64,
@@ -29,12 +29,12 @@ pub fn run(
     let mut pc = entry;
     for step in 0..max_steps {
         let fetched = fetch.fetch(pc)?;
-        match machine.step(&fetched.insn, pc, fetched.next_pc, fetch.granule())? {
+        match core.step_word(fetched.word, pc, fetched.next_pc, fetch.granule())? {
             Outcome::Next => pc = fetched.next_pc,
             Outcome::Branch(target) => pc = target,
             Outcome::Halt => {
                 return Ok(RunResult {
-                    exit_code: machine.gpr[3],
+                    exit_code: core.exit_code(),
                     steps: step + 1,
                     stats: fetch.stats(),
                 })
@@ -45,29 +45,29 @@ pub fn run(
 }
 
 /// Like [`run`], invoking `observer` before each executed instruction with
-/// `(pc, insn)` — the debugging/tracing hook (`codense-cache`'s
+/// `(pc, word)` — the debugging/tracing hook (`codense-cache`'s
 /// `TracingFetch` is the memory-reference counterpart).
 ///
 /// # Errors
 ///
 /// Same as [`run`].
 pub fn run_traced(
-    machine: &mut Machine,
+    core: &mut dyn Core,
     fetch: &mut dyn Fetch,
     entry: u64,
     max_steps: u64,
-    mut observer: impl FnMut(u64, &codense_ppc::Insn),
+    mut observer: impl FnMut(u64, u32),
 ) -> Result<RunResult, MachineError> {
     let mut pc = entry;
     for step in 0..max_steps {
         let fetched = fetch.fetch(pc)?;
-        observer(pc, &fetched.insn);
-        match machine.step(&fetched.insn, pc, fetched.next_pc, fetch.granule())? {
+        observer(pc, fetched.word);
+        match core.step_word(fetched.word, pc, fetched.next_pc, fetch.granule())? {
             Outcome::Next => pc = fetched.next_pc,
             Outcome::Branch(target) => pc = target,
             Outcome::Halt => {
                 return Ok(RunResult {
-                    exit_code: machine.gpr[3],
+                    exit_code: core.exit_code(),
                     steps: step + 1,
                     stats: fetch.stats(),
                 })
@@ -81,6 +81,7 @@ pub fn run_traced(
 mod tests {
     use super::*;
     use crate::fetch::LinearFetcher;
+    use crate::machine::Machine;
     use codense_ppc::asm::Assembler;
     use codense_ppc::insn::Insn;
     use codense_ppc::reg::*;
@@ -108,14 +109,14 @@ mod tests {
         let mut machine = Machine::new(4096);
         let mut fetch = LinearFetcher::new(code);
         let mut trace = Vec::new();
-        let result = super::run_traced(&mut machine, &mut fetch, 0, 100, |pc, insn| {
-            trace.push((pc, *insn));
+        let result = super::run_traced(&mut machine, &mut fetch, 0, 100, |pc, word| {
+            trace.push((pc, word));
         })
         .unwrap();
         assert_eq!(result.steps, 3);
         assert_eq!(trace.len(), 3);
         assert_eq!(trace[0].0, 0);
-        assert_eq!(trace[2].1, Insn::Sc);
+        assert_eq!(codense_ppc::decode(trace[2].1), Insn::Sc);
     }
 
     #[test]

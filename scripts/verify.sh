@@ -29,6 +29,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> fuzz smoke (500 cases)"
 ./target/release/codense fuzz --cases 500 --seed 1
 
+echo "==> cross-ISA fuzz smoke (mips, 500 cases)"
+./target/release/codense fuzz --isa mips --cases 500 --seed 1
+
 echo "==> metrics determinism smoke (repro, --jobs 1 vs --jobs 8)"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -38,6 +41,16 @@ trap 'rm -rf "$tmp"' EXIT
 sed -n '/"counters"/,/}/p' "$tmp/j1.json" > "$tmp/j1.counters"
 sed -n '/"counters"/,/}/p' "$tmp/j8.json" > "$tmp/j8.counters"
 diff -u "$tmp/j1.counters" "$tmp/j8.counters"
+
+echo "==> per-ISA gate (mips repro + counters --jobs 1 vs --jobs 8)"
+./target/release/codense repro --isa mips --jobs 1 --metrics "$tmp/m1.json" >/dev/null
+./target/release/codense repro --isa mips --jobs 8 --metrics "$tmp/m8.json" >/dev/null
+sed -n '/"counters"/,/}/p' "$tmp/m1.json" > "$tmp/m1.counters"
+sed -n '/"counters"/,/}/p' "$tmp/m8.json" > "$tmp/m8.counters"
+diff -u "$tmp/m1.counters" "$tmp/m8.counters"
+# The checked-in BENCH_isa.json must match a fresh run of both backends.
+./target/release/codense repro --isa both --out "$tmp/BENCH_isa.json" >/dev/null
+diff -u BENCH_isa.json "$tmp/BENCH_isa.json"
 
 echo "==> hybrid determinism gate (profile + hybrid, --jobs 1 vs --jobs 8)"
 for j in 1 8; do

@@ -14,7 +14,9 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
+//! | [`isa`] | `codense-isa` | the `Isa` trait: ISA-neutral compression contract |
 //! | [`ppc`] | `codense-ppc` | PowerPC subset: encode/decode/disassemble/assemble |
+//! | [`mips`] | `codense-mips` | MIPS-like subset: second backend behind the `Isa` trait |
 //! | [`obj`] | `codense-obj` | object-module model, basic blocks |
 //! | [`codegen`] | `codense-codegen` | synthetic SDTS compiler + benchmarks |
 //! | [`core`] | `codense-core` | the compression pipeline (the contribution) |
@@ -50,8 +52,10 @@ pub use codense_ccrp as ccrp;
 pub use codense_codegen as codegen;
 pub use codense_core as core;
 pub use codense_huffman as huffman;
+pub use codense_isa as isa;
 pub use codense_liao as liao;
 pub use codense_lzw as lzw;
+pub use codense_mips as mips;
 pub use codense_obj as obj;
 pub use codense_ppc as ppc;
 pub use codense_profile as profile;
@@ -62,6 +66,7 @@ pub use codense_vm as vm;
 pub mod prelude {
     pub use codense_core::verify::verify;
     pub use codense_core::{CompressedProgram, CompressionConfig, Compressor, EncodingKind};
+    pub use codense_isa::IsaRef;
     pub use codense_obj::ObjectModule;
     pub use codense_ppc::{decode, encode, Insn};
     pub use codense_vm::{CompressedFetcher, LinearFetcher, Machine};

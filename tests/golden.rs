@@ -55,17 +55,37 @@ fn render_snapshot(encoding_name: &str, config: &CompressionConfig) -> String {
     render_snapshot_with(encoding_name, config, false)
 }
 
+/// [`render_snapshot`] for the MIPS suite: same record format, but the
+/// compressor is pointed at the MIPS backend and the benchmarks come from
+/// the MIPS lowering of the synthetic suite.
+fn render_snapshot_mips(encoding_name: &str, config: &CompressionConfig) -> String {
+    render_suite(encoding_name, config, false, codense::codegen::generate_suite_mips(), |c| {
+        c.with_isa(IsaRef(&codense::mips::ISA))
+    })
+}
+
 /// [`render_snapshot`], optionally routed through `compress_masked` with an
 /// all-cold (nothing exempt) hotness mask — which must be indistinguishable
 /// from the plain path.
 fn render_snapshot_with(encoding_name: &str, config: &CompressionConfig, all_cold: bool) -> String {
+    // The PPC path deliberately leaves the compressor at its default ISA so
+    // these goldens also pin the default-construction behavior.
+    render_suite(encoding_name, config, all_cold, codense::codegen::generate_suite(), |c| c)
+}
+
+fn render_suite(
+    encoding_name: &str,
+    config: &CompressionConfig,
+    all_cold: bool,
+    suite: Vec<ObjectModule>,
+    bind_isa: impl Fn(Compressor) -> Compressor,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"encoding\": \"{encoding_name}\",\n"));
     out.push_str("  \"benches\": {\n");
-    let suite = codense::codegen::generate_suite();
     for (i, module) in suite.iter().enumerate() {
-        let compressor = Compressor::new(config.clone());
+        let compressor = bind_isa(Compressor::new(config.clone()));
         let c = if all_cold {
             compressor.compress_masked(module, &vec![false; module.len()])
         } else {
@@ -117,6 +137,43 @@ fn golden_onebyte() {
 #[test]
 fn golden_nibble() {
     check_golden("nibble.json", &render_snapshot("nibble", &CompressionConfig::nibble_aligned()));
+}
+
+#[test]
+fn golden_mips_baseline() {
+    check_golden(
+        "mips_baseline.json",
+        &render_snapshot_mips("baseline", &CompressionConfig::baseline()),
+    );
+}
+
+#[test]
+fn golden_mips_onebyte() {
+    check_golden(
+        "mips_onebyte.json",
+        &render_snapshot_mips("onebyte", &CompressionConfig::small_dictionary(256)),
+    );
+}
+
+#[test]
+fn golden_mips_nibble() {
+    check_golden(
+        "mips_nibble.json",
+        &render_snapshot_mips("nibble", &CompressionConfig::nibble_aligned()),
+    );
+}
+
+/// Binding the compressor explicitly to the PowerPC backend must be
+/// byte-identical to the default construction — the multi-ISA refactor may
+/// not perturb any PPC output.
+#[test]
+fn ppc_isa_binding_matches_default() {
+    let config = CompressionConfig::nibble_aligned();
+    let explicit =
+        render_suite("nibble", &config, false, codense::codegen::generate_suite(), |c| {
+            c.with_isa(IsaRef(&codense::ppc::ISA))
+        });
+    assert_eq!(explicit, render_snapshot("nibble", &config), "explicit PPC ISA drifted");
 }
 
 /// The hybrid all-cold edge case: `compress_masked` with nothing exempt is
