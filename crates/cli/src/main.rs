@@ -31,7 +31,9 @@
 //!                                             compression-throughput benchmark
 //! ```
 //!
-//! Encodings: `baseline` (2-byte codewords), `onebyte`, `nibble`.
+//! Encodings: `baseline` (2-byte codewords), `onebyte`, `nibble`,
+//! `huffman` (frequency-adaptive codeword lengths). Selectors (`--selector`
+//! on `compress`/`repro`/`speed`/`loadgen`): `greedy` (default), `refine`.
 //! ISAs (`--isa` on `asm`/`repro`/`sweep`/`fuzz`/`speed`): `ppc` (default),
 //! `mips`.
 //!
@@ -40,7 +42,9 @@
 
 use std::process::ExitCode;
 
-use codense_core::{container, verify::verify, CompressionConfig, Compressor, EncodingKind};
+use codense_core::{
+    container, verify::verify, CompressionConfig, Compressor, EncodingKind, SelectorKind,
+};
 use codense_obj::ObjectModule;
 
 fn main() -> ExitCode {
@@ -107,13 +111,17 @@ usage:
   codense gen <benchmark|all> [-o DIR]
   codense info <FILE.cdm|FILE.cdns>
   codense disasm <FILE.cdm|FILE.cdns> [START [COUNT]]
-  codense compress <FILE.cdm> [-o OUT.cdns] [--encoding baseline|onebyte|nibble]
+  codense compress <FILE.cdm> [-o OUT.cdns]
+                   [--encoding baseline|onebyte|nibble|huffman]
+                   [--selector greedy|refine]
                    [--max-entry N] [--max-codewords N]
   codense analyze <FILE.cdm>
   codense asm <FILE.s> [-o OUT.cdm] [--isa ppc|mips]
-  codense run-kernel <NAME|list> [--encoding baseline|onebyte|nibble|none]
+  codense run-kernel <NAME|list>
+                     [--encoding baseline|onebyte|nibble|huffman|none]
   codense repro [--bench NAME] [--isa ppc|mips|both] [--out BENCH_isa.json]
-  codense sweep [--bench NAME] [--isa ppc|mips]
+                [--selector greedy|refine] [--ratio-out BENCH_ratio.json]
+  codense sweep [--bench NAME] [--isa ppc|mips] [--selector greedy|refine]
   codense profile [--bench NAME] [--encoding baseline|onebyte|nibble]
                   [--max-steps N] [--out PROFILE.json]
   codense hybrid --bench NAME [--coverage FRAC | --threshold N]
@@ -125,18 +133,20 @@ usage:
   codense serve --addr HOST:PORT [--queue-depth N] [--timeout-ms N]
                 [--cache-bytes N]
   codense loadgen --addr HOST:PORT [--requests N] [--connections N]
-                  [--bench NAME] [--encoding baseline|onebyte|nibble]
+                  [--bench NAME] [--encoding baseline|onebyte|nibble|huffman]
+                  [--selector greedy|refine]
                   [--max-entry N] [--out BENCH_serve.json] [--shutdown]
                   [--server-jobs N] [--server-queue-depth N]
                   [--metrics-out METRICS.json]
   codense loadsweep --addr HOST:PORT [--bench NAME]
-                    [--encoding baseline|onebyte|nibble] [--max-entry N]
+                    [--encoding baseline|onebyte|nibble|huffman]
+                    [--selector greedy|refine] [--max-entry N]
                     [--rates CSV] [--point-requests N] [--connections N]
                     [--unique CSV] [--cache-requests N] [--seed S]
                     [--out BENCH_load.json] [--shutdown]
   codense speed [--bench NAME] [--samples N] [--out BENCH_speed.json]
                 [--no-reference] [--check BENCH_speed.json] [--floor X]
-                [--isa ppc|mips]
+                [--isa ppc|mips] [--selector greedy|refine]
 
 --jobs N sets the worker-thread count for parallel phases (candidate-index
 construction, suite generation, fuzz campaigns); the default is the
@@ -151,16 +161,22 @@ section is deterministic: byte-identical at any --jobs value; the
 contract.
 
 repro regenerates the deterministic synthetic benchmark suite, compresses
-every benchmark under all three encodings, verifies each result, and
+every benchmark under all four encodings, verifies each result, and
 prints the compression-ratio table (the paper's headline numbers).
 --isa selects the backend (the same IR suite lowered through PowerPC or
-MIPS templates; `both` prints one table per ISA). --out writes the
-schema-1 BENCH_isa.json cross-ISA density artifact, which always carries
-both backends (see EXPERIMENTS.md for the bless workflow).
+MIPS templates; `both` prints one table per ISA). --selector picks the
+dictionary selector for the printed table (greedy is the paper's
+algorithm; refine hill-climbs the greedy pick log under the real layout
+cost model). --out writes the schema-1 BENCH_isa.json cross-ISA density
+artifact, which always carries both backends under the greedy selector.
+--ratio-out writes the schema-1 BENCH_ratio.json density trajectory:
+per-bench ratios for every ISA x selector x encoding cell, with means
+(see EXPERIMENTS.md for both bless workflows).
 
 sweep runs the parameter sweeps behind Figures 4-8 (max entry length,
 codeword count, small dictionaries) on one benchmark (default `compress`)
-under the --isa backend.
+under the --isa backend. --selector refine recompresses every sweep
+point with the refinement selector (no pick-log shortcuts).
 
 serve runs the batch-compression TCP service (DESIGN.md section 10): a
 poll(2) reactor with pipelined per-connection state machines, a bounded
@@ -215,7 +231,7 @@ size-vs-cycles Pareto frontier (BENCH_hybrid.json, schema 1; see
 EXPERIMENTS.md for the bless workflow).
 
 fuzz generates seeded random programs, runs each natively and through the
-compressed fetch path under all three encodings in lockstep, and fault-
+compressed fetch path under all four encodings in lockstep, and fault-
 injects the binary container formats; failures print a reproducer case
 seed and a shrunk minimal program weight. Exit status 1 on any divergence
 or panic. --hybrid additionally derives a random block-aligned hotness
@@ -319,7 +335,18 @@ fn parse_encoding(name: &str) -> Result<EncodingKind, String> {
         "baseline" => Ok(EncodingKind::Baseline),
         "onebyte" => Ok(EncodingKind::OneByte),
         "nibble" => Ok(EncodingKind::NibbleAligned),
-        other => Err(format!("unknown encoding `{other}` (baseline|onebyte|nibble)")),
+        "huffman" => Ok(EncodingKind::Huffman),
+        other => Err(format!("unknown encoding `{other}` (baseline|onebyte|nibble|huffman)")),
+    }
+}
+
+/// Resolves a `--selector` flag to a dictionary selection strategy
+/// (default `greedy`).
+fn parse_selector(args: &[String]) -> Result<SelectorKind, String> {
+    match flag_value(args, "--selector") {
+        None | Some("greedy") => Ok(SelectorKind::Greedy),
+        Some("refine") => Ok(SelectorKind::Refine),
+        Some(other) => Err(format!("unknown selector `{other}` (greedy|refine)")),
     }
 }
 
@@ -404,14 +431,26 @@ fn cmd_disasm(args: &[String]) -> CliResult {
 /// Renders a compressed stream: nibble addresses, codewords with their
 /// expansions, and escaped instructions — an objdump for `.cdns` images.
 fn disasm_stream(image: &container::ProgramImage, skip_items: usize, count: usize) -> CliResult {
-    use codense_core::encoding::{read_item, Item};
+    use codense_core::encoding::{read_item_coded, Item};
+    use codense_core::huffcode::HuffCode;
     use codense_core::nibbles::NibbleReader;
+    let huff = if image.encoding == EncodingKind::Huffman {
+        Some(
+            HuffCode::from_nibble_lengths(image.huffman_lengths.clone())
+                .ok_or("corrupt huffman code-length table in container")?,
+        )
+    } else {
+        None
+    };
     let mut r = NibbleReader::new(&image.image);
     let mut index = 0usize;
     let mut shown = 0usize;
     while r.pos() < image.total_nibbles && shown < count {
         let at = r.pos();
-        let Some(item) = read_item(image.encoding, &mut r) else { break };
+        let Some(item) = read_item_coded(image.encoding, isa_ref("ppc"), huff.as_ref(), &mut r)
+        else {
+            break;
+        };
         if index >= skip_items {
             match item {
                 Item::Insn(word) => {
@@ -450,7 +489,10 @@ fn cmd_compress(args: &[String]) -> CliResult {
         .map(str::to_owned)
         .unwrap_or_else(|| format!("{}.cdns", path.trim_end_matches(".cdm")));
 
-    let compressed = Compressor::new(config).compress(&m).map_err(|e| e.to_string())?;
+    let compressed = Compressor::new(config)
+        .with_selector(parse_selector(args)?)
+        .compress(&m)
+        .map_err(|e| e.to_string())?;
     verify(&m, &compressed).map_err(|e| format!("verification failed: {e}"))?;
     std::fs::write(&out_path, container::serialize(&compressed))
         .map_err(|e| format!("{out_path}: {e}"))?;
@@ -594,15 +636,28 @@ fn cmd_asm(args: &[String]) -> CliResult {
 }
 
 /// The paper's headline experiment: regenerate the deterministic synthetic
-/// suite, compress every benchmark under all three encodings, verify each
+/// suite, compress every benchmark under all four encodings, verify each
 /// result, and print the ratio table.
 /// One `repro` table row: benchmark name, instruction count, text bytes,
-/// ratio per encoding (baseline, onebyte, nibble).
-type ReproRow = (String, usize, usize, [f64; 3]);
+/// ratio per encoding (baseline, onebyte, nibble, huffman).
+type ReproRow = (String, usize, usize, [f64; 4]);
+
+/// The repro encoding order (table column order; the JSON artifacts sort
+/// keys alphabetically on their own).
+const REPRO_ENCODINGS: [(&str, EncodingKind); 4] = [
+    ("baseline", EncodingKind::Baseline),
+    ("onebyte", EncodingKind::OneByte),
+    ("nibble", EncodingKind::NibbleAligned),
+    ("huffman", EncodingKind::Huffman),
+];
 
 /// Generates the suite for one backend and compresses every benchmark
-/// under all three encodings, verifying each result.
-fn repro_rows(isa: &str, bench_filter: Option<&str>) -> Result<Vec<ReproRow>, String> {
+/// under all four encodings with the given selector, verifying each result.
+fn repro_rows(
+    isa: &str,
+    bench_filter: Option<&str>,
+    selector: SelectorKind,
+) -> Result<Vec<ReproRow>, String> {
     use codense_core::telemetry;
     let profiles: Vec<_> = codense_codegen::spec_profiles()
         .into_iter()
@@ -622,14 +677,12 @@ fn repro_rows(isa: &str, bench_filter: Option<&str>) -> Result<Vec<ReproRow>, St
             }
         })
     };
-    const ENCODINGS: [EncodingKind; 3] =
-        [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned];
 
     let _compress_phase = telemetry::phase("compress-suite");
     let isa = isa_ref(isa);
     codense_core::parallel::par_map(modules, move |_, m| {
-        let mut ratios = [0.0f64; 3];
-        for (i, &encoding) in ENCODINGS.iter().enumerate() {
+        let mut ratios = [0.0f64; 4];
+        for (i, &(_, encoding)) in REPRO_ENCODINGS.iter().enumerate() {
             let config = CompressionConfig {
                 max_entry_len: 4,
                 max_codewords: encoding.capacity(),
@@ -637,6 +690,7 @@ fn repro_rows(isa: &str, bench_filter: Option<&str>) -> Result<Vec<ReproRow>, St
             };
             let c = Compressor::new(config)
                 .with_isa(isa)
+                .with_selector(selector)
                 .compress(&m)
                 .map_err(|e| format!("{}: {e}", m.name))?;
             verify(&m, &c).map_err(|e| format!("{} ({encoding:?}): {e}", m.name))?;
@@ -650,36 +704,38 @@ fn repro_rows(isa: &str, bench_filter: Option<&str>) -> Result<Vec<ReproRow>, St
 
 fn print_repro_table(rows: &[ReproRow]) {
     println!(
-        "{:<10} {:>7} {:>8} {:>9} {:>8} {:>7}",
-        "bench", "insns", "bytes", "baseline", "onebyte", "nibble"
+        "{:<10} {:>7} {:>8} {:>9} {:>8} {:>7} {:>8}",
+        "bench", "insns", "bytes", "baseline", "onebyte", "nibble", "huffman"
     );
-    let mut mean = [0.0f64; 3];
+    let mut mean = [0.0f64; 4];
     for (name, insns, bytes, r) in rows {
         println!(
-            "{name:<10} {insns:>7} {bytes:>8} {:>8.1}% {:>7.1}% {:>6.1}%",
+            "{name:<10} {insns:>7} {bytes:>8} {:>8.1}% {:>7.1}% {:>6.1}% {:>7.1}%",
             100.0 * r[0],
             100.0 * r[1],
-            100.0 * r[2]
+            100.0 * r[2],
+            100.0 * r[3]
         );
-        for i in 0..3 {
+        for i in 0..4 {
             mean[i] += r[i];
         }
     }
     let n = rows.len() as f64;
     println!(
-        "{:<10} {:>7} {:>8} {:>8.1}% {:>7.1}% {:>6.1}%",
+        "{:<10} {:>7} {:>8} {:>8.1}% {:>7.1}% {:>6.1}% {:>7.1}%",
         "average",
         "",
         "",
         100.0 * mean[0] / n,
         100.0 * mean[1] / n,
-        100.0 * mean[2] / n
+        100.0 * mean[2] / n,
+        100.0 * mean[3] / n
     );
 }
 
 /// Renders the schema-1 `BENCH_isa.json` cross-ISA density artifact:
 /// sorted-key JSON with per-benchmark ratios and per-ISA means for both
-/// backends under all three encodings.
+/// backends under all four encodings (greedy selector).
 fn render_isa_artifact(per_isa: &[(&str, &[ReproRow])]) -> String {
     let mut json = String::new();
     json.push_str("{\n  \"isas\": {\n");
@@ -690,23 +746,26 @@ fn render_isa_artifact(per_isa: &[(&str, &[ReproRow])]) -> String {
         json.push_str(&format!("    \"{isa}\": {{\n      \"benches\": {{\n"));
         let mut rows: Vec<_> = rows.to_vec();
         rows.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut mean = [0.0f64; 3];
+        let mut mean = [0.0f64; 4];
         for (bi, (name, insns, bytes, r)) in rows.iter().enumerate() {
             let comma = if bi + 1 < rows.len() { "," } else { "" };
             json.push_str(&format!(
-                "        \"{name}\": {{ \"baseline\": {:.4}, \"insns\": {insns}, \
-                 \"nibble\": {:.4}, \"onebyte\": {:.4}, \"text_bytes\": {bytes} }}{comma}\n",
-                r[0], r[2], r[1]
+                "        \"{name}\": {{ \"baseline\": {:.4}, \"huffman\": {:.4}, \
+                 \"insns\": {insns}, \"nibble\": {:.4}, \"onebyte\": {:.4}, \
+                 \"text_bytes\": {bytes} }}{comma}\n",
+                r[0], r[3], r[2], r[1]
             ));
-            for i in 0..3 {
+            for i in 0..4 {
                 mean[i] += r[i];
             }
         }
         let n = rows.len() as f64;
         json.push_str("      },\n");
         json.push_str(&format!(
-            "      \"mean\": {{ \"baseline\": {:.4}, \"nibble\": {:.4}, \"onebyte\": {:.4} }}\n",
+            "      \"mean\": {{ \"baseline\": {:.4}, \"huffman\": {:.4}, \"nibble\": {:.4}, \
+             \"onebyte\": {:.4} }}\n",
             mean[0] / n,
+            mean[3] / n,
             mean[2] / n,
             mean[1] / n
         ));
@@ -716,42 +775,149 @@ fn render_isa_artifact(per_isa: &[(&str, &[ReproRow])]) -> String {
     json
 }
 
+/// One ISA's column of the ratio artifact: repro rows per selector name.
+type SelectorCells<'a> = [(&'a str, &'a [ReproRow]); 2];
+
+/// Renders the schema-1 `BENCH_ratio.json` selector-trajectory artifact:
+/// per-benchmark compression ratios for both ISAs under every
+/// selector × encoding cell, with per-cell means. The checked-in copy is
+/// the ratio-regression baseline in `scripts/verify.sh` and documents that
+/// the refinement selector beats greedy (ISSUE 9's acceptance bar:
+/// refine+huffman mean < greedy+nibble mean on at least one ISA).
+fn render_ratio_artifact(per_isa: &[(&str, SelectorCells)]) -> String {
+    let mut json = String::new();
+    json.push_str("{\n  \"isas\": {\n");
+    let mut isas: Vec<_> = per_isa.to_vec();
+    isas.sort_by_key(|(name, _)| *name);
+    for (ii, (isa, selectors)) in isas.iter().enumerate() {
+        let isa_comma = if ii + 1 < isas.len() { "," } else { "" };
+        json.push_str(&format!("    \"{isa}\": {{\n"));
+        let mut selectors = *selectors;
+        selectors.sort_by_key(|(name, _)| *name);
+        for (si, (selector, rows)) in selectors.iter().enumerate() {
+            let sel_comma = if si + 1 < selectors.len() { "," } else { "" };
+            json.push_str(&format!("      \"{selector}\": {{\n        \"benches\": {{\n"));
+            let mut rows: Vec<_> = rows.to_vec();
+            rows.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut mean = [0.0f64; 4];
+            for (bi, (name, _, _, r)) in rows.iter().enumerate() {
+                let comma = if bi + 1 < rows.len() { "," } else { "" };
+                json.push_str(&format!(
+                    "          \"{name}\": {{ \"baseline\": {:.4}, \"huffman\": {:.4}, \
+                     \"nibble\": {:.4}, \"onebyte\": {:.4} }}{comma}\n",
+                    r[0], r[3], r[2], r[1]
+                ));
+                for i in 0..4 {
+                    mean[i] += r[i];
+                }
+            }
+            let n = rows.len() as f64;
+            json.push_str("        },\n");
+            json.push_str(&format!(
+                "        \"mean\": {{ \"baseline\": {:.4}, \"huffman\": {:.4}, \
+                 \"nibble\": {:.4}, \"onebyte\": {:.4} }}\n",
+                mean[0] / n,
+                mean[3] / n,
+                mean[2] / n,
+                mean[1] / n
+            ));
+            json.push_str(&format!("      }}{sel_comma}\n"));
+        }
+        json.push_str(&format!("    }}{isa_comma}\n"));
+    }
+    json.push_str("  },\n  \"schema\": 1\n}\n");
+    json
+}
+
 fn cmd_repro(args: &[String]) -> CliResult {
     let bench_filter = flag_value(args, "--bench");
     let isa_flag = flag_value(args, "--isa").unwrap_or("ppc");
-    let show: Vec<&str> = match isa_flag {
+    let show: Vec<&'static str> = match isa_flag {
         "ppc" => vec!["ppc"],
         "mips" => vec!["mips"],
         "both" => vec!["ppc", "mips"],
         other => return Err(format!("unknown ISA `{other}` (ppc|mips|both)")),
     };
     let out_path = flag_value(args, "--out");
+    let ratio_path = flag_value(args, "--ratio-out");
+    let selector = parse_selector(args)?;
 
-    let mut computed: Vec<(&str, Vec<ReproRow>)> = Vec::new();
-    for isa in &show {
-        computed.push((isa, repro_rows(isa, bench_filter)?));
+    // (isa, selector) → rows, computed lazily so the table, the isa
+    // artifact (always greedy), and the ratio artifact (both selectors)
+    // share work.
+    let mut computed: Vec<((&'static str, SelectorKind), Vec<ReproRow>)> = Vec::new();
+    fn rows_for<'a>(
+        computed: &'a mut Vec<((&'static str, SelectorKind), Vec<ReproRow>)>,
+        isa: &'static str,
+        selector: SelectorKind,
+        bench_filter: Option<&str>,
+    ) -> Result<&'a [ReproRow], String> {
+        if let Some(i) = computed.iter().position(|(k, _)| *k == (isa, selector)) {
+            return Ok(&computed[i].1);
+        }
+        let rows = repro_rows(isa, bench_filter, selector)?;
+        computed.push(((isa, selector), rows));
+        Ok(&computed.last().expect("just pushed").1)
     }
-    for (isa, rows) in &computed {
+
+    for &isa in &show {
+        let rows = rows_for(&mut computed, isa, selector, bench_filter)?;
         // The single-ISA default output is the historical table, unchanged.
-        if show.len() > 1 || *isa != "ppc" {
+        if show.len() > 1 || isa != "ppc" {
             println!("isa: {isa}");
+        }
+        if selector != SelectorKind::Greedy {
+            println!("selector: refine");
         }
         print_repro_table(rows);
     }
 
-    // The artifact is the cross-ISA comparison: it always carries both
-    // backends, computing whichever the table display didn't need.
+    // The isa artifact is the cross-ISA comparison: it always carries both
+    // backends under the greedy selector, computing whatever the table
+    // display didn't need.
     if let Some(path) = out_path {
         for isa in ["ppc", "mips"] {
-            if !computed.iter().any(|(i, _)| *i == isa) {
-                computed.push((isa, repro_rows(isa, bench_filter)?));
-            }
+            rows_for(&mut computed, isa, SelectorKind::Greedy, bench_filter)?;
         }
-        let per_isa: Vec<(&str, &[ReproRow])> =
-            computed.iter().map(|(i, r)| (*i, r.as_slice())).collect();
+        let per_isa: Vec<(&str, &[ReproRow])> = computed
+            .iter()
+            .filter(|((_, s), _)| *s == SelectorKind::Greedy)
+            .map(|((i, _), r)| (*i, r.as_slice()))
+            .collect();
         let json = render_isa_artifact(&per_isa);
         std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
         println!("{path}: {} isa(s)", per_isa.len());
+    }
+
+    // The ratio artifact carries the full isa × selector × encoding grid.
+    if let Some(path) = ratio_path {
+        for isa in ["ppc", "mips"] {
+            for s in [SelectorKind::Greedy, SelectorKind::Refine] {
+                rows_for(&mut computed, isa, s, bench_filter)?;
+            }
+        }
+        let cell = |isa: &str, s: SelectorKind| -> &[ReproRow] {
+            computed
+                .iter()
+                .find(|((i, cs), _)| *i == isa && *cs == s)
+                .map(|(_, r)| r.as_slice())
+                .expect("computed above")
+        };
+        let per_isa: Vec<(&str, SelectorCells)> = ["ppc", "mips"]
+            .iter()
+            .map(|isa| {
+                (
+                    *isa,
+                    [
+                        ("greedy", cell(isa, SelectorKind::Greedy)),
+                        ("refine", cell(isa, SelectorKind::Refine)),
+                    ],
+                )
+            })
+            .collect();
+        let json = render_ratio_artifact(&per_isa);
+        std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}: {} isa(s) x 2 selectors", per_isa.len());
     }
     Ok(())
 }
@@ -762,15 +928,44 @@ fn cmd_sweep(args: &[String]) -> CliResult {
     let bench = flag_value(args, "--bench").unwrap_or("compress");
     let isa_name = parse_isa(args)?;
     let isa = isa_ref(isa_name);
+    let selector = parse_selector(args)?;
     let module =
         benchmark_for(isa_name, bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
     println!("sweeps on `{}` ({} insns, {} bytes)", module.name, module.len(), module.text_bytes());
+    if selector != SelectorKind::Greedy {
+        println!("selector: refine");
+    }
+    // Refinement invalidates the greedy pick-log prefix shortcut the core
+    // sweeps lean on, so the refine path recompresses every point honestly.
+    let ratio_at = |config: CompressionConfig| -> Result<f64, String> {
+        let c = Compressor::new(config)
+            .with_isa(isa)
+            .with_selector(selector)
+            .compress(&module)
+            .map_err(|e| e.to_string())?;
+        Ok(c.compression_ratio())
+    };
 
     {
         let _phase = telemetry::phase("sweep-entry-len");
         let lens = [1usize, 2, 3, 4, 6, 8];
-        let points =
-            sweep::entry_len_sweep_with_isa(&module, isa, &lens).map_err(|e| e.to_string())?;
+        let points: Vec<(usize, f64)> = match selector {
+            SelectorKind::Greedy => {
+                sweep::entry_len_sweep_with_isa(&module, isa, &lens).map_err(|e| e.to_string())?
+            }
+            SelectorKind::Refine => lens
+                .iter()
+                .map(|&l| {
+                    let kind = EncodingKind::Baseline;
+                    let config = CompressionConfig {
+                        max_entry_len: l,
+                        max_codewords: kind.capacity(),
+                        encoding: kind,
+                    };
+                    Ok((l, ratio_at(config)?))
+                })
+                .collect::<Result<_, String>>()?,
+        };
         println!("max entry length (Fig 4):");
         for (l, ratio) in points {
             println!("  {l:>2} insns: {:.1}%", 100.0 * ratio);
@@ -779,8 +974,21 @@ fn cmd_sweep(args: &[String]) -> CliResult {
     {
         let _phase = telemetry::phase("sweep-codewords");
         let counts = [16usize, 64, 256, 1024, 4096, 8192];
-        let points = sweep::codeword_count_sweep_with_isa(&module, isa, 4, &counts)
-            .map_err(|e| e.to_string())?;
+        let points: Vec<(usize, f64)> = match selector {
+            SelectorKind::Greedy => sweep::codeword_count_sweep_with_isa(&module, isa, 4, &counts)
+                .map_err(|e| e.to_string())?,
+            SelectorKind::Refine => counts
+                .iter()
+                .map(|&k| {
+                    let config = CompressionConfig {
+                        max_entry_len: 4,
+                        max_codewords: k,
+                        encoding: EncodingKind::Baseline,
+                    };
+                    Ok((k, ratio_at(config)?))
+                })
+                .collect::<Result<_, String>>()?,
+        };
         println!("codeword count (Fig 5):");
         for (k, ratio) in points {
             println!("  {k:>5} codewords: {:.1}%", 100.0 * ratio);
@@ -789,8 +997,14 @@ fn cmd_sweep(args: &[String]) -> CliResult {
     {
         let _phase = telemetry::phase("sweep-small-dict");
         let counts = [16usize, 32, 64, 128, 256];
-        let points = sweep::small_dictionary_sweep_with_isa(&module, isa, &counts)
-            .map_err(|e| e.to_string())?;
+        let points: Vec<(usize, f64)> = match selector {
+            SelectorKind::Greedy => sweep::small_dictionary_sweep_with_isa(&module, isa, &counts)
+                .map_err(|e| e.to_string())?,
+            SelectorKind::Refine => counts
+                .iter()
+                .map(|&n| Ok((n, ratio_at(CompressionConfig::small_dictionary(n))?)))
+                .collect::<Result<_, String>>()?,
+        };
         println!("small dictionaries, 1-byte codewords (Fig 8):");
         for (n, ratio) in points {
             println!("  {n:>4} entries: {:.1}%", 100.0 * ratio);
@@ -1104,6 +1318,7 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         codense_codegen::benchmark(bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
     let request = codense_service::CompressRequest {
         encoding,
+        selector: parse_selector(args)?,
         max_entry_len: max_entry,
         max_codewords: 0, // the encoding's full codeword space
         module: codense_obj::serialize(&module),
@@ -1111,6 +1326,7 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
     // The expected response, computed in process: every served result must
     // be byte-identical, so the benchmark doubles as a correctness check.
     let compressed = Compressor::new(request.config())
+        .with_selector(request.selector)
         .compress(&module)
         .map_err(|e| format!("loadgen: in-process compression failed: {e}"))?;
     let expected = container::serialize(&compressed);
@@ -1171,6 +1387,7 @@ fn cmd_loadsweep(args: &[String]) -> CliResult {
     let bench = flag_value(args, "--bench").unwrap_or("compress");
     let encoding_name = flag_value(args, "--encoding").unwrap_or("nibble");
     let encoding = parse_encoding(encoding_name)?;
+    let selector = parse_selector(args)?;
     let max_entry: u16 = match flag_value(args, "--max-entry") {
         Some(v) => v.parse().map_err(|_| "bad --max-entry")?,
         None => 4,
@@ -1221,11 +1438,13 @@ fn cmd_loadsweep(args: &[String]) -> CliResult {
         module.code.push(0x3860_0000 | v as u32); // li r3, v
         let request = codense_service::CompressRequest {
             encoding,
+            selector,
             max_entry_len: max_entry,
             max_codewords: 0, // the encoding's full codeword space
             module: codense_obj::serialize(&module),
         };
         let compressed = Compressor::new(request.config())
+            .with_selector(request.selector)
             .compress(&module)
             .map_err(|e| format!("loadsweep: in-process compression failed: {e}"))?;
         items.push(codense_service::WorkItem {
@@ -1327,11 +1546,13 @@ fn cmd_speed(args: &[String]) -> CliResult {
     println!("speed on `{}` ({} insns, median of {samples})", module.name, insns);
 
     // Alphabetical so the JSON artifact's keys are sorted.
-    const ENCODINGS: [(&str, EncodingKind); 3] = [
+    const ENCODINGS: [(&str, EncodingKind); 4] = [
         ("baseline", EncodingKind::Baseline),
+        ("huffman", EncodingKind::Huffman),
         ("nibble", EncodingKind::NibbleAligned),
         ("onebyte", EncodingKind::OneByte),
     ];
+    let selector = parse_selector(args)?;
     struct Row {
         name: &'static str,
         median_ns: u64,
@@ -1342,8 +1563,10 @@ fn cmd_speed(args: &[String]) -> CliResult {
         let config =
             CompressionConfig { max_entry_len: 4, max_codewords: encoding.capacity(), encoding };
         let time_engine = |kind: MatchfinderKind| {
-            let compressor =
-                Compressor::new(config.clone()).with_isa(isa_ref(isa_name)).with_matchfinder(kind);
+            let compressor = Compressor::new(config.clone())
+                .with_isa(isa_ref(isa_name))
+                .with_selector(selector)
+                .with_matchfinder(kind);
             codense_bench::median_ns(samples, || {
                 codense_bench::black_box(
                     compressor.compress(&module).expect("benchmark compresses"),

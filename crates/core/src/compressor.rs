@@ -6,14 +6,16 @@ use codense_obj::ObjectModule;
 
 use crate::config::{CompressionConfig, EncodingKind};
 use crate::dict::Dictionary;
-use crate::encoding::{self, try_write_codeword_with, write_insn};
+use crate::encoding::{self, try_write_codeword_coded, write_insn_coded};
 use crate::error::CompressError;
 use crate::greedy::{
-    run_greedy, run_greedy_with, CandidateIndex, CostModel, GreedyParams, MatchfinderKind,
-    PickRecord,
+    run_greedy, run_greedy_banned, run_greedy_with, BanSet, CandidateIndex, CostModel,
+    GreedyParams, MatchfinderKind, PickRecord,
 };
+use crate::huffcode::HuffCode;
 use crate::model::{Cell, ProgramModel};
 use crate::nibbles::NibbleWriter;
+use crate::selector::SelectorKind;
 
 /// Synthetic high half of the overflow jump table's address (a `.data`
 /// object created by the compressor for branches whose patched offsets no
@@ -99,6 +101,9 @@ pub struct CompressedProgram {
     pub picks: Vec<PickRecord>,
     /// Original text size in bytes.
     pub original_text_bytes: usize,
+    /// The canonical Huffman codeword table ([`EncodingKind::Huffman`] only;
+    /// `None` for the fixed-layout encodings).
+    pub huffman: Option<HuffCode>,
 }
 
 impl CompressedProgram {
@@ -117,12 +122,23 @@ impl CompressedProgram {
         self.overflow_table.len() * 4
     }
 
+    /// Bytes the Huffman decode table adds to the program (one nibble
+    /// length per symbol, packed two per byte — the canonical code is fully
+    /// determined by lengths); zero for the fixed-layout encodings.
+    pub fn huffman_table_bytes(&self) -> usize {
+        self.huffman.as_ref().map_or(0, |h| h.nibble_lengths().len().div_ceil(2))
+    }
+
     /// The paper's compression ratio (Eq. 1): compressed size / original
-    /// size, where compressed size includes the dictionary (and any
-    /// overflow-table bytes). Jump tables keep their original size and
+    /// size, where compressed size includes the dictionary (plus any
+    /// overflow-table bytes, and the Huffman decode table when that
+    /// encoding is in use). Jump tables keep their original size and
     /// cancel out of the ratio.
     pub fn compression_ratio(&self) -> f64 {
-        (self.text_bytes() + self.dictionary_bytes() + self.overflow_table_bytes()) as f64
+        (self.text_bytes()
+            + self.dictionary_bytes()
+            + self.overflow_table_bytes()
+            + self.huffman_table_bytes()) as f64
             / self.original_text_bytes as f64
     }
 
@@ -175,6 +191,7 @@ impl CompressedProgram {
 pub struct Compressor {
     config: CompressionConfig,
     matchfinder: MatchfinderKind,
+    selector: SelectorKind,
     isa: IsaRef,
 }
 
@@ -190,6 +207,7 @@ impl Compressor {
         Compressor {
             config,
             matchfinder: MatchfinderKind::default(),
+            selector: SelectorKind::default(),
             isa: IsaRef(&codense_ppc::ISA),
         }
     }
@@ -210,6 +228,19 @@ impl Compressor {
     pub fn with_matchfinder(mut self, kind: MatchfinderKind) -> Compressor {
         self.matchfinder = kind;
         self
+    }
+
+    /// Selects how dictionary entries are chosen: the greedy fast path
+    /// (default) or the iterative-refinement hill climb, which re-scores
+    /// candidate swaps with the exact layout cost (see [`crate::selector`]).
+    pub fn with_selector(mut self, kind: SelectorKind) -> Compressor {
+        self.selector = kind;
+        self
+    }
+
+    /// The selector in use.
+    pub fn selector(&self) -> SelectorKind {
+        self.selector
     }
 
     /// Retargets the compressor at a different instruction-set architecture.
@@ -246,7 +277,10 @@ impl Compressor {
         module: &ObjectModule,
         index: &CandidateIndex,
     ) -> Result<CompressedProgram, CompressError> {
-        self.compress_inner(module, &[], Some(index))
+        match self.selector {
+            SelectorKind::Greedy => self.compress_inner(module, &[], Some(index), &BanSet::new()),
+            SelectorKind::Refine => crate::selector::refine(self, module, &[], Some(index)),
+        }
     }
 
     /// Profile-guided hybrid compression: like [`compress`](Self::compress),
@@ -271,14 +305,56 @@ impl Compressor {
         module: &ObjectModule,
         exempt: &[bool],
     ) -> Result<CompressedProgram, CompressError> {
-        self.compress_inner(module, exempt, None)
+        match self.selector {
+            SelectorKind::Greedy => self.compress_inner(module, exempt, None, &BanSet::new()),
+            SelectorKind::Refine => crate::selector::refine(self, module, exempt, None),
+        }
     }
 
-    fn compress_inner(
+    /// Builds the basic-block model with hot (exempt) cells already marked
+    /// incompressible — the model state every selection pass runs against.
+    pub(crate) fn build_masked_model(
+        &self,
+        module: &ObjectModule,
+        exempt: &[bool],
+    ) -> ProgramModel {
+        let mut model = ProgramModel::build_isa(module, self.isa);
+        if !exempt.is_empty() {
+            for block in &mut model.blocks {
+                for cell in &mut block.cells {
+                    if let Cell::Insn { orig, compressible, .. } = cell {
+                        if exempt[*orig] {
+                            *compressible = false;
+                        }
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    pub(crate) fn compress_inner(
         &self,
         module: &ObjectModule,
         exempt: &[bool],
         shared_index: Option<&CandidateIndex>,
+        bans: &BanSet,
+    ) -> Result<CompressedProgram, CompressError> {
+        self.compress_inner_priced(module, exempt, shared_index, bans, None)
+    }
+
+    /// [`compress_inner`] with an overridden codeword-price estimate for
+    /// greedy selection (in bits; `None` uses the encoding's default). The
+    /// refinement selector probes cheaper prices for the variable-length
+    /// encodings — selection admits more candidates, and the exact layout
+    /// cost decides whether that was an improvement.
+    pub(crate) fn compress_inner_priced(
+        &self,
+        module: &ObjectModule,
+        exempt: &[bool],
+        shared_index: Option<&CandidateIndex>,
+        bans: &BanSet,
+        codeword_bits: Option<u32>,
     ) -> Result<CompressedProgram, CompressError> {
         assert!(
             exempt.is_empty() || exempt.len() == module.len(),
@@ -297,7 +373,9 @@ impl Compressor {
 
         // Escape opcodes must not occur as real instructions under the
         // byte-level schemes (§4.1: escape bytes are *illegal* opcodes).
-        if kind != EncodingKind::NibbleAligned {
+        // The nibble-granular schemes have explicit escape codewords and
+        // accept any instruction word.
+        if matches!(kind, EncodingKind::Baseline | EncodingKind::OneByte) {
             for (i, &w) in module.code.iter().enumerate() {
                 if self.isa.escape_index((w >> 24) as u8).is_some() {
                     return Err(CompressError::EscapeCollision { at: i, word: w });
@@ -309,34 +387,38 @@ impl Compressor {
         //    (exempt) cells are marked incompressible before selection, so
         //    the occurrence index only ever sees eligible code.
         let greedy_phase = crate::telemetry::phase("greedy");
-        let mut model = ProgramModel::build_isa(module, self.isa);
-        if !exempt.is_empty() {
-            for block in &mut model.blocks {
-                for cell in &mut block.cells {
-                    if let Cell::Insn { orig, compressible, .. } = cell {
-                        if exempt[*orig] {
-                            *compressible = false;
-                        }
-                    }
-                }
-            }
-        }
+        let mut model = self.build_masked_model(module, exempt);
         let mut dictionary = Dictionary::new();
         let params = GreedyParams {
             max_entry_len: self.config.max_entry_len,
             max_codewords: self.config.effective_max_codewords(),
             cost: CostModel {
                 insn_bits: kind.uncompressed_insn_bits(),
-                codeword_bits: kind.codeword_bits_estimate(),
+                codeword_bits: codeword_bits.unwrap_or_else(|| kind.codeword_bits_estimate()),
                 dict_word_bits: 32,
                 dict_entry_fixed_bits: 0,
             },
         };
-        let picks = match (shared_index, self.matchfinder) {
-            (Some(index), _) => run_greedy_with(index, &mut model, &mut dictionary, params),
-            (None, MatchfinderKind::Interned) => run_greedy(&mut model, &mut dictionary, params)?,
-            (None, MatchfinderKind::Reference) => {
-                crate::greedy::reference::run_greedy(&mut model, &mut dictionary, params)
+        let picks = if !bans.is_empty() {
+            // Banned selection is the refinement selector's probe; it always
+            // runs against an index (the reference matchfinder has no ban
+            // support, and refinement reuses one index across all trials).
+            match shared_index {
+                Some(index) => run_greedy_banned(index, &mut model, &mut dictionary, params, bans),
+                None => {
+                    let index = CandidateIndex::build(&model, params.max_entry_len)?;
+                    run_greedy_banned(&index, &mut model, &mut dictionary, params, bans)
+                }
+            }
+        } else {
+            match (shared_index, self.matchfinder) {
+                (Some(index), _) => run_greedy_with(index, &mut model, &mut dictionary, params),
+                (None, MatchfinderKind::Interned) => {
+                    run_greedy(&mut model, &mut dictionary, params)?
+                }
+                (None, MatchfinderKind::Reference) => {
+                    crate::greedy::reference::run_greedy(&mut model, &mut dictionary, params)
+                }
             }
         };
         drop(greedy_phase);
@@ -354,6 +436,22 @@ impl Compressor {
             })
             .collect();
 
+        // 3b. Huffman only: freeze the codeword table from actual usage —
+        // per-rank replacement counts plus the initial escape (uncompressed
+        // instruction) count. The code stays fixed through the layout
+        // fixpoint even though ViaTable rewrites add escaped instructions;
+        // frequencies are weights, not an exact stream census.
+        let huffman = (kind == EncodingKind::Huffman).then(|| {
+            crate::telemetry::HUFFMAN_CODES_BUILT.inc();
+            let rank_freqs: Vec<u64> = (0..dictionary.len() as u32)
+                .map(|rank| dictionary.entry(dictionary.entry_of_rank(rank)).replaced as u64)
+                .collect();
+            let escape_freq =
+                atoms.iter().filter(|a| matches!(a, Atom::Insn { .. })).count() as u64;
+            HuffCode::from_frequencies(&rank_freqs, escape_freq)
+        });
+        let huff = huffman.as_ref();
+
         // 4. Layout fixpoint: compute addresses; rewrite branches whose
         //    patched offsets overflow into overflow-table dispatches (which
         //    changes sizes, hence the loop). Rewrites only grow atoms, so
@@ -365,7 +463,7 @@ impl Compressor {
         let mut rounds = 0;
         loop {
             crate::telemetry::COMPRESS_LAYOUT_ROUNDS.inc();
-            addresses = self.layout(&atoms, &dictionary);
+            addresses = self.layout(&atoms, &dictionary, huff);
             let addr_of = |orig: usize, atoms: &[Atom]| -> u64 {
                 match atoms.binary_search_by_key(&orig, Atom::orig) {
                     Ok(i) => addresses[i],
@@ -383,7 +481,7 @@ impl Compressor {
                     // cannot expand into a dispatch sequence (e.g. PowerPC's
                     // CTR-decrementing forms, whose dispatch would clobber
                     // CTR) are unsupported.
-                    let insn_nibbles = encoding::insn_nibbles(kind);
+                    let insn_nibbles = encoding::insn_nibbles_coded(kind, huff);
                     if self
                         .isa
                         .overflow_expansion(word, 0, kind.granule_nibbles(), insn_nibbles)
@@ -445,13 +543,17 @@ impl Compressor {
         for (i, atom) in atoms.iter().enumerate() {
             debug_assert_eq!(w.len(), addresses[i], "layout/pack disagreement at atom {i}");
             match *atom {
-                Atom::Insn { word, .. } => write_insn(kind, &mut w, word),
-                Atom::Codeword { entry, .. } => {
-                    try_write_codeword_with(kind, self.isa, &mut w, dictionary.rank_of(entry))?
-                }
+                Atom::Insn { word, .. } => write_insn_coded(kind, huff, &mut w, word),
+                Atom::Codeword { entry, .. } => try_write_codeword_coded(
+                    kind,
+                    self.isa,
+                    huff,
+                    &mut w,
+                    dictionary.rank_of(entry),
+                )?,
                 Atom::ViaTable { word, slot, .. } => {
-                    for insn_word in via_table_expansion_with(self.isa, kind, word, slot) {
-                        write_insn(kind, &mut w, insn_word);
+                    for insn_word in via_table_expansion_coded(self.isa, kind, huff, word, slot) {
+                        write_insn_coded(kind, huff, &mut w, insn_word);
                     }
                 }
             }
@@ -479,17 +581,18 @@ impl Compressor {
             overflow_table,
             picks,
             original_text_bytes: module.text_bytes(),
+            huffman,
         })
     }
 
     /// Computes each atom's nibble address under the current sizes.
-    fn layout(&self, atoms: &[Atom], dict: &Dictionary) -> Vec<u64> {
+    fn layout(&self, atoms: &[Atom], dict: &Dictionary, huff: Option<&HuffCode>) -> Vec<u64> {
         let kind = self.config.encoding;
         let mut addr = 0u64;
         let mut out = Vec::with_capacity(atoms.len());
         for atom in atoms {
             out.push(addr);
-            addr += atom_nibbles_with(self.isa, kind, atom, dict);
+            addr += atom_nibbles_coded(self.isa, kind, huff, atom, dict);
         }
         out
     }
@@ -500,16 +603,37 @@ pub fn atom_nibbles(kind: EncodingKind, atom: &Atom, dict: &Dictionary) -> u64 {
     atom_nibbles_with(IsaRef(&codense_ppc::ISA), kind, atom, dict)
 }
 
-/// Size of one atom in nibbles under `isa`.
+/// Size of one atom in nibbles under `isa` (fixed-layout encodings; for
+/// [`EncodingKind::Huffman`] use [`atom_nibbles_coded`]).
 pub fn atom_nibbles_with(isa: IsaRef, kind: EncodingKind, atom: &Atom, dict: &Dictionary) -> u64 {
+    atom_nibbles_coded(isa, kind, None, atom, dict)
+}
+
+/// Size of one atom in nibbles under `isa`, with the program's Huffman
+/// codeword table when the encoding needs one.
+///
+/// # Panics
+///
+/// Panics if `kind` is [`EncodingKind::Huffman`] and `huff` is `None`, or
+/// the atom's rank has no codeword in the table.
+pub fn atom_nibbles_coded(
+    isa: IsaRef,
+    kind: EncodingKind,
+    huff: Option<&HuffCode>,
+    atom: &Atom,
+    dict: &Dictionary,
+) -> u64 {
     match *atom {
-        Atom::Insn { .. } => encoding::insn_nibbles(kind) as u64,
+        Atom::Insn { .. } => encoding::insn_nibbles_coded(kind, huff) as u64,
         Atom::Codeword { entry, .. } => {
-            encoding::codeword_nibbles(kind, dict.rank_of(entry)) as u64
+            let rank = dict.rank_of(entry);
+            encoding::try_codeword_nibbles_coded(kind, huff, rank)
+                .unwrap_or_else(|| panic!("rank {rank} has no codeword under {kind:?}"))
+                as u64
         }
         Atom::ViaTable { word, slot, .. } => {
-            via_table_expansion_with(isa, kind, word, slot).len() as u64
-                * encoding::insn_nibbles(kind) as u64
+            via_table_expansion_coded(isa, kind, huff, word, slot).len() as u64
+                * encoding::insn_nibbles_coded(kind, huff) as u64
         }
     }
 }
@@ -520,10 +644,9 @@ pub fn via_table_expansion(kind: EncodingKind, word: u32, slot: usize) -> Vec<u3
     via_table_expansion_with(IsaRef(&codense_ppc::ISA), kind, word, slot)
 }
 
-/// The instruction sequence a [`Atom::ViaTable`] packs under `isa`: an
-/// optional inverted conditional skip, then a dispatch sequence loading the
-/// true target from the overflow jump table (the paper's "modified to load
-/// their targets through jump tables", §3.2.2).
+/// The instruction sequence a [`Atom::ViaTable`] packs under `isa`
+/// (fixed-layout encodings; for [`EncodingKind::Huffman`] use
+/// [`via_table_expansion_coded`]).
 ///
 /// # Panics
 ///
@@ -535,8 +658,35 @@ pub fn via_table_expansion_with(
     word: u32,
     slot: usize,
 ) -> Vec<u32> {
-    isa.overflow_expansion(word, slot as u32, kind.granule_nibbles(), encoding::insn_nibbles(kind))
-        .expect("ViaTable holds a supported relative branch")
+    via_table_expansion_coded(isa, kind, None, word, slot)
+}
+
+/// The instruction sequence a [`Atom::ViaTable`] packs under `isa`: an
+/// optional inverted conditional skip, then a dispatch sequence loading the
+/// true target from the overflow jump table (the paper's "modified to load
+/// their targets through jump tables", §3.2.2). The escaped-instruction
+/// width the skip displacement is computed at depends on the Huffman escape
+/// length, hence the table parameter.
+///
+/// # Panics
+///
+/// Panics if the ISA cannot expand `word` (the compressor rejects such
+/// branches with [`CompressError::UnsupportedOverflowBranch`] earlier), or
+/// if `kind` is [`EncodingKind::Huffman`] and `huff` is `None`.
+pub fn via_table_expansion_coded(
+    isa: IsaRef,
+    kind: EncodingKind,
+    huff: Option<&HuffCode>,
+    word: u32,
+    slot: usize,
+) -> Vec<u32> {
+    isa.overflow_expansion(
+        word,
+        slot as u32,
+        kind.granule_nibbles(),
+        encoding::insn_nibbles_coded(kind, huff),
+    )
+    .expect("ViaTable holds a supported relative branch")
 }
 
 #[cfg(test)]

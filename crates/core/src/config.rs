@@ -2,7 +2,7 @@
 
 /// Which codeword encoding scheme the compressed program uses.
 ///
-/// The three schemes the paper evaluates:
+/// The three schemes the paper evaluates, plus a frequency-driven extension:
 ///
 /// * [`Baseline`](EncodingKind::Baseline) (§4.1): 2-byte codewords — an
 ///   escape byte built from one of the 8 illegal PowerPC primary opcodes
@@ -14,6 +14,10 @@
 /// * [`NibbleAligned`](EncodingKind::NibbleAligned) (§4.1.3, Fig 10):
 ///   variable-length codewords of 4/8/12/16 bits, aligned to 4-bit
 ///   boundaries; one nibble escapes a 36-bit uncompressed instruction.
+/// * [`Huffman`](EncodingKind::Huffman) (§2.1's statistical-beats-dictionary
+///   observation): nibble-aligned canonical Huffman codewords whose lengths
+///   come from the program's *actual* dictionary-entry usage frequencies
+///   ([`crate::huffcode::HuffCode`]); the escape is itself a Huffman symbol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EncodingKind {
     /// 2-byte escape + index codewords (the paper's baseline).
@@ -22,6 +26,8 @@ pub enum EncodingKind {
     OneByte,
     /// Nibble-aligned 4/8/12/16-bit codewords (Fig 10/11).
     NibbleAligned,
+    /// Frequency-driven nibble-aligned canonical Huffman codewords.
+    Huffman,
 }
 
 impl EncodingKind {
@@ -31,31 +37,37 @@ impl EncodingKind {
             EncodingKind::Baseline => 32 * 256,
             EncodingKind::OneByte => 32,
             EncodingKind::NibbleAligned => crate::encoding::nibble::CAPACITY,
+            // Matches the baseline's dictionary budget; the code adapts its
+            // lengths to however many entries selection actually keeps.
+            EncodingKind::Huffman => 8192,
         }
     }
 
     /// Bits an uncompressed instruction occupies in the compressed stream
-    /// (36 for the nibble scheme: 4-bit escape + 32-bit word).
+    /// (36 for the nibble-granular schemes: 4-bit escape estimate + 32-bit
+    /// word; the Huffman escape's true length is known only after the code
+    /// is built).
     pub fn uncompressed_insn_bits(self) -> u32 {
         match self {
-            EncodingKind::NibbleAligned => 36,
+            EncodingKind::NibbleAligned | EncodingKind::Huffman => 36,
             _ => 32,
         }
     }
 
     /// Estimated codeword size in bits, used by the greedy selector's
     /// savings function. Exact for the fixed-length schemes. For the
-    /// variable-length scheme the true size (4–16 bits) is only known after
-    /// frequency ranking, so selection conservatively assumes the worst
-    /// case (16): optimistic estimates would admit entries that break even
-    /// at best — e.g. a four-instruction sequence occurring *once* costs
-    /// 144 escaped bits uncompressed and 128 dictionary + 16 codeword bits
-    /// compressed — bloating the dictionary with dead weight.
+    /// variable-length schemes the true size (4–16 bits nibble-aligned,
+    /// 4–32 Huffman) is only known after frequency ranking, so selection
+    /// conservatively assumes a worst practical case (16): optimistic
+    /// estimates would admit entries that break even at best — e.g. a
+    /// four-instruction sequence occurring *once* costs 144 escaped bits
+    /// uncompressed and 128 dictionary + 16 codeword bits compressed —
+    /// bloating the dictionary with dead weight.
     pub fn codeword_bits_estimate(self) -> u32 {
         match self {
             EncodingKind::Baseline => 16,
             EncodingKind::OneByte => 8,
-            EncodingKind::NibbleAligned => 16,
+            EncodingKind::NibbleAligned | EncodingKind::Huffman => 16,
         }
     }
 
@@ -65,7 +77,7 @@ impl EncodingKind {
         match self {
             EncodingKind::Baseline => 4,
             EncodingKind::OneByte => 2,
-            EncodingKind::NibbleAligned => 1,
+            EncodingKind::NibbleAligned | EncodingKind::Huffman => 1,
         }
     }
 }
@@ -114,6 +126,16 @@ impl CompressionConfig {
         }
     }
 
+    /// The frequency-driven Huffman-codeword scheme: nibble-aligned
+    /// canonical codewords sized by actual dictionary-entry usage.
+    pub fn huffman() -> CompressionConfig {
+        CompressionConfig {
+            max_entry_len: 4,
+            max_codewords: EncodingKind::Huffman.capacity(),
+            encoding: EncodingKind::Huffman,
+        }
+    }
+
     /// The effective dictionary-size limit (config cap ∧ encoding capacity).
     pub fn effective_max_codewords(&self) -> usize {
         self.max_codewords.min(self.encoding.capacity())
@@ -149,5 +171,14 @@ mod tests {
     fn nibble_escape_cost() {
         assert_eq!(EncodingKind::NibbleAligned.uncompressed_insn_bits(), 36);
         assert_eq!(EncodingKind::NibbleAligned.granule_nibbles(), 1);
+    }
+
+    #[test]
+    fn huffman_is_nibble_granular() {
+        let c = CompressionConfig::huffman();
+        assert_eq!(c.effective_max_codewords(), 8192);
+        assert_eq!(c.encoding.granule_nibbles(), 1);
+        assert_eq!(c.encoding.uncompressed_insn_bits(), 36);
+        assert_eq!(c.encoding.codeword_bits_estimate(), 16);
     }
 }

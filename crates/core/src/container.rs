@@ -9,12 +9,17 @@
 //! ```text
 //! "CDNS"            magic
 //! u16               format version (1)
-//! u8                encoding (0 = baseline, 1 = one-byte, 2 = nibble)
+//! u8                encoding (0 = baseline, 1 = one-byte, 2 = nibble,
+//!                             3 = huffman)
 //! u8                reserved (0)
 //! u32               original text bytes
 //! u64               stream length in nibbles
 //! u32               dictionary entry count          (rank order)
 //!   per entry: u8 length, u32 × length words
+//! [encoding 3 only]
+//! u32               huffman symbol count, then one nibble-length byte per
+//!                   symbol (rank order, escape last) — the decoder rebuilds
+//!                   the canonical code from lengths alone
 //! u32               image byte length, then the image
 //! u32               jump table count
 //!   per table: u32 entry count, u32 × count nibble addresses
@@ -38,6 +43,11 @@ pub struct ProgramImage {
     pub encoding: EncodingKind,
     /// Dictionary entries in codeword-rank order.
     pub dictionary_by_rank: Vec<Vec<u32>>,
+    /// Huffman codeword nibble lengths, rank order with the escape symbol
+    /// last (empty unless `encoding` is [`EncodingKind::Huffman`]). The
+    /// canonical code — and the decoder's table — is fully determined by
+    /// these lengths ([`crate::huffcode::HuffCode::from_nibble_lengths`]).
+    pub huffman_lengths: Vec<u8>,
     /// The packed nibble stream.
     pub image: Vec<u8>,
     /// Stream length in nibbles.
@@ -57,6 +67,7 @@ impl ProgramImage {
         self.image.len()
             + self.dictionary_by_rank.iter().map(|e| 4 * e.len()).sum::<usize>()
             + 4 * self.overflow_table.len()
+            + self.huffman_lengths.len().div_ceil(2)
     }
 }
 
@@ -101,6 +112,7 @@ fn encoding_tag(kind: EncodingKind) -> u8 {
         EncodingKind::Baseline => 0,
         EncodingKind::OneByte => 1,
         EncodingKind::NibbleAligned => 2,
+        EncodingKind::Huffman => 3,
     }
 }
 
@@ -109,6 +121,7 @@ fn encoding_from_tag(tag: u8) -> Option<EncodingKind> {
         0 => Some(EncodingKind::Baseline),
         1 => Some(EncodingKind::OneByte),
         2 => Some(EncodingKind::NibbleAligned),
+        3 => Some(EncodingKind::Huffman),
         _ => None,
     }
 }
@@ -130,6 +143,12 @@ pub fn serialize(program: &CompressedProgram) -> Vec<u8> {
         for &w in &entry.words {
             out.extend_from_slice(&w.to_be_bytes());
         }
+    }
+
+    if program.encoding == EncodingKind::Huffman {
+        let lengths = program.huffman.as_ref().map(|h| h.nibble_lengths()).unwrap_or_default();
+        out.extend_from_slice(&(lengths.len() as u32).to_be_bytes());
+        out.extend_from_slice(lengths);
     }
 
     out.extend_from_slice(&(program.image.len() as u32).to_be_bytes());
@@ -231,6 +250,13 @@ pub fn deserialize(data: &[u8]) -> Result<ProgramImage, ContainerError> {
         dictionary_by_rank.push(words);
     }
 
+    let huffman_lengths = if encoding == EncodingKind::Huffman {
+        let n = r.u32()? as usize;
+        r.take(n)?.to_vec()
+    } else {
+        Vec::new()
+    };
+
     let image_len = r.u32()? as usize;
     let image = r.take(image_len)?.to_vec();
 
@@ -254,6 +280,7 @@ pub fn deserialize(data: &[u8]) -> Result<ProgramImage, ContainerError> {
     Ok(ProgramImage {
         encoding,
         dictionary_by_rank,
+        huffman_lengths,
         image,
         total_nibbles,
         jump_tables,
@@ -272,6 +299,11 @@ impl CompressedProgram {
         ProgramImage {
             encoding: self.encoding,
             dictionary_by_rank,
+            huffman_lengths: self
+                .huffman
+                .as_ref()
+                .map(|h| h.nibble_lengths().to_vec())
+                .unwrap_or_default(),
             image: self.image.clone(),
             total_nibbles: self.total_nibbles,
             jump_tables: self
@@ -321,10 +353,29 @@ mod tests {
             CompressionConfig::baseline(),
             CompressionConfig::small_dictionary(8),
             CompressionConfig::nibble_aligned(),
+            CompressionConfig::huffman(),
         ] {
             let c = Compressor::new(config).compress(&m).unwrap();
             assert_eq!(deserialize(&serialize(&c)).unwrap(), c.to_image());
         }
+    }
+
+    #[test]
+    fn huffman_lengths_travel_in_the_container() {
+        let mut m = ObjectModule::new("t");
+        for i in 0..60 {
+            m.code.push(encode(&Insn::Addi { rt: R3, ra: R3, si: (i % 4) as i16 }));
+        }
+        let c = Compressor::new(CompressionConfig::huffman()).compress(&m).unwrap();
+        let lengths = c.huffman.as_ref().unwrap().nibble_lengths().to_vec();
+        assert!(!lengths.is_empty());
+        let image = deserialize(&serialize(&c)).unwrap();
+        assert_eq!(image.encoding, EncodingKind::Huffman);
+        assert_eq!(image.huffman_lengths, lengths);
+        // The decoder can rebuild the canonical code from lengths alone.
+        let rebuilt =
+            crate::huffcode::HuffCode::from_nibble_lengths(image.huffman_lengths).unwrap();
+        assert_eq!(&rebuilt, c.huffman.as_ref().unwrap());
     }
 
     #[test]

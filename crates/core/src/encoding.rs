@@ -6,6 +6,7 @@
 //! first nibble(s) of an item unambiguously classify it.
 
 use crate::config::EncodingKind;
+use crate::huffcode::HuffCode;
 use crate::nibbles::{NibbleReader, NibbleWriter};
 use codense_isa::IsaRef;
 
@@ -79,16 +80,46 @@ pub mod nibble {
 }
 
 /// How many nibbles an uncompressed instruction occupies in the stream.
+///
+/// # Panics
+///
+/// Panics for [`EncodingKind::Huffman`], whose escape length depends on the
+/// program's code table; use [`insn_nibbles_coded`] there.
 pub fn insn_nibbles(kind: EncodingKind) -> u32 {
+    insn_nibbles_coded(kind, None)
+}
+
+/// How many nibbles an uncompressed instruction occupies in the stream,
+/// given the program's Huffman code table when the encoding needs one.
+///
+/// # Panics
+///
+/// Panics when `kind` is [`EncodingKind::Huffman`] and `huff` is `None`.
+pub fn insn_nibbles_coded(kind: EncodingKind, huff: Option<&HuffCode>) -> u32 {
     match kind {
         EncodingKind::NibbleAligned => 9,
+        EncodingKind::Huffman => {
+            huff.expect("huffman encoding requires its code table").escape_len() + 8
+        }
         _ => 8,
     }
 }
 
 /// How many nibbles the codeword of the given rank occupies, or `None` if
-/// the rank does not fit the encoding's codeword space.
+/// the rank does not fit the encoding's codeword space (always `None` for
+/// [`EncodingKind::Huffman`], whose lengths live in the program's code
+/// table — use [`try_codeword_nibbles_coded`]).
 pub fn try_codeword_nibbles(kind: EncodingKind, rank: u32) -> Option<u32> {
+    try_codeword_nibbles_coded(kind, None, rank)
+}
+
+/// How many nibbles the codeword of the given rank occupies under the given
+/// Huffman table, or `None` if the rank does not fit the codeword space.
+pub fn try_codeword_nibbles_coded(
+    kind: EncodingKind,
+    huff: Option<&HuffCode>,
+    rank: u32,
+) -> Option<u32> {
     if rank as usize >= kind.capacity() {
         return None;
     }
@@ -96,6 +127,7 @@ pub fn try_codeword_nibbles(kind: EncodingKind, rank: u32) -> Option<u32> {
         EncodingKind::Baseline => Some(4),
         EncodingKind::OneByte => Some(2),
         EncodingKind::NibbleAligned => nibble::try_codeword_nibbles(rank),
+        EncodingKind::Huffman => huff?.codeword_len(rank),
     }
 }
 
@@ -111,9 +143,33 @@ pub fn codeword_nibbles(kind: EncodingKind, rank: u32) -> u32 {
 }
 
 /// Serializes an uncompressed instruction into the stream.
+///
+/// # Panics
+///
+/// Panics for [`EncodingKind::Huffman`]; use [`write_insn_coded`] there.
 pub fn write_insn(kind: EncodingKind, w: &mut NibbleWriter, word: u32) {
-    if kind == EncodingKind::NibbleAligned {
-        w.push(nibble::ESCAPE);
+    write_insn_coded(kind, None, w, word);
+}
+
+/// Serializes an uncompressed instruction into the stream, given the
+/// program's Huffman code table when the encoding needs one.
+///
+/// # Panics
+///
+/// Panics when `kind` is [`EncodingKind::Huffman`] and `huff` is `None`.
+pub fn write_insn_coded(
+    kind: EncodingKind,
+    huff: Option<&HuffCode>,
+    w: &mut NibbleWriter,
+    word: u32,
+) {
+    match kind {
+        EncodingKind::NibbleAligned => w.push(nibble::ESCAPE),
+        EncodingKind::Huffman => {
+            let h = huff.expect("huffman encoding requires its code table");
+            h.write_symbol(w, h.escape_symbol());
+        }
+        _ => {}
     }
     w.push_u32(word);
 }
@@ -134,10 +190,26 @@ pub fn try_write_codeword(
 /// Serializes a codeword rank into the stream under `isa`'s escape-byte
 /// reservation, or returns [`CompressError::CodewordSpaceExhausted`] if the
 /// rank does not fit the encoding's codeword space. Nothing is written on
-/// error.
+/// error. For [`EncodingKind::Huffman`] (whose codewords live in a
+/// per-program table) every rank is out of space here — use
+/// [`try_write_codeword_coded`].
 pub fn try_write_codeword_with(
     kind: EncodingKind,
     isa: IsaRef,
+    w: &mut NibbleWriter,
+    rank: u32,
+) -> Result<(), crate::CompressError> {
+    try_write_codeword_coded(kind, isa, None, w, rank)
+}
+
+/// Serializes a codeword rank into the stream under `isa`'s escape-byte
+/// reservation and the program's Huffman code table, or returns
+/// [`CompressError::CodewordSpaceExhausted`] if the rank does not fit the
+/// encoding's (or table's) codeword space. Nothing is written on error.
+pub fn try_write_codeword_coded(
+    kind: EncodingKind,
+    isa: IsaRef,
+    huff: Option<&HuffCode>,
     w: &mut NibbleWriter,
     rank: u32,
 ) -> Result<(), crate::CompressError> {
@@ -146,6 +218,14 @@ pub fn try_write_codeword_with(
             rank,
             capacity: kind.capacity(),
         });
+    }
+    if kind == EncodingKind::Huffman {
+        let capacity = huff.map_or(0, |h| h.num_ranks() as usize);
+        let Some(h) = huff.filter(|h| rank < h.num_ranks()) else {
+            return Err(crate::CompressError::CodewordSpaceExhausted { rank, capacity });
+        };
+        h.write_symbol(w, rank);
+        return Ok(());
     }
     match kind {
         EncodingKind::Baseline => {
@@ -177,6 +257,7 @@ pub fn try_write_codeword_with(
                 w.push((r % 16) as u8);
             }
         }
+        EncodingKind::Huffman => unreachable!("handled above"),
     }
     Ok(())
 }
@@ -207,8 +288,33 @@ pub fn read_item(kind: EncodingKind, r: &mut NibbleReader<'_>) -> Option<Item> {
 /// and never consults the ISA).
 ///
 /// Returns `None` at (or past) end of stream, or on a malformed/truncated
-/// item.
+/// item. [`EncodingKind::Huffman`] streams need their code table and always
+/// parse as `None` here — use [`read_item_coded`].
 pub fn read_item_with(kind: EncodingKind, isa: IsaRef, r: &mut NibbleReader<'_>) -> Option<Item> {
+    read_item_coded(kind, isa, None, r)
+}
+
+/// Parses the next stream item under `isa`'s escape-byte reservation and
+/// the program's Huffman code table (required only by
+/// [`EncodingKind::Huffman`]; ignored elsewhere).
+///
+/// Returns `None` at (or past) end of stream, on a malformed/truncated
+/// item, or when a Huffman stream is parsed without its table.
+pub fn read_item_coded(
+    kind: EncodingKind,
+    isa: IsaRef,
+    huff: Option<&HuffCode>,
+    r: &mut NibbleReader<'_>,
+) -> Option<Item> {
+    if kind == EncodingKind::Huffman {
+        let h = huff?;
+        let symbol = h.read_symbol(r)?;
+        return if symbol == h.escape_symbol() {
+            Some(Item::Insn(r.next_u32()?))
+        } else {
+            Some(Item::Codeword(symbol))
+        };
+    }
     match kind {
         EncodingKind::Baseline => {
             let b0 = r.next_byte()?;
@@ -258,6 +364,7 @@ pub fn read_item_with(kind: EncodingKind, isa: IsaRef, r: &mut NibbleReader<'_>)
                 }
             }
         }
+        EncodingKind::Huffman => unreachable!("handled above"),
     }
 }
 
@@ -359,5 +466,49 @@ mod tests {
         let bytes = [0xF0]; // escape nibble + 1 nibble, not a full insn
         let mut r = NibbleReader::new(&bytes);
         assert_eq!(read_item(EncodingKind::NibbleAligned, &mut r), None);
+    }
+
+    #[test]
+    fn huffman_items_roundtrip_with_table() {
+        let kind = EncodingKind::Huffman;
+        let isa = IsaRef(&codense_ppc::ISA);
+        let freqs: Vec<u64> = (0..100u64).map(|r| 1000 / (r + 1)).collect();
+        let huff = HuffCode::from_frequencies(&freqs, 25);
+        let h = Some(&huff);
+        let mut w = NibbleWriter::new();
+        try_write_codeword_coded(kind, isa, h, &mut w, 0).unwrap();
+        write_insn_coded(kind, h, &mut w, 0x4e80_0020);
+        try_write_codeword_coded(kind, isa, h, &mut w, 99).unwrap();
+        let bytes = w.into_bytes();
+        let mut r = NibbleReader::new(&bytes);
+        assert_eq!(read_item_coded(kind, isa, h, &mut r), Some(Item::Codeword(0)));
+        assert_eq!(read_item_coded(kind, isa, h, &mut r), Some(Item::Insn(0x4e80_0020)));
+        assert_eq!(read_item_coded(kind, isa, h, &mut r), Some(Item::Codeword(99)));
+    }
+
+    #[test]
+    fn huffman_without_table_is_out_of_space_and_unreadable() {
+        let kind = EncodingKind::Huffman;
+        let isa = IsaRef(&codense_ppc::ISA);
+        let mut w = NibbleWriter::new();
+        let err = try_write_codeword_coded(kind, isa, None, &mut w, 0).unwrap_err();
+        assert!(matches!(err, crate::CompressError::CodewordSpaceExhausted { .. }));
+        assert_eq!(w.len(), 0);
+        let mut r = NibbleReader::new(&[0x12, 0x34]);
+        assert_eq!(read_item_with(kind, isa, &mut r), None);
+        assert_eq!(try_codeword_nibbles(kind, 0), None);
+    }
+
+    #[test]
+    fn huffman_rank_past_table_is_typed_error() {
+        let kind = EncodingKind::Huffman;
+        let isa = IsaRef(&codense_ppc::ISA);
+        let huff = HuffCode::from_frequencies(&[10, 5, 1], 2);
+        let mut w = NibbleWriter::new();
+        let err = try_write_codeword_coded(kind, isa, Some(&huff), &mut w, 3).unwrap_err();
+        assert_eq!(err, crate::CompressError::CodewordSpaceExhausted { rank: 3, capacity: 3 });
+        assert_eq!(w.len(), 0);
+        assert_eq!(try_codeword_nibbles_coded(kind, Some(&huff), 3), None);
+        assert!(try_codeword_nibbles_coded(kind, Some(&huff), 2).is_some());
     }
 }

@@ -90,6 +90,46 @@ pub struct GreedyParams {
     pub cost: CostModel,
 }
 
+/// A set of banned candidate *sequences* (matched by instruction content).
+/// Banned sequences are excluded at heap seeding, so a run with bans is a
+/// greedy run over the remaining candidate universe — the refinement
+/// selector's probe: ban a marginal accepted entry, re-select, and keep the
+/// result only if the exact layout cost improves.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BanSet {
+    /// Banned sequences, sorted for binary-search membership tests.
+    seqs: Vec<Vec<u32>>,
+}
+
+impl BanSet {
+    /// Creates an empty ban set.
+    pub fn new() -> BanSet {
+        BanSet::default()
+    }
+
+    /// Number of banned sequences.
+    pub fn len(&self) -> usize {
+        self.seqs.len()
+    }
+
+    /// Returns `true` when nothing is banned.
+    pub fn is_empty(&self) -> bool {
+        self.seqs.is_empty()
+    }
+
+    /// Bans a sequence (idempotent).
+    pub fn insert(&mut self, seq: Vec<u32>) {
+        if let Err(at) = self.seqs.binary_search(&seq) {
+            self.seqs.insert(at, seq);
+        }
+    }
+
+    /// Whether the sequence is banned.
+    pub fn contains(&self, seq: &[u32]) -> bool {
+        self.seqs.binary_search_by(|s| s.as_slice().cmp(seq)).is_ok()
+    }
+}
+
 /// One accepted dictionary entry, in acceptance order — the "pick log".
 ///
 /// Because the greedy choice at step *k* does not depend on the dictionary
@@ -311,7 +351,7 @@ pub fn run_greedy(
     // The index is owned and dies with this call, so the position lists
     // move into the selector instead of being cloned entry by entry.
     let occ = std::mem::take(&mut index.occ);
-    Ok(run_core(&index, occ, model, dict, params))
+    Ok(run_core(&index, occ, model, dict, params, &BanSet::default()))
 }
 
 /// Runs greedy selection against a prebuilt (shared) [`CandidateIndex`],
@@ -338,7 +378,32 @@ pub fn run_greedy_with(
         params.max_entry_len
     );
     telemetry::GREEDY_INDEX_REUSES.inc();
-    run_core(index, index.occ.clone(), model, dict, params)
+    run_core(index, index.occ.clone(), model, dict, params, &BanSet::default())
+}
+
+/// [`run_greedy_with`] minus any candidate whose sequence content is in
+/// `bans`. Banned candidates are excluded at heap seeding, so the run is an
+/// ordinary greedy selection over the remaining universe — the refinement
+/// selector's probe primitive.
+///
+/// # Panics
+///
+/// Panics if `params.max_entry_len > index.max_entry_len()`.
+pub fn run_greedy_banned(
+    index: &CandidateIndex,
+    model: &mut ProgramModel,
+    dict: &mut Dictionary,
+    params: GreedyParams,
+    bans: &BanSet,
+) -> Vec<PickRecord> {
+    assert!(
+        params.max_entry_len <= index.max_entry_len,
+        "index mined at max_entry_len {} cannot serve a run at {}",
+        index.max_entry_len,
+        params.max_entry_len
+    );
+    telemetry::GREEDY_INDEX_REUSES.inc();
+    run_core(index, index.occ.clone(), model, dict, params, bans)
 }
 
 fn run_core(
@@ -347,6 +412,7 @@ fn run_core(
     model: &mut ProgramModel,
     dict: &mut Dictionary,
     params: GreedyParams,
+    bans: &BanSet,
 ) -> Vec<PickRecord> {
     let interner = &index.interner;
     // Exact seeding: before any replacement every indexed position is
@@ -359,6 +425,9 @@ fn run_core(
         .filter_map(|id| {
             let len = interner.seq_len(id);
             if len > params.max_entry_len {
+                return None;
+            }
+            if !bans.is_empty() && bans.contains(interner.words(id)) {
                 return None;
             }
             let n = effective_count_sorted(occ.list(id), len);

@@ -1,0 +1,361 @@
+//! Nibble-granular canonical Huffman codewords for dictionary ranks.
+//!
+//! The paper's §2.1 observes that statistical coding beats pure dictionary
+//! substitution; the fixed nibble-aligned scheme (Fig 10) already
+//! approximates this with its 4/8/12/16-bit classes, but its class split is
+//! static. This module assigns codeword lengths from the *actual* usage
+//! frequencies of a program's dictionary entries: a radix-16 canonical
+//! prefix code over the symbols `rank 0..n` plus one `escape` symbol (which
+//! prefixes each uncompressed 32-bit instruction), with codeword lengths of
+//! 1–8 nibbles.
+//!
+//! Lengths come from a 16-ary Huffman construction run directly in nibble
+//! units: merging the sixteen lightest nodes per step minimizes
+//! `Σ freq × nibble_length` over all radix-16 prefix codes, so the result
+//! is never longer than any fixed class split for the same frequencies.
+//! (Rounding a *bit*-optimal code up to nibbles — the obvious shortcut —
+//! strands most of the base-16 Kraft budget and loses to the fixed scheme.)
+//! When pathological skew drives the tree past [`MAX_NIBBLES`], frequencies
+//! are halved (floored at one) and the tree rebuilt until it fits — a
+//! deterministic limiter that converges to the all-equal tree of depth
+//! `⌈log₁₆ n⌉ ≤ 4`. Only the per-symbol nibble lengths need to be stored
+//! with a compressed program; the canonical assignment (sorted by length,
+//! then symbol) reconstructs the codewords.
+
+use crate::nibbles::{NibbleReader, NibbleWriter};
+
+/// Maximum codeword length in nibbles (32 bits — the bit-length limit of
+/// the underlying coder, divided by 4).
+pub const MAX_NIBBLES: u8 = 8;
+
+/// A canonical radix-16 prefix code over dictionary ranks and the escape.
+///
+/// Symbols are `0..num_ranks` (dictionary codeword ranks, in rank order)
+/// followed by one extra symbol, [`escape_symbol`](HuffCode::escape_symbol),
+/// that introduces an uncompressed instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffCode {
+    /// Nibble length per symbol (always `1..=MAX_NIBBLES`).
+    lengths: Vec<u8>,
+    /// Canonical codeword per symbol (low `4 * lengths[s]` bits).
+    codes: Vec<u32>,
+    /// First canonical code value of each length (index = nibble length).
+    first_code: [u32; MAX_NIBBLES as usize + 1],
+    /// Start of each length's run in `by_code`.
+    offset: [u32; MAX_NIBBLES as usize + 1],
+    /// Number of codes of each length.
+    count: [u32; MAX_NIBBLES as usize + 1],
+    /// Symbols in canonical order (sorted by length, then symbol).
+    by_code: Vec<u32>,
+}
+
+impl HuffCode {
+    /// Builds the code for a program: `rank_freqs[r]` is how many times the
+    /// entry holding rank `r` is referenced by a codeword, and `escape_freq`
+    /// is how many uncompressed instructions the stream carries.
+    ///
+    /// Zero frequencies are raised to one so *every* rank — and the escape —
+    /// always gets a codeword: branch-overflow rewriting can add escaped
+    /// instructions after the code is fixed, so the escape must be encodable
+    /// even when the initial stream has no uncompressed instructions.
+    pub fn from_frequencies(rank_freqs: &[u64], escape_freq: u64) -> HuffCode {
+        let mut freqs: Vec<u64> = rank_freqs.iter().map(|&f| f.max(1)).collect();
+        freqs.push(escape_freq.max(1));
+        let lengths = loop {
+            let lengths = radix16_lengths(&freqs);
+            if lengths.iter().all(|&l| l <= MAX_NIBBLES) {
+                break lengths;
+            }
+            // Deterministic length limiter: flatten the skew and rebuild.
+            for f in &mut freqs {
+                *f = (*f >> 1).max(1);
+            }
+        };
+        HuffCode::from_nibble_lengths(lengths).expect("derived lengths satisfy Kraft")
+    }
+
+    /// Reconstructs the code from stored per-symbol nibble lengths (the
+    /// container's transmissible model). Returns `None` when the lengths
+    /// cannot describe a prefix code: empty, a length outside
+    /// `1..=MAX_NIBBLES`, or a Kraft-inequality violation — hostile
+    /// containers are rejected, never trusted.
+    pub fn from_nibble_lengths(lengths: Vec<u8>) -> Option<HuffCode> {
+        if lengths.is_empty() || lengths.len() > (1 << 16) {
+            return None;
+        }
+        let mut kraft = 0u64;
+        for &l in &lengths {
+            if !(1..=MAX_NIBBLES).contains(&l) {
+                return None;
+            }
+            kraft += 1u64 << (4 * (MAX_NIBBLES - l) as u32);
+        }
+        if kraft > 1u64 << (4 * MAX_NIBBLES as u32) {
+            return None;
+        }
+        let mut by_code: Vec<u32> = (0..lengths.len() as u32).collect();
+        by_code.sort_by_key(|&s| (lengths[s as usize], s));
+        let mut codes = vec![0u32; lengths.len()];
+        let mut first_code = [0u32; MAX_NIBBLES as usize + 1];
+        let mut offset = [0u32; MAX_NIBBLES as usize + 1];
+        let mut count = [0u32; MAX_NIBBLES as usize + 1];
+        // u64 accumulator: the final increment of a full code can carry past
+        // 32 bits at the maximum length.
+        let mut code = 0u64;
+        let mut prev = 0u8;
+        for (i, &s) in by_code.iter().enumerate() {
+            let l = lengths[s as usize];
+            if l > prev {
+                code <<= 4 * (l - prev) as u32;
+                first_code[l as usize] = code as u32;
+                offset[l as usize] = i as u32;
+                prev = l;
+            }
+            codes[s as usize] = code as u32;
+            count[l as usize] += 1;
+            code += 1;
+        }
+        Some(HuffCode { lengths, codes, first_code, offset, count, by_code })
+    }
+
+    /// Number of rank symbols (dictionary entries) the code covers.
+    pub fn num_ranks(&self) -> u32 {
+        self.lengths.len() as u32 - 1
+    }
+
+    /// The escape symbol's index (one past the last rank).
+    pub fn escape_symbol(&self) -> u32 {
+        self.num_ranks()
+    }
+
+    /// The per-symbol nibble lengths (the transmissible model).
+    pub fn nibble_lengths(&self) -> &[u8] {
+        &self.lengths
+    }
+
+    /// Codeword length in nibbles for a rank, or `None` when the rank is
+    /// outside the code's symbol space.
+    pub fn codeword_len(&self, rank: u32) -> Option<u32> {
+        (rank < self.num_ranks()).then(|| self.lengths[rank as usize] as u32)
+    }
+
+    /// The escape codeword's length in nibbles.
+    pub fn escape_len(&self) -> u32 {
+        self.lengths[self.escape_symbol() as usize] as u32
+    }
+
+    /// Appends a symbol's codeword to the stream, most-significant nibble
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` is outside the code's symbol space.
+    pub fn write_symbol(&self, w: &mut NibbleWriter, symbol: u32) {
+        let l = self.lengths[symbol as usize];
+        let c = self.codes[symbol as usize];
+        for i in (0..l).rev() {
+            w.push(((c >> (4 * i as u32)) & 0xf) as u8);
+        }
+    }
+
+    /// Decodes the next symbol from the stream: O(1) per nibble via the
+    /// canonical per-length tables. Returns `None` at end of stream or when
+    /// no codeword matches (possible only for non-full codes).
+    pub fn read_symbol(&self, r: &mut NibbleReader<'_>) -> Option<u32> {
+        let mut acc = 0u32;
+        for l in 1..=MAX_NIBBLES as usize {
+            acc = (acc << 4) | r.next()? as u32;
+            if self.count[l] > 0 && acc >= self.first_code[l] {
+                let rel = acc - self.first_code[l];
+                if rel < self.count[l] {
+                    return Some(self.by_code[(self.offset[l] + rel) as usize]);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Optimal radix-16 prefix-code lengths (in nibbles, unlimited) for the
+/// given positive frequencies: a 16-ary Huffman tree, ties broken by
+/// insertion id so the result is deterministic. The symbol count is padded
+/// with zero-weight dummies to `(n − 1) ≡ 0 (mod 15)` so every merge takes
+/// exactly sixteen nodes — the standard condition for r-ary optimality.
+fn radix16_lengths(freqs: &[u64]) -> Vec<u8> {
+    use std::collections::BinaryHeap;
+    let n = freqs.len();
+    if n <= 1 {
+        return vec![1; n];
+    }
+    let dummies = (15 - (n - 1) % 15) % 15;
+    #[derive(PartialEq, Eq)]
+    struct Item {
+        weight: u64,
+        id: u32,
+        node: usize,
+    }
+    impl Ord for Item {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            // Reversed for a min-heap.
+            o.weight.cmp(&self.weight).then(o.id.cmp(&self.id))
+        }
+    }
+    impl PartialOrd for Item {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+    // Leaves first (dummies after the real symbols), then internal nodes,
+    // linked through `parent`; depth extraction walks the links.
+    let mut parent: Vec<usize> = vec![usize::MAX; n + dummies];
+    let mut heap: BinaryHeap<Item> = (0..n + dummies)
+        .map(|node| Item { weight: freqs.get(node).copied().unwrap_or(0), id: node as u32, node })
+        .collect();
+    let mut next_id = (n + dummies) as u32;
+    while heap.len() > 1 {
+        let node = parent.len();
+        let mut weight = 0u64;
+        for _ in 0..16 {
+            let child = heap.pop().expect("padding makes every merge full");
+            weight = weight.saturating_add(child.weight);
+            parent[child.node] = node;
+        }
+        parent.push(usize::MAX);
+        heap.push(Item { weight, id: next_id, node });
+        next_id += 1;
+    }
+    (0..n)
+        .map(|leaf| {
+            let mut depth = 0u8;
+            let mut at = leaf;
+            while parent[at] != usize::MAX {
+                at = parent[at];
+                depth = depth.saturating_add(1);
+            }
+            depth.max(1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zipf(n: usize) -> Vec<u64> {
+        (0..n as u64).map(|r| 10_000 / (r + 1)).collect()
+    }
+
+    #[test]
+    fn roundtrips_every_symbol() {
+        for n in [0usize, 1, 7, 100, 700, 8192] {
+            let code = HuffCode::from_frequencies(&zipf(n), 37);
+            assert_eq!(code.num_ranks(), n as u32);
+            let mut w = NibbleWriter::new();
+            let step = (n / 64).max(1) as u32;
+            let probed: Vec<u32> =
+                (0..n as u32).step_by(step as usize).chain([code.escape_symbol()]).collect();
+            for &s in &probed {
+                code.write_symbol(&mut w, s);
+            }
+            let bytes = w.into_bytes();
+            let mut r = NibbleReader::new(&bytes);
+            for &s in &probed {
+                assert_eq!(code.read_symbol(&mut r), Some(s), "n={n} symbol {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_ranks_get_shorter_codewords() {
+        // A steep skew: rank 0 dominates, tail ranks are rare.
+        let mut freqs = vec![1u64; 600];
+        freqs[0] = 100_000;
+        freqs[1] = 10_000;
+        let code = HuffCode::from_frequencies(&freqs, 50);
+        assert!(code.codeword_len(0).unwrap() <= code.codeword_len(599).unwrap());
+        assert!(code.codeword_len(0).unwrap() <= 2);
+    }
+
+    /// The whole point of the adaptive code: for any frequency profile the
+    /// fixed scheme can host, the 16-ary Huffman assignment never codes the
+    /// stream longer than the fixed 1/2/3/4-nibble class split (which is
+    /// itself a valid radix-16 prefix code, so optimality subsumes it).
+    #[test]
+    fn beats_or_ties_the_fixed_nibble_classes() {
+        use crate::encoding::nibble;
+        for n in [8usize, 64, 600, 4096, 8192] {
+            let freqs = zipf(n);
+            let escape_freq = 500u64;
+            let code = HuffCode::from_frequencies(&freqs, escape_freq);
+            let adaptive: u64 = freqs
+                .iter()
+                .enumerate()
+                .map(|(r, &f)| f * code.codeword_len(r as u32).unwrap() as u64)
+                .sum::<u64>()
+                + escape_freq * code.escape_len() as u64;
+            let fixed: u64 = freqs
+                .iter()
+                .enumerate()
+                .map(|(r, &f)| f * nibble::codeword_nibbles(r as u32) as u64)
+                .sum::<u64>()
+                + escape_freq; // fixed scheme: 1-nibble escape marker
+            assert!(adaptive <= fixed, "n={n}: adaptive {adaptive} > fixed {fixed}");
+        }
+    }
+
+    #[test]
+    fn lengths_roundtrip_through_reconstruction() {
+        let code = HuffCode::from_frequencies(&zipf(300), 41);
+        let rebuilt = HuffCode::from_nibble_lengths(code.nibble_lengths().to_vec()).unwrap();
+        assert_eq!(rebuilt, code);
+    }
+
+    #[test]
+    fn hostile_lengths_rejected() {
+        assert!(HuffCode::from_nibble_lengths(vec![]).is_none());
+        assert!(HuffCode::from_nibble_lengths(vec![0]).is_none());
+        assert!(HuffCode::from_nibble_lengths(vec![9]).is_none());
+        // Kraft violation: three 1-nibble codes leave room, but seventeen
+        // 1-nibble codes overflow the 16-way first level.
+        assert!(HuffCode::from_nibble_lengths(vec![1; 17]).is_none());
+        assert!(HuffCode::from_nibble_lengths(vec![1; 16]).is_some());
+    }
+
+    #[test]
+    fn kraft_holds_after_nibble_rounding() {
+        for n in [2usize, 50, 1000, 8192] {
+            let code = HuffCode::from_frequencies(&zipf(n), 1);
+            let kraft: u64 =
+                code.nibble_lengths().iter().map(|&l| 1u64 << (4 * (MAX_NIBBLES - l) as u32)).sum();
+            assert!(kraft <= 1u64 << (4 * MAX_NIBBLES as u32), "n={n}");
+        }
+    }
+
+    #[test]
+    fn escape_always_has_a_code() {
+        // Even with zero escape frequency (no uncompressed instructions at
+        // selection time) the escape must remain encodable.
+        let code = HuffCode::from_frequencies(&zipf(12), 0);
+        assert!(code.escape_len() >= 1);
+        let mut w = NibbleWriter::new();
+        code.write_symbol(&mut w, code.escape_symbol());
+        let bytes = w.into_bytes();
+        let mut r = NibbleReader::new(&bytes);
+        assert_eq!(code.read_symbol(&mut r), Some(code.escape_symbol()));
+    }
+
+    #[test]
+    fn truncated_stream_returns_none() {
+        let code = HuffCode::from_frequencies(&zipf(600), 3);
+        // Pick a symbol with a ≥ 3-nibble codeword and supply only its first
+        // byte (2 nibbles): the decode must report end-of-stream, not panic.
+        let long = (0..600).find(|&r| code.codeword_len(r).unwrap() >= 3).unwrap();
+        let mut w = NibbleWriter::new();
+        code.write_symbol(&mut w, long);
+        let bytes = w.into_bytes();
+        let mut r = NibbleReader::new(&bytes[..1]);
+        assert_eq!(code.read_symbol(&mut r), None);
+        // Empty stream likewise.
+        assert_eq!(code.read_symbol(&mut NibbleReader::new(&[])), None);
+    }
+}

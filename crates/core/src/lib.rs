@@ -6,10 +6,14 @@
 //!
 //! A post-compilation [`Compressor`] finds instruction sequences repeated
 //! throughout a program and replaces each occurrence with a short codeword
-//! indexing an expansion [`dict::Dictionary`]. Three codeword encodings are
+//! indexing an expansion [`dict::Dictionary`]. Four codeword encodings are
 //! implemented ([`EncodingKind`]): the 2-byte escape-byte baseline, a 1-byte
-//! scheme for ≤512-byte dictionaries, and the nibble-aligned variable-length
-//! scheme that achieves the paper's headline 30–50 % size reduction.
+//! scheme for ≤512-byte dictionaries, the nibble-aligned variable-length
+//! scheme that achieves the paper's headline 30–50 % size reduction, and a
+//! frequency-driven Huffman scheme ([`huffcode`]) that assigns codeword
+//! lengths from each program's actual dictionary-entry usage. Dictionary
+//! *selection* is pluggable too ([`selector`]): the greedy fast path, or an
+//! iterative-refinement hill climb re-scored with the exact layout cost.
 //!
 //! # Pipeline
 //!
@@ -52,10 +56,12 @@ pub mod dict;
 pub mod encoding;
 pub mod error;
 pub mod greedy;
+pub mod huffcode;
 pub mod intern;
 pub mod model;
 pub mod nibbles;
 pub mod parallel;
+pub mod selector;
 pub mod stats;
 pub mod sweep;
 pub mod telemetry;
@@ -67,4 +73,6 @@ pub use container::{ContainerError, ProgramImage};
 pub use dict::Dictionary;
 pub use error::{CompressError, VerifyError};
 pub use greedy::{CandidateIndex, MatchfinderKind, PickRecord};
+pub use huffcode::HuffCode;
+pub use selector::SelectorKind;
 pub use stats::Composition;

@@ -49,26 +49,30 @@ impl CompressedProgram {
         let mut uncompressed = 0.0;
         let mut escape = 0.0;
         let mut index = 0.0;
+        // Escape nibbles charged per uncompressed instruction: one for the
+        // nibble scheme, the escape codeword's true length under Huffman.
+        let escape_nibbles = match self.encoding {
+            EncodingKind::NibbleAligned => 1.0,
+            EncodingKind::Huffman => self.huffman.as_ref().map_or(0.0, |h| h.escape_len() as f64),
+            _ => 0.0,
+        };
         for atom in &self.atoms {
             match *atom {
                 Atom::Insn { .. } => {
                     uncompressed += 4.0;
-                    if self.encoding == EncodingKind::NibbleAligned {
-                        escape += 0.5;
-                    }
+                    escape += escape_nibbles / 2.0;
                 }
                 Atom::ViaTable { word, slot, .. } => {
-                    let n = crate::compressor::via_table_expansion_with(
+                    let n = crate::compressor::via_table_expansion_coded(
                         self.isa,
                         self.encoding,
+                        self.huffman.as_ref(),
                         word,
                         slot,
                     )
                     .len() as f64;
                     uncompressed += 4.0 * n;
-                    if self.encoding == EncodingKind::NibbleAligned {
-                        escape += 0.5 * n;
-                    }
+                    escape += escape_nibbles / 2.0 * n;
                 }
                 Atom::Codeword { entry, .. } => match self.encoding {
                     EncodingKind::Baseline => {
@@ -78,9 +82,16 @@ impl CompressedProgram {
                     EncodingKind::OneByte => {
                         escape += 1.0;
                     }
-                    EncodingKind::NibbleAligned => {
+                    EncodingKind::NibbleAligned | EncodingKind::Huffman => {
                         let rank = self.dictionary.rank_of(entry);
-                        index += encoding::codeword_nibbles(self.encoding, rank) as f64 / 2.0;
+                        index += encoding::try_codeword_nibbles_coded(
+                            self.encoding,
+                            self.huffman.as_ref(),
+                            rank,
+                        )
+                        .expect("compressed atom has a codeword")
+                            as f64
+                            / 2.0;
                     }
                 },
             }
@@ -100,7 +111,10 @@ impl CompressedProgram {
         let mut out = vec![0.0; max_len + 1];
         for (id, e) in self.dictionary.entries().iter().enumerate() {
             let rank = self.dictionary.rank_of(id as u32);
-            let cw_bytes = encoding::codeword_nibbles(self.encoding, rank) as f64 / 2.0;
+            let cw_bytes =
+                encoding::try_codeword_nibbles_coded(self.encoding, self.huffman.as_ref(), rank)
+                    .expect("dictionary entry has a codeword") as f64
+                    / 2.0;
             let saved =
                 e.replaced as f64 * (4.0 * e.len() as f64 - cw_bytes) - 4.0 * e.len() as f64;
             out[e.len().min(max_len)] += saved;

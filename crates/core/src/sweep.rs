@@ -280,6 +280,17 @@ mod tests {
     }
 
     #[test]
+    fn rank_space_guard() {
+        assert_eq!(check_rank_space(0).unwrap(), 0);
+        assert_eq!(check_rank_space(u32::MAX as usize).unwrap(), u32::MAX);
+        assert!(matches!(
+            check_rank_space(u32::MAX as usize + 1),
+            Err(CompressError::ProgramTooLarge { blocks, largest_block: 0 })
+                if blocks == u32::MAX as usize + 1
+        ));
+    }
+
+    #[test]
     fn small_dictionary_sweep_improves_with_entries() {
         let m = module();
         let sweep = small_dictionary_sweep(&m, &[8, 16, 32]).unwrap();
@@ -371,14 +382,24 @@ impl NibbleSplit {
 ///
 /// Returns total text nibbles. Dictionary bytes are unchanged by the split
 /// except for dropped entries, which this conservative model keeps.
-pub fn text_nibbles_under_split(c: &CompressedProgram, split: NibbleSplit) -> u64 {
+///
+/// # Errors
+///
+/// [`CompressError::ProgramTooLarge`] if the dictionary exceeds the 32-bit
+/// rank space — the same overflow contract as the matchfinder's position
+/// space, instead of a silently truncating `as u32` cast.
+pub fn text_nibbles_under_split(
+    c: &CompressedProgram,
+    split: NibbleSplit,
+) -> Result<u64, CompressError> {
     assert!(split.is_valid(), "split must use exactly 15 nibbles");
+    let entries = check_rank_space(c.dictionary.len())?;
     // Occurrence counts by rank (already sorted: rank order is by use).
     let mut total: u64 = 0;
-    for rank in 0..c.dictionary.len() as u64 {
-        let entry = c.dictionary.entry_of_rank(rank as u32);
+    for rank in 0..entries {
+        let entry = c.dictionary.entry_of_rank(rank);
         let e = c.dictionary.entry(entry);
-        match split.codeword_nibbles(rank) {
+        match split.codeword_nibbles(rank as u64) {
             Some(n) => total += n * e.replaced as u64,
             // Beyond capacity: occurrences revert to escaped instructions.
             None => total += 9 * (e.len() as u64) * e.replaced as u64,
@@ -397,5 +418,14 @@ pub fn text_nibbles_under_split(c: &CompressedProgram, split: NibbleSplit) -> u6
             crate::compressor::Atom::Codeword { .. } => 0,
         })
         .sum();
-    total + uncompressed
+    Ok(total + uncompressed)
+}
+
+/// Rejects dictionaries whose entry count would not fit the u32 rank
+/// arithmetic — the same typed-overflow contract as the matchfinder's
+/// position-space guard, instead of a silently truncating `as u32` cast.
+fn check_rank_space(entries: usize) -> Result<u32, CompressError> {
+    entries
+        .try_into()
+        .map_err(|_| CompressError::ProgramTooLarge { blocks: entries, largest_block: 0 })
 }

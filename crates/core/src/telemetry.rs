@@ -122,6 +122,7 @@ registry! {
     GREEDY_STALE_REINSERTS => "greedy.stale_reinserts",
     GREEDY_WINDOW_ADDS => "greedy.window_adds",
     GREEDY_WINDOW_REMOVES => "greedy.window_removes",
+    HUFFMAN_CODES_BUILT => "huffman.codes_built",
     HYBRID_COMPRESSIONS => "hybrid.compressions",
     HYBRID_EXEMPT_INSNS => "hybrid.exempt_insns",
     HYBRID_HOT_BLOCKS => "hybrid.hot_blocks",
@@ -129,6 +130,9 @@ registry! {
     PROFILE_BLOCKS => "profile.blocks",
     PROFILE_INSNS_COUNTED => "profile.insns_counted",
     PROFILE_RUNS => "profile.runs",
+    REFINE_RUNS => "refine.runs",
+    REFINE_SWAPS_ACCEPTED => "refine.swaps_accepted",
+    REFINE_TRIALS => "refine.trials",
     SERVE_BYTES_IN => "serve.bytes_in",
     SERVE_BYTES_OUT => "serve.bytes_out",
     SERVE_CACHE_BYTES_HIGH_WATER => "serve.cache.bytes_high_water",

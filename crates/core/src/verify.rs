@@ -17,8 +17,8 @@
 
 use codense_obj::ObjectModule;
 
-use crate::compressor::{via_table_expansion_with, Atom, CompressedProgram};
-use crate::encoding::{read_item_with, Item};
+use crate::compressor::{via_table_expansion_coded, Atom, CompressedProgram};
+use crate::encoding::{read_item_coded, Item};
 use crate::error::VerifyError;
 use crate::nibbles::NibbleReader;
 
@@ -114,6 +114,7 @@ fn verify_coverage_and_words(
 }
 
 fn verify_image(c: &CompressedProgram) -> Result<(), VerifyError> {
+    let huff = c.huffman.as_ref();
     let mut r = NibbleReader::new(&c.image);
     for (i, atom) in c.atoms.iter().enumerate() {
         if r.pos() != c.addresses[i] {
@@ -121,19 +122,19 @@ fn verify_image(c: &CompressedProgram) -> Result<(), VerifyError> {
         }
         match *atom {
             Atom::Insn { word, .. } => {
-                if read_item_with(c.encoding, c.isa, &mut r) != Some(Item::Insn(word)) {
+                if read_item_coded(c.encoding, c.isa, huff, &mut r) != Some(Item::Insn(word)) {
                     return Err(VerifyError::ImageMismatch { atom: i });
                 }
             }
             Atom::Codeword { entry, .. } => {
                 let want = Item::Codeword(c.dictionary.rank_of(entry));
-                if read_item_with(c.encoding, c.isa, &mut r) != Some(want) {
+                if read_item_coded(c.encoding, c.isa, huff, &mut r) != Some(want) {
                     return Err(VerifyError::ImageMismatch { atom: i });
                 }
             }
             Atom::ViaTable { word, slot, .. } => {
-                for w in via_table_expansion_with(c.isa, c.encoding, word, slot) {
-                    if read_item_with(c.encoding, c.isa, &mut r) != Some(Item::Insn(w)) {
+                for w in via_table_expansion_coded(c.isa, c.encoding, huff, word, slot) {
+                    if read_item_coded(c.encoding, c.isa, huff, &mut r) != Some(Item::Insn(w)) {
                         return Err(VerifyError::ImageMismatch { atom: i });
                     }
                 }
@@ -188,6 +189,7 @@ mod tests {
             CompressionConfig::baseline(),
             CompressionConfig::small_dictionary(16),
             CompressionConfig::nibble_aligned(),
+            CompressionConfig::huffman(),
         ] {
             let c = Compressor::new(config.clone()).compress(&m).unwrap();
             verify(&m, &c).unwrap_or_else(|e| panic!("{config:?}: {e}"));

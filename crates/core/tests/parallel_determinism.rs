@@ -45,10 +45,35 @@ fn compression_is_identical_across_job_counts() {
         CompressionConfig::baseline(),
         CompressionConfig::nibble_aligned(),
         CompressionConfig::small_dictionary(32),
+        CompressionConfig::huffman(),
     ] {
         let serial = with_jobs(1, || Compressor::new(config.clone()).compress(&m).unwrap());
         let parallel = with_jobs(8, || Compressor::new(config).compress(&m).unwrap());
         assert_identical(&serial, &parallel);
+    }
+}
+
+/// The refinement selector's hill climb must be as worker-count-blind as
+/// the greedy path: identical containers at `--jobs 1` and `--jobs 8` for
+/// every encoding it can drive.
+#[test]
+fn refinement_is_identical_across_job_counts() {
+    let _guard = JOBS_LOCK.lock().unwrap();
+    let m = module();
+    for config in [
+        CompressionConfig::baseline(),
+        CompressionConfig::nibble_aligned(),
+        CompressionConfig::huffman(),
+    ] {
+        let refine = |jobs| {
+            with_jobs(jobs, || {
+                Compressor::new(config.clone())
+                    .with_selector(codense_core::SelectorKind::Refine)
+                    .compress(&m)
+                    .unwrap()
+            })
+        };
+        assert_identical(&refine(1), &refine(8));
     }
 }
 

@@ -606,9 +606,9 @@ pub fn splits(ctx: &mut Ctx) {
     let compressor = Compressor::new(CompressionConfig::nibble_aligned());
     for m in &ctx.suite {
         let c = compressor.compress(m).expect("compress");
-        let base = text_nibbles_under_split(&c, NibbleSplit::SHIPPED) as f64;
+        let base = text_nibbles_under_split(&c, NibbleSplit::SHIPPED).expect("rank space") as f64;
         t.row(std::iter::once(m.name.clone()).chain(candidates.iter().map(|&(_, s)| {
-            let n = text_nibbles_under_split(&c, s) as f64;
+            let n = text_nibbles_under_split(&c, s).expect("rank space") as f64;
             format!("{:+.2}%", 100.0 * (n - base) / base)
         })));
     }

@@ -14,9 +14,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use codense_codegen::Rng;
 use codense_core::container;
-use codense_core::encoding::read_item;
+use codense_core::encoding::read_item_coded;
 use codense_core::nibbles::NibbleReader;
-use codense_core::{CompressedProgram, CompressionConfig, Compressor, EncodingKind};
+use codense_core::{CompressedProgram, CompressionConfig, Compressor, EncodingKind, HuffCode};
+use codense_isa::IsaRef;
 use codense_obj::ObjectModule;
 use codense_vm::fetch::{CompressedFetcher, Fetch};
 use codense_vm::machine::{Machine, Outcome};
@@ -213,19 +214,30 @@ pub fn module_battery(module: &ObjectModule, rng: &mut Rng, tries: usize) -> Fau
 
 /// Feeds random nibble soup to the stream parser under every encoding and
 /// asserts it terminates with monotonic progress — the decoder loop of the
-/// paper's fetch hardware must never live-lock on garbage.
+/// paper's fetch hardware must never live-lock on garbage. The Huffman
+/// scheme parses against a fixed small code table (soup decodes to random
+/// symbols; the parser must still terminate and make progress).
 pub fn nibble_soup_battery(rng: &mut Rng, tries: usize) -> FaultReport {
     let mut report = FaultReport::default();
+    let huff = HuffCode::from_frequencies(&[40, 20, 10, 5, 2, 1, 1], 80);
     for _ in 0..tries {
         let len = rng.range(1, 96);
         let soup: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
-        for kind in [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned] {
+        for kind in [
+            EncodingKind::Baseline,
+            EncodingKind::OneByte,
+            EncodingKind::NibbleAligned,
+            EncodingKind::Huffman,
+        ] {
             report.checks += 1;
+            let table = (kind == EncodingKind::Huffman).then_some(&huff);
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 let mut r = NibbleReader::new(&soup);
                 let mut last = r.pos();
                 let mut items = 0u64;
-                while let Some(_item) = read_item(kind, &mut r) {
+                while let Some(_item) =
+                    read_item_coded(kind, IsaRef(&codense_ppc::ISA), table, &mut r)
+                {
                     assert!(r.pos() > last, "parser made no progress at nibble {last}");
                     last = r.pos();
                     items += 1;
@@ -237,6 +249,59 @@ pub fn nibble_soup_battery(rng: &mut Rng, tries: usize) -> FaultReport {
                 Ok(_) => report.typed_errors += 1,
                 Err(_) => report.panics += 1,
             }
+        }
+    }
+    report
+}
+
+/// Hostile-input battery for the two standalone entropy decoders the
+/// comparison models use: `codense_huffman::decode_checked` (CCRP's
+/// line-oriented Huffman) and `codense_lzw::decompress_checked` (the Unix
+/// Compress model). Both must return typed errors on truncated streams,
+/// invalid codes, and claimed lengths larger than the bit supply — never
+/// panic, and never allocate past the caller's bound.
+pub fn entropy_decoder_battery(rng: &mut Rng, tries: usize) -> FaultReport {
+    let mut report = FaultReport::default();
+
+    // A small skewed corpus both coders compress well.
+    let data: Vec<u8> = (0..1024u32).map(|i| (i % 7 + i % 3) as u8).collect();
+    let hcode =
+        codense_huffman::HuffmanCode::from_frequencies(&codense_huffman::byte_frequencies(&data));
+    let hbits = codense_huffman::encode(&hcode, &data);
+
+    for _ in 0..tries {
+        // Huffman: corrupted bits with an honest count, then a forged count
+        // exceeding the bit supply (must be rejected before allocating).
+        let bad_bits = corrupt(&hbits, rng);
+        let forged_count = bad_bits.len().saturating_mul(8) + 1 + rng.below(1 << 20);
+        for (bits, count) in [(&bad_bits, data.len()), (&bad_bits, forged_count)] {
+            report.checks += 1;
+            match catch_unwind(AssertUnwindSafe(|| {
+                codense_huffman::decode_checked(&hcode, bits, count).map(|out| out.len())
+            })) {
+                Ok(Ok(n)) => {
+                    assert_eq!(n, count);
+                    report.accepted += 1;
+                }
+                Ok(Err(_)) => report.typed_errors += 1,
+                Err(_) => report.panics += 1,
+            }
+        }
+
+        // LZW: corrupted compressed stream under a hard output bound — the
+        // bound caps allocation no matter what the stream claims.
+        let max_out = 4 * data.len();
+        let bad = corrupt(&codense_lzw::compress(&data), rng);
+        report.checks += 1;
+        match catch_unwind(AssertUnwindSafe(|| {
+            codense_lzw::decompress_checked(&bad, max_out).map(|out| out.len())
+        })) {
+            Ok(Ok(n)) => {
+                assert!(n <= max_out, "LZW output {n} exceeds the {max_out}-byte bound");
+                report.accepted += 1;
+            }
+            Ok(Err(_)) => report.typed_errors += 1,
+            Err(_) => report.panics += 1,
         }
     }
     report
@@ -282,6 +347,25 @@ mod tests {
         let mut rng = Rng::new(9);
         let report = nibble_soup_battery(&mut rng, 120);
         assert_eq!(report.panics, 0, "{report:?}");
-        assert_eq!(report.checks, 3 * 120);
+        assert_eq!(report.checks, 4 * 120);
+    }
+
+    #[test]
+    fn entropy_decoders_never_panic_and_reject_forged_lengths() {
+        let mut rng = Rng::new(10);
+        let report = entropy_decoder_battery(&mut rng, 100);
+        assert_eq!(report.panics, 0, "{report:?}");
+        // Every forged-count huffman probe must be a typed rejection, so at
+        // least a third of all checks are typed errors.
+        assert!(report.typed_errors >= 100, "{report:?}");
+    }
+
+    #[test]
+    fn huffman_container_battery_never_panics() {
+        let c = Compressor::new(CompressionConfig::huffman()).compress(&module()).unwrap();
+        let mut rng = Rng::new(11);
+        let report = container_battery(&c, &mut rng, 150);
+        assert_eq!(report.panics, 0, "{report:?}");
+        assert!(report.typed_errors > 0);
     }
 }

@@ -643,21 +643,22 @@ pub fn lockstep_mips_with(
     })
 }
 
-/// The three encodings every case is checked under, with the MIPS port of
+/// The four encodings every case is checked under, with the MIPS port of
 /// the compressor selected.
-fn encodings() -> [(&'static str, CompressionConfig); 3] {
+fn encodings() -> [(&'static str, CompressionConfig); 4] {
     [
         ("baseline", CompressionConfig::baseline()),
         ("one-byte", CompressionConfig::small_dictionary(32)),
         ("nibble", CompressionConfig::nibble_aligned()),
+        ("huffman", CompressionConfig::huffman()),
     ]
 }
 
 /// Outcome of one MIPS case.
 #[derive(Debug, Clone, Default)]
 struct CaseOutcome {
-    completed: [u64; 3],
-    skipped: [u64; 3],
+    completed: [u64; 4],
+    skipped: [u64; 4],
     agreed_faults: u64,
     failures: Vec<String>,
 }
@@ -781,12 +782,12 @@ pub fn run_mips(opts: &FuzzOptions) -> FuzzReport {
     let outcomes = par_map((0..opts.cases).collect(), |_, case| run_mips_case(opts, case));
     drop(cases_phase);
 
-    let mut completed = [0u64; 3];
-    let mut skipped = [0u64; 3];
+    let mut completed = [0u64; 4];
+    let mut skipped = [0u64; 4];
     let mut agreed_faults = 0u64;
     let mut failure_lines = Vec::new();
     for out in outcomes {
-        for e in 0..3 {
+        for e in 0..4 {
             completed[e] += out.completed[e];
             skipped[e] += out.skipped[e];
         }
@@ -796,7 +797,7 @@ pub fn run_mips(opts: &FuzzOptions) -> FuzzReport {
     failures += failure_lines.len();
 
     let labels = encodings().map(|(l, _)| l);
-    for e in 0..3 {
+    for e in 0..4 {
         lines.push(format!(
             "encoding {}: completed={} skipped-overflow={}",
             labels[e], completed[e], skipped[e]

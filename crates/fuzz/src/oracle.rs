@@ -454,6 +454,7 @@ mod tests {
             CompressionConfig::baseline(),
             CompressionConfig::small_dictionary(16),
             CompressionConfig::nibble_aligned(),
+            CompressionConfig::huffman(),
         ] {
             let c = Compressor::new(config).compress(&m).unwrap();
             let got = lockstep(&m, &c, &[], &|_| {}, &TraceMask::default(), 1 << 16, 10_000)

@@ -12,7 +12,9 @@ use codense_core::{telemetry, verify, CompressionConfig, Compressor};
 use codense_obj::{BasicBlocks, ObjectModule};
 use codense_vm::fetch::CompressedFetcher;
 
-use crate::faults::{container_battery, module_battery, nibble_soup_battery, FaultReport};
+use crate::faults::{
+    container_battery, entropy_decoder_battery, module_battery, nibble_soup_battery, FaultReport,
+};
 use crate::gen::{generate_spec, GenConfig};
 use crate::oracle::{lockstep, lockstep_with, LockstepOk, TraceMask};
 use crate::shrink::shrink;
@@ -49,12 +51,13 @@ impl Default for FuzzOptions {
     }
 }
 
-/// The three encodings every case is checked under.
-fn encodings() -> [(&'static str, CompressionConfig); 3] {
+/// The four encodings every case is checked under.
+fn encodings() -> [(&'static str, CompressionConfig); 4] {
     [
         ("baseline", CompressionConfig::baseline()),
         ("one-byte", CompressionConfig::small_dictionary(32)),
         ("nibble", CompressionConfig::nibble_aligned()),
+        ("huffman", CompressionConfig::huffman()),
     ]
 }
 
@@ -89,13 +92,13 @@ fn hybrid_mask(module: &ObjectModule, case_seed: u64) -> Vec<bool> {
 #[derive(Debug, Clone, Default)]
 struct CaseOutcome {
     /// Per-encoding completed lockstep runs.
-    completed: [u64; 3],
+    completed: [u64; 4],
     /// Per-encoding skipped (overflow rewriting) runs.
-    skipped: [u64; 3],
+    skipped: [u64; 4],
     /// Per-encoding completed hybrid lockstep runs (`--hybrid` only).
-    hybrid_completed: [u64; 3],
+    hybrid_completed: [u64; 4],
     /// Per-encoding skipped hybrid runs.
-    hybrid_skipped: [u64; 3],
+    hybrid_skipped: [u64; 4],
     /// Both-sides-faulted runs (the program was faulty, traces agreed).
     agreed_faults: u64,
     faults: FaultReport,
@@ -212,13 +215,14 @@ fn run_case(opts: &FuzzOptions, case: usize) -> CaseOutcome {
     // Fault-injection stream: independent of the generation stream so
     // adding mutators never perturbs generated programs.
     let mut frng = Rng::new(case_seed ^ FAULT_SALT);
-    if let Ok(compressed) =
-        Compressor::new(CompressionConfig::nibble_aligned()).compress(&built.module)
-    {
-        out.faults.absorb(container_battery(&compressed, &mut frng, opts.fault_tries));
+    for config in [CompressionConfig::nibble_aligned(), CompressionConfig::huffman()] {
+        if let Ok(compressed) = Compressor::new(config).compress(&built.module) {
+            out.faults.absorb(container_battery(&compressed, &mut frng, opts.fault_tries));
+        }
     }
     out.faults.absorb(module_battery(&built.module, &mut frng, opts.fault_tries));
     out.faults.absorb(nibble_soup_battery(&mut frng, opts.fault_tries));
+    out.faults.absorb(entropy_decoder_battery(&mut frng, opts.fault_tries));
     telemetry::FUZZ_FAULT_CHECKS.add(out.faults.checks);
     out
 }
@@ -404,15 +408,15 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
     let outcomes = par_map((0..opts.cases).collect(), |_, case| run_case(opts, case));
     drop(cases_phase);
 
-    let mut completed = [0u64; 3];
-    let mut skipped = [0u64; 3];
-    let mut hybrid_completed = [0u64; 3];
-    let mut hybrid_skipped = [0u64; 3];
+    let mut completed = [0u64; 4];
+    let mut skipped = [0u64; 4];
+    let mut hybrid_completed = [0u64; 4];
+    let mut hybrid_skipped = [0u64; 4];
     let mut agreed_faults = 0u64;
     let mut faults = FaultReport::default();
     let mut failure_lines = Vec::new();
     for out in outcomes {
-        for e in 0..3 {
+        for e in 0..4 {
             completed[e] += out.completed[e];
             skipped[e] += out.skipped[e];
             hybrid_completed[e] += out.hybrid_completed[e];
@@ -425,14 +429,14 @@ pub fn run(opts: &FuzzOptions) -> FuzzReport {
     failures += failure_lines.len() + faults.panics as usize;
 
     let labels = encodings().map(|(l, _)| l);
-    for e in 0..3 {
+    for e in 0..4 {
         lines.push(format!(
             "encoding {}: completed={} skipped-overflow={}",
             labels[e], completed[e], skipped[e]
         ));
     }
     if opts.hybrid {
-        for e in 0..3 {
+        for e in 0..4 {
             lines.push(format!(
                 "hybrid {}: completed={} skipped-overflow={}",
                 labels[e], hybrid_completed[e], hybrid_skipped[e]

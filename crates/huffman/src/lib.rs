@@ -40,6 +40,113 @@ pub fn byte_frequencies(data: &[u8]) -> [u64; 256] {
     f
 }
 
+/// Builds length-limited Huffman code lengths for an **arbitrary** symbol
+/// alphabet (not just bytes): `freqs[s]` is the weight of symbol `s`, and the
+/// result gives each symbol's code length in bits (0 = symbol absent), with
+/// no length exceeding `max_len`.
+///
+/// This is the same construction [`HuffmanCode::from_frequencies`] uses —
+/// deterministic min-heap merge with insertion-order tie-breaks, followed by
+/// the zlib-style Kraft repair when any raw tree depth exceeds the limit —
+/// generalized so dictionary-compression codeword alphabets (thousands of
+/// ranks) can reuse it. `max_len` is clamped to `1..=`[`MAX_CODE_LEN`].
+///
+/// The returned lengths always satisfy the Kraft inequality, so feeding them
+/// to a canonical code constructor yields a valid prefix code. A `max_len`
+/// too small to give every present symbol a code (fewer than
+/// `2^max_len` codewords available) is raised to `ceil(log2(symbols))` —
+/// every symbol always gets a code.
+pub fn code_lengths(freqs: &[u64], max_len: u8) -> Vec<u8> {
+    let mut lengths = vec![0u8; freqs.len()];
+    let coded: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+    // Bits needed so a full tree can hold every coded symbol.
+    let needed = (usize::BITS - coded.len().saturating_sub(1).leading_zeros()) as usize;
+    let max = (max_len.clamp(1, MAX_CODE_LEN) as usize).max(needed).min(MAX_CODE_LEN as usize);
+    match coded.len() {
+        0 => {}
+        1 => lengths[coded[0]] = 1,
+        _ => {
+            // Min-heap merge over (weight, insertion id) with parent links
+            // instead of boxed trees, so depth extraction is iterative and
+            // alphabet size is unbounded.
+            #[derive(PartialEq, Eq)]
+            struct Item {
+                weight: u64,
+                id: u32,
+                node: usize,
+            }
+            impl Ord for Item {
+                fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+                    // Reversed for a min-heap.
+                    o.weight.cmp(&self.weight).then(o.id.cmp(&self.id))
+                }
+            }
+            impl PartialOrd for Item {
+                fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+                    Some(self.cmp(o))
+                }
+            }
+            let mut parent: Vec<usize> = vec![usize::MAX; coded.len()];
+            let mut heap: BinaryHeap<Item> = coded
+                .iter()
+                .enumerate()
+                .map(|(node, &s)| Item { weight: freqs[s], id: node as u32, node })
+                .collect();
+            let mut next_id = coded.len() as u32;
+            while heap.len() > 1 {
+                let a = heap.pop().expect("len > 1");
+                let b = heap.pop().expect("len > 1");
+                let node = parent.len();
+                parent.push(usize::MAX);
+                parent[a.node] = node;
+                parent[b.node] = node;
+                heap.push(Item { weight: a.weight + b.weight, id: next_id, node });
+                next_id += 1;
+            }
+            // Parents always have larger indices than their children, so a
+            // single reverse sweep resolves every depth.
+            let mut depth = vec![0u32; parent.len()];
+            for i in (0..parent.len()).rev() {
+                if parent[i] != usize::MAX {
+                    depth[i] = depth[parent[i]] + 1;
+                }
+            }
+            // Histogram with everything deeper than the limit clamped into
+            // the deepest bucket, then the same one-step Kraft repair as
+            // `limit_lengths`.
+            let mut num = vec![0u64; max + 1];
+            for node in 0..coded.len() {
+                num[(depth[node].max(1) as usize).min(max)] += 1;
+            }
+            let mut total: u128 = (1..=max).map(|i| (num[i] as u128) << (max - i)).sum();
+            while total > 1u128 << max {
+                num[max] -= 1;
+                for i in (1..max).rev() {
+                    if num[i] > 0 {
+                        num[i] -= 1;
+                        num[i + 1] += 2;
+                        break;
+                    }
+                }
+                total -= 1;
+            }
+            // Assign repaired lengths shortest-first to symbols ordered by
+            // raw depth (ties by symbol value) — identical policy to the
+            // byte-alphabet path, so determinism carries over.
+            let mut order: Vec<usize> = (0..coded.len()).collect();
+            order.sort_by_key(|&node| (depth[node], coded[node]));
+            let mut it = order.into_iter();
+            for (l, &n) in num.iter().enumerate().skip(1) {
+                for _ in 0..n {
+                    let node = it.next().expect("histogram covers every coded symbol");
+                    lengths[coded[node]] = l as u8;
+                }
+            }
+        }
+    }
+    lengths
+}
+
 /// A canonical Huffman code over the byte alphabet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HuffmanCode {
@@ -265,10 +372,86 @@ pub fn encode(code: &HuffmanCode, data: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Typed failure modes from [`decode_checked`]: what exactly a hostile or
+/// damaged bit stream did wrong. All variants are cheap values — decoding
+/// never panics and never allocates proportionally to attacker-claimed
+/// lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The claimed symbol count cannot fit in the supplied bits: every
+    /// codeword is at least one bit, so `count` symbols need at least
+    /// `count` bits. Rejected *before* any output allocation, so a forged
+    /// count cannot drive an OOM-sized `Vec::with_capacity`.
+    CountExceedsBitSupply {
+        /// Symbols the caller asked for.
+        count: usize,
+        /// Bits actually present in the stream.
+        bits_available: usize,
+    },
+    /// The stream ended mid-codeword (or before `count` symbols appeared).
+    Truncated {
+        /// Symbols successfully decoded before the supply ran out.
+        decoded: usize,
+    },
+    /// 32 bits accumulated without matching any codeword — the stream
+    /// contains a pattern the (possibly non-full) code does not cover.
+    InvalidCode {
+        /// Bit offset where the unmatched codeword started.
+        at_bit: usize,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::CountExceedsBitSupply { count, bits_available } => {
+                write!(f, "claimed {count} symbols but only {bits_available} bits supplied")
+            }
+            DecodeError::Truncated { decoded } => {
+                write!(f, "bit stream truncated after {decoded} symbols")
+            }
+            DecodeError::InvalidCode { at_bit } => {
+                write!(f, "no codeword matches the bits starting at bit {at_bit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// Decodes `count` symbols from an MSB-first bit stream.
 ///
 /// Returns `None` if the stream is truncated or contains an invalid code.
+/// Thin wrapper over [`decode_checked`] for callers that don't need the
+/// failure detail.
 pub fn decode(code: &HuffmanCode, bits: &[u8], count: usize) -> Option<Vec<u8>> {
+    decode_checked(code, bits, count).ok()
+}
+
+/// Decodes `count` symbols from an MSB-first bit stream, reporting *why*
+/// decoding failed as a typed [`DecodeError`].
+///
+/// Hostile-input hardened: a claimed `count` larger than the bit supply is
+/// rejected up front (no allocation), truncation and uncovered codewords are
+/// typed errors, and nothing panics.
+///
+/// # Errors
+///
+/// [`DecodeError::CountExceedsBitSupply`] when `count` symbols cannot fit in
+/// `bits`, [`DecodeError::Truncated`] when the stream ends early, and
+/// [`DecodeError::InvalidCode`] when no codeword matches.
+pub fn decode_checked(
+    code: &HuffmanCode,
+    bits: &[u8],
+    count: usize,
+) -> Result<Vec<u8>, DecodeError> {
+    // Every codeword is ≥ 1 bit, so `count` symbols need ≥ `count` bits.
+    // Checking first bounds the output allocation by the actual bit supply
+    // rather than an attacker-controlled header field.
+    let bits_available = bits.len().saturating_mul(8);
+    if count > bits_available {
+        return Err(DecodeError::CountExceedsBitSupply { count, bits_available });
+    }
     // (length, canonical code) → symbol, grouped by length.
     let mut by_len: Vec<Vec<(u32, u8)>> = vec![Vec::new(); 33];
     for s in 0u16..256 {
@@ -282,13 +465,15 @@ pub fn decode(code: &HuffmanCode, bits: &[u8], count: usize) -> Option<Vec<u8>> 
     let mut len = 0u8;
     let mut pos = 0usize;
     while out.len() < count {
-        let byte = *bits.get(pos / 8)?;
+        let Some(&byte) = bits.get(pos / 8) else {
+            return Err(DecodeError::Truncated { decoded: out.len() });
+        };
         let bit = (byte >> (7 - pos % 8)) & 1;
         pos += 1;
         acc = (acc << 1) | bit as u32;
         len += 1;
         if len > 32 {
-            return None;
+            return Err(DecodeError::InvalidCode { at_bit: pos - len as usize });
         }
         if let Some(&(_, sym)) = by_len[len as usize].iter().find(|&&(c, _)| c == acc) {
             out.push(sym);
@@ -296,7 +481,7 @@ pub fn decode(code: &HuffmanCode, bits: &[u8], count: usize) -> Option<Vec<u8>> 
             len = 0;
         }
     }
-    Some(out)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -475,5 +660,120 @@ mod tests {
         let code = HuffmanCode::from_frequencies(&byte_frequencies(data));
         let bits = encode(&code, data);
         assert_eq!(decode(&code, &bits[..bits.len() - 1], data.len()), None);
+    }
+
+    #[test]
+    fn code_lengths_matches_byte_construction() {
+        // On a byte-sized alphabet the generalized constructor must produce
+        // exactly the lengths `from_frequencies` assigns.
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let freq = byte_frequencies(data);
+        let code = HuffmanCode::from_frequencies(&freq);
+        let general = code_lengths(&freq, MAX_CODE_LEN);
+        for (s, &len) in general.iter().enumerate() {
+            assert_eq!(len, code.length(s as u8), "symbol {s}");
+        }
+    }
+
+    #[test]
+    fn code_lengths_large_alphabet_satisfies_kraft() {
+        // A few thousand symbols with a Zipf-ish skew — the dictionary-rank
+        // use case. Lengths must respect the cap and the Kraft inequality.
+        let freqs: Vec<u64> = (0..4000u64).map(|s| 4000 - s).collect();
+        for cap in [12u8, 16, 32] {
+            let lengths = code_lengths(&freqs, cap);
+            let mut kraft = 0u128;
+            for (s, &l) in lengths.iter().enumerate() {
+                assert!(l >= 1 && l <= cap, "symbol {s} got length {l} under cap {cap}");
+                kraft += 1u128 << (cap - l);
+            }
+            assert!(kraft <= 1u128 << cap, "Kraft violated under cap {cap}");
+        }
+    }
+
+    #[test]
+    fn code_lengths_infeasible_cap_is_raised() {
+        // 100 equal-weight symbols cannot fit in 2^4 codewords; the cap is
+        // raised to ceil(log2(100)) = 7 and every symbol still gets a code.
+        let freqs = vec![1u64; 100];
+        let lengths = code_lengths(&freqs, 4);
+        let mut kraft = 0u128;
+        for &l in &lengths {
+            assert!((1..=7).contains(&l), "length {l} outside raised cap");
+            kraft += 1u128 << (7 - l);
+        }
+        assert!(kraft <= 1u128 << 7);
+    }
+
+    #[test]
+    fn code_lengths_pathological_weights_are_limited() {
+        // Fibonacci weights force raw depths past any practical cap.
+        let mut freqs = vec![0u64; 80];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let next = a + b;
+            a = b;
+            b = next;
+        }
+        let lengths = code_lengths(&freqs, 16);
+        let mut kraft = 0u128;
+        for &l in &lengths {
+            assert!((1..=16).contains(&l));
+            kraft += 1u128 << (16 - l);
+        }
+        // The repair terminates exactly at a full tree.
+        assert_eq!(kraft, 1u128 << 16);
+    }
+
+    #[test]
+    fn code_lengths_degenerate_alphabets() {
+        assert_eq!(code_lengths(&[], 8), Vec::<u8>::new());
+        assert_eq!(code_lengths(&[0, 0, 0], 8), vec![0, 0, 0]);
+        assert_eq!(code_lengths(&[0, 7, 0], 8), vec![0, 1, 0]);
+        // Two symbols: one bit each regardless of skew.
+        assert_eq!(code_lengths(&[1, 1_000_000], 8), vec![1, 1]);
+    }
+
+    #[test]
+    fn decode_checked_rejects_forged_count_without_allocating() {
+        // A 4-byte stream claiming a billion symbols must fail fast with a
+        // typed error, not reserve a billion-entry vector.
+        let data = b"aaab";
+        let code = HuffmanCode::from_frequencies(&byte_frequencies(data));
+        let bits = encode(&code, data);
+        assert_eq!(
+            decode_checked(&code, &bits, 1_000_000_000),
+            Err(DecodeError::CountExceedsBitSupply {
+                count: 1_000_000_000,
+                bits_available: bits.len() * 8,
+            })
+        );
+    }
+
+    #[test]
+    fn decode_checked_types_truncation() {
+        let data = b"abcdefgh abcdefgh abcdefgh";
+        let code = HuffmanCode::from_frequencies(&byte_frequencies(data));
+        let bits = encode(&code, data);
+        let cut = &bits[..bits.len() / 2];
+        match decode_checked(&code, cut, (cut.len() * 8).min(data.len())) {
+            Err(DecodeError::Truncated { decoded }) => assert!(decoded < data.len()),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_checked_types_invalid_codes() {
+        // A sparse, non-full code: all-ones bit patterns match nothing.
+        let mut lengths = [0u8; 256];
+        lengths[0] = 2; // code 00
+        lengths[1] = 2; // code 01
+        let code = HuffmanCode::from_lengths(lengths);
+        let hostile = [0xffu8; 8];
+        match decode_checked(&code, &hostile, 4) {
+            Err(DecodeError::InvalidCode { at_bit }) => assert_eq!(at_bit, 0),
+            other => panic!("expected InvalidCode, got {other:?}"),
+        }
     }
 }

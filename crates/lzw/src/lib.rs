@@ -146,12 +146,75 @@ pub fn compressed_size(data: &[u8]) -> usize {
     compress(data).len()
 }
 
+/// Typed decode failures for hostile LZW streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecompressError {
+    /// A code referenced a dictionary entry that cannot exist yet (beyond
+    /// the KwKwK pending slot).
+    InvalidCode {
+        /// Bit offset of the start of the offending code.
+        at_bit: u64,
+        /// The offending code value.
+        code: u32,
+    },
+    /// Decoding would exceed the caller's output bound — the hostile-input
+    /// guard against decompression bombs (each 2-byte code can expand to a
+    /// dictionary string of up to 2^16 bytes, an ~32000× amplification).
+    OutputLimitExceeded {
+        /// The caller-supplied output bound in bytes.
+        limit: usize,
+        /// Bytes already decoded when the bound was hit.
+        decoded: usize,
+    },
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            DecompressError::InvalidCode { at_bit, code } => {
+                write!(f, "invalid LZW code {code} at bit {at_bit}")
+            }
+            DecompressError::OutputLimitExceeded { limit, decoded } => {
+                write!(f, "LZW output exceeds the {limit}-byte bound ({decoded} decoded)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
 /// Decompresses an LZW stream produced by [`compress`].
 ///
-/// Returns `None` on a malformed stream.
+/// Returns `None` on a malformed stream. Output size is unbounded — when
+/// the stream may be hostile, use [`decompress_checked`] with an explicit
+/// bound instead.
 pub fn decompress(packed: &[u8]) -> Option<Vec<u8>> {
+    decompress_checked(packed, usize::MAX).ok()
+}
+
+/// [`decompress`] with a hard output bound and typed errors.
+///
+/// A truncated final code is indistinguishable from the encoder's sub-byte
+/// padding and ends the stream; structural failures are typed. The output
+/// buffer never grows past `max_out` bytes, so a hostile stream cannot
+/// force an allocation the caller did not budget for.
+///
+/// # Errors
+///
+/// See [`DecompressError`].
+pub fn decompress_checked(packed: &[u8], max_out: usize) -> Result<Vec<u8>, DecompressError> {
     let mut r = BitReader { data: packed, pos: 0 };
     let mut out = Vec::new();
+    let push = |out: &mut Vec<u8>, entry: &[u8]| {
+        if max_out - out.len() < entry.len() {
+            return Err(DecompressError::OutputLimitExceeded {
+                limit: max_out,
+                decoded: out.len(),
+            });
+        }
+        out.extend_from_slice(entry);
+        Ok(())
+    };
     'blocks: loop {
         // (Re)initialize for a block. `strings[256]` is a placeholder for
         // the CLEAR code, never dereferenced.
@@ -159,20 +222,22 @@ pub fn decompress(packed: &[u8]) -> Option<Vec<u8>> {
         strings.push(Vec::new());
         // The encoder's next_code when it emitted the first code of a block
         // was FIRST (= strings.len() here).
+        let at_bit = r.pos;
         let Some(first) = r.get(width_for(strings.len() as u32)) else { break };
         if first == CLEAR {
             continue;
         }
         if first > 255 {
-            return None;
+            return Err(DecompressError::InvalidCode { at_bit, code: first });
         }
         let mut prev: Vec<u8> = strings[first as usize].clone();
-        out.extend_from_slice(&prev);
+        push(&mut out, &prev)?;
         loop {
             // For subsequent codes the decoder's table trails the encoder's
             // next_code by one pending insertion, except when both sides hit
             // the cap and stop inserting.
             let encoder_next = (strings.len() as u32 + 1).min(1 << MAX_BITS);
+            let at_bit = r.pos;
             let Some(code) = r.get(width_for(encoder_next)) else { break 'blocks };
             if code == CLEAR {
                 continue 'blocks;
@@ -185,9 +250,9 @@ pub fn decompress(packed: &[u8]) -> Option<Vec<u8>> {
                 s.push(prev[0]);
                 s
             } else {
-                return None;
+                return Err(DecompressError::InvalidCode { at_bit, code });
             };
-            out.extend_from_slice(&entry);
+            push(&mut out, &entry)?;
             let mut new_entry = prev.clone();
             new_entry.push(entry[0]);
             if strings.len() < (1 << MAX_BITS) as usize {
@@ -196,7 +261,7 @@ pub fn decompress(packed: &[u8]) -> Option<Vec<u8>> {
             prev = entry;
         }
     }
-    Some(out)
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -258,6 +323,58 @@ mod tests {
             data.push((x >> 33) as u8);
         }
         roundtrip(&data);
+    }
+
+    #[test]
+    fn first_code_out_of_range_is_typed() {
+        // 9-bit MSB-first code 511: no dictionary entry can exist yet.
+        let packed = [0xff, 0x80];
+        assert_eq!(
+            decompress_checked(&packed, usize::MAX),
+            Err(DecompressError::InvalidCode { at_bit: 0, code: 511 })
+        );
+        assert_eq!(decompress(&packed), None);
+    }
+
+    #[test]
+    fn code_beyond_table_is_typed() {
+        // Valid first code (9-bit 'a' = 97), then 9-bit code 300: the table
+        // holds 257 entries plus the KwKwK slot 257, so 300 cannot exist.
+        let mut w = BitWriter::new();
+        w.put(97, 9);
+        w.put(300, 9);
+        let packed = w.finish();
+        assert_eq!(
+            decompress_checked(&packed, usize::MAX),
+            Err(DecompressError::InvalidCode { at_bit: 9, code: 300 })
+        );
+        assert_eq!(decompress(&packed), None);
+    }
+
+    #[test]
+    fn truncated_stream_ends_without_panic() {
+        let packed = compress(b"to be or not to be that is the question ");
+        for cut in 0..packed.len() {
+            // Every prefix either decodes to a prefix of the output or
+            // reports a typed error; none panics or over-allocates.
+            let _ = decompress_checked(&packed[..cut], 1 << 16);
+        }
+    }
+
+    #[test]
+    fn output_bound_stops_expansion_bombs() {
+        // Highly repetitive input: a small stream expanding to 100 KiB.
+        let data = b"a".repeat(100 * 1024);
+        let packed = compress(&data);
+        assert!(packed.len() < 2048);
+        match decompress_checked(&packed, 4096) {
+            Err(DecompressError::OutputLimitExceeded { limit: 4096, decoded }) => {
+                assert!(decoded <= 4096);
+            }
+            other => panic!("expected output-limit error, got {other:?}"),
+        }
+        // An exact bound still succeeds.
+        assert_eq!(decompress_checked(&packed, data.len()).as_deref(), Ok(&data[..]));
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub struct CacheKey {
     pub len: u32,
     /// Codec registry tag.
     pub codec: u8,
+    /// Selector wire byte (0 greedy, 1 refine) — the two produce different
+    /// containers for the same module, so they must not share an entry.
+    pub selector: u8,
     /// Maximum instructions per dictionary entry.
     pub max_entry_len: u16,
     /// Dictionary size cap (0 = the encoding's full space).
@@ -49,11 +52,18 @@ pub struct CacheKey {
 
 impl CacheKey {
     /// Builds the key for one request.
-    pub fn new(codec: u8, max_entry_len: u16, max_codewords: u32, module: &[u8]) -> CacheKey {
+    pub fn new(
+        codec: u8,
+        selector: u8,
+        max_entry_len: u16,
+        max_codewords: u32,
+        module: &[u8],
+    ) -> CacheKey {
         CacheKey {
             content: fnv1a(module),
             len: module.len() as u32,
             codec,
+            selector,
             max_entry_len,
             max_codewords,
         }
@@ -230,7 +240,7 @@ mod tests {
     use super::*;
 
     fn key(n: u8) -> CacheKey {
-        CacheKey::new(0, 4, 0, &[n])
+        CacheKey::new(0, 0, 4, 0, &[n])
     }
 
     #[test]

@@ -3,11 +3,12 @@
 //! Frame headers select compression by a one-byte codec tag; the registry
 //! maps tags to servable encodings the way ClickHouse's
 //! `CompressionCodecFactory` maps codec names to implementations. The
-//! registry is deliberately wider than what is servable today: `huffman`
-//! holds tag 3 with no [`EncodingKind`] behind it yet, so the wire format,
-//! the error taxonomy, and the conformance tests are already in place when
-//! Huffman-coded codewords land (a `RESP_ERR COMPRESS_FAILED` today, a
-//! container tomorrow — no protocol bump).
+//! registry is deliberately wider than what is servable today: `lzw` holds
+//! tag 4 with no [`EncodingKind`] behind it (the Unix Compress comparison
+//! model is not randomly accessible, so it may never be), keeping the
+//! registered-but-unservable error taxonomy and its conformance tests live.
+//! `huffman` rode the same slot discipline at tag 3 until Huffman-coded
+//! codewords landed; flipping it servable needed no protocol bump.
 
 use codense_core::{container, Compressor, EncodingKind};
 use codense_obj::ObjectModule;
@@ -27,11 +28,12 @@ pub struct Codec {
 }
 
 /// The closed registry, indexed by tag.
-pub const CODECS: [Codec; 4] = [
+pub const CODECS: [Codec; 5] = [
     Codec { tag: 0, name: "baseline", kind: Some(EncodingKind::Baseline) },
     Codec { tag: 1, name: "onebyte", kind: Some(EncodingKind::OneByte) },
     Codec { tag: 2, name: "nibble", kind: Some(EncodingKind::NibbleAligned) },
-    Codec { tag: 3, name: "huffman", kind: None },
+    Codec { tag: 3, name: "huffman", kind: Some(EncodingKind::Huffman) },
+    Codec { tag: 4, name: "lzw", kind: None },
 ];
 
 /// Resolves a wire tag; `None` for tags outside the registry.
@@ -64,8 +66,17 @@ fn compress_with(
     module: &ObjectModule,
     req: &CompressRequest,
 ) -> Result<Vec<u8>, (ErrorCode, String)> {
-    debug_assert!(codec.kind.is_some(), "unservable codecs are rejected at decode time");
+    // Decode already rejects unservable tags, but a registry edit or a new
+    // call path must hit a hard typed error here, not undefined behaviour
+    // in release builds (this was a `debug_assert!`).
+    if codec.kind.is_none() {
+        return Err((
+            ErrorCode::CompressFailed,
+            format!("codec `{}` is registered but not servable", codec.name),
+        ));
+    }
     let compressed = Compressor::new(req.config())
+        .with_selector(req.selector)
         .compress(module)
         .map_err(|e| (ErrorCode::CompressFailed, e.to_string()))?;
     Ok(container::serialize(&compressed))
@@ -83,20 +94,42 @@ mod tests {
             assert_eq!(by_name(c.name).unwrap().tag, c.tag);
         }
         assert!(by_tag(99).is_none());
-        assert!(by_name("lzw").is_none());
+        assert!(by_name("arith").is_none());
     }
 
     #[test]
     fn every_encoding_has_a_codec() {
-        for kind in [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned] {
+        for kind in [
+            EncodingKind::Baseline,
+            EncodingKind::OneByte,
+            EncodingKind::NibbleAligned,
+            EncodingKind::Huffman,
+        ] {
             assert_eq!(by_kind(kind).kind, Some(kind));
         }
     }
 
     #[test]
-    fn huffman_is_registered_without_an_encoding() {
+    fn huffman_is_servable() {
         let c = by_name("huffman").unwrap();
         assert_eq!(c.tag, 3);
-        assert!(c.kind.is_none());
+        assert_eq!(c.kind, Some(EncodingKind::Huffman));
+    }
+
+    #[test]
+    fn unservable_codec_is_a_hard_typed_error() {
+        let lzw = by_name("lzw").unwrap();
+        assert!(lzw.kind.is_none());
+        let module = ObjectModule::new("t");
+        let req = CompressRequest {
+            encoding: EncodingKind::Baseline, // ignored: the codec gates first
+            selector: codense_core::SelectorKind::Greedy,
+            max_entry_len: 4,
+            max_codewords: 0,
+            module: codense_obj::serialize(&module),
+        };
+        let (code, msg) = compress_with(lzw, &module, &req).unwrap_err();
+        assert_eq!(code, ErrorCode::CompressFailed);
+        assert!(msg.contains("not servable"), "{msg}");
     }
 }

@@ -24,11 +24,14 @@
 //!
 //! ```text
 //! u8   codec          registry tag: 0 baseline, 1 onebyte, 2 nibble, 3 huffman
-//! u8   reserved       must be 0
+//! u8   selector       0 greedy, 1 refine; other values are malformed
 //! u16  max_entry_len  maximum instructions per dictionary entry
 //! u32  max_codewords  0 = the encoding's full codeword space
 //! ...  module         a serialized `.cdm` ObjectModule
 //! ```
+//!
+//! (The selector byte was the must-be-zero reserved byte of early v2
+//! frames; greedy = 0 keeps those frames decoding identically.)
 //!
 //! and the matching `RESP_OK` payload is the serialized `.cdns` container.
 //! A `RESP_ERR` payload is `u8 code | u16 msg_len | msg` (see
@@ -47,7 +50,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use codense_core::container::crc32;
-use codense_core::{CompressionConfig, EncodingKind};
+use codense_core::{CompressionConfig, EncodingKind, SelectorKind};
 
 use crate::codec;
 
@@ -406,6 +409,8 @@ impl fmt::Display for DecodeError {
 pub struct CompressRequest {
     /// Codeword encoding to compress under.
     pub encoding: EncodingKind,
+    /// Dictionary selection strategy (wire byte: 0 greedy, 1 refine).
+    pub selector: SelectorKind,
     /// Maximum instructions per dictionary entry.
     pub max_entry_len: u16,
     /// Dictionary size cap; 0 selects the encoding's full codeword space.
@@ -420,7 +425,10 @@ impl CompressRequest {
         let tag = codec::by_kind(self.encoding).tag;
         let mut out = Vec::with_capacity(8 + self.module.len());
         out.push(tag);
-        out.push(0); // reserved
+        out.push(match self.selector {
+            SelectorKind::Greedy => 0,
+            SelectorKind::Refine => 1,
+        });
         out.extend_from_slice(&self.max_entry_len.to_be_bytes());
         out.extend_from_slice(&self.max_codewords.to_be_bytes());
         out.extend_from_slice(&self.module);
@@ -440,12 +448,15 @@ impl CompressRequest {
         let codec = codec::by_tag(payload[0])
             .ok_or_else(|| DecodeError::Malformed(format!("unknown codec tag {}", payload[0])))?;
         let encoding = codec.kind.ok_or(DecodeError::Unsupported(codec.name))?;
-        if payload[1] != 0 {
-            return Err(DecodeError::Malformed(format!(
-                "reserved byte must be 0, got {}",
-                payload[1]
-            )));
-        }
+        let selector = match payload[1] {
+            0 => SelectorKind::Greedy,
+            1 => SelectorKind::Refine,
+            other => {
+                return Err(DecodeError::Malformed(format!(
+                    "selector byte must be 0 (greedy) or 1 (refine), got {other}"
+                )));
+            }
+        };
         let max_entry_len = u16::from_be_bytes([payload[2], payload[3]]);
         if max_entry_len == 0 {
             return Err(DecodeError::Malformed("max_entry_len must be >= 1".into()));
@@ -453,6 +464,7 @@ impl CompressRequest {
         let max_codewords = u32::from_be_bytes(payload[4..8].try_into().expect("4 bytes"));
         Ok(CompressRequest {
             encoding,
+            selector,
             max_entry_len,
             max_codewords,
             module: payload[8..].to_vec(),
@@ -589,30 +601,57 @@ mod tests {
 
     #[test]
     fn compress_request_roundtrips() {
-        let req = CompressRequest {
-            encoding: EncodingKind::NibbleAligned,
-            max_entry_len: 4,
-            max_codewords: 0,
-            module: vec![1, 2, 3, 4, 5],
-        };
-        assert_eq!(CompressRequest::decode(&req.encode()).unwrap(), req);
-        assert_eq!(req.config().max_codewords, EncodingKind::NibbleAligned.capacity());
-        assert_eq!(req.config().max_entry_len, 4);
+        for (encoding, selector) in [
+            (EncodingKind::NibbleAligned, SelectorKind::Greedy),
+            (EncodingKind::Huffman, SelectorKind::Refine),
+        ] {
+            let req = CompressRequest {
+                encoding,
+                selector,
+                max_entry_len: 4,
+                max_codewords: 0,
+                module: vec![1, 2, 3, 4, 5],
+            };
+            assert_eq!(CompressRequest::decode(&req.encode()).unwrap(), req);
+            assert_eq!(req.config().max_codewords, encoding.capacity());
+            assert_eq!(req.config().max_entry_len, 4);
+        }
     }
 
     #[test]
-    fn huffman_tag_is_registered_but_unsupported() {
-        let mut payload = vec![3u8, 0, 0, 4, 0, 0, 0, 0];
+    fn lzw_tag_is_registered_but_unsupported() {
+        let mut payload = vec![4u8, 0, 0, 4, 0, 0, 0, 0];
         payload.extend_from_slice(b"module");
         match CompressRequest::decode(&payload) {
-            Err(DecodeError::Unsupported("huffman")) => {}
-            other => panic!("expected Unsupported(huffman), got {other:?}"),
+            Err(DecodeError::Unsupported("lzw")) => {}
+            other => panic!("expected Unsupported(lzw), got {other:?}"),
         }
         // A tag past the registry is malformed, not unsupported.
         assert!(matches!(
             CompressRequest::decode(&[99, 0, 0, 4, 0, 0, 0, 0]),
             Err(DecodeError::Malformed(_))
         ));
+    }
+
+    #[test]
+    fn huffman_tag_is_servable_on_the_wire() {
+        let mut payload = vec![3u8, 0, 0, 4, 0, 0, 0, 0];
+        payload.extend_from_slice(b"module");
+        let req = CompressRequest::decode(&payload).unwrap();
+        assert_eq!(req.encoding, EncodingKind::Huffman);
+        assert_eq!(req.selector, SelectorKind::Greedy);
+    }
+
+    #[test]
+    fn selector_byte_out_of_range_is_malformed() {
+        // Byte 1 was the must-be-zero reserved byte; 0 and 1 now select,
+        // anything else stays a typed BAD_FRAME.
+        assert!(matches!(
+            CompressRequest::decode(&[2, 2, 0, 4, 0, 0, 0, 0]),
+            Err(DecodeError::Malformed(_))
+        ));
+        let refined = CompressRequest::decode(&[2, 1, 0, 4, 0, 0, 0, 0]).unwrap();
+        assert_eq!(refined.selector, SelectorKind::Refine);
     }
 
     #[test]

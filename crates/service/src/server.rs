@@ -40,6 +40,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use codense_core::telemetry;
+use codense_core::SelectorKind;
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::codec;
@@ -582,6 +583,10 @@ impl Reactor {
         }
         let key = CacheKey::new(
             codec::by_kind(request.encoding).tag,
+            match request.selector {
+                SelectorKind::Greedy => 0,
+                SelectorKind::Refine => 1,
+            },
             request.max_entry_len,
             request.max_codewords,
             &request.module,

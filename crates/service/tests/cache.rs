@@ -15,7 +15,7 @@ use codense_service::{serve, CacheKey, Client, CompressRequest, ResultCache, Ser
 static SERVER_LOCK: Mutex<()> = Mutex::new(());
 
 fn key(n: u32) -> CacheKey {
-    CacheKey::new(0, 4, 0, &n.to_be_bytes())
+    CacheKey::new(0, 0, 4, 0, &n.to_be_bytes())
 }
 
 /// The obviously-correct reference: a vector ordered MRU-first.
@@ -111,6 +111,7 @@ fn small_module(tag: u32) -> codense_obj::ObjectModule {
 fn request_for(module: &codense_obj::ObjectModule) -> CompressRequest {
     CompressRequest {
         encoding: EncodingKind::NibbleAligned,
+        selector: codense_core::SelectorKind::Greedy,
         max_entry_len: 4,
         max_codewords: 0,
         module: codense_obj::serialize(module),

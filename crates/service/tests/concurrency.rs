@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::time::Duration;
 
-use codense_core::{container, Compressor, EncodingKind};
+use codense_core::{container, Compressor, EncodingKind, SelectorKind};
 use codense_service::{
     serve, Client, CompressRequest, ErrorCode, Op, PipelinedClient, ServeOptions,
 };
@@ -31,6 +31,7 @@ fn module_for(tag: u32) -> codense_obj::ObjectModule {
 fn request_for(module: &codense_obj::ObjectModule) -> CompressRequest {
     CompressRequest {
         encoding: EncodingKind::NibbleAligned,
+        selector: SelectorKind::Greedy,
         max_entry_len: 4,
         max_codewords: 0,
         module: codense_obj::serialize(module),

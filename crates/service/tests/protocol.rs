@@ -8,7 +8,7 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
 
-use codense_core::{container::crc32, EncodingKind};
+use codense_core::{container::crc32, EncodingKind, SelectorKind};
 use codense_service::protocol::{
     decode_error, encode_frame, read_frame, Frame, FrameError, MAX_FRAME,
 };
@@ -30,6 +30,7 @@ fn small_module() -> codense_obj::ObjectModule {
 fn compress_request() -> CompressRequest {
     CompressRequest {
         encoding: EncodingKind::NibbleAligned,
+        selector: SelectorKind::Greedy,
         max_entry_len: 4,
         max_codewords: 0,
         module: codense_obj::serialize(&small_module()),
@@ -200,6 +201,7 @@ fn zero_length_module_is_bad_module_not_a_hang() {
     let mut client = Client::connect(handle.addr(), 10_000).unwrap();
     let req = CompressRequest {
         encoding: EncodingKind::NibbleAligned,
+        selector: SelectorKind::Greedy,
         max_entry_len: 4,
         max_codewords: 0,
         module: Vec::new(),
@@ -223,6 +225,7 @@ fn duplicate_request_id_in_flight_is_rejected() {
     let module = codense_codegen::benchmark("compress").unwrap();
     let req = CompressRequest {
         encoding: EncodingKind::NibbleAligned,
+        selector: SelectorKind::Greedy,
         max_entry_len: 4,
         max_codewords: 0,
         module: codense_obj::serialize(&module),
@@ -267,15 +270,15 @@ fn malformed_frame_between_two_good_frames_answers_all_three_in_order() {
     drop(handle);
 }
 
-/// The huffman codec is registered but not yet servable: a compress
-/// request carrying its tag gets `COMPRESS_FAILED`, not `BAD_FRAME`, and
-/// the connection survives.
+/// The lzw codec is registered but not servable (no random access): a
+/// compress request carrying its tag gets `COMPRESS_FAILED`, not
+/// `BAD_FRAME`, and the connection survives.
 #[test]
 fn unservable_codec_tag_is_compress_failed() {
     let handle = serve(&ServeOptions::default()).unwrap();
     let module = codense_obj::serialize(&small_module());
-    // Build the compress payload by hand: tag 3 (huffman) has no encoding.
-    let mut payload = vec![3u8, 0u8];
+    // Build the compress payload by hand: tag 4 (lzw) has no encoding.
+    let mut payload = vec![4u8, 0u8];
     payload.extend_from_slice(&4u16.to_be_bytes());
     payload.extend_from_slice(&0u32.to_be_bytes());
     payload.extend_from_slice(&module);

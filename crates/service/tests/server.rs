@@ -8,16 +8,21 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Duration;
 
-use codense_core::{container, Compressor, EncodingKind};
+use codense_core::{container, Compressor, EncodingKind, SelectorKind};
 use codense_service::protocol::{decode_error, read_frame, write_frame, FrameError, MAX_FRAME};
 use codense_service::{serve, Client, CompressRequest, ErrorCode, Op, RequestError, ServeOptions};
 
-const ALL: [EncodingKind; 3] =
-    [EncodingKind::Baseline, EncodingKind::OneByte, EncodingKind::NibbleAligned];
+const ALL: [EncodingKind; 4] = [
+    EncodingKind::Baseline,
+    EncodingKind::OneByte,
+    EncodingKind::NibbleAligned,
+    EncodingKind::Huffman,
+];
 
 fn request_for(module: &codense_obj::ObjectModule, encoding: EncodingKind) -> CompressRequest {
     CompressRequest {
         encoding,
+        selector: SelectorKind::Greedy,
         max_entry_len: 4,
         max_codewords: 0, // the encoding's full codeword space
         module: codense_obj::serialize(module),
@@ -269,6 +274,7 @@ fn bad_module_bytes_get_a_typed_error_not_a_panic() {
     let mut client = Client::connect(handle.addr(), 10_000).unwrap();
     let req = CompressRequest {
         encoding: EncodingKind::NibbleAligned,
+        selector: SelectorKind::Greedy,
         max_entry_len: 4,
         max_codewords: 0,
         module: b"definitely not a .cdm module".to_vec(),

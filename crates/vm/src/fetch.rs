@@ -14,9 +14,9 @@
 //! Both engines report [`FetchStats`], making the fetch-bandwidth effect of
 //! compression measurable (the I-cache angle of [Chen97]).
 
-use codense_core::encoding::{read_item_with, Item};
+use codense_core::encoding::{read_item_coded, Item};
 use codense_core::nibbles::NibbleReader;
-use codense_core::{telemetry, CompressedProgram};
+use codense_core::{telemetry, CompressedProgram, HuffCode};
 use codense_isa::IsaRef;
 
 use crate::machine::MachineError;
@@ -137,6 +137,11 @@ pub struct CompressedFetcher {
     isa: IsaRef,
     /// Dictionary entries by codeword rank.
     by_rank: Vec<Vec<u32>>,
+    /// Canonical Huffman decode table, rebuilt from codeword lengths
+    /// ([`codense_core::EncodingKind::Huffman`] programs only). `None` for
+    /// other encodings — or when a container carried unusable lengths, in
+    /// which case every fetch faults instead of panicking.
+    huffman: Option<HuffCode>,
     /// Remaining instructions of the codeword being drained.
     buffer: Vec<u32>,
     /// Position within the draining codeword.
@@ -173,6 +178,7 @@ impl CompressedFetcher {
             encoding: program.encoding,
             isa: program.isa,
             by_rank,
+            huffman: program.huffman.clone(),
             buffer: Vec::new(),
             buffer_pos: 0,
             buffer_pc: u64::MAX,
@@ -201,6 +207,9 @@ impl CompressedFetcher {
             encoding: image.encoding,
             isa,
             by_rank: image.dictionary_by_rank.clone(),
+            // Hostile or absent lengths yield `None`; Huffman fetches then
+            // fault rather than panic.
+            huffman: HuffCode::from_nibble_lengths(image.huffman_lengths.clone()),
             buffer: Vec::new(),
             buffer_pos: 0,
             buffer_pc: u64::MAX,
@@ -269,7 +278,7 @@ impl Fetch for CompressedFetcher {
         let mut r = NibbleReader::new(&self.image);
         r.seek(pc);
         let before = r.pos();
-        match read_item_with(self.encoding, self.isa, &mut r) {
+        match read_item_coded(self.encoding, self.isa, self.huffman.as_ref(), &mut r) {
             Some(Item::Insn(word)) => {
                 self.stats.insns += 1;
                 self.stats.nibbles_fetched += r.pos() - before;
@@ -351,6 +360,7 @@ mod tests {
             CompressionConfig::baseline(),
             CompressionConfig::small_dictionary(16),
             CompressionConfig::nibble_aligned(),
+            CompressionConfig::huffman(),
         ] {
             let c = Compressor::new(config).compress(&m).unwrap();
             let mut f = CompressedFetcher::new(&c);
@@ -363,6 +373,35 @@ mod tests {
             }
             assert_eq!(got, m.code);
         }
+    }
+
+    #[test]
+    fn huffman_fetch_from_container_image() {
+        let m = module();
+        let c = Compressor::new(CompressionConfig::huffman()).compress(&m).unwrap();
+        let image =
+            codense_core::container::deserialize(&codense_core::container::serialize(&c)).unwrap();
+        let mut f = CompressedFetcher::from_image(&image);
+        let mut pc = 0;
+        let mut got = Vec::new();
+        for _ in 0..m.len() {
+            let fetched = f.fetch(pc).unwrap();
+            got.push(fetched.word);
+            pc = fetched.next_pc;
+        }
+        assert_eq!(got, m.code);
+    }
+
+    #[test]
+    fn huffman_fetch_with_hostile_lengths_faults_instead_of_panicking() {
+        let m = module();
+        let c = Compressor::new(CompressionConfig::huffman()).compress(&m).unwrap();
+        let mut image =
+            codense_core::container::deserialize(&codense_core::container::serialize(&c)).unwrap();
+        // Kraft-violating table: more length-1 codes than nibble values.
+        image.huffman_lengths = vec![1; 17];
+        let mut f = CompressedFetcher::from_image(&image);
+        assert!(f.fetch(0).is_err());
     }
 
     #[test]

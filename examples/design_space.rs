@@ -36,13 +36,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nnibble codeword-space splits (analytic, text nibbles):");
     let compressed = Compressor::new(CompressionConfig::nibble_aligned()).compress(&module)?;
     verify(&module, &compressed)?;
-    let base = text_nibbles_under_split(&compressed, NibbleSplit::SHIPPED);
+    let base = text_nibbles_under_split(&compressed, NibbleSplit::SHIPPED)?;
     for (label, split) in [
         ("shipped  8/3/2/2", NibbleSplit::SHIPPED),
         ("balanced 6/4/3/2", NibbleSplit { n4: 6, n8: 4, n12: 3, n16: 2 }),
         ("mid      4/7/2/2", NibbleSplit { n4: 4, n8: 7, n12: 2, n16: 2 }),
     ] {
-        let n = text_nibbles_under_split(&compressed, split);
+        let n = text_nibbles_under_split(&compressed, split)?;
         println!(
             "  {label}: {n} nibbles ({:+.2}% vs shipped)",
             100.0 * (n as f64 - base as f64) / base as f64

@@ -52,6 +52,14 @@ diff -u "$tmp/m1.counters" "$tmp/m8.counters"
 ./target/release/codense repro --isa both --out "$tmp/BENCH_isa.json" >/dev/null
 diff -u BENCH_isa.json "$tmp/BENCH_isa.json"
 
+echo "==> ratio gate (greedy/refine x nibble/huffman vs checked-in BENCH_ratio.json)"
+# Compression is deterministic, so the per-bench ratio artifact must
+# reproduce byte-for-byte; any selector or encoding drift shows up as a
+# diff here. This also re-asserts the headline claim pinned in the
+# artifact: refine+huffman beats greedy+nibble on both ISAs.
+./target/release/codense repro --isa both --ratio-out "$tmp/BENCH_ratio.json" >/dev/null
+diff -u BENCH_ratio.json "$tmp/BENCH_ratio.json"
+
 echo "==> hybrid determinism gate (profile + hybrid, --jobs 1 vs --jobs 8)"
 for j in 1 8; do
     ./target/release/codense --jobs "$j" --metrics "$tmp/hybrid-$j.metrics.json" \
@@ -93,7 +101,14 @@ for j in 1 8; do
     ./target/release/codense loadgen --addr "$addr" --requests 16 --connections 1 \
         --bench compress --encoding nibble --server-jobs "$j" --server-queue-depth 8 \
         --metrics-out "$tmp/serve-$j.metrics.json" \
-        --out "$tmp/BENCH_serve-$j.json" --shutdown
+        --out "$tmp/BENCH_serve-$j.json"
+    # Huffman must be servable over the same connection settings: the
+    # responses are byte-compared against an in-process huffman+refine
+    # compression, covering the codec tag and the selector byte end-to-end.
+    ./target/release/codense loadgen --addr "$addr" --requests 8 --connections 1 \
+        --bench compress --encoding huffman --selector refine \
+        --server-jobs "$j" --server-queue-depth 8 \
+        --out "$tmp/BENCH_serve-huffman-$j.json" --shutdown
     wait "$serve_pid"
     # Counters only: the timings section carries wall-clock data.
     sed -n '/"counters"/,/}/p' "$tmp/serve-$j.metrics.json" > "$tmp/serve-$j.counters"

@@ -65,7 +65,9 @@ pub use codense_vm as vm;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use codense_core::verify::verify;
-    pub use codense_core::{CompressedProgram, CompressionConfig, Compressor, EncodingKind};
+    pub use codense_core::{
+        CompressedProgram, CompressionConfig, Compressor, EncodingKind, SelectorKind,
+    };
     pub use codense_isa::IsaRef;
     pub use codense_obj::ObjectModule;
     pub use codense_ppc::{decode, encode, Insn};

@@ -140,6 +140,24 @@ fn golden_nibble() {
 }
 
 #[test]
+fn golden_huffman() {
+    check_golden("huffman.json", &render_snapshot("huffman", &CompressionConfig::huffman()));
+}
+
+/// The refinement selector's output, pinned over the nibble encoding: any
+/// change to the hill climb (trial order, acceptance rule, cost model)
+/// shows up here as a reviewable diff.
+#[test]
+fn golden_refine() {
+    let config = CompressionConfig::nibble_aligned();
+    let snapshot =
+        render_suite("nibble", &config, false, codense::codegen::generate_suite(), |c| {
+            c.with_selector(SelectorKind::Refine)
+        });
+    check_golden("refine.json", &snapshot);
+}
+
+#[test]
 fn golden_mips_baseline() {
     check_golden(
         "mips_baseline.json",

@@ -163,7 +163,7 @@ fn shipped_nibble_split_is_near_optimal() {
     use codense::core::sweep::{text_nibbles_under_split, NibbleSplit};
     let m = module("li");
     let c = Compressor::new(CompressionConfig::nibble_aligned()).compress(&m).unwrap();
-    let shipped = text_nibbles_under_split(&c, NibbleSplit::SHIPPED) as f64;
+    let shipped = text_nibbles_under_split(&c, NibbleSplit::SHIPPED).unwrap() as f64;
     for n4 in [2u32, 4, 6, 8, 10] {
         for n8 in [1u32, 3, 5, 7] {
             for n12 in 1..=3u32 {
@@ -172,7 +172,7 @@ fn shipped_nibble_split_is_near_optimal() {
                     continue;
                 }
                 let split = NibbleSplit { n4, n8, n12, n16: 15 - used };
-                let candidate = text_nibbles_under_split(&c, split) as f64;
+                let candidate = text_nibbles_under_split(&c, split).unwrap() as f64;
                 assert!(
                     candidate > shipped * 0.975,
                     "{split:?} beats shipped by {:.2}%",
