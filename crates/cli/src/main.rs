@@ -10,6 +10,10 @@
 //! codense run-kernel <NAME> [--encoding E]    execute a built-in kernel
 //! codense repro [--bench NAME] [--isa ppc|mips|both] [--out BENCH_isa.json]
 //!                                             suite ratio table, all encodings
+//! codense corpus [--insns N] [--dup N] [--seed S] [--isa ISA] [-o FILE.cdm]
+//!                                             build a SPEC-scale program
+//! codense scale [--points CSV] [--isa ppc|mips|both] [--out BENCH_scale.json]
+//!                                             ratio/throughput/VM-speed at scale
 //! codense sweep [--bench NAME] [--isa ISA]    Figs 4/5/8 parameter sweeps
 //! codense profile [--bench NAME] [--encoding E] [--out FILE]
 //!                                             execution profiles of the kernel suite
@@ -35,7 +39,9 @@
 //! `huffman` (frequency-adaptive codeword lengths). Selectors (`--selector`
 //! on `compress`/`repro`/`speed`/`loadgen`): `greedy` (default), `refine`.
 //! ISAs (`--isa` on `asm`/`repro`/`sweep`/`fuzz`/`speed`): `ppc` (default),
-//! `mips`.
+//! `mips`. `--corpus N` (on `repro`/`sweep`/`profile`/`hybrid-sweep`/
+//! `speed`/`loadgen`) swaps the benchmark for an N-instruction SPEC-scale
+//! corpus program (`10k`/`100k`/`1m` suffixes accepted).
 //!
 //! Global flags: `--jobs N` (worker-pool width) and `--metrics OUT.json`
 //! (telemetry report + per-phase summary on stderr after the command).
@@ -46,6 +52,8 @@ use codense_core::{
     container, verify::verify, CompressionConfig, Compressor, EncodingKind, SelectorKind,
 };
 use codense_obj::ObjectModule;
+
+mod corpus;
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +78,8 @@ fn main() -> ExitCode {
         Some("asm") => cmd_asm(&args[1..]),
         Some("run-kernel") => cmd_run_kernel(&args[1..]),
         Some("repro") => cmd_repro(&args[1..]),
+        Some("corpus") => corpus::cmd_corpus(&args[1..]),
+        Some("scale") => corpus::cmd_scale(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         Some("hybrid") => cmd_hybrid(&args[1..]),
@@ -121,20 +131,26 @@ usage:
                      [--encoding baseline|onebyte|nibble|huffman|none]
   codense repro [--bench NAME] [--isa ppc|mips|both] [--out BENCH_isa.json]
                 [--selector greedy|refine] [--ratio-out BENCH_ratio.json]
+                [--corpus N]
+  codense corpus [--insns N] [--dup N] [--seed S] [--isa ppc|mips]
+                 [-o FILE.cdm]
+  codense scale [--points CSV] [--isa ppc|mips|both] [--trials N]
+                [--dup N] [--seed S] [--out BENCH_scale.json]
   codense sweep [--bench NAME] [--isa ppc|mips] [--selector greedy|refine]
+                [--corpus N]
   codense profile [--bench NAME] [--encoding baseline|onebyte|nibble]
-                  [--max-steps N] [--out PROFILE.json]
+                  [--max-steps N] [--out PROFILE.json] [--corpus N]
   codense hybrid --bench NAME [--coverage FRAC | --threshold N]
                  [--encoding baseline|onebyte|nibble] [--max-steps N]
   codense hybrid-sweep [--encoding baseline|onebyte|nibble]
-                       [--out BENCH_hybrid.json]
+                       [--out BENCH_hybrid.json] [--corpus N]
   codense fuzz [--cases N] [--seed S] [--max-steps N] [--fault-tries N]
                [--hybrid] [--isa ppc|mips]
   codense serve --addr HOST:PORT [--queue-depth N] [--timeout-ms N]
                 [--cache-bytes N]
   codense loadgen --addr HOST:PORT [--requests N] [--connections N]
                   [--bench NAME] [--encoding baseline|onebyte|nibble|huffman]
-                  [--selector greedy|refine]
+                  [--selector greedy|refine] [--corpus N]
                   [--max-entry N] [--out BENCH_serve.json] [--shutdown]
                   [--server-jobs N] [--server-queue-depth N]
                   [--metrics-out METRICS.json]
@@ -146,7 +162,7 @@ usage:
                     [--out BENCH_load.json] [--shutdown]
   codense speed [--bench NAME] [--samples N] [--out BENCH_speed.json]
                 [--no-reference] [--check BENCH_speed.json] [--floor X]
-                [--isa ppc|mips] [--selector greedy|refine]
+                [--isa ppc|mips] [--selector greedy|refine] [--corpus N]
 
 --jobs N sets the worker-thread count for parallel phases (candidate-index
 construction, suite generation, fuzz campaigns); the default is the
@@ -172,6 +188,27 @@ artifact, which always carries both backends under the greedy selector.
 --ratio-out writes the schema-1 BENCH_ratio.json density trajectory:
 per-bench ratios for every ISA x selector x encoding cell, with means
 (see EXPERIMENTS.md for both bless workflows).
+
+corpus builds one seeded-deterministic SPEC-scale program (see DESIGN.md
+section 15): deep multi-module call graphs over a library layer duplicated
+--dup times per module, 16-way jump-table dispatch loops, and cold
+error-handling bulk — 10K to 1M+ lowered instructions on either ISA,
+runnable under the VM and the lockstep oracle. --insns accepts k/m
+suffixes (default 100k). -o writes the module as a .cdm file.
+
+scale is the SPEC-scale benchmark behind BENCH_scale.json: for each
+--points scale point (default 10k,100k,1m) on each ISA it builds the
+corpus program, compresses it under all four encodings (verifying each),
+and times compression throughput plus full-run VM execution through both
+the reparse fetch path and the predecoded threaded-dispatch path (nibble
+encoding), best of --trials. See EXPERIMENTS.md for the bless workflow.
+
+--corpus N on repro/sweep/profile/hybrid-sweep/speed/loadgen swaps that
+command's benchmark for the N-instruction corpus program (sharing --dup /
+--seed with the corpus command). repro prints the corpus row under the
+suite table without touching the blessed artifacts; profile and
+hybrid-sweep run it as a PPC profiling subject; speed times it with the
+reference engine disabled (the boxed-slice index is too slow at scale).
 
 sweep runs the parameter sweeps behind Figures 4-8 (max entry length,
 codeword count, small dictionaries) on one benchmark (default `compress`)
@@ -702,22 +739,26 @@ fn repro_rows(
     .collect::<Result<_, _>>()
 }
 
+fn print_repro_row((name, insns, bytes, r): &ReproRow) {
+    println!(
+        "{name:<10} {insns:>7} {bytes:>8} {:>8.1}% {:>7.1}% {:>6.1}% {:>7.1}%",
+        100.0 * r[0],
+        100.0 * r[1],
+        100.0 * r[2],
+        100.0 * r[3]
+    );
+}
+
 fn print_repro_table(rows: &[ReproRow]) {
     println!(
         "{:<10} {:>7} {:>8} {:>9} {:>8} {:>7} {:>8}",
         "bench", "insns", "bytes", "baseline", "onebyte", "nibble", "huffman"
     );
     let mut mean = [0.0f64; 4];
-    for (name, insns, bytes, r) in rows {
-        println!(
-            "{name:<10} {insns:>7} {bytes:>8} {:>8.1}% {:>7.1}% {:>6.1}% {:>7.1}%",
-            100.0 * r[0],
-            100.0 * r[1],
-            100.0 * r[2],
-            100.0 * r[3]
-        );
-        for i in 0..4 {
-            mean[i] += r[i];
+    for row in rows {
+        print_repro_row(row);
+        for (m, r) in mean.iter_mut().zip(row.3) {
+            *m += r;
         }
     }
     let n = rows.len() as f64;
@@ -860,6 +901,7 @@ fn cmd_repro(args: &[String]) -> CliResult {
         Ok(&computed.last().expect("just pushed").1)
     }
 
+    let corpus_insns = corpus::corpus_arg(args)?;
     for &isa in &show {
         let rows = rows_for(&mut computed, isa, selector, bench_filter)?;
         // The single-ISA default output is the historical table, unchanged.
@@ -870,6 +912,13 @@ fn cmd_repro(args: &[String]) -> CliResult {
             println!("selector: refine");
         }
         print_repro_table(rows);
+        // The corpus scale point rides along in the printed table only; the
+        // blessed artifacts carry the fixed suite (BENCH_scale.json owns the
+        // corpus data).
+        if let Some(n) = corpus_insns {
+            let p = corpus::corpus_program(args, n, isa)?;
+            print_repro_row(&corpus::corpus_repro_row(&p, selector)?);
+        }
     }
 
     // The isa artifact is the cross-ISA comparison: it always carries both
@@ -929,8 +978,12 @@ fn cmd_sweep(args: &[String]) -> CliResult {
     let isa_name = parse_isa(args)?;
     let isa = isa_ref(isa_name);
     let selector = parse_selector(args)?;
-    let module =
-        benchmark_for(isa_name, bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    let module = match corpus::corpus_arg(args)? {
+        Some(n) => corpus::corpus_program(args, n, isa_name)?.module,
+        None => {
+            benchmark_for(isa_name, bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?
+        }
+    };
     println!("sweeps on `{}` ({} insns, {} bytes)", module.name, module.len(), module.text_bytes());
     if selector != SelectorKind::Greedy {
         println!("selector: refine");
@@ -1015,21 +1068,27 @@ fn cmd_sweep(args: &[String]) -> CliResult {
 
 /// Profiles the kernel benchmark suite and renders the schema-1 artifact.
 fn cmd_profile(args: &[String]) -> CliResult {
-    use codense_profile::{bench, collect, render_profiles_json};
+    use codense_profile::{bench, collect_subject, render_profiles_json, Subject};
     let encoding_name = flag_value(args, "--encoding").unwrap_or("nibble");
     let encoding = parse_encoding(encoding_name)?;
     let max_steps: u64 = match flag_value(args, "--max-steps") {
         Some(v) => v.parse().map_err(|_| "bad --max-steps")?,
         None => 10_000_000,
     };
-    let kernels = match flag_value(args, "--bench") {
-        Some(name) => {
-            vec![bench::bench(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?]
+    let subjects: Vec<Subject> = match (corpus::corpus_arg(args)?, flag_value(args, "--bench")) {
+        (Some(_), Some(_)) => return Err("profile: --corpus and --bench conflict".into()),
+        (Some(n), None) => {
+            vec![corpus::corpus_subject(&corpus::corpus_program(args, n, "ppc")?)?]
         }
-        None => bench::benches(),
+        (None, Some(name)) => {
+            vec![Subject::from_kernel(
+                &bench::bench(name).ok_or_else(|| format!("unknown benchmark `{name}`"))?,
+            )]
+        }
+        (None, None) => bench::benches().iter().map(Subject::from_kernel).collect(),
     };
-    let profiles = codense_core::parallel::par_map(kernels, |_, k| {
-        collect(&k, encoding, max_steps).map_err(|e| format!("{}: {e}", k.name))
+    let profiles = codense_core::parallel::par_map(subjects, |_, s| {
+        collect_subject(&s, encoding, max_steps).map_err(|e| format!("{}: {e}", s.name))
     })
     .into_iter()
     .collect::<Result<Vec<_>, _>>()?;
@@ -1140,12 +1199,20 @@ fn cmd_hybrid(args: &[String]) -> CliResult {
 
 /// The whole-suite coverage sweep behind `BENCH_hybrid.json`.
 fn cmd_hybrid_sweep(args: &[String]) -> CliResult {
-    use codense_profile::{hybrid_sweep, render_bench_json, HybridOptions};
+    use codense_profile::{
+        bench, hybrid_sweep_subjects, render_bench_json, HybridOptions, Subject,
+    };
     let encoding_name = flag_value(args, "--encoding").unwrap_or("nibble");
     let options =
         HybridOptions { encoding: parse_encoding(encoding_name)?, ..HybridOptions::default() };
     let out_path = flag_value(args, "--out").unwrap_or("BENCH_hybrid.json");
-    let results = hybrid_sweep(&options).map_err(|e| e.to_string())?;
+    let mut subjects: Vec<Subject> = bench::benches().iter().map(Subject::from_kernel).collect();
+    // An optional corpus scale point joins the sweep; the blessed
+    // BENCH_hybrid.json is generated without it.
+    if let Some(n) = corpus::corpus_arg(args)? {
+        subjects.push(corpus::corpus_subject(&corpus::corpus_program(args, n, "ppc")?)?);
+    }
+    let results = hybrid_sweep_subjects(&subjects, &options).map_err(|e| e.to_string())?;
     let json = render_bench_json(&results, encoding_name, &options.cost);
     std::fs::write(out_path, &json).map_err(|e| format!("{out_path}: {e}"))?;
     println!("{:<12} {:>7} {:>8} {:>8}  best mid-range point", "bench", "native", "full", "ratio");
@@ -1293,7 +1360,11 @@ fn cmd_serve(args: &[String]) -> CliResult {
 
 fn cmd_loadgen(args: &[String]) -> CliResult {
     let addr = flag_value(args, "--addr").ok_or("loadgen: missing --addr HOST:PORT")?;
-    let bench = flag_value(args, "--bench").unwrap_or("compress");
+    let corpus_insns = corpus::corpus_arg(args)?;
+    let bench = match corpus_insns {
+        Some(n) => corpus::corpus_name(n),
+        None => flag_value(args, "--bench").unwrap_or("compress").to_owned(),
+    };
     let encoding = parse_encoding(flag_value(args, "--encoding").unwrap_or("nibble"))?;
     let max_entry: u16 = match flag_value(args, "--max-entry") {
         Some(v) => v.parse().map_err(|_| "bad --max-entry")?,
@@ -1314,8 +1385,14 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         opts.timeout_ms = v.parse().map_err(|_| "bad --timeout-ms")?;
     }
 
-    let module =
-        codense_codegen::benchmark(bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    // --corpus swaps the toy benchmark for a SPEC-scale module, exercising
+    // the server's frame streaming at multi-MiB request sizes (the
+    // MAX_FRAME / TOO_LARGE boundary itself is pinned by protocol tests).
+    let module = match corpus_insns {
+        Some(n) => corpus::corpus_program(args, n, "ppc")?.module,
+        None => codense_codegen::benchmark(&bench)
+            .ok_or_else(|| format!("unknown benchmark `{bench}`"))?,
+    };
     let request = codense_service::CompressRequest {
         encoding,
         selector: parse_selector(args)?,
@@ -1323,6 +1400,13 @@ fn cmd_loadgen(args: &[String]) -> CliResult {
         max_codewords: 0, // the encoding's full codeword space
         module: codense_obj::serialize(&module),
     };
+    if corpus_insns.is_some() {
+        println!(
+            "corpus request: {} insns, {:.2} MiB serialized module",
+            module.len(),
+            request.module.len() as f64 / (1 << 20) as f64
+        );
+    }
     // The expected response, computed in process: every served result must
     // be byte-identical, so the benchmark doubles as a correctness check.
     let compressed = Compressor::new(request.config())
@@ -1523,7 +1607,6 @@ fn cmd_loadsweep(args: &[String]) -> CliResult {
 fn cmd_speed(args: &[String]) -> CliResult {
     use codense_core::greedy::MatchfinderKind;
 
-    let bench = flag_value(args, "--bench").unwrap_or("compress");
     let samples: usize = match flag_value(args, "--samples") {
         Some(v) => match v.parse() {
             Ok(n) if n >= 1 => n,
@@ -1531,7 +1614,10 @@ fn cmd_speed(args: &[String]) -> CliResult {
         },
         None => 5,
     };
-    let with_reference = !args.iter().any(|a| a == "--no-reference");
+    let corpus_insns = corpus::corpus_arg(args)?;
+    // The boxed-slice reference index is far too slow at corpus scale; the
+    // corpus rows time the production engine only.
+    let with_reference = !args.iter().any(|a| a == "--no-reference") && corpus_insns.is_none();
     let floor: f64 = match flag_value(args, "--floor") {
         Some(v) => match v.parse() {
             Ok(f) if f >= 1.0 => f,
@@ -1540,8 +1626,15 @@ fn cmd_speed(args: &[String]) -> CliResult {
         None => 3.0,
     };
     let isa_name = parse_isa(args)?;
-    let module =
-        benchmark_for(isa_name, bench).ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+    let (bench, module) = match corpus_insns {
+        Some(n) => (corpus::corpus_name(n), corpus::corpus_program(args, n, isa_name)?.module),
+        None => {
+            let bench = flag_value(args, "--bench").unwrap_or("compress");
+            let module = benchmark_for(isa_name, bench)
+                .ok_or_else(|| format!("unknown benchmark `{bench}`"))?;
+            (bench.to_owned(), module)
+        }
+    };
     let insns = module.len() as u64;
     println!("speed on `{}` ({} insns, median of {samples})", module.name, insns);
 

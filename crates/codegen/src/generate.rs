@@ -433,7 +433,7 @@ mod tests {
         let plain = generate_module_mips(p);
         let std_pe = generate_module_mips_with(
             p,
-            crate::lower::LowerOptions { standardize_prologues: true },
+            crate::lower::LowerOptions { standardize_prologues: true, ..Default::default() },
         );
         assert!(std_pe.len() > plain.len());
         assert_eq!(std_pe.validate_with(codense_isa::IsaRef(&codense_mips::ISA)), Ok(()));

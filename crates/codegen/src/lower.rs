@@ -50,6 +50,13 @@ pub struct LowerOptions {
     /// to a single codeword") — larger uncompressed code, better
     /// compressed code.
     pub standardize_prologues: bool,
+    /// Emit a two-instruction entry stub ahead of function 0 (`bl F0; sc`
+    /// on PowerPC, `jal F0; syscall` on MIPS) so the lowered module is
+    /// directly *runnable*: execution starts at instruction 0, calls into
+    /// the program's root function, and halts with its return value as the
+    /// exit code when the root returns. Off by default so benchmark
+    /// modules used purely as compression fodder stay byte-identical.
+    pub entry_stub: bool,
 }
 
 /// Lowers a whole [`Program`] to an [`ObjectModule`].
@@ -84,6 +91,9 @@ pub fn lower_program_with(
         tables: Vec::new(),
         options,
     };
+    if options.entry_stub {
+        lw.emit_entry_stub();
+    }
     for (i, func) in program.functions.iter().enumerate() {
         lw.lower_function(i, func);
     }
@@ -128,6 +138,24 @@ impl Lowerer {
     fn fresh(&mut self, stem: &str) -> String {
         self.label_counter += 1;
         format!("{stem}{}", self.label_counter)
+    }
+
+    /// The runnable-module entry stub: call the root function, then halt
+    /// with its return value (already in `r3`, the exit register) as the
+    /// exit code. Recorded as its own zero-prologue [`FunctionInfo`] so the
+    /// compressor's region classification sees it as ordinary body code.
+    fn emit_entry_stub(&mut self) {
+        let start = self.asm.here();
+        self.asm.bl("F0");
+        self.asm.emit(Insn::Sc);
+        let end = self.asm.here();
+        self.functions.push(FunctionInfo {
+            name: "__start".to_string(),
+            start,
+            end,
+            prologue_len: 0,
+            epilogues: Vec::new(),
+        });
     }
 
     fn lower_function(&mut self, index: usize, func: &Function) {

@@ -78,6 +78,9 @@ pub fn lower_program_mips_with(
         tables: Vec::new(),
         options,
     };
+    if options.entry_stub {
+        lw.emit_entry_stub();
+    }
     for (i, func) in program.functions.iter().enumerate() {
         lw.lower_function(i, func);
     }
@@ -120,6 +123,23 @@ impl Lowerer {
     fn fresh(&mut self, stem: &str) -> String {
         self.label_counter += 1;
         format!("{stem}{}", self.label_counter)
+    }
+
+    /// The runnable-module entry stub: call the root function, then halt
+    /// with its return value (already in `$v0`, the exit register) as the
+    /// exit code. Mirrors the PowerPC stub.
+    fn emit_entry_stub(&mut self) {
+        let start = self.asm.here();
+        self.asm.jal("F0");
+        self.asm.emit(MInsn::Syscall);
+        let end = self.asm.here();
+        self.functions.push(FunctionInfo {
+            name: "__start".to_string(),
+            start,
+            end,
+            prologue_len: 0,
+            epilogues: Vec::new(),
+        });
     }
 
     fn lower_function(&mut self, index: usize, func: &Function) {

@@ -206,8 +206,11 @@ fn prologue_template_shape() {
 fn standardized_prologues_are_identical() {
     let profile = &spec_profiles()[0];
     let program = build_program(profile);
-    let module =
-        lower_program_with(&program, LowerOptions { standardize_prologues: true }).unwrap();
+    let module = lower_program_with(
+        &program,
+        LowerOptions { standardize_prologues: true, ..LowerOptions::default() },
+    )
+    .unwrap();
     // The 4-instruction core prologue (stwu/mflr/stw/stmw) is bit-identical
     // in every function — the property that makes it one dictionary entry.
     let reference: Vec<u32> = module.code[module.functions[0].start..][..4].to_vec();

@@ -276,7 +276,8 @@ impl CandidateIndex {
     /// matchfinder's 32-bit position space.
     pub fn build(model: &ProgramModel, max_len: usize) -> Result<CandidateIndex, CompressError> {
         let largest_block = model.blocks.iter().map(|b| b.cells.len()).max().unwrap_or(0);
-        check_position_space(model.blocks.len(), largest_block, max_len)?;
+        let total_cells: usize = model.blocks.iter().map(|b| b.cells.len()).sum();
+        check_position_space(model.blocks.len(), largest_block, total_cells, max_len)?;
 
         // One chunk per worker quantum; a single-threaded run mines the
         // whole program in one pass and skips the merge entirely (the
@@ -508,12 +509,23 @@ fn run_core(
 /// Rejects programs whose (block, cell) positions would not fit the index's
 /// packed 32-bit coordinates. `max_len` headroom on the cell bound keeps
 /// the non-overlap scan's `p + len` arithmetic from wrapping.
+///
+/// The `total_cells` bound covers the interner: arena offsets and dense ids
+/// are `u32`, and in the worst case every window is a distinct sequence,
+/// appending `1 + 2 + … + max_len` words per start cell. Rejecting up front
+/// makes [`CompressError::ProgramTooLarge`] the only failure mode — mining
+/// can never silently truncate an offset.
 fn check_position_space(
     blocks: usize,
     largest_block: usize,
+    total_cells: usize,
     max_len: usize,
 ) -> Result<(), CompressError> {
     if blocks > u32::MAX as usize || largest_block > u32::MAX as usize - max_len {
+        return Err(CompressError::ProgramTooLarge { blocks, largest_block });
+    }
+    let arena_worst = total_cells.saturating_mul(max_len * (max_len + 1) / 2);
+    if arena_worst > u32::MAX as usize {
         return Err(CompressError::ProgramTooLarge { blocks, largest_block });
     }
     Ok(())
@@ -843,15 +855,35 @@ mod tests {
     fn position_space_guard() {
         // The checked conversion surfaces as a typed error instead of a
         // silent `as u32` truncation (the SPEC-scale roadmap item).
-        assert!(check_position_space(1 << 20, 1 << 20, 8).is_ok());
-        assert!(check_position_space(u32::MAX as usize, 0, 8).is_ok());
-        assert!(check_position_space(u32::MAX as usize - 8, u32::MAX as usize - 8, 8).is_ok());
-        let err = check_position_space(u32::MAX as usize + 1, 0, 8).unwrap_err();
+        assert!(check_position_space(1 << 20, 1 << 20, 1 << 22, 8).is_ok());
+        assert!(check_position_space(u32::MAX as usize, 0, 0, 8).is_ok());
+        assert!(check_position_space(u32::MAX as usize - 8, u32::MAX as usize - 8, 0, 8).is_ok());
+        let err = check_position_space(u32::MAX as usize + 1, 0, 0, 8).unwrap_err();
         assert!(
             matches!(err, CompressError::ProgramTooLarge { blocks, .. } if blocks > u32::MAX as usize)
         );
-        let err = check_position_space(1, u32::MAX as usize - 7, 8).unwrap_err();
+        let err = check_position_space(1, u32::MAX as usize - 7, 0, 8).unwrap_err();
         assert!(matches!(err, CompressError::ProgramTooLarge { largest_block, .. }
             if largest_block == u32::MAX as usize - 7));
+    }
+
+    #[test]
+    fn arena_capacity_guard() {
+        // The interner's arena offsets are u32; the worst case appends
+        // 1+2+…+max_len words per start cell. The boundary sits exactly at
+        // u32::MAX worst-case words.
+        let tri = 8 * 9 / 2;
+        let fits = u32::MAX as usize / tri;
+        assert!(check_position_space(1, fits, fits, 8).is_ok());
+        let err = check_position_space(1, fits + 1, fits + 1, 8).unwrap_err();
+        assert!(matches!(err, CompressError::ProgramTooLarge { .. }));
+        // A SPEC-scale corpus (millions of cells) stays far inside the
+        // bound: the guard only rejects programs mining could corrupt.
+        assert!(check_position_space(1 << 12, 1 << 12, 16 << 20, 8).is_ok());
+        // max_len 1 degenerates to one word per cell.
+        assert!(check_position_space(1, u32::MAX as usize - 1, u32::MAX as usize, 1).is_ok());
+        let err =
+            check_position_space(1, u32::MAX as usize - 1, u32::MAX as usize + 1, 1).unwrap_err();
+        assert!(matches!(err, CompressError::ProgramTooLarge { .. }));
     }
 }

@@ -123,8 +123,12 @@ impl SeqInterner {
         loop {
             match self.table[slot] {
                 0 => {
-                    let id = self.spans.len() as SeqId;
-                    let off = self.words.len() as u32;
+                    // Callers bound worst-case arena demand up front (the
+                    // matchfinder's `check_position_space`); this converts
+                    // a would-be silent truncation into a loud failure.
+                    let id = u32::try_from(self.spans.len()).expect("interner id space exhausted");
+                    let off =
+                        u32::try_from(self.words.len()).expect("interner arena space exhausted");
                     self.words.extend_from_slice(seq);
                     self.spans.push((off, seq.len() as u32));
                     self.hashes.push(hash);

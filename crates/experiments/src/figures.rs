@@ -505,7 +505,7 @@ pub fn prologue(ctx: &mut Ctx) {
         let plain = codense_codegen::generate_module(profile);
         let std = codense_codegen::generate_module_with(
             profile,
-            LowerOptions { standardize_prologues: true },
+            LowerOptions { standardize_prologues: true, ..LowerOptions::default() },
         );
         let comp = Compressor::new(CompressionConfig::nibble_aligned());
         let c_plain = comp.compress(&plain).expect("plain");

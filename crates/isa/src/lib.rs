@@ -153,6 +153,40 @@ pub trait Core {
     fn flags(&self) -> u64;
 }
 
+/// A [`Core`] whose decode stage can be hoisted out of the execution loop.
+///
+/// [`Core::step_word`] re-decodes its instruction word on every step; a
+/// predecoded execution loop (see `codense-vm`'s `run_predecoded`) decodes
+/// each distinct fetched item once, caches the backend's decoded form, and
+/// replays it — so the per-step cost is dispatch + execute only. Not object
+/// safe (the decoded type is backend-specific); the loop is monomorphized
+/// per backend.
+pub trait PredecodeCore: Core {
+    /// The backend's decoded-instruction representation.
+    type Insn;
+
+    /// Decodes a raw word. Pure and state-independent: decoding never
+    /// faults (illegal words decode to a form whose execution faults), so
+    /// caching decoded instructions cannot change program behaviour.
+    fn predecode(word: u32) -> Self::Insn;
+
+    /// Executes one already-decoded instruction. Must be observably
+    /// identical to [`Core::step_word`] on the word `insn` was decoded
+    /// from — same state changes, same [`Outcome`], same errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MachineError`] on faults, exactly as
+    /// [`Core::step_word`] would.
+    fn step_insn(
+        &mut self,
+        insn: &Self::Insn,
+        cur_pc: u64,
+        next_pc: u64,
+        granule: u32,
+    ) -> Result<Outcome, MachineError>;
+}
+
 /// The backend contract: everything the compressor, verifier, basic-block
 /// builder, and VM need to know about an instruction set.
 ///

@@ -30,18 +30,23 @@ impl Machine {
         m
     }
 
+    // The mask restates `Reg`'s `< 32` invariant where the optimizer can
+    // see it, so hot register accesses carry no bounds check.
+    #[inline(always)]
     fn reg(&self, r: Reg) -> u32 {
-        self.gpr[r.number() as usize]
+        self.gpr[(r.number() & 31) as usize]
     }
 
+    #[inline(always)]
     fn set_reg(&mut self, r: Reg, v: u32) {
         if r.number() != 0 {
-            self.gpr[r.number() as usize] = v;
+            self.gpr[(r.number() & 31) as usize] = v;
         }
     }
 
     // ---- memory -----------------------------------------------------------
 
+    #[inline(always)]
     fn check(&self, addr: u32, len: u32) -> Result<usize, MachineError> {
         let end = addr as u64 + len as u64;
         if end <= self.mem.len() as u64 {
@@ -52,9 +57,14 @@ impl Machine {
     }
 
     /// Reads a big-endian 32-bit word.
+    #[inline]
     pub fn load32(&self, addr: u32) -> Result<u32, MachineError> {
         let i = self.check(addr, 4)?;
-        Ok(u32::from_be_bytes([self.mem[i], self.mem[i + 1], self.mem[i + 2], self.mem[i + 3]]))
+        // Slice-then-convert compiles to one 4-byte load + byte swap; the
+        // element-wise form is four separate byte loads.
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.mem[i..i + 4]);
+        Ok(u32::from_be_bytes(b))
     }
 
     /// Reads a big-endian 16-bit halfword.
@@ -70,6 +80,7 @@ impl Machine {
     }
 
     /// Writes a big-endian 32-bit word.
+    #[inline]
     pub fn store32(&mut self, addr: u32, v: u32) -> Result<(), MachineError> {
         let i = self.check(addr, 4)?;
         self.mem[i..i + 4].copy_from_slice(&v.to_be_bytes());
@@ -90,8 +101,177 @@ impl Machine {
         Ok(())
     }
 
+    #[inline(always)]
     fn ea(&self, base: Reg, offset: i16) -> u32 {
         self.reg(base).wrapping_add(offset as i32 as u32)
+    }
+
+    // ---- shared op bodies --------------------------------------------------
+    //
+    // The forms that dominate compiled code are factored out so `step` and
+    // the hot `step_insn` dispatch execute the same bodies.
+
+    #[inline(always)]
+    fn rel(offset: i32, cur_pc: u64, g: i64) -> Outcome {
+        let units = (offset / 4) as i64;
+        Outcome::Branch((cur_pc as i64 + units * g) as u64)
+    }
+
+    #[inline(always)]
+    fn op_sll(&mut self, rd: Reg, rt: Reg, sa: u8) {
+        self.set_reg(rd, self.reg(rt) << sa);
+    }
+
+    #[inline(always)]
+    fn op_srl(&mut self, rd: Reg, rt: Reg, sa: u8) {
+        self.set_reg(rd, self.reg(rt) >> sa);
+    }
+
+    #[inline(always)]
+    fn op_addu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt)));
+    }
+
+    #[inline(always)]
+    fn op_subu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt)));
+    }
+
+    #[inline(always)]
+    fn op_and(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.set_reg(rd, self.reg(rs) & self.reg(rt));
+    }
+
+    #[inline(always)]
+    fn op_or(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.set_reg(rd, self.reg(rs) | self.reg(rt));
+    }
+
+    #[inline(always)]
+    fn op_xor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.set_reg(rd, self.reg(rs) ^ self.reg(rt));
+    }
+
+    #[inline(always)]
+    fn op_slt(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.set_reg(rd, u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)));
+    }
+
+    #[inline(always)]
+    fn op_sltu(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.set_reg(rd, u32::from(self.reg(rs) < self.reg(rt)));
+    }
+
+    #[inline(always)]
+    fn op_addiu(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32));
+    }
+
+    #[inline(always)]
+    fn op_slti(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        self.set_reg(rt, u32::from((self.reg(rs) as i32) < imm as i32));
+    }
+
+    #[inline(always)]
+    fn op_sltiu(&mut self, rt: Reg, rs: Reg, imm: i16) {
+        // The immediate is sign-extended, then compared unsigned.
+        self.set_reg(rt, u32::from(self.reg(rs) < imm as i32 as u32));
+    }
+
+    #[inline(always)]
+    fn op_andi(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.set_reg(rt, self.reg(rs) & imm as u32);
+    }
+
+    #[inline(always)]
+    fn op_ori(&mut self, rt: Reg, rs: Reg, imm: u16) {
+        self.set_reg(rt, self.reg(rs) | imm as u32);
+    }
+
+    #[inline(always)]
+    fn op_lui(&mut self, rt: Reg, imm: u16) {
+        self.set_reg(rt, (imm as u32) << 16);
+    }
+
+    #[inline(always)]
+    fn op_lw(&mut self, rt: Reg, base: Reg, offset: i16) -> Result<(), MachineError> {
+        let v = self.load32(self.ea(base, offset))?;
+        self.set_reg(rt, v);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn op_sw(&mut self, rt: Reg, base: Reg, offset: i16) -> Result<(), MachineError> {
+        self.store32(self.ea(base, offset), self.reg(rt))
+    }
+
+    #[inline(always)]
+    fn op_beq(&self, rs: Reg, rt: Reg, offset: i32, cur_pc: u64, g: i64) -> Outcome {
+        if self.reg(rs) == self.reg(rt) {
+            Self::rel(offset, cur_pc, g)
+        } else {
+            Outcome::Next
+        }
+    }
+
+    #[inline(always)]
+    fn op_bne(&self, rs: Reg, rt: Reg, offset: i32, cur_pc: u64, g: i64) -> Outcome {
+        if self.reg(rs) != self.reg(rt) {
+            Self::rel(offset, cur_pc, g)
+        } else {
+            Outcome::Next
+        }
+    }
+
+    #[inline(always)]
+    fn op_bltz(&self, rs: Reg, offset: i32, cur_pc: u64, g: i64) -> Outcome {
+        if (self.reg(rs) as i32) < 0 {
+            Self::rel(offset, cur_pc, g)
+        } else {
+            Outcome::Next
+        }
+    }
+
+    #[inline(always)]
+    fn op_bgez(&self, rs: Reg, offset: i32, cur_pc: u64, g: i64) -> Outcome {
+        if (self.reg(rs) as i32) >= 0 {
+            Self::rel(offset, cur_pc, g)
+        } else {
+            Outcome::Next
+        }
+    }
+
+    #[inline(always)]
+    fn op_blez(&self, rs: Reg, offset: i32, cur_pc: u64, g: i64) -> Outcome {
+        if (self.reg(rs) as i32) <= 0 {
+            Self::rel(offset, cur_pc, g)
+        } else {
+            Outcome::Next
+        }
+    }
+
+    #[inline(always)]
+    fn op_bgtz(&self, rs: Reg, offset: i32, cur_pc: u64, g: i64) -> Outcome {
+        if (self.reg(rs) as i32) > 0 {
+            Self::rel(offset, cur_pc, g)
+        } else {
+            Outcome::Next
+        }
+    }
+
+    #[inline(always)]
+    fn op_jal(&mut self, offset: i32, cur_pc: u64, next_pc: u64, g: i64) -> Outcome {
+        self.gpr[31] = next_pc as u32;
+        Self::rel(offset, cur_pc, g)
+    }
+
+    #[inline(always)]
+    fn op_jalr(&mut self, rd: Reg, rs: Reg, next_pc: u64) -> Outcome {
+        // Read the target before writing rd: `jalr $t0,$t0` must branch to
+        // the old value.
+        let target = self.reg(rs);
+        self.set_reg(rd, next_pc as u32);
+        Outcome::Branch(target as u64)
     }
 
     /// Executes one instruction.
@@ -116,14 +296,11 @@ impl Machine {
     ) -> Result<Outcome, MachineError> {
         use MInsn::*;
         let g = granule as i64;
-        let rel = |offset: i32| {
-            let units = (offset / 4) as i64;
-            Outcome::Branch((cur_pc as i64 + units * g) as u64)
-        };
+        let rel = |offset: i32| Self::rel(offset, cur_pc, g);
         match *insn {
             // ---- shifts --------------------------------------------------
-            Sll { rd, rt, sa } => self.set_reg(rd, self.reg(rt) << sa),
-            Srl { rd, rt, sa } => self.set_reg(rd, self.reg(rt) >> sa),
+            Sll { rd, rt, sa } => self.op_sll(rd, rt, sa),
+            Srl { rd, rt, sa } => self.op_srl(rd, rt, sa),
             Sra { rd, rt, sa } => self.set_reg(rd, ((self.reg(rt) as i32) >> sa) as u32),
             Sllv { rd, rt, rs } => self.set_reg(rd, self.reg(rt) << (self.reg(rs) & 0x1f)),
             Srlv { rd, rt, rs } => self.set_reg(rd, self.reg(rt) >> (self.reg(rs) & 0x1f)),
@@ -145,32 +322,23 @@ impl Machine {
                 let v = self.reg(rs).checked_div(self.reg(rt)).unwrap_or(0);
                 self.set_reg(rd, v);
             }
-            Addu { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_add(self.reg(rt))),
-            Subu { rd, rs, rt } => self.set_reg(rd, self.reg(rs).wrapping_sub(self.reg(rt))),
-            And { rd, rs, rt } => self.set_reg(rd, self.reg(rs) & self.reg(rt)),
-            Or { rd, rs, rt } => self.set_reg(rd, self.reg(rs) | self.reg(rt)),
-            Xor { rd, rs, rt } => self.set_reg(rd, self.reg(rs) ^ self.reg(rt)),
+            Addu { rd, rs, rt } => self.op_addu(rd, rs, rt),
+            Subu { rd, rs, rt } => self.op_subu(rd, rs, rt),
+            And { rd, rs, rt } => self.op_and(rd, rs, rt),
+            Or { rd, rs, rt } => self.op_or(rd, rs, rt),
+            Xor { rd, rs, rt } => self.op_xor(rd, rs, rt),
             Nor { rd, rs, rt } => self.set_reg(rd, !(self.reg(rs) | self.reg(rt))),
-            Slt { rd, rs, rt } => {
-                self.set_reg(rd, u32::from((self.reg(rs) as i32) < (self.reg(rt) as i32)));
-            }
-            Sltu { rd, rs, rt } => self.set_reg(rd, u32::from(self.reg(rs) < self.reg(rt))),
+            Slt { rd, rs, rt } => self.op_slt(rd, rs, rt),
+            Sltu { rd, rs, rt } => self.op_sltu(rd, rs, rt),
 
             // ---- I-format arithmetic and logic ---------------------------
-            Addiu { rt, rs, imm } => {
-                self.set_reg(rt, self.reg(rs).wrapping_add(imm as i32 as u32));
-            }
-            Slti { rt, rs, imm } => {
-                self.set_reg(rt, u32::from((self.reg(rs) as i32) < imm as i32));
-            }
-            Sltiu { rt, rs, imm } => {
-                // The immediate is sign-extended, then compared unsigned.
-                self.set_reg(rt, u32::from(self.reg(rs) < imm as i32 as u32));
-            }
-            Andi { rt, rs, imm } => self.set_reg(rt, self.reg(rs) & imm as u32),
-            Ori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) | imm as u32),
+            Addiu { rt, rs, imm } => self.op_addiu(rt, rs, imm),
+            Slti { rt, rs, imm } => self.op_slti(rt, rs, imm),
+            Sltiu { rt, rs, imm } => self.op_sltiu(rt, rs, imm),
+            Andi { rt, rs, imm } => self.op_andi(rt, rs, imm),
+            Ori { rt, rs, imm } => self.op_ori(rt, rs, imm),
             Xori { rt, rs, imm } => self.set_reg(rt, self.reg(rs) ^ imm as u32),
-            Lui { rt, imm } => self.set_reg(rt, (imm as u32) << 16),
+            Lui { rt, imm } => self.op_lui(rt, imm),
 
             // ---- loads and stores ----------------------------------------
             Lb { rt, base, offset } => {
@@ -181,10 +349,7 @@ impl Machine {
                 let v = self.load16(self.ea(base, offset))? as i16;
                 self.set_reg(rt, v as i32 as u32);
             }
-            Lw { rt, base, offset } => {
-                let v = self.load32(self.ea(base, offset))?;
-                self.set_reg(rt, v);
-            }
+            Lw { rt, base, offset } => self.op_lw(rt, base, offset)?,
             Lbu { rt, base, offset } => {
                 let v = self.load8(self.ea(base, offset))?;
                 self.set_reg(rt, v as u32);
@@ -195,52 +360,19 @@ impl Machine {
             }
             Sb { rt, base, offset } => self.store8(self.ea(base, offset), self.reg(rt) as u8)?,
             Sh { rt, base, offset } => self.store16(self.ea(base, offset), self.reg(rt) as u16)?,
-            Sw { rt, base, offset } => self.store32(self.ea(base, offset), self.reg(rt))?,
+            Sw { rt, base, offset } => self.op_sw(rt, base, offset)?,
 
             // ---- branches ------------------------------------------------
-            Bltz { rs, offset } => {
-                if (self.reg(rs) as i32) < 0 {
-                    return Ok(rel(offset));
-                }
-            }
-            Bgez { rs, offset } => {
-                if (self.reg(rs) as i32) >= 0 {
-                    return Ok(rel(offset));
-                }
-            }
-            Beq { rs, rt, offset } => {
-                if self.reg(rs) == self.reg(rt) {
-                    return Ok(rel(offset));
-                }
-            }
-            Bne { rs, rt, offset } => {
-                if self.reg(rs) != self.reg(rt) {
-                    return Ok(rel(offset));
-                }
-            }
-            Blez { rs, offset } => {
-                if (self.reg(rs) as i32) <= 0 {
-                    return Ok(rel(offset));
-                }
-            }
-            Bgtz { rs, offset } => {
-                if (self.reg(rs) as i32) > 0 {
-                    return Ok(rel(offset));
-                }
-            }
+            Bltz { rs, offset } => return Ok(self.op_bltz(rs, offset, cur_pc, g)),
+            Bgez { rs, offset } => return Ok(self.op_bgez(rs, offset, cur_pc, g)),
+            Beq { rs, rt, offset } => return Ok(self.op_beq(rs, rt, offset, cur_pc, g)),
+            Bne { rs, rt, offset } => return Ok(self.op_bne(rs, rt, offset, cur_pc, g)),
+            Blez { rs, offset } => return Ok(self.op_blez(rs, offset, cur_pc, g)),
+            Bgtz { rs, offset } => return Ok(self.op_bgtz(rs, offset, cur_pc, g)),
             J { offset } => return Ok(rel(offset)),
-            Jal { offset } => {
-                self.gpr[31] = next_pc as u32;
-                return Ok(rel(offset));
-            }
+            Jal { offset } => return Ok(self.op_jal(offset, cur_pc, next_pc, g)),
             Jr { rs } => return Ok(Outcome::Branch(self.reg(rs) as u64)),
-            Jalr { rd, rs } => {
-                // Read the target before writing rd: `jalr $t0,$t0` must
-                // branch to the old value.
-                let target = self.reg(rs);
-                self.set_reg(rd, next_pc as u32);
-                return Ok(Outcome::Branch(target as u64));
-            }
+            Jalr { rd, rs } => return Ok(self.op_jalr(rd, rs, next_pc)),
 
             // ---- system --------------------------------------------------
             Syscall => return Ok(Outcome::Halt),
@@ -286,6 +418,63 @@ impl codense_isa::Core for Machine {
 
     fn flags(&self) -> u64 {
         0
+    }
+}
+
+impl codense_isa::PredecodeCore for Machine {
+    type Insn = MInsn;
+
+    fn predecode(word: u32) -> MInsn {
+        crate::decode(word)
+    }
+
+    #[inline(always)]
+    fn step_insn(
+        &mut self,
+        insn: &MInsn,
+        cur_pc: u64,
+        next_pc: u64,
+        granule: u32,
+    ) -> Result<Outcome, MachineError> {
+        use MInsn::*;
+        // Hot dispatch: the forms dominating compiled code run through the
+        // shared `op_*` bodies inlined into the caller's loop; everything
+        // else falls back to the full interpreter.
+        match *insn {
+            Addiu { rt, rs, imm } => self.op_addiu(rt, rs, imm),
+            Slti { rt, rs, imm } => self.op_slti(rt, rs, imm),
+            Sltiu { rt, rs, imm } => self.op_sltiu(rt, rs, imm),
+            Andi { rt, rs, imm } => self.op_andi(rt, rs, imm),
+            Ori { rt, rs, imm } => self.op_ori(rt, rs, imm),
+            Lui { rt, imm } => self.op_lui(rt, imm),
+            Lw { rt, base, offset } => self.op_lw(rt, base, offset)?,
+            Sw { rt, base, offset } => self.op_sw(rt, base, offset)?,
+            Sll { rd, rt, sa } => self.op_sll(rd, rt, sa),
+            Srl { rd, rt, sa } => self.op_srl(rd, rt, sa),
+            Addu { rd, rs, rt } => self.op_addu(rd, rs, rt),
+            Subu { rd, rs, rt } => self.op_subu(rd, rs, rt),
+            And { rd, rs, rt } => self.op_and(rd, rs, rt),
+            Or { rd, rs, rt } => self.op_or(rd, rs, rt),
+            Xor { rd, rs, rt } => self.op_xor(rd, rs, rt),
+            Slt { rd, rs, rt } => self.op_slt(rd, rs, rt),
+            Sltu { rd, rs, rt } => self.op_sltu(rd, rs, rt),
+            Beq { rs, rt, offset } => {
+                return Ok(self.op_beq(rs, rt, offset, cur_pc, granule as i64))
+            }
+            Bne { rs, rt, offset } => {
+                return Ok(self.op_bne(rs, rt, offset, cur_pc, granule as i64))
+            }
+            Bltz { rs, offset } => return Ok(self.op_bltz(rs, offset, cur_pc, granule as i64)),
+            Bgez { rs, offset } => return Ok(self.op_bgez(rs, offset, cur_pc, granule as i64)),
+            Blez { rs, offset } => return Ok(self.op_blez(rs, offset, cur_pc, granule as i64)),
+            Bgtz { rs, offset } => return Ok(self.op_bgtz(rs, offset, cur_pc, granule as i64)),
+            J { offset } => return Ok(Self::rel(offset, cur_pc, granule as i64)),
+            Jal { offset } => return Ok(self.op_jal(offset, cur_pc, next_pc, granule as i64)),
+            Jr { rs } => return Ok(Outcome::Branch(self.reg(rs) as u64)),
+            Jalr { rd, rs } => return Ok(self.op_jalr(rd, rs, next_pc)),
+            _ => return self.step(insn, cur_pc, next_pc, granule),
+        }
+        Ok(Outcome::Next)
     }
 }
 

@@ -41,12 +41,16 @@ impl Machine {
         m
     }
 
+    #[inline(always)]
     fn reg(&self, r: Gpr) -> u32 {
-        self.gpr[r.number() as usize]
+        // The mask restates `Gpr`'s `< 32` invariant where the optimizer
+        // can see it, so hot register accesses carry no bounds check.
+        self.gpr[(r.number() & 31) as usize]
     }
 
+    #[inline(always)]
     fn set_reg(&mut self, r: Gpr, v: u32) {
-        self.gpr[r.number() as usize] = v;
+        self.gpr[(r.number() & 31) as usize] = v;
     }
 
     /// Reads a CR bit (0 = CR0's LT … 31 = CR7's SO).
@@ -84,6 +88,7 @@ impl Machine {
 
     // ---- memory -----------------------------------------------------------
 
+    #[inline(always)]
     fn check(&self, addr: u32, len: u32) -> Result<usize, MachineError> {
         let end = addr as u64 + len as u64;
         if end <= self.mem.len() as u64 {
@@ -94,9 +99,14 @@ impl Machine {
     }
 
     /// Reads a big-endian 32-bit word.
+    #[inline]
     pub fn load32(&self, addr: u32) -> Result<u32, MachineError> {
         let i = self.check(addr, 4)?;
-        Ok(u32::from_be_bytes([self.mem[i], self.mem[i + 1], self.mem[i + 2], self.mem[i + 3]]))
+        // Slice-then-convert compiles to one 4-byte load + byte swap; the
+        // element-wise form is four separate byte loads.
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.mem[i..i + 4]);
+        Ok(u32::from_be_bytes(b))
     }
 
     /// Reads a big-endian 16-bit halfword.
@@ -112,6 +122,7 @@ impl Machine {
     }
 
     /// Writes a big-endian 32-bit word.
+    #[inline]
     pub fn store32(&mut self, addr: u32, v: u32) -> Result<(), MachineError> {
         let i = self.check(addr, 4)?;
         self.mem[i..i + 4].copy_from_slice(&v.to_be_bytes());
@@ -155,6 +166,165 @@ impl Machine {
         ctr_ok && cond_ok
     }
 
+    // ---- shared op bodies ----------------------------------------------
+    // The forms that dominate compiled code (§ D/X-form ALU, word
+    // loads/stores, conditional branches) live in `#[inline(always)]`
+    // helpers so the full interpreter ([`step`]) and the predecoded hot
+    // dispatch ([`codense_isa::PredecodeCore::step_insn`]) execute the
+    // same body — one inlined into the VM's threaded loop, one behind the
+    // interpreter's match.
+
+    #[inline(always)]
+    fn op_addi(&mut self, rt: Gpr, ra: Gpr, si: i16) {
+        let base = if ra.number() == 0 { 0 } else { self.reg(ra) };
+        self.set_reg(rt, base.wrapping_add(si as i32 as u32));
+    }
+
+    #[inline(always)]
+    fn op_addis(&mut self, rt: Gpr, ra: Gpr, si: i16) {
+        let base = if ra.number() == 0 { 0 } else { self.reg(ra) };
+        self.set_reg(rt, base.wrapping_add((si as i32 as u32) << 16));
+    }
+
+    #[inline(always)]
+    fn op_cmpwi(&mut self, bf: CrField, ra: Gpr, si: i16) {
+        let a = self.reg(ra) as i32;
+        let b = si as i32;
+        self.set_cr_field(bf, a < b, a > b, a == b);
+    }
+
+    #[inline(always)]
+    fn op_cmplwi(&mut self, bf: CrField, ra: Gpr, ui: u16) {
+        let a = self.reg(ra);
+        let b = ui as u32;
+        self.set_cr_field(bf, a < b, a > b, a == b);
+    }
+
+    #[inline(always)]
+    fn op_cmpw(&mut self, bf: CrField, ra: Gpr, rb: Gpr) {
+        let a = self.reg(ra) as i32;
+        let b = self.reg(rb) as i32;
+        self.set_cr_field(bf, a < b, a > b, a == b);
+    }
+
+    #[inline(always)]
+    fn op_cmplw(&mut self, bf: CrField, ra: Gpr, rb: Gpr) {
+        let a = self.reg(ra);
+        let b = self.reg(rb);
+        self.set_cr_field(bf, a < b, a > b, a == b);
+    }
+
+    #[inline(always)]
+    fn op_lwz(&mut self, rt: Gpr, ra: Gpr, d: i16) -> Result<(), MachineError> {
+        let v = self.load32(self.ea(ra, d))?;
+        self.set_reg(rt, v);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn op_stw(&mut self, rs: Gpr, ra: Gpr, d: i16) -> Result<(), MachineError> {
+        self.store32(self.ea(ra, d), self.reg(rs))
+    }
+
+    #[inline(always)]
+    fn op_stwu(&mut self, rs: Gpr, ra: Gpr, d: i16) -> Result<(), MachineError> {
+        let ea = self.ea(ra, d);
+        self.store32(ea, self.reg(rs))?;
+        self.set_reg(ra, ea);
+        Ok(())
+    }
+
+    #[inline(always)]
+    fn op_add(&mut self, rt: Gpr, ra: Gpr, rb: Gpr, rc: bool) {
+        let v = self.reg(ra).wrapping_add(self.reg(rb));
+        let v = self.record_if(rc, v);
+        self.set_reg(rt, v);
+    }
+
+    #[inline(always)]
+    fn op_subf(&mut self, rt: Gpr, ra: Gpr, rb: Gpr, rc: bool) {
+        let v = self.reg(rb).wrapping_sub(self.reg(ra));
+        let v = self.record_if(rc, v);
+        self.set_reg(rt, v);
+    }
+
+    #[inline(always)]
+    fn op_and(&mut self, ra: Gpr, rs: Gpr, rb: Gpr, rc: bool) {
+        let v = self.reg(rs) & self.reg(rb);
+        let v = self.record_if(rc, v);
+        self.set_reg(ra, v);
+    }
+
+    #[inline(always)]
+    fn op_or(&mut self, ra: Gpr, rs: Gpr, rb: Gpr, rc: bool) {
+        let v = self.reg(rs) | self.reg(rb);
+        let v = self.record_if(rc, v);
+        self.set_reg(ra, v);
+    }
+
+    #[inline(always)]
+    fn op_xor(&mut self, ra: Gpr, rs: Gpr, rb: Gpr, rc: bool) {
+        let v = self.reg(rs) ^ self.reg(rb);
+        let v = self.record_if(rc, v);
+        self.set_reg(ra, v);
+    }
+
+    #[inline(always)]
+    fn op_rlwinm(&mut self, ra: Gpr, rs: Gpr, sh: u8, mb: u8, me: u8, rc: bool) {
+        let rotated = self.reg(rs).rotate_left(sh as u32);
+        let v = rotated & mask32(mb, me);
+        let v = self.record_if(rc, v);
+        self.set_reg(ra, v);
+    }
+
+    #[inline(always)]
+    fn op_b(&mut self, li: i32, aa: bool, lk: bool, cur_pc: u64, next_pc: u64, g: i64) -> Outcome {
+        if lk {
+            self.lr = next_pc as u32;
+        }
+        let units = (li / 4) as i64;
+        let target = if aa { units * g } else { cur_pc as i64 + units * g };
+        Outcome::Branch(target as u64)
+    }
+
+    #[inline(always)]
+    #[allow(clippy::too_many_arguments)]
+    fn op_bc(
+        &mut self,
+        bo: u8,
+        bi: u8,
+        bd: i16,
+        aa: bool,
+        lk: bool,
+        cur_pc: u64,
+        next_pc: u64,
+        g: i64,
+    ) -> Outcome {
+        if lk {
+            self.lr = next_pc as u32;
+        }
+        if self.branch_taken(bo, bi) {
+            let units = (bd / 4) as i64;
+            let target = if aa { units * g } else { cur_pc as i64 + units * g };
+            Outcome::Branch(target as u64)
+        } else {
+            Outcome::Next
+        }
+    }
+
+    #[inline(always)]
+    fn op_bclr(&mut self, bo: u8, bi: u8, lk: bool, next_pc: u64) -> Outcome {
+        let target = self.lr;
+        if lk {
+            self.lr = next_pc as u32;
+        }
+        if self.branch_taken(bo, bi) {
+            Outcome::Branch(target as u64)
+        } else {
+            Outcome::Next
+        }
+    }
+
     /// Executes one instruction.
     ///
     /// `cur_pc`/`next_pc` are the instruction's own and successor addresses
@@ -178,14 +348,8 @@ impl Machine {
         let g = granule as i64;
         match *insn {
             // ---- D-form arithmetic ---------------------------------------
-            Addi { rt, ra, si } => {
-                let base = if ra.number() == 0 { 0 } else { self.reg(ra) };
-                self.set_reg(rt, base.wrapping_add(si as i32 as u32));
-            }
-            Addis { rt, ra, si } => {
-                let base = if ra.number() == 0 { 0 } else { self.reg(ra) };
-                self.set_reg(rt, base.wrapping_add((si as i32 as u32) << 16));
-            }
+            Addi { rt, ra, si } => self.op_addi(rt, ra, si),
+            Addis { rt, ra, si } => self.op_addis(rt, ra, si),
             Addic { rt, ra, si } | AddicRc { rt, ra, si } => {
                 let (v, c) = self.reg(ra).overflowing_add(si as i32 as u32);
                 self.ca = c;
@@ -220,32 +384,13 @@ impl Machine {
             }
 
             // ---- compares ------------------------------------------------
-            Cmpwi { bf, ra, si } => {
-                let a = self.reg(ra) as i32;
-                let b = si as i32;
-                self.set_cr_field(bf, a < b, a > b, a == b);
-            }
-            Cmplwi { bf, ra, ui } => {
-                let a = self.reg(ra);
-                let b = ui as u32;
-                self.set_cr_field(bf, a < b, a > b, a == b);
-            }
-            Cmpw { bf, ra, rb } => {
-                let a = self.reg(ra) as i32;
-                let b = self.reg(rb) as i32;
-                self.set_cr_field(bf, a < b, a > b, a == b);
-            }
-            Cmplw { bf, ra, rb } => {
-                let a = self.reg(ra);
-                let b = self.reg(rb);
-                self.set_cr_field(bf, a < b, a > b, a == b);
-            }
+            Cmpwi { bf, ra, si } => self.op_cmpwi(bf, ra, si),
+            Cmplwi { bf, ra, ui } => self.op_cmplwi(bf, ra, ui),
+            Cmpw { bf, ra, rb } => self.op_cmpw(bf, ra, rb),
+            Cmplw { bf, ra, rb } => self.op_cmplw(bf, ra, rb),
 
             // ---- loads and stores ----------------------------------------
-            Lwz { rt, ra, d } => {
-                let v = self.load32(self.ea(ra, d))?;
-                self.set_reg(rt, v);
-            }
+            Lwz { rt, ra, d } => self.op_lwz(rt, ra, d)?,
             Lwzu { rt, ra, d } => {
                 let ea = self.ea(ra, d);
                 let v = self.load32(ea)?;
@@ -282,12 +427,8 @@ impl Machine {
                 self.set_reg(rt, v as i32 as u32);
                 self.set_reg(ra, ea);
             }
-            Stw { rs, ra, d } => self.store32(self.ea(ra, d), self.reg(rs))?,
-            Stwu { rs, ra, d } => {
-                let ea = self.ea(ra, d);
-                self.store32(ea, self.reg(rs))?;
-                self.set_reg(ra, ea);
-            }
+            Stw { rs, ra, d } => self.op_stw(rs, ra, d)?,
+            Stwu { rs, ra, d } => self.op_stwu(rs, ra, d)?,
             Stb { rs, ra, d } => self.store8(self.ea(ra, d), self.reg(rs) as u8)?,
             Stbu { rs, ra, d } => {
                 let ea = self.ea(ra, d);
@@ -332,16 +473,8 @@ impl Machine {
             Sthx { rs, ra, rb } => self.store16(self.ea_x(ra, rb), self.reg(rs) as u16)?,
 
             // ---- XO-form arithmetic --------------------------------------
-            Add { rt, ra, rb, rc } => {
-                let v = self.reg(ra).wrapping_add(self.reg(rb));
-                let v = self.record_if(rc, v);
-                self.set_reg(rt, v);
-            }
-            Subf { rt, ra, rb, rc } => {
-                let v = self.reg(rb).wrapping_sub(self.reg(ra));
-                let v = self.record_if(rc, v);
-                self.set_reg(rt, v);
-            }
+            Add { rt, ra, rb, rc } => self.op_add(rt, ra, rb, rc),
+            Subf { rt, ra, rb, rc } => self.op_subf(rt, ra, rb, rc),
             Mullw { rt, ra, rb, rc } => {
                 let v = self.reg(ra).wrapping_mul(self.reg(rb));
                 let v = self.record_if(rc, v);
@@ -373,21 +506,9 @@ impl Machine {
             }
 
             // ---- X-form logical ------------------------------------------
-            And { ra, rs, rb, rc } => {
-                let v = self.reg(rs) & self.reg(rb);
-                let v = self.record_if(rc, v);
-                self.set_reg(ra, v);
-            }
-            Or { ra, rs, rb, rc } => {
-                let v = self.reg(rs) | self.reg(rb);
-                let v = self.record_if(rc, v);
-                self.set_reg(ra, v);
-            }
-            Xor { ra, rs, rb, rc } => {
-                let v = self.reg(rs) ^ self.reg(rb);
-                let v = self.record_if(rc, v);
-                self.set_reg(ra, v);
-            }
+            And { ra, rs, rb, rc } => self.op_and(ra, rs, rb, rc),
+            Or { ra, rs, rb, rc } => self.op_or(ra, rs, rb, rc),
+            Xor { ra, rs, rb, rc } => self.op_xor(ra, rs, rb, rc),
             Nand { ra, rs, rb, rc } => {
                 let v = !(self.reg(rs) & self.reg(rb));
                 let v = self.record_if(rc, v);
@@ -452,12 +573,7 @@ impl Machine {
             }
 
             // ---- rotates -------------------------------------------------
-            Rlwinm { ra, rs, sh, mb, me, rc } => {
-                let rotated = self.reg(rs).rotate_left(sh as u32);
-                let v = rotated & mask32(mb, me);
-                let v = self.record_if(rc, v);
-                self.set_reg(ra, v);
-            }
+            Rlwinm { ra, rs, sh, mb, me, rc } => self.op_rlwinm(ra, rs, sh, mb, me, rc),
             Rlwimi { ra, rs, sh, mb, me, rc } => {
                 let m = mask32(mb, me);
                 let rotated = self.reg(rs).rotate_left(sh as u32);
@@ -467,33 +583,11 @@ impl Machine {
             }
 
             // ---- branches ------------------------------------------------
-            B { li, aa, lk } => {
-                if lk {
-                    self.lr = next_pc as u32;
-                }
-                let units = (li / 4) as i64;
-                let target = if aa { units * g } else { cur_pc as i64 + units * g };
-                return Ok(Outcome::Branch(target as u64));
-            }
+            B { li, aa, lk } => return Ok(self.op_b(li, aa, lk, cur_pc, next_pc, g)),
             Bc { bo, bi, bd, aa, lk } => {
-                if lk {
-                    self.lr = next_pc as u32;
-                }
-                if self.branch_taken(bo, bi) {
-                    let units = (bd / 4) as i64;
-                    let target = if aa { units * g } else { cur_pc as i64 + units * g };
-                    return Ok(Outcome::Branch(target as u64));
-                }
+                return Ok(self.op_bc(bo, bi, bd, aa, lk, cur_pc, next_pc, g))
             }
-            Bclr { bo, bi, lk } => {
-                let target = self.lr;
-                if lk {
-                    self.lr = next_pc as u32;
-                }
-                if self.branch_taken(bo, bi) {
-                    return Ok(Outcome::Branch(target as u64));
-                }
-            }
+            Bclr { bo, bi, lk } => return Ok(self.op_bclr(bo, bi, lk, next_pc)),
             Bcctr { bo, bi, lk } => {
                 if lk {
                     self.lr = next_pc as u32;
@@ -591,6 +685,52 @@ impl codense_isa::Core for Machine {
 
     fn flags(&self) -> u64 {
         self.cr as u64 | (u64::from(self.ca) << 32)
+    }
+}
+
+impl codense_isa::PredecodeCore for Machine {
+    type Insn = Insn;
+
+    fn predecode(word: u32) -> Insn {
+        crate::decode(word)
+    }
+
+    #[inline(always)]
+    fn step_insn(
+        &mut self,
+        insn: &Insn,
+        cur_pc: u64,
+        next_pc: u64,
+        granule: u32,
+    ) -> Result<Outcome, MachineError> {
+        use Insn::*;
+        // Hot dispatch: the forms dominating compiled code run through the
+        // shared `op_*` bodies inlined into the caller's loop; everything
+        // else falls back to the full interpreter.
+        match *insn {
+            Addi { rt, ra, si } => self.op_addi(rt, ra, si),
+            Addis { rt, ra, si } => self.op_addis(rt, ra, si),
+            Cmpwi { bf, ra, si } => self.op_cmpwi(bf, ra, si),
+            Cmplwi { bf, ra, ui } => self.op_cmplwi(bf, ra, ui),
+            Cmpw { bf, ra, rb } => self.op_cmpw(bf, ra, rb),
+            Cmplw { bf, ra, rb } => self.op_cmplw(bf, ra, rb),
+            Lwz { rt, ra, d } => self.op_lwz(rt, ra, d)?,
+            Stw { rs, ra, d } => self.op_stw(rs, ra, d)?,
+            Stwu { rs, ra, d } => self.op_stwu(rs, ra, d)?,
+            Add { rt, ra, rb, rc } => self.op_add(rt, ra, rb, rc),
+            Subf { rt, ra, rb, rc } => self.op_subf(rt, ra, rb, rc),
+            And { ra, rs, rb, rc } => self.op_and(ra, rs, rb, rc),
+            Or { ra, rs, rb, rc } => self.op_or(ra, rs, rb, rc),
+            Xor { ra, rs, rb, rc } => self.op_xor(ra, rs, rb, rc),
+            Rlwinm { ra, rs, sh, mb, me, rc } => self.op_rlwinm(ra, rs, sh, mb, me, rc),
+            B { li, aa, lk } => return Ok(self.op_b(li, aa, lk, cur_pc, next_pc, granule as i64)),
+            Bc { bo, bi, bd, aa, lk } => {
+                return Ok(self.op_bc(bo, bi, bd, aa, lk, cur_pc, next_pc, granule as i64))
+            }
+            Bclr { bo, bi, lk } => return Ok(self.op_bclr(bo, bi, lk, next_pc)),
+            _ => return self.step(insn, cur_pc, next_pc, granule),
+        }
+        Ok(Outcome::Next)
     }
 }
 

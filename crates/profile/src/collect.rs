@@ -3,9 +3,10 @@
 use codense_core::{telemetry, CompressError, CompressionConfig, Compressor, EncodingKind};
 use codense_obj::BasicBlocks;
 use codense_vm::kernels::Kernel;
-use codense_vm::{run, run_traced, CompressedFetcher, LinearFetcher, Machine, MachineError};
+use codense_vm::{run, run_traced, CompressedFetcher, LinearFetcher, MachineError};
 
 use crate::artifact::{BlockStat, FetchEvents, Profile};
+use crate::subject::Subject;
 
 /// Data-memory size for profiling runs (matches the kernel test harness).
 pub const MEM_BYTES: usize = 1 << 20;
@@ -76,31 +77,44 @@ pub fn collect(
     encoding: EncodingKind,
     max_steps: u64,
 ) -> Result<Profile, ProfileError> {
+    collect_subject(&Subject::from_kernel(kernel), encoding, max_steps)
+}
+
+/// [`collect`] generalized to any [`Subject`], including jump-table-bearing
+/// corpus programs whose table seeds differ per fetch domain.
+///
+/// # Errors
+///
+/// [`ProfileError`] if either run faults, exceeds `max_steps`, or exits
+/// with the wrong code, or if the reference compression fails.
+pub fn collect_subject(
+    subject: &Subject,
+    encoding: EncodingKind,
+    max_steps: u64,
+) -> Result<Profile, ProfileError> {
     telemetry::PROFILE_RUNS.inc();
     let _phase = telemetry::phase("profile");
 
     // Native reference run with per-instruction counting.
-    let mut counts = vec![0u64; kernel.module.len()];
-    let mut machine = Machine::new(MEM_BYTES);
-    kernel.apply_init(&mut machine);
-    let mut fetch = LinearFetcher::new(kernel.module.code.clone());
+    let mut counts = vec![0u64; subject.module.len()];
+    let mut machine = subject.machine_native();
+    let mut fetch = LinearFetcher::new(subject.module.code.clone());
     let native = run_traced(&mut machine, &mut fetch, 0, max_steps, |pc, _| {
         counts[(pc / 8) as usize] += 1;
     })?;
-    if native.exit_code != kernel.expected {
-        return Err(ProfileError::WrongExit { got: native.exit_code, want: kernel.expected });
+    if native.exit_code != subject.expected {
+        return Err(ProfileError::WrongExit { got: native.exit_code, want: subject.expected });
     }
 
     // Reference compressed run: where the fetch-path events come from.
     let config =
         CompressionConfig { max_entry_len: 4, max_codewords: encoding.capacity(), encoding };
-    let compressed = Compressor::new(config).compress(&kernel.module)?;
-    let mut cmachine = Machine::new(MEM_BYTES);
-    kernel.apply_init(&mut cmachine);
+    let compressed = Compressor::new(config).compress(&subject.module)?;
+    let mut cmachine = subject.machine_compressed(&compressed);
     let mut cfetch = CompressedFetcher::new(&compressed);
     let creference = run(&mut cmachine, &mut cfetch, 0, max_steps)?;
-    if creference.exit_code != kernel.expected {
-        return Err(ProfileError::WrongExit { got: creference.exit_code, want: kernel.expected });
+    if creference.exit_code != subject.expected {
+        return Err(ProfileError::WrongExit { got: creference.exit_code, want: subject.expected });
     }
     let cstats = creference.stats;
     let fetch_events = FetchEvents {
@@ -114,7 +128,7 @@ pub fn collect(
         realigns: cstats.realigns,
     };
 
-    let blocks: Vec<BlockStat> = BasicBlocks::compute(&kernel.module)
+    let blocks: Vec<BlockStat> = BasicBlocks::compute(&subject.module)
         .blocks()
         .iter()
         .map(|&(start, end)| BlockStat {
@@ -128,8 +142,8 @@ pub fn collect(
     telemetry::PROFILE_INSNS_COUNTED.add(native.steps);
 
     Ok(Profile {
-        bench: kernel.name.to_string(),
-        insns: kernel.module.len(),
+        bench: subject.name.clone(),
+        insns: subject.module.len(),
         steps: native.steps,
         exit: native.exit_code,
         counts,

@@ -18,9 +18,10 @@
 use codense_cache::{Cache, CacheConfig, TracingFetch};
 use codense_core::CompressedProgram;
 use codense_vm::kernels::Kernel;
-use codense_vm::{run, CompressedFetcher, LinearFetcher, Machine};
+use codense_vm::{run, CompressedFetcher, LinearFetcher};
 
-use crate::collect::{ProfileError, MEM_BYTES};
+use crate::collect::ProfileError;
+use crate::subject::Subject;
 
 /// Per-event cycle costs and the modeled I-cache geometry.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -120,12 +121,25 @@ pub fn score_native(
     params: &CostParams,
     max_steps: u64,
 ) -> Result<Score, ProfileError> {
-    let mut machine = Machine::new(MEM_BYTES);
-    kernel.apply_init(&mut machine);
-    let mut fetch = TracingFetch::new(LinearFetcher::new(kernel.module.code.clone()));
+    score_native_subject(&Subject::from_kernel(kernel), params, max_steps)
+}
+
+/// [`score_native`] generalized to any [`Subject`].
+///
+/// # Errors
+///
+/// [`ProfileError`] if the run faults, exceeds `max_steps`, or exits with
+/// the wrong code.
+pub fn score_native_subject(
+    subject: &Subject,
+    params: &CostParams,
+    max_steps: u64,
+) -> Result<Score, ProfileError> {
+    let mut machine = subject.machine_native();
+    let mut fetch = TracingFetch::new(LinearFetcher::new(subject.module.code.clone()));
     let result = run(&mut machine, &mut fetch, 0, max_steps)?;
-    if result.exit_code != kernel.expected {
-        return Err(ProfileError::WrongExit { got: result.exit_code, want: kernel.expected });
+    if result.exit_code != subject.expected {
+        return Err(ProfileError::WrongExit { got: result.exit_code, want: subject.expected });
     }
     let mut cache = Cache::new(params.cache);
     fetch.replay(&mut cache);
@@ -146,12 +160,28 @@ pub fn score_compressed(
     params: &CostParams,
     max_steps: u64,
 ) -> Result<Score, ProfileError> {
-    let mut machine = Machine::new(MEM_BYTES);
-    kernel.apply_init(&mut machine);
+    score_compressed_subject(&Subject::from_kernel(kernel), program, params, max_steps)
+}
+
+/// [`score_compressed`] generalized to any [`Subject`]: the machine is
+/// seeded with the *image's* jump-table values, so corpus dispatch loops
+/// branch to valid compressed-domain addresses.
+///
+/// # Errors
+///
+/// [`ProfileError`] if the run faults, exceeds `max_steps`, or exits with
+/// the wrong code.
+pub fn score_compressed_subject(
+    subject: &Subject,
+    program: &CompressedProgram,
+    params: &CostParams,
+    max_steps: u64,
+) -> Result<Score, ProfileError> {
+    let mut machine = subject.machine_compressed(program);
     let mut fetch = TracingFetch::new(CompressedFetcher::new(program));
     let result = run(&mut machine, &mut fetch, 0, max_steps)?;
-    if result.exit_code != kernel.expected {
-        return Err(ProfileError::WrongExit { got: result.exit_code, want: kernel.expected });
+    if result.exit_code != subject.expected {
+        return Err(ProfileError::WrongExit { got: result.exit_code, want: subject.expected });
     }
     let mut cache = Cache::new(params.cache);
     fetch.replay(&mut cache);

@@ -33,10 +33,18 @@ pub mod bench;
 pub mod collect;
 pub mod cost;
 pub mod hotness;
+pub mod subject;
 pub mod sweep;
 
 pub use artifact::{render_profiles_json, BlockStat, FetchEvents, Profile};
-pub use collect::{collect, ProfileError, MEM_BYTES};
-pub use cost::{score_compressed, score_native, CostParams, Score};
+pub use collect::{collect, collect_subject, ProfileError, MEM_BYTES};
+pub use cost::{
+    score_compressed, score_compressed_subject, score_native, score_native_subject, CostParams,
+    Score,
+};
 pub use hotness::{hot_mask, HotMask, HotnessPolicy};
-pub use sweep::{hybrid_sweep, render_bench_json, HybridBenchResult, HybridOptions, HybridPoint};
+pub use subject::Subject;
+pub use sweep::{
+    hybrid_sweep, hybrid_sweep_subjects, render_bench_json, HybridBenchResult, HybridOptions,
+    HybridPoint,
+};

@@ -14,13 +14,13 @@
 use codense_core::parallel::par_map;
 use codense_core::verify::verify;
 use codense_core::{telemetry, CompressionConfig, Compressor, EncodingKind};
-use codense_vm::kernels::Kernel;
 
 use crate::artifact::Profile;
 use crate::bench;
-use crate::collect::{collect, ProfileError};
-use crate::cost::{score_compressed, score_native, CostParams, Score};
+use crate::collect::{collect_subject, ProfileError};
+use crate::cost::{score_compressed_subject, score_native_subject, CostParams, Score};
 use crate::hotness::{hot_mask, HotnessPolicy};
+use crate::subject::Subject;
 
 /// Sweep configuration.
 #[derive(Debug, Clone)]
@@ -95,17 +95,17 @@ fn config_for(encoding: EncodingKind) -> CompressionConfig {
     CompressionConfig { max_entry_len: 4, max_codewords: encoding.capacity(), encoding }
 }
 
-fn bench_ref(kernel: &Kernel, options: &HybridOptions) -> Result<BenchRef, ProfileError> {
-    let profile = collect(kernel, options.encoding, options.max_steps)?;
-    let native = score_native(kernel, &options.cost, options.max_steps)?;
-    let full = Compressor::new(config_for(options.encoding)).compress(&kernel.module)?;
+fn bench_ref(subject: &Subject, options: &HybridOptions) -> Result<BenchRef, ProfileError> {
+    let profile = collect_subject(subject, options.encoding, options.max_steps)?;
+    let native = score_native_subject(subject, &options.cost, options.max_steps)?;
+    let full = Compressor::new(config_for(options.encoding)).compress(&subject.module)?;
     let full_ratio = full.compression_ratio();
-    let full_score = score_compressed(kernel, &full, &options.cost, options.max_steps)?;
+    let full_score = score_compressed_subject(subject, &full, &options.cost, options.max_steps)?;
     Ok(BenchRef { profile, native, full: full_score, full_ratio })
 }
 
 fn sweep_point(
-    kernel: &Kernel,
+    subject: &Subject,
     r: &BenchRef,
     coverage: f64,
     options: &HybridOptions,
@@ -113,9 +113,9 @@ fn sweep_point(
     telemetry::HYBRID_SWEEP_POINTS.inc();
     let mask = hot_mask(&r.profile, HotnessPolicy::TopCoverage(coverage));
     let hybrid = Compressor::new(config_for(options.encoding))
-        .compress_masked(&kernel.module, &mask.exempt)?;
-    verify(&kernel.module, &hybrid)?;
-    let score = score_compressed(kernel, &hybrid, &options.cost, options.max_steps)?;
+        .compress_masked(&subject.module, &mask.exempt)?;
+    verify(&subject.module, &hybrid)?;
+    let score = score_compressed_subject(subject, &hybrid, &options.cost, options.max_steps)?;
     let ratio = hybrid.compression_ratio();
     let overhead = r.full.cycles.saturating_sub(r.native.cycles);
     let recovered_pct = if overhead == 0 {
@@ -144,29 +144,42 @@ fn sweep_point(
 /// The first [`ProfileError`] from any benchmark (profiling, compression,
 /// verification, or a scored run going wrong).
 pub fn hybrid_sweep(options: &HybridOptions) -> Result<Vec<HybridBenchResult>, ProfileError> {
+    let subjects: Vec<Subject> = bench::benches().iter().map(Subject::from_kernel).collect();
+    hybrid_sweep_subjects(&subjects, options)
+}
+
+/// [`hybrid_sweep`] over an explicit subject list (e.g. the padded suite
+/// plus a SPEC-scale corpus program), parallelized identically.
+///
+/// # Errors
+///
+/// The first [`ProfileError`] from any subject.
+pub fn hybrid_sweep_subjects(
+    subjects: &[Subject],
+    options: &HybridOptions,
+) -> Result<Vec<HybridBenchResult>, ProfileError> {
     let _phase = telemetry::phase("hybrid-sweep");
-    let kernels = bench::benches();
 
     // Per-bench reference data first (profile, native score, full score)…
-    let refs = par_map(kernels.iter().collect(), |_, k: &Kernel| bench_ref(k, options));
-    let mut bench_refs = Vec::with_capacity(kernels.len());
+    let refs = par_map(subjects.iter().collect(), |_, s: &Subject| bench_ref(s, options));
+    let mut bench_refs = Vec::with_capacity(subjects.len());
     for r in refs {
         bench_refs.push(r?);
     }
 
     // …then every (bench, coverage) point as one flat parallel batch.
     let jobs: Vec<(usize, f64)> =
-        (0..kernels.len()).flat_map(|b| options.coverages.iter().map(move |&c| (b, c))).collect();
+        (0..subjects.len()).flat_map(|b| options.coverages.iter().map(move |&c| (b, c))).collect();
     let points = par_map(jobs, |_, (b, coverage)| {
-        sweep_point(&kernels[b], &bench_refs[b], coverage, options).map(|p| (b, p))
+        sweep_point(&subjects[b], &bench_refs[b], coverage, options).map(|p| (b, p))
     });
 
-    let mut results: Vec<HybridBenchResult> = kernels
+    let mut results: Vec<HybridBenchResult> = subjects
         .iter()
         .zip(&bench_refs)
-        .map(|(k, r)| HybridBenchResult {
-            bench: k.name.to_string(),
-            insns: k.module.len(),
+        .map(|(s, r)| HybridBenchResult {
+            bench: s.name.clone(),
+            insns: s.module.len(),
             native_cycles: r.native.cycles,
             full_cycles: r.full.cycles,
             full_ratio: r.full_ratio,

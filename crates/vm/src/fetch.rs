@@ -1,17 +1,32 @@
-//! Instruction fetch engines: the two paths of the paper's Fig 3.
+//! Instruction fetch engines: the two paths of the paper's Fig 3, plus the
+//! predecoded fast path that makes SPEC-scale programs runnable.
 //!
 //! [`LinearFetcher`] is the ordinary processor front end: the PC advances 8
 //! nibbles (one word) per instruction. [`CompressedFetcher`] is the modified
 //! front end: it parses the packed compressed image nibble by nibble,
 //! detects escape prefixes, and expands codewords through the on-chip
 //! dictionary into an expansion buffer that feeds the core one instruction
-//! at a time.
+//! at a time. It re-parses the stream on every fetch — faithful to the
+//! hardware model and the reference against which everything else is
+//! checked, but too slow for multi-million-step corpus runs.
 //!
-//! Both engines deliver raw instruction *words* — decode belongs to the
+//! [`PredecodedFetcher`] is the fast path: a decoded-item cache keyed by
+//! compressed-stream (nibble) offset. The first fetch of an item parses it
+//! exactly as [`CompressedFetcher`] would and caches the outcome — the
+//! delivered words, the item kind, and the nibbles it consumes; every later
+//! fetch of that offset replays the cache with no parsing, no dictionary
+//! copy, and no allocation. Faults are never cached. The engine is
+//! byte-exact with [`CompressedFetcher`]: same delivered stream, same
+//! [`FetchStats`], same telemetry counters (`vm_fetch_*`), so the cycle
+//! model and `BENCH_hybrid.json` stay valid. [`crate::run::run_predecoded`]
+//! drives it with a threaded dispatch loop that also hoists instruction
+//! *decode* out of the step cycle (see [`codense_isa::PredecodeCore`]).
+//!
+//! Fetch engines deliver raw instruction *words* — decode belongs to the
 //! target core ([`codense_isa::Core::step_word`]), which keeps the fetch
 //! path ISA-independent.
 //!
-//! Both engines report [`FetchStats`], making the fetch-bandwidth effect of
+//! All engines report [`FetchStats`], making the fetch-bandwidth effect of
 //! compression measurable (the I-cache angle of [Chen97]).
 
 use codense_core::encoding::{read_item_coded, Item};
@@ -310,6 +325,415 @@ impl Fetch for CompressedFetcher {
                 Ok(self.deliver_buffered())
             }
             None => Err(MachineError::FetchFault { pc }),
+        }
+    }
+
+    fn granule(&self) -> u32 {
+        self.encoding.granule_nibbles()
+    }
+
+    fn stats(&self) -> FetchStats {
+        self.stats
+    }
+}
+
+// ---- predecoded fast path -------------------------------------------------
+
+/// Cache-entry tag: offset holds an escaped (uncompressed) instruction.
+pub(crate) const TAG_INSN: u64 = 1;
+/// Cache-entry tag: offset holds a codeword.
+const TAG_CODEWORD: u64 = 2;
+/// Cache-entry tag: the entry overflows the packed form; the payload is an
+/// index into the side table of wide entries.
+const TAG_SIDE: u64 = 3;
+
+/// Packs a decode-cache entry into one table word: tag in bits 30–31,
+/// consumed nibbles in bits 26–29, delivered-word count in bits 22–25,
+/// pool start index in bits 0–21. The all-zero word means "not cached" (a
+/// real entry always has a nonzero tag). The table is deliberately 32-bit:
+/// the hot loop streams roughly one entry per executed instruction, so
+/// halving the slot halves the table's cache traffic.
+///
+/// Returns `None` when a field overflows the packed form — a pool past
+/// 4Mi words, a dictionary entry longer than 15 instructions, or an item
+/// wider than 15 nibbles. Such entries go to the side table under
+/// [`TAG_SIDE`].
+fn pack_entry(tag: u64, consumed: u64, len: usize, start: usize) -> Option<u32> {
+    if consumed < 1 << 4 && len < 1 << 4 && start < 1 << 22 {
+        Some((tag as u32) << 30 | (consumed as u32) << 26 | (len as u32) << 22 | start as u32)
+    } else {
+        None
+    }
+}
+
+/// Packs a wide (side-table) entry: tag in bits 62–63, consumed nibbles in
+/// bits 48–61, delivered-word count in bits 32–47, pool start index in bits
+/// 0–31.
+fn pack_wide(tag: u64, consumed: u64, len: usize, start: usize) -> u64 {
+    debug_assert!(consumed < 1 << 14 && len < 1 << 16 && start < 1 << 32);
+    (tag << 62) | (consumed << 48) | ((len as u64) << 32) | start as u64
+}
+
+/// The `(tag, consumed_nibbles, delivered_len, pool_start)` of a table
+/// entry, chasing [`TAG_SIDE`] indirections through `side`.
+#[inline(always)]
+pub(crate) fn unpack_entry(e: u32, side: &[u64]) -> (u64, u64, usize, usize) {
+    let tag = (e >> 30) as u64;
+    if tag == TAG_SIDE {
+        let w = side[(e & 0x3fff_ffff) as usize];
+        (w >> 62, (w >> 48) & 0x3fff, ((w >> 32) & 0xffff) as usize, (w & 0xffff_ffff) as usize)
+    } else {
+        (tag, ((e >> 26) & 0xf) as u64, ((e >> 22) & 0xf) as usize, (e & 0x3f_ffff) as usize)
+    }
+}
+
+/// Counters a predecoded run loop accumulates locally and flushes in bulk —
+/// the batched form of the per-fetch bookkeeping. Final [`FetchStats`] and
+/// telemetry values are identical to per-fetch updates (the counters are
+/// plain sums), only the update granularity differs.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct RunCounters {
+    pub insns: u64,
+    pub nibbles: u64,
+    pub codewords: u64,
+    pub expanded: u64,
+    pub realigns: u64,
+}
+
+/// The predecoded fetch engine: [`CompressedFetcher`] semantics behind a
+/// decoded-item cache keyed by compressed-stream offset.
+///
+/// Every nibble offset of the image has a cache slot. A miss parses the
+/// item at that offset exactly as the re-parsing engine would (escape
+/// detection, dictionary expansion, Huffman decode) and caches the
+/// delivered words in a shared pool; a hit replays the pool with no
+/// parsing and no allocation. Offsets that do not parse (mid-item PCs,
+/// truncated streams) fault without being cached, so a bad branch target
+/// faults on every attempt, just like the re-parsing engine.
+///
+/// The cache can be bounded with [`with_capacity`](Self::with_capacity)
+/// (eviction is a wholesale flush, the hardware-realistic policy for a
+/// predecode buffer) and dropped explicitly with
+/// [`invalidate`](Self::invalidate) — e.g. after patching the image.
+/// Flushing mid-expansion abandons the expansion buffer; the next fetch of
+/// that codeword re-parses and redelivers it from its first instruction.
+///
+/// [`FetchStats`] and telemetry are byte-exact with the re-parsing engine
+/// under its default configuration (the dictionary-cache model of
+/// [`CompressedFetcher::with_dict_cache`] is not available here: a
+/// predecoded engine never re-touches the dictionary).
+#[derive(Debug, Clone)]
+pub struct PredecodedFetcher {
+    image: Vec<u8>,
+    encoding: codense_core::EncodingKind,
+    isa: IsaRef,
+    huffman: Option<HuffCode>,
+    by_rank: Vec<Vec<u32>>,
+    /// One slot per nibble offset of the image; packed with [`pack_entry`],
+    /// zero = empty.
+    entries: Vec<u32>,
+    /// Wide entries that overflow the packed table form ([`TAG_SIDE`]).
+    side: Vec<u64>,
+    /// Delivered instruction words of every cached item, contiguous per
+    /// item.
+    pool: Vec<u32>,
+    /// Cached items (not pool words); bounded by `capacity`.
+    filled: usize,
+    capacity: usize,
+    /// Bumped on every flush/invalidate so decoded-side mirrors (see
+    /// [`crate::run::run_predecoded`]) know their pool indices died.
+    generation: u64,
+    // Expansion-drain state for the `Fetch` impl, mirroring
+    // `CompressedFetcher` (start/len/pos index into `pool`).
+    drain_start: usize,
+    drain_len: usize,
+    drain_pos: usize,
+    buffer_pc: u64,
+    after_buffer: u64,
+    expect_pc: u64,
+    stats: FetchStats,
+}
+
+impl PredecodedFetcher {
+    /// Builds the engine from a compressed program. Parsing state matches
+    /// [`CompressedFetcher::new`]; the cache starts empty and unbounded.
+    pub fn new(program: &CompressedProgram) -> PredecodedFetcher {
+        let mut by_rank = vec![Vec::new(); program.dictionary.len()];
+        for rank in 0..program.dictionary.len() as u32 {
+            let entry = program.dictionary.entry_of_rank(rank);
+            by_rank[rank as usize] = program.dictionary.entry(entry).words.clone();
+        }
+        PredecodedFetcher::from_parts(
+            program.image.clone(),
+            program.encoding,
+            program.isa,
+            program.huffman.clone(),
+            by_rank,
+        )
+    }
+
+    /// Builds the engine from a deserialized container image for an
+    /// explicit target ISA (the predecoded counterpart of
+    /// [`CompressedFetcher::from_image_with`]).
+    pub fn from_image_with(
+        image: &codense_core::container::ProgramImage,
+        isa: IsaRef,
+    ) -> PredecodedFetcher {
+        PredecodedFetcher::from_parts(
+            image.image.clone(),
+            image.encoding,
+            isa,
+            HuffCode::from_nibble_lengths(image.huffman_lengths.clone()),
+            image.dictionary_by_rank.clone(),
+        )
+    }
+
+    fn from_parts(
+        image: Vec<u8>,
+        encoding: codense_core::EncodingKind,
+        isa: IsaRef,
+        huffman: Option<HuffCode>,
+        by_rank: Vec<Vec<u32>>,
+    ) -> PredecodedFetcher {
+        let nibbles = image.len() * 2;
+        PredecodedFetcher {
+            image,
+            encoding,
+            isa,
+            huffman,
+            by_rank,
+            entries: vec![0; nibbles],
+            side: Vec::new(),
+            pool: Vec::new(),
+            filled: 0,
+            capacity: usize::MAX,
+            generation: 0,
+            drain_start: 0,
+            drain_len: 0,
+            drain_pos: 0,
+            buffer_pc: u64::MAX,
+            after_buffer: 0,
+            expect_pc: u64::MAX,
+            stats: FetchStats::default(),
+        }
+    }
+
+    /// Bounds the cache at `items` cached items. Filling past the bound
+    /// flushes the whole cache first (wholesale eviction), so a working set
+    /// larger than the capacity thrashes but stays correct.
+    pub fn with_capacity(mut self, items: usize) -> PredecodedFetcher {
+        self.capacity = items.max(1);
+        self
+    }
+
+    /// Drops every cached item (e.g. after the image has been repatched).
+    /// Stats and telemetry are unaffected; subsequent fetches re-parse and
+    /// re-fill on demand.
+    pub fn invalidate(&mut self) {
+        self.entries.fill(0);
+        self.side.clear();
+        self.pool.clear();
+        self.flush_runtime_state();
+    }
+
+    /// The non-storage half of a flush: shared between [`invalidate`] and
+    /// the detached-storage flush inside [`Self::fill_detached`].
+    fn flush_runtime_state(&mut self) {
+        self.filled = 0;
+        self.generation += 1;
+        // Pool indices died with the pool; abandon any in-flight expansion.
+        self.buffer_pc = u64::MAX;
+        self.drain_len = 0;
+        self.drain_pos = 0;
+    }
+
+    /// Cached items currently resident.
+    pub fn cached_items(&self) -> usize {
+        self.filled
+    }
+
+    /// Flush epoch: bumped by every [`invalidate`](Self::invalidate),
+    /// including capacity-driven ones.
+    #[inline(always)]
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The cache entry for `pc`, parsing and filling on a miss.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::FetchFault`] if `pc` does not address a parseable
+    /// item; the fault is not cached.
+    pub(crate) fn lookup_or_fill(&mut self, pc: u64) -> Result<u32, MachineError> {
+        match self.entries.get(pc as usize) {
+            Some(0) => self.fill(pc),
+            Some(&e) => Ok(e),
+            None => Err(MachineError::FetchFault { pc }),
+        }
+    }
+
+    /// The `(tag, consumed, len, start)` of a table entry, chasing side
+    /// indirections.
+    #[inline(always)]
+    pub(crate) fn resolve(&self, e: u32) -> (u64, u64, usize, usize) {
+        unpack_entry(e, &self.side)
+    }
+
+    #[cold]
+    fn fill(&mut self, pc: u64) -> Result<u32, MachineError> {
+        let (mut entries, mut side, mut pool) = self.take_storage();
+        let r = self.fill_detached(pc, &mut entries, &mut side, &mut pool);
+        self.restore_storage(entries, side, pool);
+        r
+    }
+
+    /// Detaches the entry table and word pool for a run loop's exclusive
+    /// use. [`crate::run::run_predecoded`] keeps them in locals so the hot
+    /// path reads them through loop-invariant pointers instead of reloading
+    /// `self`'s fields every iteration; [`Self::restore_storage`] puts them
+    /// back before the loop's counters are absorbed. While detached, the
+    /// fetcher's own storage is empty (every lookup misses), so the two
+    /// calls must bracket the loop tightly.
+    pub(crate) fn take_storage(&mut self) -> (Vec<u32>, Vec<u64>, Vec<u32>) {
+        (
+            std::mem::take(&mut self.entries),
+            std::mem::take(&mut self.side),
+            std::mem::take(&mut self.pool),
+        )
+    }
+
+    /// Reattaches storage detached by [`Self::take_storage`].
+    pub(crate) fn restore_storage(&mut self, entries: Vec<u32>, side: Vec<u64>, pool: Vec<u32>) {
+        self.entries = entries;
+        self.side = side;
+        self.pool = pool;
+    }
+
+    /// [`Self::fill`] against detached storage.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::FetchFault`] if `pc` does not address a parseable
+    /// item; the fault is not cached.
+    #[cold]
+    pub(crate) fn fill_detached(
+        &mut self,
+        pc: u64,
+        entries: &mut [u32],
+        side: &mut Vec<u64>,
+        pool: &mut Vec<u32>,
+    ) -> Result<u32, MachineError> {
+        let mut r = NibbleReader::new(&self.image);
+        r.seek(pc);
+        let before = r.pos();
+        let (tag, words) =
+            match read_item_coded(self.encoding, self.isa, self.huffman.as_ref(), &mut r) {
+                Some(Item::Insn(word)) => (TAG_INSN, vec![word]),
+                Some(Item::Codeword(rank)) => {
+                    let seq = self
+                        .by_rank
+                        .get(rank as usize)
+                        .ok_or(MachineError::FetchFault { pc })?
+                        .clone();
+                    if seq.is_empty() {
+                        return Err(MachineError::FetchFault { pc });
+                    }
+                    (TAG_CODEWORD, seq)
+                }
+                None => return Err(MachineError::FetchFault { pc }),
+            };
+        let consumed = r.pos() - before;
+        if self.filled >= self.capacity {
+            // Wholesale eviction, on the detached storage.
+            entries.fill(0);
+            side.clear();
+            pool.clear();
+            self.flush_runtime_state();
+        }
+        let start = pool.len();
+        let entry = match pack_entry(tag, consumed, words.len(), start) {
+            Some(e) => e,
+            None => {
+                // Overflows the packed form: park the wide record in the
+                // side table and point at it.
+                side.push(pack_wide(tag, consumed, words.len(), start));
+                (TAG_SIDE as u32) << 30 | (side.len() - 1) as u32
+            }
+        };
+        pool.extend_from_slice(&words);
+        entries[pc as usize] = entry;
+        self.filled += 1;
+        Ok(entry)
+    }
+
+    /// Folds a run loop's batched counters into stats and telemetry, and
+    /// adopts its final drain state so interleaved [`Fetch`] use stays
+    /// coherent.
+    pub(crate) fn absorb(
+        &mut self,
+        c: &RunCounters,
+        expect_pc: u64,
+        drain: (usize, usize, usize, u64, u64),
+    ) {
+        self.stats.insns += c.insns;
+        self.stats.nibbles_fetched += c.nibbles;
+        self.stats.codewords += c.codewords;
+        self.stats.expanded_insns += c.expanded;
+        self.stats.realigns += c.realigns;
+        // Every delivered instruction is either an escaped one or an
+        // expansion word, so the escape count needs no counter of its own.
+        telemetry::VM_FETCH_ESCAPES.add(c.insns - c.expanded);
+        telemetry::VM_FETCH_CODEWORDS.add(c.codewords);
+        telemetry::VM_FETCH_BUFFERED_INSNS.add(c.expanded);
+        telemetry::VM_FETCH_NIBBLES.add(c.nibbles);
+        telemetry::VM_FETCH_REALIGNS.add(c.realigns);
+        self.expect_pc = expect_pc;
+        (self.drain_start, self.drain_len, self.drain_pos, self.buffer_pc, self.after_buffer) =
+            drain;
+    }
+
+    fn deliver_pooled(&mut self) -> Fetched {
+        let word = self.pool[self.drain_start + self.drain_pos];
+        self.drain_pos += 1;
+        self.stats.insns += 1;
+        self.stats.expanded_insns += 1;
+        telemetry::VM_FETCH_BUFFERED_INSNS.inc();
+        let next_pc =
+            if self.drain_pos < self.drain_len { self.buffer_pc } else { self.after_buffer };
+        self.expect_pc = next_pc;
+        Fetched { word, next_pc }
+    }
+}
+
+impl Fetch for PredecodedFetcher {
+    fn fetch(&mut self, pc: u64) -> Result<Fetched, MachineError> {
+        if pc != self.expect_pc && !pc.is_multiple_of(8) {
+            self.stats.realigns += 1;
+            telemetry::VM_FETCH_REALIGNS.inc();
+        }
+        if pc == self.buffer_pc && self.drain_pos < self.drain_len {
+            return Ok(self.deliver_pooled());
+        }
+        let e = self.lookup_or_fill(pc)?;
+        let (tag, consumed, len, start) = self.resolve(e);
+        self.stats.nibbles_fetched += consumed;
+        telemetry::VM_FETCH_NIBBLES.add(consumed);
+        if tag == TAG_INSN {
+            self.stats.insns += 1;
+            telemetry::VM_FETCH_ESCAPES.inc();
+            self.buffer_pc = u64::MAX;
+            self.expect_pc = pc + consumed;
+            Ok(Fetched { word: self.pool[start], next_pc: pc + consumed })
+        } else {
+            self.stats.codewords += 1;
+            telemetry::VM_FETCH_CODEWORDS.inc();
+            self.drain_start = start;
+            self.drain_len = len;
+            self.drain_pos = 0;
+            self.buffer_pc = pc;
+            self.after_buffer = pc + consumed;
+            Ok(self.deliver_pooled())
         }
     }
 

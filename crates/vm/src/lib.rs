@@ -40,6 +40,6 @@ pub mod kernels;
 pub mod machine;
 pub mod run;
 
-pub use fetch::{CompressedFetcher, Fetch, FetchStats, LinearFetcher};
+pub use fetch::{CompressedFetcher, Fetch, FetchStats, LinearFetcher, PredecodedFetcher};
 pub use machine::{Core, Machine, MachineError, Outcome};
-pub use run::{run, run_traced, RunResult};
+pub use run::{run, run_predecoded, run_traced, RunResult};

@@ -1,7 +1,10 @@
-//! The execution loop gluing a [`Core`] to a fetch engine.
+//! The execution loops gluing a [`Core`] to a fetch engine: the generic
+//! per-step loop ([`run`]) and the predecoded threaded-dispatch loop
+//! ([`run_predecoded`]) that makes SPEC-scale corpus programs runnable.
 
-use crate::fetch::{Fetch, FetchStats};
+use crate::fetch::{Fetch, FetchStats, PredecodedFetcher, RunCounters};
 use crate::machine::{Core, MachineError, Outcome};
+use codense_isa::PredecodeCore;
 
 /// Result of a completed run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +78,146 @@ pub fn run_traced(
         }
     }
     Err(MachineError::StepLimit)
+}
+
+/// The predecoded threaded-dispatch loop: [`run`] semantics at a fraction
+/// of the per-step cost.
+///
+/// Three costs are hoisted out of the step cycle relative to
+/// [`run`]-over-[`crate::fetch::CompressedFetcher`]:
+///
+/// * **parse** — items are replayed from the fetcher's decoded-item cache
+///   (first touch parses and fills, exactly like the `Fetch` impl);
+/// * **decode** — each cached word is decoded once into the backend's
+///   decoded form ([`PredecodeCore::predecode`]) and the loop dispatches
+///   [`PredecodeCore::step_insn`] directly, monomorphized per backend (no
+///   virtual calls, no per-step re-decode);
+/// * **bookkeeping** — [`FetchStats`]/telemetry updates accumulate in
+///   locals and flush when the loop exits (halt, fault, or step limit).
+///   Final counter values are byte-exact with the per-fetch path; only the
+///   update granularity differs.
+///
+/// The decoded mirror tracks the fetcher's flush epoch, so capacity-driven
+/// evictions and [`PredecodedFetcher::invalidate`] invalidate the decoded
+/// side too.
+///
+/// # Errors
+///
+/// Exactly as [`run`]: any [`MachineError`] the program raises, or
+/// [`MachineError::StepLimit`] if it does not halt within `max_steps`.
+/// Stats and telemetry are flushed before the error propagates.
+pub fn run_predecoded<C: PredecodeCore>(
+    core: &mut C,
+    fetch: &mut PredecodedFetcher,
+    entry: u64,
+    max_steps: u64,
+) -> Result<RunResult, MachineError> {
+    use crate::fetch::TAG_INSN;
+
+    let granule = fetch.granule();
+    // The entry table and word pool live in locals for the duration of the
+    // loop (loop-invariant pointers on the hot path); fills go through
+    // `fill_detached`. They are reattached before counters are absorbed.
+    let (mut entries, mut side, mut pool) = fetch.take_storage();
+    // Decoded mirror of the word pool (same indices). The fetcher is
+    // exclusively borrowed for the whole loop, so the pool only changes
+    // through our own fills — the mirror needs syncing only when a fill
+    // happens or when a cache hit points past it (entries filled before
+    // this run started).
+    let mut decoded: Vec<C::Insn> = Vec::new();
+    let mut generation = fetch.generation();
+    let mut c = RunCounters::default();
+    let mut pc = entry;
+    let mut expect_pc = u64::MAX;
+    // Expansion-drain state: pool range, position, owning PC, successor.
+    let (mut dstart, mut dlen, mut dpos) = (0usize, 0usize, 0usize);
+    let (mut dpc, mut dafter) = (u64::MAX, 0u64);
+
+    let outcome = 'run: {
+        for step in 0..max_steps {
+            if pc != expect_pc && !pc.is_multiple_of(8) {
+                c.realigns += 1;
+            }
+            let insn: &C::Insn;
+            let next_pc;
+            if pc == dpc && dpos < dlen {
+                // Sequential flow inside an expanded codeword: replay the
+                // decoded pool directly.
+                insn = &decoded[dstart + dpos];
+                dpos += 1;
+                next_pc = if dpos < dlen { dpc } else { dafter };
+                c.expanded += 1;
+            } else {
+                let e = match entries.get(pc as usize) {
+                    Some(&e) if e != 0 => e,
+                    _ => {
+                        // Miss (or out-of-range pc): parse and fill, then
+                        // sync the mirror. A capacity flush bumps the
+                        // generation and restarts pool indices from zero,
+                        // so drop the stale mirror first; any in-flight
+                        // expansion state is overwritten below (both tag
+                        // branches reassign `dpc`).
+                        let e = match fetch.fill_detached(pc, &mut entries, &mut side, &mut pool) {
+                            Ok(e) => e,
+                            Err(err) => {
+                                c.insns = step;
+                                break 'run Err(err);
+                            }
+                        };
+                        if fetch.generation() != generation {
+                            generation = fetch.generation();
+                            decoded.clear();
+                        }
+                        while decoded.len() < pool.len() {
+                            decoded.push(C::predecode(pool[decoded.len()]));
+                        }
+                        e
+                    }
+                };
+                let (tag, consumed, len, start) = crate::fetch::unpack_entry(e, &side);
+                if start + len > decoded.len() {
+                    // A hit on an entry cached before this run started:
+                    // the pool already holds its words, the mirror just
+                    // hasn't caught up (no fill happened, so no flush can
+                    // have either).
+                    while decoded.len() < pool.len() {
+                        decoded.push(C::predecode(pool[decoded.len()]));
+                    }
+                }
+                c.nibbles += consumed;
+                if tag == TAG_INSN {
+                    dpc = u64::MAX;
+                    next_pc = pc + consumed;
+                } else {
+                    c.codewords += 1;
+                    c.expanded += 1;
+                    (dstart, dlen, dpos) = (start, len, 1);
+                    (dpc, dafter) = (pc, pc + consumed);
+                    next_pc = if dlen > 1 { pc } else { dafter };
+                }
+                insn = &decoded[start];
+            }
+            expect_pc = next_pc;
+            match core.step_insn(insn, pc, next_pc, granule) {
+                Ok(Outcome::Next) => pc = next_pc,
+                Ok(Outcome::Branch(target)) => pc = target,
+                Ok(Outcome::Halt) => {
+                    c.insns = step + 1;
+                    break 'run Ok(step + 1);
+                }
+                Err(err) => {
+                    c.insns = step + 1;
+                    break 'run Err(err);
+                }
+            }
+        }
+        c.insns = max_steps;
+        Err(MachineError::StepLimit)
+    };
+    fetch.restore_storage(entries, side, pool);
+    fetch.absorb(&c, expect_pc, (dstart, dlen, dpos, dpc, dafter));
+    let steps = outcome?;
+    Ok(RunResult { exit_code: core.exit_code(), steps, stats: fetch.stats() })
 }
 
 #[cfg(test)]

@@ -161,4 +161,26 @@ echo "==> speed-regression smoke (interned matchfinder vs checked-in baseline)"
 ./target/release/codense speed --no-reference --samples 3 \
     --out "$tmp/BENCH_speed.json" --check BENCH_speed.json
 
+echo "==> corpus smoke (100K insns: generate -> compress -> verify -> VM, counters --jobs 1 vs --jobs 8)"
+# One deterministic SPEC-scale corpus point end to end: build the 100K-insn
+# PPC program, compress and verify it under all four encodings, and run it
+# to completion on both VM fetch paths (re-parsing and predecoded). The
+# telemetry counters — matchfinder work, verify runs, VM fetch-path event
+# counts — must be byte-identical at any --jobs, like every other artifact.
+./target/release/codense --jobs 1 --metrics "$tmp/scale1.json" scale \
+    --points 100k --isa ppc --trials 1 --out "$tmp/scale1.out.json" >/dev/null
+./target/release/codense --jobs 8 --metrics "$tmp/scale8.json" scale \
+    --points 100k --isa ppc --trials 1 --out "$tmp/scale8.out.json" >/dev/null
+sed -n '/"counters"/,/}/p' "$tmp/scale1.json" > "$tmp/scale1.counters"
+sed -n '/"counters"/,/}/p' "$tmp/scale8.json" > "$tmp/scale8.counters"
+diff -u "$tmp/scale1.counters" "$tmp/scale8.counters"
+
+echo "==> corpus speed floor (100K-insn compression vs checked-in BENCH_speed_corpus.json)"
+# Same contract as the kernel speed gate, at SPEC scale: the interned
+# matchfinder must stay within the default 3x floor of the blessed corpus
+# throughput. Re-bless with
+#   codense speed --corpus 100k --samples 5 --out BENCH_speed_corpus.json
+./target/release/codense speed --corpus 100k --samples 3 \
+    --out "$tmp/BENCH_speed_corpus.json" --check BENCH_speed_corpus.json
+
 echo "verify: OK"
